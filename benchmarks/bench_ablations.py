@@ -1,0 +1,267 @@
+"""Ablations — the design choices the paper calls out.
+
+Four knobs the paper identifies, each measured here:
+
+1. Classifier implementation (§5): "we currently implement the classifier
+   type as a linked list internally, which does not scale with larger
+   numbers of rules ... straightforward to transparently switch to a
+   better data structure" — linear vs trie scaling with the rule count.
+2. HILTI-level optimizations (§6.6): "our toolchain does not yet exploit
+   HILTI's optimization potential: it lacks ... constant folding and
+   common subexpression elimination" — we implement them; measure on/off.
+3. Incremental UDP parsing (§6.4): "the BinPAC++ compiler always
+   generates code supporting incremental parsing, even though it could
+   optimize for UDP where one sees complete PDUs at a time" — per-PDU
+   fiber session vs one-shot parse.
+4. Link-time dead-code elimination (§7): stripping functions the host's
+   parameterization cannot reach.
+"""
+
+import struct
+import time
+
+import pytest
+
+from repro.core import hiltic
+from repro.core.linker import link, strip_unreachable
+from repro.core.parser import parse_module
+from repro.core.values import Addr, Network
+from repro.runtime.classifier import LinearClassifier, TrieClassifier
+
+
+# -- 1. classifier scaling ---------------------------------------------------
+
+
+def _rules(count):
+    out = []
+    for i in range(count):
+        net = Network(Addr.from_v4_int((10 << 24) | (i << 8)), 24)
+        out.append(((net, None), i))
+    return out
+
+
+def _keys(count):
+    return [
+        (Addr.from_v4_int((10 << 24) | ((i % count) << 8) | 7),
+         Addr.from_v4_int(0x08080808))
+        for i in range(200)
+    ]
+
+
+@pytest.mark.parametrize("impl", [LinearClassifier, TrieClassifier])
+@pytest.mark.parametrize("n_rules", [16, 256])
+def test_classifier_lookup(benchmark, impl, n_rules):
+    classifier = impl(2)
+    for fields, value in _rules(n_rules):
+        classifier.add(fields, value)
+    classifier.compile()
+    keys = _keys(n_rules)
+    benchmark(lambda: [classifier.lookup(k) for k in keys])
+
+
+def test_classifier_scaling_report(report, benchmark):
+    rows = {}
+    for n_rules in (16, 64, 256, 1024):
+        keys = _keys(n_rules)
+        for impl in (LinearClassifier, TrieClassifier):
+            classifier = impl(2)
+            for fields, value in _rules(n_rules):
+                classifier.add(fields, value)
+            classifier.compile()
+            begin = time.perf_counter_ns()
+            for key in keys:
+                classifier.lookup(key)
+            rows[(impl.__name__, n_rules)] = \
+                time.perf_counter_ns() - begin
+    report(
+        "Ablation 1: classifier linear vs trie (ns per 200 lookups)",
+        **{f"{name}_{n}": ns for (name, n), ns in rows.items()},
+        linear_growth_16_to_1024=(
+            rows[("LinearClassifier", 1024)]
+            / rows[("LinearClassifier", 16)]
+        ),
+        trie_growth_16_to_1024=(
+            rows[("TrieClassifier", 1024)]
+            / rows[("TrieClassifier", 16)]
+        ),
+    )
+    # The paper's point: the linked list does not scale; the trie does.
+    assert rows[("TrieClassifier", 1024)] < rows[("LinearClassifier", 1024)]
+    benchmark(lambda: None)
+
+
+# -- 2. HILTI-level optimizations -----------------------------------------------
+
+_OPT_SRC = """module Main
+int<64> hot(int<64> a, int<64> b) {
+    local int<64> c1
+    local int<64> c2
+    local int<64> x
+    local int<64> y
+    local int<64> z
+    local int<64> dead
+    c1 = int.add 40 2
+    c2 = int.mul 6 7
+    x = int.add a b
+    y = int.add a b
+    dead = int.mul x 99
+    z = int.add x y
+    z = int.add z c1
+    z = int.add z c2
+    return z
+}
+"""
+
+
+@pytest.mark.parametrize("optimize", [False, True],
+                         ids=["unoptimized", "optimized"])
+def test_hilti_optimizations(benchmark, optimize):
+    program = hiltic([_OPT_SRC], optimize=optimize)
+    ctx = program.make_context()
+    benchmark(lambda: [
+        program.call(ctx, "Main::hot", [i, i + 1]) for i in range(200)
+    ])
+
+
+def test_optimization_report(report, benchmark):
+    from repro.core.optimize import optimize_module
+
+    module = parse_module(_OPT_SRC)
+    stats = optimize_module(module)
+
+    def timed(optimize):
+        program = hiltic([_OPT_SRC], optimize=optimize)
+        ctx = program.make_context()
+        begin = time.perf_counter_ns()
+        for i in range(2000):
+            program.call(ctx, "Main::hot", [i, i + 1])
+        return time.perf_counter_ns() - begin
+
+    off_ns = min(timed(False) for __ in range(3))
+    on_ns = min(timed(True) for __ in range(3))
+    report(
+        "Ablation 2: HILTI-level optimizations (paper: future work)",
+        constants_folded=stats.folded,
+        cse_hits=stats.cse_hits,
+        dead_stores=stats.dead_stores,
+        unoptimized_ms=off_ns / 1e6,
+        optimized_ms=on_ns / 1e6,
+        speedup=off_ns / on_ns,
+    )
+    assert stats.folded >= 2 and stats.cse_hits >= 1
+    assert on_ns < off_ns * 1.1  # never slower (noise margin)
+    benchmark(lambda: None)
+
+
+# -- 3. incremental vs one-shot UDP parsing ----------------------------------------
+
+
+def _dns_messages(count=150):
+    from repro.net.packet import parse_ethernet
+    from repro.net.tracegen import DnsTraceConfig, generate_dns_trace
+
+    frames = generate_dns_trace(
+        DnsTraceConfig(queries=count, crud_fraction=0.0)
+    )
+    out = []
+    for __, frame in frames:
+        __ip, udp = parse_ethernet(frame)
+        out.append(udp.payload)
+    return out
+
+
+def test_dns_incremental_session(benchmark):
+    from repro.apps.binpac import Parser
+    from repro.apps.binpac.grammars import dns_grammar
+
+    parser = Parser(dns_grammar())
+    messages = _dns_messages()
+
+    def incremental():
+        for message in messages:
+            session = parser.start("Message")
+            session.feed(message)
+            session.done()
+
+    benchmark(incremental)
+
+
+def test_dns_oneshot_parse(benchmark):
+    from repro.apps.binpac import Parser
+    from repro.apps.binpac.grammars import dns_grammar
+
+    parser = Parser(dns_grammar())
+    messages = _dns_messages()
+
+    def oneshot():
+        for message in messages:
+            parser.parse("Message", message)
+
+    benchmark(oneshot)
+
+
+def test_udp_incremental_overhead_report(report, benchmark):
+    from repro.apps.binpac import Parser
+    from repro.apps.binpac.grammars import dns_grammar
+
+    parser = Parser(dns_grammar())
+    messages = _dns_messages()
+
+    def timed(fn):
+        best = float("inf")
+        for __ in range(3):
+            begin = time.perf_counter_ns()
+            fn()
+            best = min(best, time.perf_counter_ns() - begin)
+        return best
+
+    def incremental():
+        for message in messages:
+            session = parser.start("Message")
+            session.feed(message)
+            session.done()
+
+    def oneshot():
+        for message in messages:
+            parser.parse("Message", message)
+
+    inc_ns = timed(incremental)
+    one_ns = timed(oneshot)
+    report(
+        "Ablation 3: always-incremental UDP parsing (paper §6.4 finding)",
+        incremental_ms=inc_ns / 1e6,
+        oneshot_ms=one_ns / 1e6,
+        incremental_overhead=inc_ns / one_ns,
+    )
+    # The paper's observed inefficiency: sessions cost more than direct
+    # parses (with a noise margin — the gap narrows as parsing itself
+    # dominates the fiber setup).
+    assert inc_ns > one_ns * 0.9
+    benchmark(lambda: None)
+
+
+# -- 4. link-time dead code elimination ------------------------------------------
+
+
+def test_linktime_dce_report(report, benchmark):
+    source = ["module Main", "void run() {", "    call used0()", "}"]
+    for i in range(20):
+        source.append(f"void used{i} () {{")
+        if i < 19:
+            source.append(f"    call used{i + 1}()")
+        source.append("}")
+    for i in range(30):
+        source.append(f"void unused{i}() {{")
+        source.append("}")
+    module = parse_module("\n".join(source))
+    program = link([module])
+    before = len(program.functions)
+    removed = strip_unreachable(program, ["Main::run"])
+    report(
+        "Ablation 4: link-time dead-code elimination (paper §7)",
+        functions_before=before,
+        removed=removed,
+        remaining=len(program.functions),
+    )
+    assert removed == 30
+    benchmark(lambda: None)

@@ -1,0 +1,119 @@
+"""§6.2 — Berkeley Packet Filter.
+
+The paper links a libpcap driver against (a) a classic interpreted BPF
+filter and (b) the same filter compiled through HILTI, verifies both
+return the same number of matches, and compares cycles spent inside the
+filtering code (HILTI spends 1.70x BPF; 1.35x ignoring the C-stub share).
+
+Here the classic BPF VM is the interpreted baseline and HILTI's compiled
+tier the alternative; a third row runs the HILTI *interpreter* tier, the
+configuration compiling filters is meant to beat.  The paper-shape claim
+under test: identical match counts, and compiled-HILTI beating
+interpreted execution of the same filter.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.bpf import compile_to_hilti, compile_to_vm, parse_filter
+from repro.core.stubs import make_stub
+from repro.net.packet import parse_ethernet
+
+_EXPRESSION_TEMPLATE = "host {addr} or src net 172.16.0.0/16 and port 80"
+
+
+@pytest.fixture(scope="module")
+def setup(http_trace):
+    # Use real addresses from the trace so the filter matches a few
+    # percent of packets, like the paper's configuration.
+    ip, __ = parse_ethernet(http_trace[3][1])
+    expression = _EXPRESSION_TEMPLATE.format(addr=ip.src)
+    node = parse_filter(expression)
+    frames = [f for __, f in http_trace]
+    return expression, node, frames
+
+
+def test_match_counts_identical(setup, report, benchmark):
+    expression, node, frames = setup
+    vm = compile_to_vm(node)
+    hilti = compile_to_hilti(node)
+    vm_matches = sum(1 for f in frames if vm.run(f))
+    hilti_matches = sum(1 for f in frames if hilti(f))
+    report(
+        "6.2 BPF correctness",
+        filter=expression,
+        packets=len(frames),
+        bpf_vm_matches=vm_matches,
+        hilti_matches=hilti_matches,
+    )
+    assert vm_matches == hilti_matches
+    assert 0 < vm_matches < len(frames)
+    benchmark(lambda: None)  # correctness check; timing not meaningful
+
+
+def test_bpf_vm_filtering(benchmark, setup):
+    __, node, frames = setup
+    vm = compile_to_vm(node)
+    benchmark(lambda: sum(1 for f in frames if vm.run(f)))
+
+
+def test_hilti_compiled_filtering(benchmark, setup):
+    __, node, frames = setup
+    hilti = compile_to_hilti(node)
+    benchmark(lambda: sum(1 for f in frames if hilti(f)))
+
+
+def test_hilti_interpreted_filtering(benchmark, setup):
+    __, node, frames = setup
+    hilti = compile_to_hilti(node, tier="interpreted")
+    benchmark(lambda: sum(1 for f in frames if hilti(f)))
+
+
+def test_relative_cost_report(setup, report, benchmark):
+    """The paper's ratio table, including the stub-overhead split."""
+    expression, node, frames = setup
+    vm = compile_to_vm(node)
+    compiled = compile_to_hilti(node)
+    interp = compile_to_hilti(node, tier="interpreted")
+
+    def timed(fn, repeat=3):
+        best = float("inf")
+        for __ in range(repeat):
+            begin = time.perf_counter_ns()
+            fn()
+            best = min(best, time.perf_counter_ns() - begin)
+        return best
+
+    vm_ns = timed(lambda: [vm.run(f) for f in frames])
+    hilti_ns = timed(lambda: [compiled(f) for f in frames])
+    interp_ns = timed(lambda: [interp(f) for f in frames])
+
+    # Stub overhead: route the same calls through the generated stub
+    # layer and attribute the delta over calling the compiled function
+    # directly, mirroring the paper's 20.6% finding.  Both paths get
+    # pre-marshalled buffers so only the stub layer differs.
+    stub = make_stub(compiled.program, "Main::filter")
+    ctx = compiled.ctx
+    # The stub receives *raw host bytes* and marshals them itself —
+    # exactly the work the paper's C stubs perform.  The stub accounts
+    # its own marshalling time, so the share is measured directly
+    # rather than as a noisy difference of two runs.
+    begin = time.perf_counter_ns()
+    for f in frames:
+        stub(ctx, f)
+    stub_total_ns = time.perf_counter_ns() - begin
+    stub_share = stub.overhead_ns / stub_total_ns if stub_total_ns else 0.0
+
+    report(
+        "6.2 BPF relative cost (paper: HILTI/BPF = 1.70x, 1.35x sans stub)",
+        bpf_vm_ms=vm_ns / 1e6,
+        hilti_compiled_ms=hilti_ns / 1e6,
+        hilti_interpreted_ms=interp_ns / 1e6,
+        hilti_over_bpf_vm=hilti_ns / vm_ns,
+        compiled_speedup_over_interpreted=interp_ns / hilti_ns,
+        stub_share_of_stub_path=stub_share,
+    )
+    # Shape: compiling the filter must beat interpreting HILTI IR.
+    assert hilti_ns < interp_ns
+    benchmark(lambda: None)  # keep --benchmark-only happy

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Results print to stdout
+(run with ``-s`` to watch) and accumulate in ``benchmarks/RESULTS.txt``
+so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.net.tracegen import (
+    DnsTraceConfig,
+    HttpTraceConfig,
+    generate_dns_trace,
+    generate_http_trace,
+)
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "RESULTS.txt")
+
+
+@pytest.fixture(scope="session")
+def http_trace():
+    """The stand-in for the paper's UC Berkeley HTTP trace (§6.1)."""
+    return generate_http_trace(HttpTraceConfig(sessions=120, seed=101))
+
+
+@pytest.fixture(scope="session")
+def dns_trace():
+    """The stand-in for the paper's UC Berkeley DNS trace (§6.1)."""
+    return generate_dns_trace(DnsTraceConfig(queries=1200, seed=102))
+
+
+class _Reporter:
+    def __init__(self):
+        self._stream = open(_RESULTS_PATH, "a")
+
+    def __call__(self, section: str, **values) -> None:
+        lines = [f"[{section}]"]
+        for key, value in values.items():
+            if isinstance(value, float):
+                value = f"{value:.4f}"
+            lines.append(f"  {key} = {value}")
+        text = "\n".join(lines)
+        print("\n" + text)
+        self._stream.write(text + "\n")
+        self._stream.flush()
+
+    def close(self):
+        self._stream.close()
+
+
+@pytest.fixture(scope="session")
+def report():
+    reporter = _Reporter()
+    yield reporter
+    reporter.close()
+
+
+@pytest.fixture()
+def quiet_stream():
+    return io.StringIO()

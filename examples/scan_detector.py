@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Scan detection with scoped scheduling — the paper's §7 example.
+
+"Consider a scan detector that counts connection attempts per source
+address.  As each individual counter depends solely on the activity of
+the associated source, one can parallelize the detector by ensuring,
+through scheduling, that the same thread carries out all counter
+operations associated with a particular address."
+
+This example builds exactly that: the detector is a HILTI module keeping
+per-source state in the reusable SessionTable component; packets are
+scheduled onto virtual threads by *hash of the source address* (scoped
+scheduling), so each source's counter lives in one thread's thread-local
+globals with no synchronization anywhere.
+"""
+
+from repro.core import hiltic
+from repro.core.values import Addr, Time
+from repro.lib import SESSION_TABLE
+from repro.net.packet import SYN, build_tcp_packet, parse_ethernet
+from repro.net.tracegen import HttpTraceConfig, generate_http_trace
+from repro.runtime.threads import Scheduler
+
+DETECTOR = """module Scan
+
+import Hilti
+
+global ref<map<any, any>> attempts
+global ref<list<any>> alerts
+
+void init() {
+    attempts = call SessionTable::create(interval(60))
+    alerts = new list<any>
+}
+
+void attempt(time t, addr source) {
+    call SessionTable::advance(t)
+    local bool known
+    known = call SessionTable::contains(attempts, source)
+    if.else known bump fresh
+fresh:
+    call SessionTable::insert(attempts, source, 1)
+    return
+bump:
+    local int<64> n
+    n = call SessionTable::lookup(attempts, source)
+    n = int.incr n
+    call SessionTable::insert(attempts, source, n)
+    local bool hit
+    hit = int.eq n 25
+    if.else hit alert done
+alert:
+    list.push_back alerts source
+done:
+    return
+}
+"""
+
+
+def build_trace():
+    """Background HTTP traffic plus one source SYN-scanning a /24."""
+    frames = [f for __, f in
+              generate_http_trace(HttpTraceConfig(sessions=30))]
+    scanner = Addr("198.51.100.99")
+    for host in range(1, 80):
+        frames.append(build_tcp_packet(
+            scanner, Addr(f"10.10.0.{host}"), 54321, 445, flags=SYN,
+        ))
+    return frames, scanner
+
+
+def main() -> None:
+    frames, scanner = build_trace()
+    program = hiltic([SESSION_TABLE, DETECTOR])
+    n_vthreads = 16
+    scheduler = Scheduler(program, workers=4)
+
+    # Scoped scheduling: vthread = hash(source address).  All state for
+    # one source lands on one thread; no locks, no races, by design.
+    scheduled = 0
+    clock = 0.0
+    for frame in frames:
+        try:
+            ip, tcp = parse_ethernet(frame)
+        except Exception:
+            continue
+        if tcp is None or not getattr(tcp, "syn", False) or tcp.is_ack:
+            continue
+        clock += 0.001
+        vid = ip.src.value % n_vthreads
+        scheduler.schedule(vid, "Scan::attempt", (Time(clock), ip.src))
+        scheduled += 1
+
+    # Each vthread initializes its own thread-local state on first use.
+    for vid in range(n_vthreads):
+        ctx = scheduler.context_for(vid)
+        program.call(ctx, "Scan::init")
+    jobs = scheduler.run_until_idle()
+    print(f"scheduled {scheduled} connection attempts onto "
+          f"{scheduler.vthread_count} virtual threads ({jobs} jobs run)")
+
+    alerted = []
+    for vid, ctx in scheduler.contexts().items():
+        alerts = ctx.globals[program.linked.global_slot("Scan::alerts")]
+        if alerts is not None:
+            alerted.extend(str(a) for a in alerts)
+    print("scan alerts:", alerted or "none")
+    assert str(scanner) in alerted
+    print(f"\ndetected the scanner {scanner} with zero cross-thread "
+          "synchronization (per-source state is thread-local)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Host applications built on HILTI: BPF, firewall, BinPAC++, mini-Bro."""

@@ -1,0 +1,7 @@
+"""BinPAC++: a yacc for network protocols, targeting HILTI."""
+
+from . import ast  # noqa: F401
+from .codegen import GrammarCompiler, ParseSession, Parser, compile_grammar  # noqa: F401
+from .evt import AnalyzerSpec, EventSpec, EvtFile, build_glue_module, parse_evt  # noqa: F401
+from .parser import parse_grammar  # noqa: F401
+from .runtime import ParseError  # noqa: F401

@@ -1,0 +1,156 @@
+"""Event configuration files (``.evt``) — the BinPAC++/Bro interface.
+
+The paper's Figure 7(b): an event configuration file names the grammar,
+declares the protocol analyzer (top-level unit, trigger port), and maps
+unit hooks onto host events::
+
+    grammar ssh.pac2;
+
+    protocol analyzer SSH over TCP:
+        parse with SSH::Banner,
+        port 22/tcp;
+
+    on SSH::Banner -> event ssh_banner(self.version, self.software);
+
+Compiling an ``.evt`` produces (i) an analyzer registration (which unit to
+instantiate for which port) and (ii) a HILTI module of hook bodies that
+fire when the generated parser finishes a unit, converting the parsed
+fields and raising the named event through the ``Bro::raise_event``
+native — the glue code whose runtime cost Figures 9-10 break out.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...core import types as ht
+from ...core.builder import ModuleBuilder
+from ...core.ir import Module, TupleOp
+from ...core.values import Port
+from .ast import GrammarError
+
+__all__ = ["EventSpec", "AnalyzerSpec", "EvtFile", "parse_evt", "build_glue_module"]
+
+
+class EventSpec:
+    """``on <unit> -> event <name>(self.a, self.b, ...)``."""
+
+    __slots__ = ("unit", "event", "args")
+
+    def __init__(self, unit: str, event: str, args: List[str]):
+        self.unit = unit
+        self.event = event
+        self.args = args  # field names referenced as self.<field>
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"self.{a}" for a in self.args)
+        return f"on {self.unit} -> event {self.event}({inner})"
+
+
+class AnalyzerSpec:
+    """``protocol analyzer <name> over <transport>: parse with <unit>,
+    port <p>``."""
+
+    __slots__ = ("name", "transport", "top_unit", "ports")
+
+    def __init__(self, name: str, transport: str, top_unit: str,
+                 ports: List[Port]):
+        self.name = name
+        self.transport = transport.lower()
+        self.top_unit = top_unit
+        self.ports = ports
+
+    def __repr__(self) -> str:
+        return (
+            f"analyzer {self.name} over {self.transport} "
+            f"(unit {self.top_unit}, ports {self.ports})"
+        )
+
+
+class EvtFile:
+    def __init__(self, grammar_file: Optional[str],
+                 analyzers: List[AnalyzerSpec],
+                 events: List[EventSpec]):
+        self.grammar_file = grammar_file
+        self.analyzers = analyzers
+        self.events = events
+
+
+_GRAMMAR_RE = re.compile(r"grammar\s+([^\s;]+)\s*;")
+_ANALYZER_RE = re.compile(
+    r"protocol\s+analyzer\s+(\w+)\s+over\s+(\w+)\s*:\s*"
+    r"parse\s+with\s+([\w:]+)\s*(?:,\s*port\s+([\d/a-z,\s]+?))?\s*;",
+    re.DOTALL,
+)
+_EVENT_RE = re.compile(
+    r"on\s+([\w:]+)\s*->\s*event\s+(\w+)\s*\(([^)]*)\)\s*;"
+)
+
+
+def parse_evt(text: str) -> EvtFile:
+    """Parse an event configuration file."""
+    stripped = "\n".join(
+        line.split("#", 1)[0] for line in text.splitlines()
+    )
+    grammar_match = _GRAMMAR_RE.search(stripped)
+    grammar_file = grammar_match.group(1) if grammar_match else None
+    analyzers: List[AnalyzerSpec] = []
+    for match in _ANALYZER_RE.finditer(stripped):
+        name, transport, unit, ports_text = match.groups()
+        ports: List[Port] = []
+        if ports_text:
+            for chunk in ports_text.split(","):
+                chunk = chunk.strip()
+                if chunk:
+                    ports.append(Port(chunk))
+        analyzers.append(AnalyzerSpec(name, transport, unit, ports))
+    events: List[EventSpec] = []
+    for match in _EVENT_RE.finditer(stripped):
+        unit, event, args_text = match.groups()
+        args: List[str] = []
+        for chunk in args_text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if not chunk.startswith("self."):
+                raise GrammarError(
+                    f"event argument must be self.<field>, got {chunk!r}"
+                )
+            args.append(chunk[len("self."):])
+        events.append(EventSpec(unit, event, args))
+    return EvtFile(grammar_file, analyzers, events)
+
+
+def build_glue_module(evt: EvtFile, grammar_name: str,
+                      module_name: str = "EvtGlue") -> Module:
+    """Hook bodies raising host events when units finish parsing.
+
+    For each ``on U -> event e(self.a, ...)``, emits a body for the hook
+    ``<grammar>::<U>::%done`` that extracts the fields from the unit
+    struct and calls the ``Bro::raise_event`` native.
+    """
+    mb = ModuleBuilder(module_name)
+    for index, spec in enumerate(evt.events):
+        unit = spec.unit
+        if "::" in unit:
+            unit_grammar, unit = unit.split("::", 1)
+            if unit_grammar != grammar_name:
+                raise GrammarError(
+                    f"event for unit of foreign grammar {unit_grammar!r}"
+                )
+        hook_name = f"{grammar_name}::{unit}::%done"
+        fb = mb.hook(hook_name, [("obj", ht.ANY)], body_suffix=str(index))
+        values = []
+        for field_name in spec.args:
+            out = fb.temp(ht.ANY, f"v_{field_name}")
+            fb.emit("struct.get_default", fb.var("obj"),
+                    fb.field(field_name), fb.const(ht.ANY, None),
+                    target=out)
+            values.append(out)
+        fb.call(
+            "Bro::raise_event",
+            [fb.const(ht.STRING, spec.event), TupleOp(tuple(values))],
+        )
+        fb.ret()
+    return mb.finish()

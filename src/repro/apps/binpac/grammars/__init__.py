@@ -1,0 +1,6 @@
+"""Protocol grammars shipped with BinPAC++: HTTP, DNS, SSH."""
+
+from .dns import dns_grammar  # noqa: F401
+from .http import http_grammar  # noqa: F401
+from .ssh import SSH_EVT, SSH_PAC2, ssh_grammar  # noqa: F401
+from .tftp import tftp_grammar  # noqa: F401

@@ -1,0 +1,108 @@
+"""The BinPAC++ HTTP grammar.
+
+The request/reply grammar the evaluation's HTTP case study uses (paper,
+section 6.4): request and status lines as regexp tokens (Figure 6a),
+header lists terminated by the blank line, and Content-Length-driven
+bodies.  The body length is a *semantic* construct — computed from the
+parsed header list via the BinPAC runtime — exactly the kind of logic
+BinPAC++ moves from handwritten C++ into the grammar language.
+
+Top-level units: ``Requests`` / ``Replies`` parse a whole connection
+direction incrementally (persistent connections: multiple transactions per
+unit).
+"""
+
+from __future__ import annotations
+
+from ..ast import (
+    BinOp,
+    BytesField,
+    Call,
+    ComputeField,
+    Const,
+    Grammar,
+    ListField,
+    PatternField,
+    SelfField,
+    SubUnitField,
+    Unit,
+)
+
+__all__ = ["http_grammar"]
+
+TOKEN = r"[^ \t\r\n]+"
+WHITESPACE = r"[ \t]+"
+NEWLINE = r"\r?\n"
+
+
+def http_grammar() -> Grammar:
+    g = Grammar("HTTP")
+    g.constant("Token", TOKEN)
+    g.constant("WhiteSpace", WHITESPACE)
+    g.constant("NewLine", NEWLINE)
+
+    g.unit(Unit("Version", [
+        PatternField(None, r"HTTP/"),
+        PatternField("number", r"[0-9]+\.[0-9]+"),
+    ]))
+
+    g.unit(Unit("RequestLine", [
+        PatternField("method", TOKEN),
+        PatternField(None, WHITESPACE),
+        PatternField("uri", TOKEN),
+        PatternField(None, WHITESPACE),
+        SubUnitField("version", "Version"),
+        PatternField(None, NEWLINE),
+    ]))
+
+    g.unit(Unit("StatusLine", [
+        SubUnitField("version", "Version"),
+        PatternField(None, WHITESPACE),
+        PatternField("status", r"[0-9]{3}"),
+        PatternField("reason", r"[^\r\n]*"),
+        PatternField(None, NEWLINE),
+    ]))
+
+    g.unit(Unit("Header", [
+        PatternField("name", r"[^:\r\n]+"),
+        PatternField(None, r":[ \t]*"),
+        PatternField("value", r"[^\r\n]*"),
+        PatternField(None, NEWLINE),
+    ]))
+
+    def message_tail():
+        """headers + computed content length + conditional body."""
+        return [
+            ListField("headers", SubUnitField(None, "Header"),
+                      until_input=NEWLINE),
+            ComputeField(
+                "content_length",
+                Call("http_content_length", [SelfField("headers")]),
+            ),
+            ComputeField(
+                "has_body",
+                BinOp(">", SelfField("content_length"), Const(0)),
+            ),
+            BytesField("body", length=SelfField("content_length"),
+                       condition=SelfField("has_body")),
+        ]
+
+    g.unit(Unit("Request", [
+        SubUnitField("request_line", "RequestLine"),
+        *message_tail(),
+    ]))
+
+    g.unit(Unit("Reply", [
+        SubUnitField("status_line", "StatusLine"),
+        *message_tail(),
+    ]))
+
+    # One unit per connection direction; transactions repeat to the end
+    # of the (frozen) stream.
+    g.unit(Unit("Requests", [
+        ListField("transactions", SubUnitField(None, "Request"), eod=True),
+    ], exported=True))
+    g.unit(Unit("Replies", [
+        ListField("transactions", SubUnitField(None, "Reply"), eod=True),
+    ], exported=True))
+    return g

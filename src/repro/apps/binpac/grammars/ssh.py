@@ -1,0 +1,35 @@
+"""The BinPAC++ SSH banner grammar — the paper's Figure 7(a), verbatim
+in the textual .pac2 syntax."""
+
+from __future__ import annotations
+
+from ..parser import parse_grammar
+
+__all__ = ["ssh_grammar", "SSH_PAC2", "SSH_EVT"]
+
+SSH_PAC2 = r"""
+module SSH;
+
+export type Banner = unit {
+    magic   : /SSH-/;
+    version : /[^-]*/;
+    dash    : /-/;
+    software: /[^\r\n]*/;
+};
+"""
+
+SSH_EVT = r"""
+grammar ssh.pac2;  # BinPAC++ grammar to compile.
+
+# Define the new parser.
+protocol analyzer SSH over TCP:
+    parse with SSH::Banner,   # Top-level unit.
+    port 22/tcp;              # Port to trigger parser.
+
+# For each SSH::Banner, trigger an ssh_banner() event.
+on SSH::Banner -> event ssh_banner(self.version, self.software);
+"""
+
+
+def ssh_grammar():
+    return parse_grammar(SSH_PAC2)

@@ -1,0 +1,303 @@
+"""Parser for the BinPAC++ textual grammar syntax (``.pac2`` files).
+
+Covers the language of the paper's Figures 6(a) and 7(a)::
+
+    module SSH;
+
+    export type Banner = unit {
+        magic   : /SSH-/;
+        version : /[^-]*/;
+        dash    : /-/;
+        software: /[^\\r\\n]*/;
+    };
+
+plus named token constants (``const Token = /[^ \\t\\r\\n]+/;``), fixed-width
+integers (``uint8/16/32/64``), raw bytes with attributes
+(``bytes &length=self.len``), sub-units, lists (``Header[] &until_input=
+/\\r?\\n/``), and field conditions (``if (self.x == 1)``).  More intricate
+constructs (switches, marks/seeks, runtime calls) are available through the
+AST API (``repro.apps.binpac.ast``), which is also what this parser
+produces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .ast import (
+    BinOp,
+    BytesField,
+    Call,
+    ComputeField,
+    Const,
+    Expr,
+    Field,
+    Grammar,
+    GrammarError,
+    ListField,
+    LiteralField,
+    PatternField,
+    SelfField,
+    SubUnitField,
+    UIntField,
+    Unit,
+)
+
+__all__ = ["parse_grammar"]
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<regex>/(?:[^/\\\n]|\\.)+/)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)*)
+    | (?P<op>&&|\|\||==|!=|<=|>=|->|[{}()\[\];:=,.&<>+\-*])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise GrammarError(f"cannot tokenize near {text[pos:pos+25]!r}")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Pac2Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.grammar: Optional[Grammar] = None
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise GrammarError("unexpected end of grammar")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise GrammarError(f"expected {token!r}, got {got!r}")
+
+    def parse(self) -> Grammar:
+        self.expect("module")
+        name = self.take()
+        self.expect(";")
+        self.grammar = Grammar(name)
+        while self.peek() is not None:
+            token = self.peek()
+            if token == "const":
+                self._parse_const()
+            elif token in ("type", "export"):
+                self._parse_unit()
+            else:
+                raise GrammarError(f"unexpected {token!r} at top level")
+        return self.grammar
+
+    def _parse_const(self) -> None:
+        self.expect("const")
+        name = self.take()
+        self.expect("=")
+        pattern = self.take()
+        if not (pattern.startswith("/") and pattern.endswith("/")):
+            raise GrammarError(f"const {name} must be a /pattern/")
+        self.expect(";")
+        self.grammar.constant(name, pattern[1:-1])
+
+    def _parse_unit(self) -> None:
+        exported = False
+        if self.peek() == "export":
+            self.take()
+            exported = True
+        self.expect("type")
+        name = self.take()
+        self.expect("=")
+        self.expect("unit")
+        self.expect("{")
+        fields: List[Field] = []
+        while self.peek() != "}":
+            fields.append(self._parse_field())
+        self.expect("}")
+        self.expect(";")
+        self.grammar.unit(Unit(name, fields, exported=exported))
+
+    def _parse_field(self) -> Field:
+        # Computed fields: `let name = expr;`
+        if self.peek() == "let":
+            self.take()
+            name = self.take()
+            self.expect("=")
+            expr = self._parse_expr()
+            self.expect(";")
+            return ComputeField(name, expr)
+        name: Optional[str] = None
+        if self.peek() != ":":
+            name = self.take()
+        self.expect(":")
+        field = self._parse_field_type(name)
+        # List marker directly after the element type: Header[]
+        is_list = False
+        if self.peek() == "[" and self.peek(1) == "]":
+            self.take()
+            self.take()
+            is_list = True
+        # Attributes: &length=e, &count=e, &until=/re/,
+        # &until_input=/re/, &eod
+        length = count = None
+        until = None
+        until_input = None
+        eod = False
+        condition = None
+        while self.peek() == "&":
+            self.take()
+            attr = self.take()
+            if attr == "eod":
+                eod = True
+                continue
+            self.expect("=")
+            if attr == "length":
+                length = self._parse_expr()
+            elif attr == "count":
+                count = self._parse_expr()
+            elif attr == "until":
+                pattern = self.take()
+                until = pattern[1:-1]
+            elif attr == "until_input":
+                pattern = self.take()
+                until_input = pattern[1:-1]
+            else:
+                raise GrammarError(f"unknown attribute &{attr}")
+        if self.peek() == "if":
+            self.take()
+            self.expect("(")
+            condition = self._parse_expr()
+            self.expect(")")
+        self.expect(";")
+        field = self._apply_attributes(
+            field, name, is_list, length, count, until, until_input, eod
+        )
+        field.condition = condition
+        return field
+
+    def _parse_field_type(self, name: Optional[str]) -> Field:
+        token = self.take()
+        if token.startswith("/") and token.endswith("/"):
+            return PatternField(name, token[1:-1])
+        if token.startswith('"') and token.endswith('"'):
+            literal = (
+                token[1:-1]
+                .replace("\\r", "\r")
+                .replace("\\n", "\n")
+                .replace("\\t", "\t")
+                .replace('\\"', '"')
+                .replace("\\\\", "\\")
+            )
+            return LiteralField(name, literal.encode("latin-1"))
+        if token in ("uint8", "uint16", "uint32", "uint64"):
+            return UIntField(name, int(token[4:]))
+        if token == "bytes":
+            # Placeholder; attributes decide length/eod.
+            return BytesField(name, length=Const(0))
+        # Named reference: a token constant or another unit.
+        if token in self.grammar.constants:
+            return PatternField(name, self.grammar.constants[token])
+        return SubUnitField(name, token)
+
+    def _apply_attributes(self, field: Field, name: Optional[str],
+                          is_list: bool, length, count, until,
+                          until_input, eod) -> Field:
+        if is_list or (
+            count is not None or until_input is not None
+        ) and not isinstance(field, BytesField):
+            element = field
+            element.name = None
+            return ListField(name, element, count=count,
+                             until_input=until_input, eod=eod)
+        if isinstance(field, BytesField):
+            return BytesField(name, length=length, until=until, eod=eod)
+        return field
+
+    # -- expressions: precedence || > && > comparison > additive > unary ----
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        node = self._parse_and()
+        while self.peek() == "||":
+            self.take()
+            node = BinOp("||", node, self._parse_and())
+        return node
+
+    def _parse_and(self) -> Expr:
+        node = self._parse_cmp()
+        while self.peek() == "&&":
+            self.take()
+            node = BinOp("&&", node, self._parse_cmp())
+        return node
+
+    def _parse_cmp(self) -> Expr:
+        node = self._parse_add()
+        while self.peek() in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.take()
+            node = BinOp(op, node, self._parse_add())
+        return node
+
+    def _parse_add(self) -> Expr:
+        node = self._parse_atom()
+        while self.peek() in ("+", "-", "*"):
+            op = self.take()
+            node = BinOp(op, node, self._parse_atom())
+        return node
+
+    def _parse_atom(self) -> Expr:
+        token = self.take()
+        if token == "(":
+            node = self._parse_expr()
+            self.expect(")")
+            return node
+        if token.isdigit():
+            return Const(int(token))
+        if token == "self":
+            self.expect(".")
+            return SelfField(self.take())
+        if token.startswith('"'):
+            return Const(token[1:-1].encode("latin-1"))
+        if token[0].isalpha() and self.peek() == "(":
+            # A call into the BinPAC runtime library, e.g.
+            # http_content_length(self.headers).
+            self.take()
+            args = []
+            if self.peek() != ")":
+                while True:
+                    args.append(self._parse_expr())
+                    if self.peek() != ",":
+                        break
+                    self.take()
+            self.expect(")")
+            return Call(token, args)
+        raise GrammarError(f"unexpected expression token {token!r}")
+
+
+def parse_grammar(text: str) -> Grammar:
+    """Parse ``.pac2`` source text into a Grammar."""
+    return _Pac2Parser(text).parse()

@@ -1,0 +1,231 @@
+"""The BinPAC++ runtime library.
+
+Like HILTI itself, BinPAC++ ships a small runtime of domain functions that
+generated parsers call out to — in the paper these are C functions linked
+into the final binary; here they are natives registered with the linker
+under the ``BinPAC::`` namespace.
+
+The DNS helpers deal with the parts of the protocol that defeat a pure
+field grammar: domain-name decompression requires random access across the
+whole message (RFC 1035 pointer chasing, loop-guarded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...core import types as ht
+from ...runtime.bytes_buffer import Bytes, BytesIter
+from ...runtime.exceptions import EXCEPTION_BASE, HiltiError
+from ...runtime.structs import StructInstance
+
+__all__ = ["natives", "ParseError", "PARSE_ERROR"]
+
+PARSE_ERROR = ht.ExceptionT("BinPAC::ParseError", EXCEPTION_BASE)
+
+
+class ParseError(HiltiError):
+    def __init__(self, message: str):
+        super().__init__(PARSE_ERROR, message)
+
+
+def _to_raw(value) -> bytes:
+    if isinstance(value, Bytes):
+        return value.to_bytes()
+    return bytes(value)
+
+
+def bp_dns_name(ctx, data: Bytes, it: BytesIter) -> Tuple[str, BytesIter]:
+    """Decode a (possibly compressed) DNS name at *it*.
+
+    Returns ``(name, iterator past the name)``.  Compression pointers are
+    followed with a hop limit so adversarial loops terminate — fail-safe
+    processing of untrusted input.
+    """
+    labels = []
+    offset = it.offset
+    end_offset = None  # where parsing resumes (set at first pointer)
+    hops = 0
+    while True:
+        length = data.byte_at(offset)
+        if length == 0:
+            offset += 1
+            break
+        if length & 0xC0 == 0xC0:
+            pointer = ((length & 0x3F) << 8) | data.byte_at(offset + 1)
+            if end_offset is None:
+                end_offset = offset + 2
+            # Pointers are relative to the DNS message start.
+            offset = data.begin_offset + pointer
+            hops += 1
+            if hops > 64:
+                raise ParseError("DNS name compression loop")
+            continue
+        if length > 63:
+            raise ParseError(f"bad DNS label length {length}")
+        labels.append(
+            data.read(offset + 1, length).decode("latin-1")
+        )
+        offset += 1 + length
+        if len(labels) > 128:
+            raise ParseError("DNS name too long")
+    if end_offset is None:
+        end_offset = offset
+    return ".".join(labels).lower(), data.at(end_offset)
+
+
+def bp_find_delim(ctx, data: Bytes, it: BytesIter, regexp):
+    """Leftmost match of *regexp* at or after *it* within *data*.
+
+    Returns ``(status, begin_iter, end_iter)``: status 1 when found
+    (iterators bracket the delimiter), -1 when more input could still
+    contain or extend a match, 0 when the input is frozen with no match.
+    Powers ``bytes &until=/re/`` fields.
+    """
+    available = data.view_from(it.offset)
+    pid, begin, end = regexp.find(bytes(available))
+    if pid > 0:
+        match_end_is_buffer_end = it.offset + end == data.end_offset
+        if match_end_is_buffer_end and not data.is_frozen:
+            # The delimiter match touches the end of data; more input
+            # could extend it (longest-match), so wait.
+            return (-1, it, it)
+        return (1, data.at(it.offset + begin), data.at(it.offset + end))
+    if data.is_frozen:
+        return (0, it, it)
+    return (-1, it, it)
+
+
+def bp_dns_txt(ctx, rdata) -> str:
+    """Decode all character-strings of a TXT RDATA section."""
+    raw = _to_raw(rdata)
+    parts = []
+    pos = 0
+    while pos < len(raw):
+        length = raw[pos]
+        parts.append(raw[pos + 1:pos + 1 + length].decode("latin-1"))
+        pos += 1 + length
+    return " ".join(parts)
+
+
+def bp_http_header_value(ctx, headers, name: str):
+    """The value of the first header whose name matches (case-insensitive).
+
+    *headers* is a HILTI list of Header structs with ``name``/``value``
+    fields; returns the value bytes or None.
+    """
+    wanted = name.lower().encode("latin-1")
+    for header in headers:
+        if not isinstance(header, StructInstance):
+            continue
+        try:
+            header_name = header.get("name")
+        except HiltiError:
+            continue
+        if _to_raw(header_name).strip().lower() == wanted:
+            try:
+                return header.get("value")
+            except HiltiError:
+                return None
+    return None
+
+
+def bp_http_content_length(ctx, headers) -> int:
+    """Content-Length of a header list, or -1 when absent/invalid."""
+    value = bp_http_header_value(ctx, headers, "content-length")
+    if value is None:
+        return -1
+    try:
+        return int(_to_raw(value).strip())
+    except ValueError:
+        return -1
+
+
+def bp_http_header_is(ctx, headers, name: str, expected: str) -> bool:
+    value = bp_http_header_value(ctx, headers, name)
+    if value is None:
+        return False
+    return _to_raw(value).strip().lower() == expected.lower().encode("latin-1")
+
+
+def bp_to_int(ctx, value, base: int = 10) -> int:
+    if isinstance(value, Bytes):
+        return value.to_int(base)
+    if isinstance(value, (bytes, bytearray)):
+        try:
+            return int(bytes(value), base)
+        except ValueError:
+            raise ParseError(f"cannot convert {value!r} to int") from None
+    return int(value)
+
+
+def bp_to_string(ctx, value) -> str:
+    if isinstance(value, Bytes):
+        return value.to_bytes().decode("utf-8", "replace")
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).decode("utf-8", "replace")
+    return str(value)
+
+
+def bp_lower(ctx, value):
+    if isinstance(value, Bytes):
+        return value.lower()
+    return value.lower()
+
+
+def bp_strip(ctx, value):
+    if isinstance(value, Bytes):
+        return value.strip()
+    return value.strip()
+
+
+def bp_length(ctx, value) -> int:
+    return len(value)
+
+
+def bp_list_size(ctx, value) -> int:
+    return len(value) if value is not None else 0
+
+
+def bp_addr_v4(ctx, rdata):
+    """Interpret 4 RDATA bytes as an IPv4 address."""
+    from ...core.values import Addr
+
+    raw = _to_raw(rdata)
+    if len(raw) != 4:
+        raise ParseError(f"A record with {len(raw)} bytes of RDATA")
+    return Addr(raw)
+
+
+def bp_addr_v6(ctx, rdata):
+    from ...core.values import Addr
+
+    raw = _to_raw(rdata)
+    if len(raw) != 16:
+        raise ParseError(f"AAAA record with {len(raw)} bytes of RDATA")
+    return Addr(raw)
+
+
+def bp_parse_error(ctx, message: str):
+    raise ParseError(message)
+
+
+def natives() -> Dict[str, callable]:
+    """The ``BinPAC::*`` native function table for the linker."""
+    return {
+        "BinPAC::dns_name": bp_dns_name,
+        "BinPAC::find_delim": bp_find_delim,
+        "BinPAC::dns_txt": bp_dns_txt,
+        "BinPAC::http_header_value": bp_http_header_value,
+        "BinPAC::http_content_length": bp_http_content_length,
+        "BinPAC::http_header_is": bp_http_header_is,
+        "BinPAC::to_int": bp_to_int,
+        "BinPAC::to_string": bp_to_string,
+        "BinPAC::lower": bp_lower,
+        "BinPAC::strip": bp_strip,
+        "BinPAC::length": bp_length,
+        "BinPAC::list_size": bp_list_size,
+        "BinPAC::addr_v4": bp_addr_v4,
+        "BinPAC::addr_v6": bp_addr_v6,
+        "BinPAC::error": bp_parse_error,
+    }

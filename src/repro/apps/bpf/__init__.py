@@ -1,0 +1,5 @@
+"""BPF exemplar: filter language, classic VM baseline, HILTI compiler."""
+
+from .compiler import HiltiFilter, build_filter_module, compile_to_hilti  # noqa: F401
+from .lang import FilterError, parse_filter  # noqa: F401
+from .vm import BpfProgram, compile_to_vm  # noqa: F401

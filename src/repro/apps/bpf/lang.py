@@ -1,0 +1,219 @@
+"""The BPF filter expression language.
+
+Parses the tcpdump-style filter syntax of the paper's example
+(``host 192.168.1.1 or src net 10.0.5.0/24``) into an expression AST that
+both backends consume: the classic BPF virtual machine
+(``repro.apps.bpf.vm``) and the HILTI compiler
+(``repro.apps.bpf.compiler``).
+
+Supported primitives: ``[src|dst] host A``, ``[src|dst] net N``,
+``[src|dst] port P``, ``ip``, ``tcp``, ``udp``; combined with ``and``,
+``or``, ``not``, and parentheses (standard precedence: not > and > or).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Union
+
+from ...core.values import Addr, Network
+
+__all__ = [
+    "FilterError",
+    "HostTest",
+    "NetTest",
+    "PortTest",
+    "ProtoTest",
+    "And",
+    "Or",
+    "Not",
+    "parse_filter",
+]
+
+
+class FilterError(ValueError):
+    """Malformed filter expression."""
+
+
+class Node:
+    __slots__ = ()
+
+
+class HostTest(Node):
+    __slots__ = ("addr", "direction")
+
+    def __init__(self, addr: Addr, direction: Optional[str] = None):
+        self.addr = addr
+        self.direction = direction  # None = either, "src", "dst"
+
+    def __repr__(self) -> str:
+        side = f"{self.direction} " if self.direction else ""
+        return f"{side}host {self.addr}"
+
+
+class NetTest(Node):
+    __slots__ = ("net", "direction")
+
+    def __init__(self, net: Network, direction: Optional[str] = None):
+        self.net = net
+        self.direction = direction
+
+    def __repr__(self) -> str:
+        side = f"{self.direction} " if self.direction else ""
+        return f"{side}net {self.net}"
+
+
+class PortTest(Node):
+    __slots__ = ("port", "direction")
+
+    def __init__(self, port: int, direction: Optional[str] = None):
+        self.port = port
+        self.direction = direction
+
+    def __repr__(self) -> str:
+        side = f"{self.direction} " if self.direction else ""
+        return f"{side}port {self.port}"
+
+
+class ProtoTest(Node):
+    __slots__ = ("proto",)
+
+    def __init__(self, proto: str):
+        if proto not in ("ip", "tcp", "udp"):
+            raise FilterError(f"unsupported protocol {proto!r}")
+        self.proto = proto
+
+    def __repr__(self) -> str:
+        return self.proto
+
+
+class And(Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Node, right: Node):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+class Or(Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Node, right: Node):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+class Not(Node):
+    __slots__ = ("child",)
+
+    def __init__(self, child: Node):
+        self.child = child
+
+    def __repr__(self) -> str:
+        return f"(not {self.child})"
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<net>\d+\.\d+\.\d+\.\d+/\d+)"
+    r"|(?P<addr>\d+\.\d+\.\d+\.\d+)"
+    r"|(?P<num>\d+)"
+    r"|(?P<word>[a-z]+)"
+    r"|(?P<paren>[()]))"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise FilterError(f"cannot tokenize near {text[pos:pos+15]!r}")
+            break
+        pos = match.end()
+        token = match.group().strip()
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+class _FilterParser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FilterError("unexpected end of filter")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Node:
+        node = self._or()
+        if self.peek() is not None:
+            raise FilterError(f"trailing tokens near {self.peek()!r}")
+        return node
+
+    def _or(self) -> Node:
+        node = self._and()
+        while self.peek() == "or":
+            self.take()
+            node = Or(node, self._and())
+        return node
+
+    def _and(self) -> Node:
+        node = self._not()
+        while self.peek() == "and":
+            self.take()
+            node = And(node, self._not())
+        return node
+
+    def _not(self) -> Node:
+        if self.peek() == "not":
+            self.take()
+            return Not(self._not())
+        return self._primary()
+
+    def _primary(self) -> Node:
+        token = self.take()
+        if token == "(":
+            node = self._or()
+            if self.take() != ")":
+                raise FilterError("expected ')'")
+            return node
+        direction: Optional[str] = None
+        if token in ("src", "dst"):
+            direction = token
+            token = self.take()
+        try:
+            if token == "host":
+                return HostTest(Addr(self.take()), direction)
+            if token == "net":
+                return NetTest(Network(self.take()), direction)
+            if token == "port":
+                return PortTest(int(self.take()), direction)
+        except FilterError:
+            raise
+        except ValueError as exc:
+            raise FilterError(f"bad {token} operand: {exc}") from exc
+        if direction is None and token in ("ip", "tcp", "udp"):
+            return ProtoTest(token)
+        raise FilterError(f"unexpected token {token!r}")
+
+
+def parse_filter(text: str) -> Node:
+    """Parse a tcpdump-style filter expression."""
+    return _FilterParser(text).parse()

@@ -1,0 +1,273 @@
+"""The classic BPF virtual machine — the interpreted baseline.
+
+BPF traditionally translates filters into code for its custom internal
+stack machine, which it then interprets at runtime (paper, section 4
+"Berkeley Packet Filter").  This module implements that machine faithfully
+enough for the §6.2 comparison: an accumulator/index register pair, the
+load / jump / alu / return instruction classes of McCanne & Jacobson's
+design, and a compiler lowering filter ASTs to VM programs.
+
+Out-of-bounds loads reject the packet, as in the kernel implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from .lang import And, HostTest, NetTest, Node, Not, Or, PortTest, ProtoTest
+
+__all__ = ["BpfInstruction", "BpfProgram", "compile_to_vm", "BpfVmError"]
+
+# Offsets within an Ethernet frame.
+_ETHERTYPE_OFF = 12
+_IP_OFF = 14
+_IP_PROTO_OFF = _IP_OFF + 9
+_IP_SRC_OFF = _IP_OFF + 12
+_IP_DST_OFF = _IP_OFF + 16
+_ETHERTYPE_IPV4 = 0x0800
+_PROTO_TCP = 6
+_PROTO_UDP = 17
+
+
+class BpfVmError(ValueError):
+    pass
+
+
+class BpfInstruction:
+    """One VM instruction: opcode, constant k, and jump offsets."""
+
+    __slots__ = ("op", "k", "jt", "jf")
+
+    def __init__(self, op: str, k: int = 0, jt: int = 0, jf: int = 0):
+        self.op = op
+        self.k = k
+        self.jt = jt
+        self.jf = jf
+
+    def __repr__(self) -> str:
+        if self.op.startswith("j"):
+            return f"({self.op} #{self.k:#x} jt {self.jt} jf {self.jf})"
+        return f"({self.op} #{self.k:#x})"
+
+
+class BpfProgram:
+    """A verified, runnable BPF program."""
+
+    def __init__(self, instructions: List[BpfInstruction]):
+        self.instructions = instructions
+        self._verify()
+
+    def _verify(self) -> None:
+        """Forward-jump-only verification, as the kernel does."""
+        count = len(self.instructions)
+        if count == 0:
+            raise BpfVmError("empty program")
+        for index, instr in enumerate(self.instructions):
+            if instr.op.startswith("j") and instr.op != "ja":
+                for target in (index + 1 + instr.jt, index + 1 + instr.jf):
+                    if not 0 <= target < count:
+                        raise BpfVmError(f"jump out of range at {index}")
+        if self.instructions[-1].op != "ret":
+            raise BpfVmError("program must end in ret")
+
+    def run(self, packet: bytes) -> int:
+        """Interpret the program; returns the ret value (0 = reject)."""
+        acc = 0
+        idx = 0
+        pc = 0
+        instructions = self.instructions
+        length = len(packet)
+        while True:
+            instr = instructions[pc]
+            op = instr.op
+            k = instr.k
+            pc += 1
+            if op == "ldh_abs":
+                if k + 2 > length:
+                    return 0
+                acc = (packet[k] << 8) | packet[k + 1]
+            elif op == "ldb_abs":
+                if k + 1 > length:
+                    return 0
+                acc = packet[k]
+            elif op == "ld_abs":
+                if k + 4 > length:
+                    return 0
+                acc = struct.unpack_from(">I", packet, k)[0]
+            elif op == "ldx_msh":
+                if k + 1 > length:
+                    return 0
+                idx = (packet[k] & 0x0F) * 4
+            elif op == "ldh_ind":
+                off = idx + k
+                if off + 2 > length:
+                    return 0
+                acc = (packet[off] << 8) | packet[off + 1]
+            elif op == "ldb_ind":
+                off = idx + k
+                if off + 1 > length:
+                    return 0
+                acc = packet[off]
+            elif op == "and":
+                acc &= k
+            elif op == "or":
+                acc |= k
+            elif op == "rsh":
+                acc >>= k
+            elif op == "lsh":
+                acc = (acc << k) & 0xFFFFFFFF
+            elif op == "jeq":
+                pc += instr.jt if acc == k else instr.jf
+            elif op == "jgt":
+                pc += instr.jt if acc > k else instr.jf
+            elif op == "jge":
+                pc += instr.jt if acc >= k else instr.jf
+            elif op == "jset":
+                pc += instr.jt if acc & k else instr.jf
+            elif op == "ja":
+                pc += k
+            elif op == "ret":
+                return k
+            else:
+                raise BpfVmError(f"unknown opcode {op!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BpfProgram {len(self.instructions)} instructions>"
+
+
+# --------------------------------------------------------------------------
+# Compiler: filter AST -> VM program
+# --------------------------------------------------------------------------
+
+
+class _Emitter:
+    """Emits instructions with symbolic true/false exits, then resolves."""
+
+    def __init__(self):
+        self.code: List[Tuple[BpfInstruction, Optional[str], Optional[str]]] = []
+
+    def emit(self, instr: BpfInstruction, jt: Optional[str] = None,
+             jf: Optional[str] = None) -> int:
+        self.code.append((instr, jt, jf))
+        return len(self.code) - 1
+
+
+def _gen(e: _Emitter, node: Node, t_label: str, f_label: str,
+         labels: dict, counter: List[int]) -> None:
+    """Generate code for *node* branching to t_label/f_label."""
+
+    def fresh(hint: str) -> str:
+        counter[0] += 1
+        return f"{hint}{counter[0]}"
+
+    def mark(label: str) -> None:
+        labels[label] = len(e.code)
+
+    if isinstance(node, Or):
+        middle = fresh("or")
+        _gen(e, node.left, t_label, middle, labels, counter)
+        mark(middle)
+        _gen(e, node.right, t_label, f_label, labels, counter)
+        return
+    if isinstance(node, And):
+        middle = fresh("and")
+        _gen(e, node.left, middle, f_label, labels, counter)
+        mark(middle)
+        _gen(e, node.right, t_label, f_label, labels, counter)
+        return
+    if isinstance(node, Not):
+        _gen(e, node.child, f_label, t_label, labels, counter)
+        return
+
+    # Primitives: check IPv4 first (non-IP traffic never matches).
+    e.emit(BpfInstruction("ldh_abs", _ETHERTYPE_OFF))
+    e.emit(BpfInstruction("jeq", _ETHERTYPE_IPV4), None, f_label)
+
+    if isinstance(node, ProtoTest):
+        if node.proto == "ip":
+            e.emit(BpfInstruction("ja"), t_label, None)
+            return
+        proto = _PROTO_TCP if node.proto == "tcp" else _PROTO_UDP
+        e.emit(BpfInstruction("ldb_abs", _IP_PROTO_OFF))
+        e.emit(BpfInstruction("jeq", proto), t_label, f_label)
+        return
+    if isinstance(node, HostTest):
+        value = node.addr.v4_value
+        if node.direction in (None, "src"):
+            e.emit(BpfInstruction("ld_abs", _IP_SRC_OFF))
+            if node.direction == "src":
+                e.emit(BpfInstruction("jeq", value), t_label, f_label)
+                return
+            e.emit(BpfInstruction("jeq", value), t_label, None)
+        e.emit(BpfInstruction("ld_abs", _IP_DST_OFF))
+        e.emit(BpfInstruction("jeq", value), t_label, f_label)
+        return
+    if isinstance(node, NetTest):
+        width = 32
+        mask = ((1 << node.net.length) - 1) << (width - node.net.length) \
+            if node.net.length else 0
+        prefix = node.net.prefix.v4_value
+        if node.direction in (None, "src"):
+            e.emit(BpfInstruction("ld_abs", _IP_SRC_OFF))
+            e.emit(BpfInstruction("and", mask))
+            if node.direction == "src":
+                e.emit(BpfInstruction("jeq", prefix), t_label, f_label)
+                return
+            e.emit(BpfInstruction("jeq", prefix), t_label, None)
+        e.emit(BpfInstruction("ld_abs", _IP_DST_OFF))
+        e.emit(BpfInstruction("and", mask))
+        e.emit(BpfInstruction("jeq", prefix), t_label, f_label)
+        return
+    if isinstance(node, PortTest):
+        # Only non-fragmented TCP/UDP carries ports we can read.
+        e.emit(BpfInstruction("ldb_abs", _IP_PROTO_OFF))
+        after_proto = f"__port_proto_ok{id(node)}"
+        e.emit(BpfInstruction("jeq", _PROTO_TCP), after_proto, None)
+        e.emit(BpfInstruction("ldb_abs", _IP_PROTO_OFF))
+        e.emit(BpfInstruction("jeq", _PROTO_UDP), None, f_label)
+        labels[after_proto] = len(e.code)
+        # Fragment check: flags+fragment offset field, low 13 bits.
+        e.emit(BpfInstruction("ldh_abs", _IP_OFF + 6))
+        e.emit(BpfInstruction("jset", 0x1FFF), f_label, None)
+        e.emit(BpfInstruction("ldx_msh", _IP_OFF))
+        if node.direction in (None, "src"):
+            e.emit(BpfInstruction("ldh_ind", _IP_OFF))
+            if node.direction == "src":
+                e.emit(BpfInstruction("jeq", node.port), t_label, f_label)
+                return
+            e.emit(BpfInstruction("jeq", node.port), t_label, None)
+        e.emit(BpfInstruction("ldh_ind", _IP_OFF + 2))
+        e.emit(BpfInstruction("jeq", node.port), t_label, f_label)
+        return
+    raise BpfVmError(f"cannot compile node {node!r}")
+
+
+def compile_to_vm(node: Node) -> BpfProgram:
+    """Compile a filter AST into a classic BPF program."""
+    e = _Emitter()
+    labels: dict = {}
+    counter = [0]
+    _gen(e, node, "__accept", "__reject", labels, counter)
+    labels["__accept"] = len(e.code)
+    accept_index = e.emit(BpfInstruction("ret", 0xFFFF))
+    labels["__reject"] = len(e.code)
+    e.emit(BpfInstruction("ret", 0))
+
+    # Resolve symbolic exits into relative jump offsets.  A conditional's
+    # None exit means "fall through to the next instruction".
+    instructions: List[BpfInstruction] = []
+    for index, (instr, jt, jf) in enumerate(e.code):
+        if instr.op == "ja":
+            target = labels[jt] if jt else index + 1
+            instr.k = target - index - 1
+        elif instr.op.startswith("j"):
+            t_target = labels[jt] if jt else index + 1
+            f_target = labels[jf] if jf else index + 1
+            instr.jt = t_target - index - 1
+            instr.jf = f_target - index - 1
+        instructions.append(instr)
+    return BpfProgram(instructions)

@@ -1,0 +1,4 @@
+"""Protocol analyzers: standard (hand-written) and BinPAC++-backed."""
+
+from .dns_std import DnsStdAnalyzer  # noqa: F401
+from .http_std import HttpStdAnalyzer  # noqa: F401

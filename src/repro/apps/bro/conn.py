@@ -1,0 +1,234 @@
+"""Connection tracking: from packets to analyzer byte streams.
+
+The layer between the packet substrate and the protocol analyzers: parses
+frames, tracks TCP connections through the stream reassembler (delivering
+contiguous payload in order), treats UDP endpoint pairs as flows, assigns
+Bro-style uids, and raises the connection lifecycle events
+(``connection_established``, ``connection_state_remove``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Optional, Tuple
+
+from ...core.values import Port, Time
+from ...net.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    PacketError,
+    TCPSegment,
+    UDPDatagram,
+    parse_ethernet,
+)
+from ...net.reassembly import ConnectionReassembler
+from .core import BroCore
+
+__all__ = ["ConnectionTracker"]
+
+
+class _TcpConnection:
+    __slots__ = ("key", "conn_val", "reassembler", "analyzer",
+                 "established", "orig_is_first", "orig_bytes", "resp_bytes",
+                 "orig_pkts", "resp_pkts", "last_time")
+
+    def __init__(self, key, conn_val, reassembler, analyzer):
+        self.key = key
+        self.conn_val = conn_val
+        self.reassembler = reassembler
+        self.analyzer = analyzer
+        self.established = False
+        self.orig_bytes = 0
+        self.resp_bytes = 0
+        self.orig_pkts = 0
+        self.resp_pkts = 0
+        self.last_time = None
+
+
+class _UdpFlow:
+    __slots__ = ("key", "conn_val", "analyzer", "orig_is_first",
+                 "orig_bytes", "resp_bytes", "orig_pkts", "resp_pkts",
+                 "last_time")
+
+    def __init__(self, key, conn_val, analyzer):
+        self.key = key
+        self.conn_val = conn_val
+        self.analyzer = analyzer
+        self.orig_bytes = 0
+        self.resp_bytes = 0
+        self.orig_pkts = 0
+        self.resp_pkts = 0
+        self.last_time = None
+
+
+class ConnectionTracker:
+    """Demultiplexes a packet stream into per-connection analyses.
+
+    *analyzer_factory(conn_val, proto, resp_port)* returns an analyzer
+    instance (or None to skip the connection).
+    """
+
+    def __init__(self, core: BroCore, analyzer_factory: Callable):
+        self.core = core
+        self.analyzer_factory = analyzer_factory
+        self._tcp: Dict[Tuple, _TcpConnection] = {}
+        self._udp: Dict[Tuple, _UdpFlow] = {}
+        self.packets = 0
+        self.ignored = 0
+        self.parsing_ns = 0
+
+    # -- packet entry ------------------------------------------------------------
+
+    def packet(self, timestamp: Time, frame: bytes) -> None:
+        self.core.advance_time(timestamp)
+        self.packets += 1
+        try:
+            ip, transport = parse_ethernet(frame)
+        except PacketError:
+            self.ignored += 1
+            return
+        if isinstance(transport, TCPSegment):
+            self._tcp_packet(timestamp, ip, transport)
+        elif isinstance(transport, UDPDatagram):
+            self._udp_packet(timestamp, ip, transport)
+        else:
+            self.ignored += 1
+
+    def finish(self) -> None:
+        """End of trace: close every connection still open."""
+        for connection in list(self._tcp.values()):
+            self._close_tcp(connection)
+        self._tcp.clear()
+        for flow in list(self._udp.values()):
+            if flow.analyzer is not None:
+                begin = _time.perf_counter_ns()
+                flow.analyzer.end()
+                self.parsing_ns += _time.perf_counter_ns() - begin
+            self._finalize_conn_val(flow)
+            self.core.queue_event(
+                "connection_state_remove", [flow.conn_val]
+            )
+        self._udp.clear()
+
+    # -- TCP ------------------------------------------------------------------
+
+    @staticmethod
+    def _tcp_key(ip, segment) -> Tuple[Tuple, bool]:
+        """Canonical key plus is_originator for this packet's sender."""
+        this_end = (ip.src.value, segment.src_port)
+        that_end = (ip.dst.value, segment.dst_port)
+        if this_end <= that_end:
+            return (this_end, that_end, PROTO_TCP), True
+        return (that_end, this_end, PROTO_TCP), False
+
+    def _tcp_packet(self, timestamp: Time, ip, segment: TCPSegment) -> None:
+        key, sender_is_first = self._tcp_key(ip, segment)
+        connection = self._tcp.get(key)
+        if connection is None:
+            # New connection: the first packet's sender is the originator.
+            conn_val = self.core.make_connection_val(
+                self.core.next_uid(),
+                ip.src, Port(segment.src_port, Port.TCP),
+                ip.dst, Port(segment.dst_port, Port.TCP),
+                timestamp, "tcp",
+            )
+            analyzer = self.analyzer_factory(
+                conn_val, "tcp", segment.dst_port
+            )
+            connection = _TcpConnection(
+                key, conn_val,
+                ConnectionReassembler(),
+                analyzer,
+            )
+            # The canonical key loses direction; remember which canonical
+            # side is the originator.
+            connection.orig_is_first = sender_is_first
+            self._tcp[key] = connection
+            self.core.queue_event("new_connection", [conn_val])
+        is_orig = sender_is_first == connection.orig_is_first
+        connection.last_time = timestamp
+        if is_orig:
+            connection.orig_pkts += 1
+            connection.orig_bytes += len(segment.payload)
+        else:
+            connection.resp_pkts += 1
+            connection.resp_bytes += len(segment.payload)
+        reassembler = connection.reassembler
+        data = reassembler.feed_segment(is_orig, segment)
+        if reassembler.established and not connection.established:
+            connection.established = True
+            self.core.queue_event(
+                "connection_established", [connection.conn_val]
+            )
+        if data and connection.analyzer is not None:
+            begin = _time.perf_counter_ns()
+            connection.analyzer.data(is_orig, data)
+            self.parsing_ns += _time.perf_counter_ns() - begin
+        if reassembler.closed:
+            self._close_tcp(connection)
+            self._tcp.pop(key, None)
+
+    def _close_tcp(self, connection: _TcpConnection) -> None:
+        if connection.analyzer is not None:
+            begin = _time.perf_counter_ns()
+            connection.analyzer.end()
+            self.parsing_ns += _time.perf_counter_ns() - begin
+        self._finalize_conn_val(connection)
+        self.core.queue_event(
+            "connection_state_remove", [connection.conn_val]
+        )
+
+    @staticmethod
+    def _finalize_conn_val(entry) -> None:
+        """Attach connection totals before connection_state_remove."""
+        conn_val = entry.conn_val
+        start = conn_val.get_or("start_time")
+        duration = None
+        if entry.last_time is not None and start is not None:
+            duration = entry.last_time - start
+        conn_val.set("duration", duration)
+        conn_val.set("orig_bytes", entry.orig_bytes)
+        conn_val.set("resp_bytes", entry.resp_bytes)
+        conn_val.set("orig_pkts", entry.orig_pkts)
+        conn_val.set("resp_pkts", entry.resp_pkts)
+        established = getattr(entry, "established", True)
+        conn_val.set("state", "SF" if established else "OTH")
+
+    # -- UDP -----------------------------------------------------------------
+
+    def _udp_packet(self, timestamp: Time, ip, datagram: UDPDatagram) -> None:
+        this_end = (ip.src.value, datagram.src_port)
+        that_end = (ip.dst.value, datagram.dst_port)
+        if this_end <= that_end:
+            key = (this_end, that_end, PROTO_UDP)
+            sender_is_first = True
+        else:
+            key = (that_end, this_end, PROTO_UDP)
+            sender_is_first = False
+        flow = self._udp.get(key)
+        if flow is None:
+            conn_val = self.core.make_connection_val(
+                self.core.next_uid(),
+                ip.src, Port(datagram.src_port, Port.UDP),
+                ip.dst, Port(datagram.dst_port, Port.UDP),
+                timestamp, "udp",
+            )
+            analyzer = self.analyzer_factory(
+                conn_val, "udp", datagram.dst_port
+            )
+            flow = _UdpFlow(key, conn_val, analyzer)
+            flow.orig_is_first = sender_is_first
+            self._udp[key] = flow
+            self.core.queue_event("new_connection", [conn_val])
+        is_orig = sender_is_first == flow.orig_is_first
+        flow.last_time = timestamp
+        if is_orig:
+            flow.orig_pkts += 1
+            flow.orig_bytes += len(datagram.payload)
+        else:
+            flow.resp_pkts += 1
+            flow.resp_bytes += len(datagram.payload)
+        if flow.analyzer is not None and datagram.payload:
+            begin = _time.perf_counter_ns()
+            flow.analyzer.data(is_orig, datagram.payload)
+            self.parsing_ns += _time.perf_counter_ns() - begin

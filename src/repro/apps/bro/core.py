@@ -1,0 +1,138 @@
+"""The Bro core: event queue, network time, logging services.
+
+The piece every other component plugs into: analyzers queue events, the
+active script engine (interpreter or compiled HILTI) consumes them, and
+builtins reach back here for time and log writes.  Per-component timing
+lives here too — the paper instruments Bro to record time spent inside
+protocol analysis, script execution, and glue code (section 6.1); the
+``timers`` dict is that instrumentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import sys
+import time as _time
+from collections import deque
+from typing import Dict, List, Optional
+
+from ...core.values import Time
+from .logging import LogManager
+from .val import RecordType, RecordVal
+
+__all__ = ["BroCore", "CONN_ID_TYPE", "CONNECTION_TYPE"]
+
+CONN_ID_TYPE = RecordType("conn_id", [
+    ("orig_h", None), ("orig_p", None), ("resp_h", None), ("resp_p", None),
+])
+
+CONNECTION_TYPE = RecordType("connection", [
+    ("uid", None), ("id", None), ("start_time", None), ("proto", None),
+    # Filled in by the tracker just before connection_state_remove:
+    ("duration", None), ("orig_bytes", None), ("resp_bytes", None),
+    ("orig_pkts", None), ("resp_pkts", None), ("state", None),
+])
+
+
+class BroCore:
+    """Shared services: events, time, logs, output, component timing."""
+
+    def __init__(self, log_enabled: bool = True, print_stream=None):
+        self._event_queue = deque()
+        self._now = Time.EPOCH
+        self.logs = LogManager(enabled=log_enabled)
+        self.print_stream = print_stream or sys.stdout
+        self.events_queued = 0
+        self.events_dispatched = 0
+        # Component wall-clock accounting (ns): parsing / script / other
+        # are filled by the runner; glue is read from the compiler's Glue.
+        self.timers: Dict[str, int] = {
+            "parsing": 0, "script": 0, "glue": 0, "other": 0,
+        }
+        self._uid_counter = 0
+        self.script_engine = None
+        # Events scheduled into the future (the `schedule` statement),
+        # fired as network time advances past their due time.
+        self._scheduled = []
+        self._schedule_seq = itertools.count()
+
+    # -- time ------------------------------------------------------------------
+
+    def advance_time(self, when: Time) -> None:
+        if when > self._now:
+            self._now = when
+        while self._scheduled and self._scheduled[0][0] <= self._now.nanos:
+            __, __seq, name, args = heapq.heappop(self._scheduled)
+            self.queue_event(name, list(args))
+
+    def schedule_event(self, delay, name: str, args: List) -> None:
+        """Queue *name(args)* once network time passes now + delay."""
+        from ...core.values import Interval
+
+        if not isinstance(delay, Interval):
+            delay = Interval(float(delay))
+        due = self._now + delay
+        heapq.heappush(
+            self._scheduled,
+            (due.nanos, next(self._schedule_seq), name, tuple(args)),
+        )
+
+    def network_time(self) -> Time:
+        return self._now
+
+    # -- uids ------------------------------------------------------------------
+
+    def next_uid(self) -> str:
+        self._uid_counter += 1
+        value = self._uid_counter
+        digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        out = []
+        while value:
+            value, rem = divmod(value, 62)
+            out.append(digits[rem])
+        return "C" + "".join(reversed(out)).rjust(8, "0")
+
+    # -- events ------------------------------------------------------------------
+
+    def queue_event(self, name: str, args: List) -> None:
+        self._event_queue.append((name, args))
+        self.events_queued += 1
+
+    def drain_events(self) -> int:
+        """Dispatch queued events into the active script engine."""
+        dispatched = 0
+        while self._event_queue:
+            name, args = self._event_queue.popleft()
+            begin = _time.perf_counter_ns()
+            if self.script_engine is not None:
+                self.script_engine.dispatch(name, args)
+                check = getattr(self.script_engine, "check_watchpoints",
+                                None)
+                if check is not None:
+                    check()
+            self.timers["script"] += _time.perf_counter_ns() - begin
+            dispatched += 1
+        self.events_dispatched += dispatched
+        return dispatched
+
+    # -- logging / output ---------------------------------------------------------
+
+    def log_write(self, stream: str, record: RecordVal) -> None:
+        self.logs.write(stream, record)
+
+    def print_line(self, text: str) -> None:
+        self.print_stream.write(text + "\n")
+
+    # -- value construction ----------------------------------------------------------
+
+    def make_connection_val(self, uid: str, orig_h, orig_p, resp_h, resp_p,
+                            start_time: Time, proto: str) -> RecordVal:
+        conn_id = RecordVal(CONN_ID_TYPE, {
+            "orig_h": orig_h, "orig_p": orig_p,
+            "resp_h": resp_h, "resp_p": resp_p,
+        })
+        return RecordVal(CONNECTION_TYPE, {
+            "uid": uid, "id": conn_id, "start_time": start_time,
+            "proto": proto,
+        })

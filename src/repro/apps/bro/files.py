@@ -1,0 +1,71 @@
+"""The file-analysis framework: body hashing and MIME detection.
+
+Bro's file analysis consumes HTTP message bodies, identifying their MIME
+type by content signatures and hashing their contents; ``files.log``
+records both (paper, section 6.4).  This framework is "Bro core" — shared
+by whichever protocol parser delivers the body bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+__all__ = ["sniff_mime", "hash_body", "FileInfo"]
+
+_SIGNATURES = [
+    (b"\x89PNG\r\n\x1a\n", "image/png"),
+    (b"\xff\xd8\xff", "image/jpeg"),
+    (b"GIF87a", "image/gif"),
+    (b"GIF89a", "image/gif"),
+    (b"%PDF-", "application/pdf"),
+    (b"PK\x03\x04", "application/zip"),
+    (b"\x1f\x8b", "application/x-gzip"),
+    (b"<?xml", "application/xml"),
+]
+
+
+def sniff_mime(body: bytes, declared: Optional[str] = None) -> Optional[str]:
+    """Content-signature MIME detection, falling back to the declared type.
+
+    Mirrors Bro's approach: magic first, then heuristics for text types,
+    then whatever the protocol declared, else None.
+    """
+    if not body:
+        return None
+    for magic, mime in _SIGNATURES:
+        if body.startswith(magic):
+            return mime
+    head = body[:256].lstrip()
+    lowered = head.lower()
+    if lowered.startswith((b"<!doctype html", b"<html", b"<head", b"<body")):
+        return "text/html"
+    if head.startswith((b"{", b"[")) and declared == "application/json":
+        return "application/json"
+    if declared:
+        return declared
+    # Printable heuristic.
+    sample = body[:64]
+    printable = sum(1 for b in sample if 32 <= b < 127 or b in (9, 10, 13))
+    if printable >= len(sample) * 0.9:
+        return "text/plain"
+    return "application/octet-stream"
+
+
+def hash_body(body: bytes) -> str:
+    """SHA1 of the body, as files.log records."""
+    return hashlib.sha1(body).hexdigest()
+
+
+class FileInfo:
+    """What the files framework reports for one message body."""
+
+    __slots__ = ("size", "mime", "sha1")
+
+    def __init__(self, body: bytes, declared_mime: Optional[str] = None):
+        self.size = len(body)
+        self.mime = sniff_mime(body, declared_mime)
+        self.sha1 = hash_body(body) if body else None
+
+    def __repr__(self) -> str:
+        return f"FileInfo(size={self.size}, mime={self.mime!r})"

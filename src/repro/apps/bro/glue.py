@@ -1,0 +1,151 @@
+"""HILTI-to-Bro glue: converting between Vals and HILTI values.
+
+Even with the interpreter replaced by compiled code, the rest of Bro —
+logging, event generation, builtins — still traffics in ``Val`` instances,
+so the HILTI plugin "needs to generate a significant amount of glue code,
+which comes with a corresponding performance penalty" (paper, section 5).
+This module is that glue: bidirectional conversion between the Val
+wrappers and HILTI runtime objects, instrumented so the Figure 9/10
+benchmarks can report the glue share of total cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from ...core import types as ht
+from ...runtime.bytes_buffer import Bytes
+from ...runtime.containers import HiltiList, HiltiMap, HiltiSet, HiltiVector
+from ...runtime.structs import StructInstance
+from .val import RecordType, RecordVal, SetVal, TableVal, VectorVal
+
+__all__ = ["Glue"]
+
+
+class Glue:
+    """A conversion context with struct-type caching and accounting."""
+
+    def __init__(self):
+        self._struct_types: Dict[str, ht.StructT] = {}
+        self._record_types: Dict[str, RecordType] = {}
+        self.to_hilti_calls = 0
+        self.from_hilti_calls = 0
+        self.ns_spent = 0
+
+    # -- struct type management ------------------------------------------------
+
+    def register_record_type(self, record_type: RecordType) -> ht.StructT:
+        struct_type = self._struct_types.get(record_type.name)
+        if struct_type is None:
+            struct_type = ht.StructT(
+                record_type.name,
+                [ht.StructField(name, ht.ANY)
+                 for name, __ in record_type.fields],
+            )
+            self._struct_types[record_type.name] = struct_type
+            self._record_types[record_type.name] = record_type
+        return struct_type
+
+    def struct_type(self, name: str) -> Optional[ht.StructT]:
+        return self._struct_types.get(name)
+
+    def _anonymous_struct(self, record: RecordVal) -> ht.StructT:
+        names = tuple(sorted(record.fields().keys()))
+        key = "anon<" + ",".join(names) + ">"
+        struct_type = self._struct_types.get(key)
+        if struct_type is None:
+            struct_type = ht.StructT(
+                key, [ht.StructField(n, ht.ANY) for n in names]
+            )
+            self._struct_types[key] = struct_type
+        return struct_type
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_hilti(self, value):
+        """Val -> HILTI value (timed)."""
+        begin = time.perf_counter_ns()
+        try:
+            return self._to_hilti(value)
+        finally:
+            self.ns_spent += time.perf_counter_ns() - begin
+            self.to_hilti_calls += 1
+
+    def _to_hilti(self, value):
+        if isinstance(value, RecordVal):
+            if value.record_type is not None:
+                struct_type = self.register_record_type(value.record_type)
+            else:
+                struct_type = self._anonymous_struct(value)
+            instance = StructInstance(struct_type)
+            for name, field_value in value.fields().items():
+                if any(f.name == name for f in struct_type.fields):
+                    instance.set(name, self._to_hilti(field_value))
+            return instance
+        if isinstance(value, TableVal):
+            out = HiltiMap()
+            for key in value:
+                out.insert(self._to_hilti(key),
+                           self._to_hilti(value.get(key)))
+            return out
+        if isinstance(value, SetVal):
+            out = HiltiSet()
+            for member in value:
+                out.insert(self._to_hilti(member))
+            return out
+        if isinstance(value, VectorVal):
+            out = HiltiVector()
+            for item in value:
+                out.push_back(self._to_hilti(item))
+            return out
+        if isinstance(value, tuple):
+            return tuple(self._to_hilti(v) for v in value)
+        return value  # scalars (incl. Addr/Port/Time/Interval/bytes/str)
+
+    def from_hilti(self, value):
+        """HILTI value -> Val (timed)."""
+        begin = time.perf_counter_ns()
+        try:
+            return self._from_hilti(value)
+        finally:
+            self.ns_spent += time.perf_counter_ns() - begin
+            self.from_hilti_calls += 1
+
+    def _from_hilti(self, value):
+        if isinstance(value, StructInstance):
+            record_type = self._record_types.get(
+                value.struct_type.type_name
+            )
+            record = RecordVal(record_type)
+            for field in value.struct_type.fields:
+                if value.is_set(field.name):
+                    record.set(field.name,
+                               self._from_hilti(value.get(field.name)))
+            return record
+        if isinstance(value, HiltiMap):
+            out = TableVal()
+            for key, item in value.items():
+                out.set(self._from_hilti(key), self._from_hilti(item))
+            return out
+        if isinstance(value, HiltiSet):
+            return SetVal(self._from_hilti(m) for m in value)
+        if isinstance(value, (HiltiVector, HiltiList)):
+            return VectorVal(self._from_hilti(i) for i in value)
+        if isinstance(value, Bytes):
+            return value.to_bytes()
+        if isinstance(value, tuple):
+            return tuple(self._from_hilti(v) for v in value)
+        return value
+
+    def stats(self) -> Dict:
+        return {
+            "to_hilti_calls": self.to_hilti_calls,
+            "from_hilti_calls": self.from_hilti_calls,
+            "ns_spent": self.ns_spent,
+        }
+
+    def reset_stats(self) -> None:
+        self.to_hilti_calls = 0
+        self.from_hilti_calls = 0
+        self.ns_spent = 0

@@ -1,0 +1,877 @@
+"""The mini-Bro scripting language: lexer, AST, and parser.
+
+A faithful-in-spirit subset of Bro's domain-specific, Turing-complete
+scripting language (paper, section 4 "Bro Script Compiler"): event
+handlers, functions, records with ``$`` field access, ``set``/``table``/
+``vector`` containers with ``in``/``add``/``delete``, ``for`` loops,
+first-class networking values (addresses, ports, time, intervals), and
+the idioms the default analysis scripts rely on (``v[|v|] = e`` appends,
+``fmt()`` formatting).
+
+Both execution tiers consume this AST: the tree-walking interpreter
+(``repro.apps.bro.interp`` — Bro's "standard script interpreter") and the
+HILTI compiler (``repro.apps.bro.compiler``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.values import Addr, Interval, Network, Port, Time
+
+__all__ = [
+    "BroParseError",
+    "parse_script",
+    # types
+    "TypeName", "SetType", "TableType", "VectorType", "RecordRef",
+    "RecordTypeDecl",
+    # declarations
+    "Script", "GlobalDecl", "FunctionDecl", "EventDecl",
+    # statements
+    "ExprStmt", "Assign", "LocalDecl", "If", "For", "PrintStmt", "Return",
+    "AddStmt", "DeleteStmt", "EventStmt", "WhenStmt", "ScheduleStmt",
+    # expressions
+    "Literal", "Name", "FieldAccess", "Index", "SizeOf", "BinExpr",
+    "UnaryExpr", "CallExpr", "InExpr", "HasField",
+]
+
+
+class BroParseError(Exception):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_KEYWORDS = {
+    "global", "local", "const", "type", "record", "event", "function",
+    "return", "if", "else", "for", "in", "print", "add", "delete", "set",
+    "table", "vector", "of", "T", "F", "module", "export", "schedule",
+    "when",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>\#[^\n]*)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<net>\d+\.\d+\.\d+\.\d+/\d+)
+    | (?P<port>\d+/(?:tcp|udp|icmp))
+    | (?P<addr>\d+\.\d+\.\d+\.\d+)
+    | (?P<interval>\d+(?:\.\d+)?\s*(?:usec|msec|sec|min|hr|day)s?\b)
+    | (?P<double>\d+\.\d+(?:[eE][-+]?\d+)?)
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)*)
+    | (?P<op>\+=|-=|==|!=|<=|>=|&&|\|\||!in\b|[{}()\[\];:,=<>$!|+\-*/%?.&])
+    """,
+    re.VERBOSE,
+)
+
+_INTERVAL_UNITS = {
+    "usec": 1e-6, "msec": 1e-3, "sec": 1.0, "min": 60.0, "hr": 3600.0,
+    "day": 86400.0,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line})"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise BroParseError(
+                f"line {line}: cannot tokenize near {source[pos:pos+20]!r}"
+            )
+        line += source[pos:match.end()].count("\n")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(_Token(kind, match.group().strip(), line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+
+class TypeName:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SetType:
+    __slots__ = ("element",)
+
+    def __init__(self, element):
+        self.element = element
+
+    def __repr__(self) -> str:
+        return f"set[{self.element}]"
+
+
+class TableType:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"table[{self.key}] of {self.value}"
+
+
+class VectorType:
+    __slots__ = ("element",)
+
+    def __init__(self, element):
+        self.element = element
+
+    def __repr__(self) -> str:
+        return f"vector of {self.element}"
+
+
+class RecordRef:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class RecordTypeDecl:
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: List[Tuple[str, object]]):
+        self.name = name
+        self.fields = fields
+
+
+class Script:
+    def __init__(self):
+        self.types: List[RecordTypeDecl] = []
+        self.globals: List["GlobalDecl"] = []
+        self.functions: List["FunctionDecl"] = []
+        self.events: List["EventDecl"] = []
+
+    def merge(self, other: "Script") -> "Script":
+        self.types.extend(other.types)
+        self.globals.extend(other.globals)
+        self.functions.extend(other.functions)
+        self.events.extend(other.events)
+        return self
+
+
+class GlobalDecl:
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name: str, type_expr, init):
+        self.name = name
+        self.type = type_expr
+        self.init = init
+
+
+class FunctionDecl:
+    __slots__ = ("name", "params", "result", "body")
+
+    def __init__(self, name: str, params, result, body):
+        self.name = name
+        self.params = params  # [(name, type)]
+        self.result = result
+        self.body = body
+
+
+class EventDecl:
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params, body):
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# Statements
+
+
+class ExprStmt:
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class Assign:
+    __slots__ = ("target", "value", "op")
+
+    def __init__(self, target, value, op: str = "="):
+        self.target = target
+        self.value = value
+        self.op = op  # '=', '+=', '-='
+
+
+class LocalDecl:
+    __slots__ = ("name", "type", "init")
+
+    def __init__(self, name, type_expr, init):
+        self.name = name
+        self.type = type_expr
+        self.init = init
+
+
+class If:
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse):
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class For:
+    __slots__ = ("var", "container", "body")
+
+    def __init__(self, var, container, body):
+        self.var = var
+        self.container = container
+        self.body = body
+
+
+class PrintStmt:
+    __slots__ = ("args",)
+
+    def __init__(self, args):
+        self.args = args
+
+
+class Return:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class AddStmt:
+    __slots__ = ("target", "index")
+
+    def __init__(self, target, index):
+        self.target = target
+        self.index = index
+
+
+class DeleteStmt:
+    __slots__ = ("target", "index")
+
+    def __init__(self, target, index):
+        self.target = target
+        self.index = index
+
+
+class EventStmt:
+    """``event name(args);`` — queue an event from script land."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+
+class ScheduleStmt:
+    """``schedule <interval> { event name(args); };`` — fire later."""
+
+    __slots__ = ("delay", "event_name", "args")
+
+    def __init__(self, delay, event_name, args):
+        self.delay = delay
+        self.event_name = event_name
+        self.args = args
+
+
+class WhenStmt:
+    """``when ( cond ) { body }`` — run body once cond becomes true.
+
+    Bro's asynchronous trigger; the paper's footnote 4 plans HILTI
+    watchpoints to support it, which is exactly how the script compiler
+    lowers it.  The condition may only reference globals.
+    """
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body):
+        self.cond = cond
+        self.body = body
+
+
+# Expressions
+
+
+class Literal:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Name:
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class FieldAccess:
+    __slots__ = ("obj", "field")
+
+    def __init__(self, obj, field):
+        self.obj = obj
+        self.field = field
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}${self.field}"
+
+
+class HasField:
+    """``r?$field`` — is the optional field set?"""
+
+    __slots__ = ("obj", "field")
+
+    def __init__(self, obj, field):
+        self.obj = obj
+        self.field = field
+
+
+class Index:
+    __slots__ = ("obj", "index")
+
+    def __init__(self, obj, index):
+        self.obj = obj
+        self.index = index  # list of exprs (composite table keys)
+
+
+class SizeOf:
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class BinExpr:
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryExpr:
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+
+class CallExpr:
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+
+class InExpr:
+    __slots__ = ("element", "container", "negated")
+
+    def __init__(self, element, container, negated=False):
+        self.element = element
+        self.container = container
+        self.negated = negated
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+
+class _BroParser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> BroParseError:
+        token = self.peek()
+        return BroParseError(f"line {token.line}: {message} (at {token.text!r})")
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise BroParseError(
+                f"line {token.line}: expected {text or kind!r}, got "
+                f"{token.text!r}"
+            )
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    # -- top level -----------------------------------------------------------
+
+    def parse(self) -> Script:
+        script = Script()
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.kind != "ident":
+                raise self.error("expected declaration")
+            keyword = token.text
+            if keyword == "module":
+                self.next()
+                self.next()  # module name (namespacing not enforced)
+                self.expect("op", ";")
+            elif keyword == "export":
+                self.next()
+                self.expect("op", "{")
+                # export blocks just contain regular declarations
+                while not self.accept("op", "}"):
+                    self._declaration(script)
+            elif keyword in ("type", "global", "const", "function", "event"):
+                self._declaration(script)
+            else:
+                raise self.error(f"unknown declaration {keyword!r}")
+        return script
+
+    def _declaration(self, script: Script) -> None:
+        keyword = self.peek().text
+        if keyword == "type":
+            self.next()
+            name = self.expect("ident").text
+            self.expect("op", ":")
+            self.expect("ident", "record")
+            self.expect("op", "{")
+            fields: List[Tuple[str, object]] = []
+            while not self.accept("op", "}"):
+                field_name = self.expect("ident").text
+                self.expect("op", ":")
+                field_type = self._type()
+                # Optional attributes like &optional / &default=... are
+                # accepted and ignored (all fields are optional here).
+                while self.accept("op", "&"):
+                    self.next()  # attribute name
+                    if self.accept("op", "="):
+                        self._expr()
+                self.expect("op", ";")
+                fields.append((field_name, field_type))
+            self.expect("op", ";")
+            script.types.append(RecordTypeDecl(name, fields))
+            return
+        if keyword in ("global", "const"):
+            self.next()
+            name = self.expect("ident").text
+            self.expect("op", ":")
+            type_expr = self._type()
+            init = None
+            if self.accept("op", "="):
+                init = self._expr()
+            self.expect("op", ";")
+            script.globals.append(GlobalDecl(name, type_expr, init))
+            return
+        if keyword == "function":
+            self.next()
+            name = self.expect("ident").text
+            params = self._params()
+            result = None
+            if self.accept("op", ":"):
+                result = self._type()
+            body = self._block()
+            script.functions.append(FunctionDecl(name, params, result, body))
+            return
+        if keyword == "event":
+            self.next()
+            name = self.expect("ident").text
+            params = self._params()
+            body = self._block()
+            script.events.append(EventDecl(name, params, body))
+            return
+        raise self.error(f"unknown declaration {keyword!r}")
+
+    def _params(self) -> List[Tuple[str, object]]:
+        self.expect("op", "(")
+        params: List[Tuple[str, object]] = []
+        if not self.accept("op", ")"):
+            while True:
+                name = self.expect("ident").text
+                self.expect("op", ":")
+                params.append((name, self._type()))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        return params
+
+    def _type(self):
+        token = self.next()
+        if token.text == "set":
+            self.expect("op", "[")
+            element = self._type()
+            self.expect("op", "]")
+            return SetType(element)
+        if token.text == "table":
+            self.expect("op", "[")
+            keys = [self._type()]
+            while self.accept("op", ","):
+                keys.append(self._type())
+            self.expect("op", "]")
+            self.expect("ident", "of")
+            key = keys[0] if len(keys) == 1 else tuple(keys)
+            return TableType(key, self._type())
+        if token.text == "vector":
+            self.expect("ident", "of")
+            return VectorType(self._type())
+        if token.kind != "ident":
+            raise self.error(f"expected type, got {token.text!r}")
+        basic = {"bool", "count", "int", "double", "string", "addr", "port",
+                 "subnet", "time", "interval", "any", "connection",
+                 "conn_id", "pattern"}
+        if token.text in basic:
+            return TypeName(token.text)
+        return RecordRef(token.text)
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self) -> List:
+        self.expect("op", "{")
+        statements: List = []
+        while not self.accept("op", "}"):
+            statements.append(self._statement())
+        return statements
+
+    def _statement(self):
+        token = self.peek()
+        if token.kind == "op" and token.text == "{":
+            return self._block()
+        text = token.text
+        if text == "local":
+            self.next()
+            name = self.expect("ident").text
+            type_expr = None
+            init = None
+            if self.accept("op", ":"):
+                type_expr = self._type()
+            if self.accept("op", "="):
+                init = self._expr()
+            self.expect("op", ";")
+            return LocalDecl(name, type_expr, init)
+        if text == "if":
+            self.next()
+            self.expect("op", "(")
+            cond = self._expr()
+            self.expect("op", ")")
+            then = self._statement_or_block()
+            orelse = None
+            if self.peek().text == "else":
+                self.next()
+                orelse = self._statement_or_block()
+            return If(cond, then, orelse)
+        if text == "for":
+            self.next()
+            self.expect("op", "(")
+            var = self.expect("ident").text
+            self.expect("ident", "in")
+            container = self._expr()
+            self.expect("op", ")")
+            body = self._statement_or_block()
+            return For(var, container, body)
+        if text == "print":
+            self.next()
+            args = [self._expr()]
+            while self.accept("op", ","):
+                args.append(self._expr())
+            self.expect("op", ";")
+            return PrintStmt(args)
+        if text == "return":
+            self.next()
+            value = None
+            if not (self.peek().kind == "op" and self.peek().text == ";"):
+                value = self._expr()
+            self.expect("op", ";")
+            return Return(value)
+        if text == "add":
+            self.next()
+            target = self._expr()
+            self.expect("op", ";")
+            if not isinstance(target, Index):
+                raise self.error("add requires set[index]")
+            return AddStmt(target.obj, target.index)
+        if text == "delete":
+            self.next()
+            target = self._expr()
+            self.expect("op", ";")
+            if not isinstance(target, Index):
+                raise self.error("delete requires container[index]")
+            return DeleteStmt(target.obj, target.index)
+        if text == "schedule":
+            self.next()
+            delay = self._expr()
+            self.expect("op", "{")
+            self.expect("ident", "event")
+            name = self.expect("ident").text
+            self.expect("op", "(")
+            args = []
+            if not self.accept("op", ")"):
+                while True:
+                    args.append(self._expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+            self.expect("op", ";")
+            self.expect("op", "}")
+            self.expect("op", ";")
+            return ScheduleStmt(delay, name, args)
+        if text == "when":
+            self.next()
+            self.expect("op", "(")
+            cond = self._expr()
+            self.expect("op", ")")
+            body = self._statement_or_block()
+            return WhenStmt(cond, body)
+        if text == "event":
+            self.next()
+            name = self.expect("ident").text
+            self.expect("op", "(")
+            args = []
+            if not self.accept("op", ")"):
+                while True:
+                    args.append(self._expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+            self.expect("op", ";")
+            return EventStmt(name, args)
+        # Expression or assignment statement.
+        expr = self._expr()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("=", "+=", "-="):
+            op = self.next().text
+            value = self._expr()
+            self.expect("op", ";")
+            return Assign(expr, value, op)
+        self.expect("op", ";")
+        return ExprStmt(expr)
+
+    def _statement_or_block(self):
+        if self.peek().kind == "op" and self.peek().text == "{":
+            return self._block()
+        return [self._statement()]
+
+    # -- expressions -------------------------------------------------------------
+    # precedence: ?: > || > && > in > comparison > add > mul > unary > postfix
+
+    def _expr(self):
+        return self._ternary()
+
+    def _ternary(self):
+        cond = self._or()
+        if self.accept("op", "?"):
+            then = self._expr()
+            self.expect("op", ":")
+            orelse = self._expr()
+            return CallExpr("__select", [cond, then, orelse])
+        return cond
+
+    def _or(self):
+        node = self._and()
+        while self.accept("op", "||"):
+            node = BinExpr("||", node, self._and())
+        return node
+
+    def _and(self):
+        node = self._in_expr()
+        while self.accept("op", "&&"):
+            node = BinExpr("&&", node, self._in_expr())
+        return node
+
+    def _in_expr(self):
+        node = self._comparison()
+        while True:
+            token = self.peek()
+            if token.kind == "ident" and token.text == "in":
+                self.next()
+                node = InExpr(node, self._comparison(), negated=False)
+            elif token.kind == "op" and token.text == "!in":
+                self.next()
+                node = InExpr(node, self._comparison(), negated=True)
+            else:
+                return node
+
+    def _comparison(self):
+        node = self._additive()
+        while self.peek().kind == "op" and self.peek().text in (
+            "==", "!=", "<", "<=", ">", ">="
+        ):
+            op = self.next().text
+            node = BinExpr(op, node, self._additive())
+        return node
+
+    def _additive(self):
+        node = self._multiplicative()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            op = self.next().text
+            node = BinExpr(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self):
+        node = self._unary()
+        while self.peek().kind == "op" and self.peek().text in ("*", "/", "%"):
+            op = self.next().text
+            node = BinExpr(op, node, self._unary())
+        return node
+
+    def _unary(self):
+        token = self.peek()
+        if token.kind == "op" and token.text == "!":
+            self.next()
+            return UnaryExpr("!", self._unary())
+        if token.kind == "op" and token.text == "-":
+            self.next()
+            return UnaryExpr("-", self._unary())
+        if token.kind == "op" and token.text == "|":
+            self.next()
+            inner = self._expr()
+            self.expect("op", "|")
+            return SizeOf(inner)
+        return self._postfix()
+
+    def _postfix(self):
+        node = self._atom()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text == "$":
+                self.next()
+                field = self.expect("ident").text
+                node = FieldAccess(node, field)
+            elif token.kind == "op" and token.text == "?":
+                # r?$f — only when '$' follows directly.
+                if self.peek(1).kind == "op" and self.peek(1).text == "$":
+                    self.next()
+                    self.next()
+                    field = self.expect("ident").text
+                    node = HasField(node, field)
+                else:
+                    return node
+            elif token.kind == "op" and token.text == "[":
+                self.next()
+                indexes = [self._expr()]
+                while self.accept("op", ","):
+                    indexes.append(self._expr())
+                self.expect("op", "]")
+                node = Index(node, indexes)
+            else:
+                return node
+
+    def _atom(self):
+        token = self.next()
+        if token.kind == "int":
+            return Literal(int(token.text))
+        if token.kind == "double":
+            return Literal(float(token.text))
+        if token.kind == "string":
+            return Literal(_unescape(token.text[1:-1]))
+        if token.kind == "addr":
+            return Literal(Addr(token.text))
+        if token.kind == "net":
+            return Literal(Network(token.text))
+        if token.kind == "port":
+            return Literal(Port(token.text))
+        if token.kind == "interval":
+            match = re.match(r"(\d+(?:\.\d+)?)\s*([a-z]+?)s?$", token.text)
+            number, unit = match.groups()
+            return Literal(Interval(float(number) * _INTERVAL_UNITS[unit]))
+        if token.kind == "op" and token.text == "(":
+            node = self._expr()
+            self.expect("op", ")")
+            return node
+        if token.kind == "op" and token.text == "[":
+            # Composite index literal: [a, b] (table keys).
+            elements = []
+            if not self.accept("op", "]"):
+                while True:
+                    elements.append(self._expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", "]")
+            return CallExpr("__tuple", elements)
+        if token.kind == "ident":
+            if token.text == "T":
+                return Literal(True)
+            if token.text == "F":
+                return Literal(False)
+            if self.peek().kind == "op" and self.peek().text == "(":
+                self.next()
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return CallExpr(token.text, args)
+            return Name(token.text)
+        raise BroParseError(
+            f"line {token.line}: unexpected token {token.text!r}"
+        )
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\\r", "\r")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+def parse_script(source: str) -> Script:
+    """Parse mini-Bro source into a Script AST."""
+    return _BroParser(source).parse()

@@ -1,0 +1,307 @@
+"""Default analysis scripts, written in mini-Bro source.
+
+The counterparts of Bro's default HTTP and DNS analysis scripts the
+evaluation runs (section 6.5): they correlate state across request/reply
+pairs and generate the protocol logs.  The same sources execute on both
+script engines — the tree-walking interpreter and the HILTI compiler.
+"""
+
+HTTP_SCRIPT = r"""
+# http.bro — log HTTP sessions, correlating requests with replies.
+
+type HttpInfo: record {
+    ts: time;
+    uid: string;
+    orig_h: addr;
+    orig_p: port;
+    resp_h: addr;
+    resp_p: port;
+    method: string;
+    host: string;
+    uri: string;
+    version: string;
+    status_code: count;
+    status_msg: string;
+    request_body_len: count;
+    response_body_len: count;
+    resp_mime: string;
+};
+
+type FileRow: record {
+    ts: time;
+    uid: string;
+    mime: string;
+    sha1: string;
+    total_bytes: count;
+};
+
+global http_pending: table[string] of vector of HttpInfo;
+global http_current_response: table[string] of count;
+
+function http_new_info(c: connection): HttpInfo {
+    local info: HttpInfo;
+    info$ts = network_time();
+    info$uid = c$uid;
+    info$orig_h = c$id$orig_h;
+    info$orig_p = c$id$orig_p;
+    info$resp_h = c$id$resp_h;
+    info$resp_p = c$id$resp_p;
+    return info;
+}
+
+event http_request(c: connection, method: string, uri: string,
+                   version: string) {
+    local info: HttpInfo = http_new_info(c);
+    info$method = method;
+    info$uri = uri;
+    info$version = version;
+    if ( c$uid !in http_pending )
+        http_pending[c$uid] = vector();
+    local q: vector of HttpInfo = http_pending[c$uid];
+    q[|q|] = info;
+}
+
+event http_header(c: connection, is_orig: bool, name: string,
+                  value: string) {
+    if ( ! is_orig )
+        return;
+    if ( to_lower(name) != "host" )
+        return;
+    if ( c$uid !in http_pending )
+        return;
+    local q: vector of HttpInfo = http_pending[c$uid];
+    if ( |q| == 0 )
+        return;
+    local info: HttpInfo = q[|q| - 1];
+    if ( ! info?$host )
+        info$host = value;
+}
+
+event http_reply(c: connection, version: string, code: count,
+                 reason: string) {
+    if ( c$uid !in http_pending )
+        return;
+    local idx: count = 0;
+    if ( c$uid in http_current_response )
+        idx = http_current_response[c$uid];
+    local q: vector of HttpInfo = http_pending[c$uid];
+    if ( idx >= |q| )
+        return;
+    local info: HttpInfo = q[idx];
+    info$status_code = code;
+    info$status_msg = reason;
+}
+
+event http_message_done(c: connection, is_orig: bool, body_len: count,
+                        mime: string, hash: string) {
+    if ( c$uid !in http_pending )
+        return;
+    local q: vector of HttpInfo = http_pending[c$uid];
+    if ( is_orig ) {
+        if ( |q| == 0 )
+            return;
+        local req: HttpInfo = q[|q| - 1];
+        req$request_body_len = body_len;
+        return;
+    }
+    local idx: count = 0;
+    if ( c$uid in http_current_response )
+        idx = http_current_response[c$uid];
+    if ( idx >= |q| )
+        return;
+    local info: HttpInfo = q[idx];
+    info$response_body_len = body_len;
+    if ( mime != "" )
+        info$resp_mime = mime;
+    http_current_response[c$uid] = idx + 1;
+    Log::write("http", info);
+    if ( hash != "" && body_len > 0 ) {
+        local row: FileRow;
+        row$ts = network_time();
+        row$uid = c$uid;
+        row$mime = mime;
+        row$sha1 = hash;
+        row$total_bytes = body_len;
+        Log::write("files", row);
+    }
+}
+
+event connection_state_remove(c: connection) {
+    if ( c$uid in http_pending )
+        delete http_pending[c$uid];
+    if ( c$uid in http_current_response )
+        delete http_current_response[c$uid];
+}
+"""
+
+DNS_SCRIPT = r"""
+# dns.bro — log DNS requests joined with their responses.
+
+type DnsInfo: record {
+    ts: time;
+    uid: string;
+    orig_h: addr;
+    orig_p: port;
+    resp_h: addr;
+    resp_p: port;
+    trans_id: count;
+    query: string;
+    qtype: count;
+    qtype_name: string;
+    rcode: count;
+    rcode_name: string;
+    answers: vector of string;
+    ttls: vector of interval;
+};
+
+global dns_pending: table[string, count] of DnsInfo;
+
+function rcode_to_name(rcode: count): string {
+    if ( rcode == 0 )
+        return "NOERROR";
+    if ( rcode == 1 )
+        return "FORMERR";
+    if ( rcode == 2 )
+        return "SERVFAIL";
+    if ( rcode == 3 )
+        return "NXDOMAIN";
+    if ( rcode == 5 )
+        return "REFUSED";
+    return fmt("rcode-%d", rcode);
+}
+
+event dns_request(c: connection, trans_id: count, query: string,
+                  qtype: count, qtype_name: string) {
+    local info: DnsInfo;
+    info$ts = network_time();
+    info$uid = c$uid;
+    info$orig_h = c$id$orig_h;
+    info$orig_p = c$id$orig_p;
+    info$resp_h = c$id$resp_h;
+    info$resp_p = c$id$resp_p;
+    info$trans_id = trans_id;
+    info$query = query;
+    info$qtype = qtype;
+    info$qtype_name = qtype_name;
+    dns_pending[c$uid, trans_id] = info;
+}
+
+event dns_response(c: connection, trans_id: count, query: string,
+                   qtype: count, qtype_name: string, rcode: count,
+                   answers: vector of string, ttls: vector of interval) {
+    local info: DnsInfo;
+    if ( [c$uid, trans_id] in dns_pending ) {
+        info = dns_pending[c$uid, trans_id];
+    } else {
+        info$ts = network_time();
+        info$uid = c$uid;
+        info$orig_h = c$id$orig_h;
+        info$orig_p = c$id$orig_p;
+        info$resp_h = c$id$resp_h;
+        info$resp_p = c$id$resp_p;
+        info$trans_id = trans_id;
+        info$query = query;
+        info$qtype = qtype;
+        info$qtype_name = qtype_name;
+    }
+    info$rcode = rcode;
+    info$rcode_name = rcode_to_name(rcode);
+    info$answers = answers;
+    info$ttls = ttls;
+    Log::write("dns", info);
+    delete dns_pending[c$uid, trans_id];
+}
+
+event connection_state_remove(c: connection) {
+}
+"""
+
+CONN_SCRIPT = r"""
+# conn.bro — one summary line per connection (Bro's conn.log).
+
+type ConnRow: record {
+    ts: time;
+    uid: string;
+    orig_h: addr;
+    orig_p: port;
+    resp_h: addr;
+    resp_p: port;
+    proto: string;
+    duration: interval;
+    orig_bytes: count;
+    resp_bytes: count;
+    orig_pkts: count;
+    resp_pkts: count;
+    conn_state: string;
+};
+
+event connection_state_remove(c: connection) {
+    local row: ConnRow;
+    row$ts = c$start_time;
+    row$uid = c$uid;
+    row$orig_h = c$id$orig_h;
+    row$orig_p = c$id$orig_p;
+    row$resp_h = c$id$resp_h;
+    row$resp_p = c$id$resp_p;
+    row$proto = c$proto;
+    if ( c?$duration )
+        row$duration = c$duration;
+    if ( c?$orig_bytes ) {
+        row$orig_bytes = c$orig_bytes;
+        row$resp_bytes = c$resp_bytes;
+        row$orig_pkts = c$orig_pkts;
+        row$resp_pkts = c$resp_pkts;
+    }
+    if ( c?$state )
+        row$conn_state = c$state;
+    Log::write("conn", row);
+}
+"""
+
+TRACK_SCRIPT = r"""
+# track.bro — Figure 8: record responder IPs of established connections.
+
+global hosts: set[addr];
+
+event connection_established(c: connection) {
+    add hosts[c$id$resp_h];   # Record responder IP.
+}
+
+event bro_done() {
+    for ( i in hosts )        # Print all recorded IPs.
+        print i;
+}
+"""
+
+FIB_SCRIPT = r"""
+# fib.bro — the §6.5 compute-bound baseline benchmark.
+
+function fib(n: count): count {
+    if ( n < 2 )
+        return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+event bro_init() {
+}
+"""
+
+HTTP_LOG_COLUMNS = [
+    "ts", "uid", "orig_h", "orig_p", "resp_h", "resp_p", "method", "host",
+    "uri", "version", "status_code", "status_msg", "request_body_len",
+    "response_body_len", "resp_mime",
+]
+
+FILES_LOG_COLUMNS = ["ts", "uid", "mime", "sha1", "total_bytes"]
+
+CONN_LOG_COLUMNS = [
+    "ts", "uid", "orig_h", "orig_p", "resp_h", "resp_p", "proto",
+    "duration", "orig_bytes", "resp_bytes", "orig_pkts", "resp_pkts",
+    "conn_state",
+]
+
+DNS_LOG_COLUMNS = [
+    "ts", "uid", "orig_h", "orig_p", "resp_h", "resp_p", "trans_id",
+    "query", "qtype", "qtype_name", "rcode", "rcode_name", "answers",
+    "ttls",
+]

@@ -1,0 +1,186 @@
+"""Bro-style script values ("Vals").
+
+Bro internally represents all script values as instances of classes
+derived from a joint ``Val`` base class, and those instances circulate far
+beyond the interpreter — the logging system, the event engine, the
+analyzers all traffic in them (paper, section 5 "Bro Interface").  We
+reproduce that architecture: the interpreter, event engine, and log
+framework all use these wrappers, and the HILTI-compiled script engine
+must convert at the boundary (``repro.apps.bro.glue``) — the measured
+"HILTI-to-Bro glue" slice of Figures 9 and 10.
+
+Scalars (bool/int/str/Addr/Port/Time/Interval/bytes) stay as plain Python
+objects; the wrappers cover the structured types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["RecordType", "RecordVal", "TableVal", "SetVal", "VectorVal",
+           "BroRuntimeError"]
+
+
+class BroRuntimeError(Exception):
+    """A script-level runtime error."""
+
+
+class RecordType:
+    """A named record type with an ordered field list."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: List):
+        self.name = name
+        # fields: list of (field_name, type_expr or None)
+        self.fields = list(fields)
+
+    def field_names(self) -> List[str]:
+        return [name for name, __ in self.fields]
+
+    def __repr__(self) -> str:
+        return f"<record type {self.name}>"
+
+
+class RecordVal:
+    """A record instance; unset fields read as errors (like Bro)."""
+
+    __slots__ = ("record_type", "_values")
+
+    def __init__(self, record_type: Optional[RecordType] = None,
+                 values: Optional[Dict[str, object]] = None):
+        self.record_type = record_type
+        self._values: Dict[str, object] = dict(values or {})
+
+    def get(self, field: str):
+        try:
+            return self._values[field]
+        except KeyError:
+            type_name = self.record_type.name if self.record_type else "?"
+            raise BroRuntimeError(
+                f"field {field!r} of record {type_name} is not set"
+            ) from None
+
+    def get_or(self, field: str, default=None):
+        return self._values.get(field, default)
+
+    def has(self, field: str) -> bool:
+        return field in self._values
+
+    def set(self, field: str, value) -> None:
+        self._values[field] = value
+
+    def fields(self) -> Dict[str, object]:
+        return dict(self._values)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RecordVal) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(
+            (k, str(v)) for k, v in self._values.items()
+        )))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"${k}={v!r}" for k, v in self._values.items())
+        return f"[{inner}]"
+
+
+class TableVal:
+    """``table[K] of V``."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[dict] = None):
+        self._entries = dict(entries or {})
+
+    def get(self, key):
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise BroRuntimeError(f"no such index: {key!r}") from None
+
+    def set(self, key, value) -> None:
+        self._entries[key] = value
+
+    def contains(self, key) -> bool:
+        return key in self._entries
+
+    def remove(self, key) -> None:
+        self._entries.pop(key, None)
+
+    def keys(self):
+        return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(list(self._entries.keys()))
+
+    def __repr__(self) -> str:
+        return f"<table of {len(self._entries)}>"
+
+
+class SetVal:
+    """``set[T]``."""
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: Optional[Iterable] = None):
+        self._members = dict.fromkeys(members or ())  # insertion-ordered
+
+    def add(self, member) -> None:
+        self._members[member] = None
+
+    def remove(self, member) -> None:
+        self._members.pop(member, None)
+
+    def contains(self, member) -> bool:
+        return member in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(list(self._members.keys()))
+
+    def __repr__(self) -> str:
+        return f"<set of {len(self._members)}>"
+
+
+class VectorVal:
+    """``vector of T`` — dense, append-by-index-past-end like Bro."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable] = None):
+        self._items = list(items or ())
+
+    def get(self, index: int):
+        if not 0 <= index < len(self._items):
+            raise BroRuntimeError(f"vector index {index} out of range")
+        return self._items[index]
+
+    def set(self, index: int, value) -> None:
+        if index == len(self._items):
+            self._items.append(value)
+        elif 0 <= index < len(self._items):
+            self._items[index] = value
+        else:
+            raise BroRuntimeError(f"vector index {index} out of range")
+
+    def append(self, value) -> None:
+        self._items.append(value)
+
+    def items(self) -> List:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(list(self._items))
+
+    def __repr__(self) -> str:
+        return f"<vector of {len(self._items)}>"

@@ -1,0 +1,5 @@
+"""Stateful firewall exemplar: rule compiler plus reference implementation."""
+
+from .compiler import HiltiFirewall, compile_firewall, generate_hilti_source  # noqa: F401
+from .reference import ReferenceFirewall  # noqa: F401
+from .rules import Rule, RuleError, RuleSet  # noqa: F401

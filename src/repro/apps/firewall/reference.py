@@ -1,0 +1,63 @@
+"""Independent plain-Python firewall — the §6.3 cross-check.
+
+The paper confirms the HILTI firewall's functionality "by comparing it
+with a simple Python script that implements the same functionality
+independently".  This is that script: no HILTI machinery, just dicts and
+linear scans, deliberately written as a separate implementation of the
+same semantics so the differential test means something.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...core.values import Addr, Time
+from .rules import RuleSet
+
+__all__ = ["ReferenceFirewall"]
+
+
+class ReferenceFirewall:
+    """Stateful first-match firewall with inactivity-expired dynamic rules."""
+
+    def __init__(self, ruleset: RuleSet):
+        self._rules = list(ruleset.rules)
+        self._timeout = ruleset.timeout_seconds
+        # (src, dst) -> last-activity time in seconds.
+        self._dynamic: Dict[Tuple[Addr, Addr], float] = {}
+        self.matches = 0
+        self.lookups = 0
+
+    def match_packet(self, when: Time, src: Addr, dst: Addr) -> bool:
+        """True if the packet may pass."""
+        self.lookups += 1
+        now = when.seconds
+        key = (src, dst)
+        stamp = self._dynamic.get(key)
+        if stamp is not None:
+            # An entry survives strictly less than `timeout` of inactivity
+            # (matching the HILTI containers' expire-at-deadline rule).
+            if now - stamp < self._timeout:
+                self._dynamic[key] = now  # inactivity clock restarts
+                self.matches += 1
+                return True
+            del self._dynamic[key]
+        allowed = self._static_lookup(src, dst)
+        if allowed:
+            self._dynamic[(src, dst)] = now
+            self._dynamic[(dst, src)] = now
+            self.matches += 1
+        return allowed
+
+    def _static_lookup(self, src: Addr, dst: Addr) -> bool:
+        for rule in self._rules:
+            if rule.src is not None and not rule.src.contains(src):
+                continue
+            if rule.dst is not None and not rule.dst.contains(dst):
+                continue
+            return rule.allow
+        return False  # default deny
+
+    @property
+    def dynamic_entries(self) -> int:
+        return len(self._dynamic)

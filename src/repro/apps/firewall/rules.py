@@ -1,0 +1,91 @@
+"""Firewall rule sets.
+
+Rules have the paper's form ``(src-net, dst-net) -> {allow, deny}``,
+applied in order of specification with a default action of deny; a
+matching allow additionally installs a temporary dynamic rule permitting
+the reverse direction until a period of inactivity passes (section 4,
+"Stateful Firewall").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...core.values import Network
+
+__all__ = ["Rule", "RuleSet", "RuleError"]
+
+
+class RuleError(ValueError):
+    pass
+
+
+class Rule:
+    """One static rule: source and destination networks plus the action."""
+
+    __slots__ = ("src", "dst", "allow")
+
+    def __init__(self, src: Optional[Network], dst: Optional[Network],
+                 allow: bool):
+        self.src = src  # None is the wildcard '*'
+        self.dst = dst
+        self.allow = allow
+
+    def __repr__(self) -> str:
+        action = "allow" if self.allow else "deny"
+        return f"({self.src or '*'}, {self.dst or '*'}) -> {action}"
+
+
+class RuleSet:
+    """An ordered rule list with a text format and an inactivity timeout."""
+
+    def __init__(self, rules: Optional[List[Rule]] = None,
+                 timeout_seconds: float = 300.0):
+        self.rules: List[Rule] = rules or []
+        self.timeout_seconds = timeout_seconds
+
+    def add(self, src, dst, allow: bool) -> "RuleSet":
+        def as_net(value) -> Optional[Network]:
+            if value is None or value == "*":
+                return None
+            return Network(value)
+
+        self.rules.append(Rule(as_net(src), as_net(dst), allow))
+        return self
+
+    @classmethod
+    def parse(cls, text: str, timeout_seconds: float = 300.0) -> "RuleSet":
+        """Parse the rule file format::
+
+            # comments and blank lines ignored
+            10.3.2.1/32  10.1.0.0/16  allow
+            10.12.0.0/16 10.1.0.0/16  deny
+            10.1.6.0/24  *            allow
+        """
+        ruleset = cls(timeout_seconds=timeout_seconds)
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise RuleError(
+                    f"line {line_number}: expected 'src dst action', got "
+                    f"{raw!r}"
+                )
+            src, dst, action = parts
+            if action not in ("allow", "deny"):
+                raise RuleError(
+                    f"line {line_number}: unknown action {action!r}"
+                )
+            ruleset.add(src, dst, action == "allow")
+        return ruleset
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __repr__(self) -> str:
+        return f"<RuleSet {len(self.rules)} rules, timeout {self.timeout_seconds}s>"

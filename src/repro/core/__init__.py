@@ -1,0 +1,34 @@
+"""The HILTI abstract machine: types, IR, compiler, and execution tiers."""
+
+from . import types  # noqa: F401
+from .builder import FunctionBuilder, ModuleBuilder  # noqa: F401
+from .codegen import CompiledProgram, compile_program  # noqa: F401
+from .interp import Interpreter  # noqa: F401
+from .ir import (  # noqa: F401
+    Block,
+    Const,
+    FieldRef,
+    FuncRef,
+    Function,
+    GlobalVar,
+    Instruction,
+    LabelRef,
+    Location,
+    Module,
+    Parameter,
+    TupleOp,
+    TypeRef,
+    Var,
+)
+from .linker import LinkedProgram, LinkError, link  # noqa: F401
+from .optimize import OptStats, optimize_module  # noqa: F401
+from .parser import ParseError, parse_module, parse_type  # noqa: F401
+from .stubs import Stub, StubResult, make_stub  # noqa: F401
+from .toolchain import (  # noqa: F401
+    HiltiExecutable,
+    hilti_build,
+    hiltic,
+    run_source,
+)
+from .typecheck import TypeCheckError, check_module  # noqa: F401
+from .values import Addr, Interval, Network, Port, Time  # noqa: F401

@@ -1,0 +1,203 @@
+"""Programmatic IR construction — the paper's C++ AST interface.
+
+Host-application compilers (BPF, the firewall rule compiler, BinPAC++, the
+Bro script compiler) build HILTI programs in memory through this API rather
+than emitting text, exactly as the paper describes host applications doing
+via the C++ API (section 3.4).
+
+    b = ModuleBuilder("Main")
+    f = b.function("run", [], ht.VOID)
+    f.emit("call", f.func("Hilti::print"), f.args(f.const(ht.STRING, "hi")))
+    module = b.finish()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from . import types as ht
+from .ir import (
+    Block,
+    Const,
+    FieldRef,
+    FuncRef,
+    Function,
+    Instruction,
+    LabelRef,
+    Location,
+    Module,
+    Operand,
+    Parameter,
+    TupleOp,
+    TypeRef,
+    Var,
+)
+
+__all__ = ["ModuleBuilder", "FunctionBuilder"]
+
+
+class FunctionBuilder:
+    """Builds one function block-by-block."""
+
+    def __init__(self, module_builder: "ModuleBuilder", function: Function):
+        self.module_builder = module_builder
+        self.function = function
+        self.current: Block = function.add_block("entry")
+        self._temp_counter = 0
+
+    # -- operand constructors -------------------------------------------------
+
+    @staticmethod
+    def const(const_type: ht.Type, value) -> Const:
+        return Const(const_type, value)
+
+    @staticmethod
+    def var(name: str) -> Var:
+        return Var(name)
+
+    @staticmethod
+    def label(name: str) -> LabelRef:
+        return LabelRef(name)
+
+    @staticmethod
+    def func(name: str) -> FuncRef:
+        return FuncRef(name)
+
+    @staticmethod
+    def field(name: str) -> FieldRef:
+        return FieldRef(name)
+
+    @staticmethod
+    def type_ref(ref_type: ht.Type) -> TypeRef:
+        return TypeRef(ref_type)
+
+    @staticmethod
+    def args(*operands: Operand) -> TupleOp:
+        return TupleOp(operands)
+
+    # -- locals and temporaries ---------------------------------------------
+
+    def local(self, name: str, local_type: ht.Type, init=None) -> Var:
+        self.function.add_local(name, local_type, init)
+        return Var(name)
+
+    def temp(self, temp_type: ht.Type, hint: str = "t") -> Var:
+        self._temp_counter += 1
+        name = f"__{hint}{self._temp_counter}"
+        self.function.add_local(name, temp_type)
+        return Var(name)
+
+    def fresh_label(self, hint: str = "l") -> str:
+        self._temp_counter += 1
+        return f"__{hint}{self._temp_counter}"
+
+    # -- emission -------------------------------------------------------------
+
+    def block(self, label: str) -> Block:
+        """Start (and switch to) a new block."""
+        self.current = self.function.add_block(label)
+        return self.current
+
+    def emit(self, mnemonic: str, *operands: Operand,
+             target: Optional[Var] = None,
+             location: Optional[Location] = None) -> Instruction:
+        instruction = Instruction(
+            mnemonic, operands, target, location or Location("<builder>")
+        )
+        self.current.append(instruction)
+        return instruction
+
+    # -- common shorthands ------------------------------------------------------
+
+    def call(self, name: str, arguments: Sequence[Operand] = (),
+             target: Optional[Var] = None) -> Instruction:
+        return self.emit(
+            "call", FuncRef(name), TupleOp(tuple(arguments)), target=target
+        )
+
+    def jump(self, label: str) -> Instruction:
+        return self.emit("jump", LabelRef(label))
+
+    def branch(self, cond: Operand, if_true: str, if_false: str) -> Instruction:
+        return self.emit("if.else", cond, LabelRef(if_true), LabelRef(if_false))
+
+    def ret(self, value: Optional[Operand] = None) -> Instruction:
+        if value is None:
+            return self.emit("return.void")
+        return self.emit("return.result", value)
+
+
+class ModuleBuilder:
+    """Builds one module."""
+
+    def __init__(self, name: str):
+        self.module = Module(name)
+
+    def type(self, name: str, declared: ht.Type) -> ht.Type:
+        return self.module.add_type(name, declared)
+
+    def struct(self, name: str,
+               fields: Sequence[Tuple[str, ht.Type]]) -> ht.StructT:
+        declared = ht.StructT(
+            self.module.qualified(name),
+            [ht.StructField(fname, ftype) for fname, ftype in fields],
+        )
+        return self.module.add_type(name, declared)
+
+    def overlay(self, name: str, fields) -> ht.OverlayT:
+        """fields: sequence of (name, type, offset, format[, bits])."""
+        built: List[ht.OverlayField] = []
+        for entry in fields:
+            fname, ftype, offset, fmt = entry[:4]
+            bits = entry[4] if len(entry) > 4 else None
+            built.append(
+                ht.OverlayField(fname, ftype, offset, ht.UnpackFormat(fmt, bits))
+            )
+        declared = ht.OverlayT(self.module.qualified(name), built)
+        return self.module.add_type(name, declared)
+
+    def enum(self, name: str, labels: Sequence[str]) -> ht.EnumT:
+        declared = ht.EnumT(self.module.qualified(name), labels)
+        return self.module.add_type(name, declared)
+
+    def global_var(self, name: str, var_type: ht.Type, init=None) -> Var:
+        self.module.add_global(name, var_type, init)
+        return Var(name)
+
+    def function(self, name: str, params: Sequence[Tuple[str, ht.Type]],
+                 result: ht.Type = ht.VOID) -> FunctionBuilder:
+        function = Function(
+            self.module.qualified(name),
+            [Parameter(pname, ptype) for pname, ptype in params],
+            result,
+        )
+        self.module.add_function(function)
+        return FunctionBuilder(self, function)
+
+    def hook(self, hook_name: str, params: Sequence[Tuple[str, ht.Type]],
+             body_suffix: str = "", priority: int = 0,
+             group: str = None) -> FunctionBuilder:
+        """Add one body for the given hook.
+
+        Hook names are global: an already-qualified name (``A::B::%done``)
+        is used verbatim so bodies from any module attach to it; bare
+        names get this module's namespace.
+        """
+        qualified = (
+            hook_name if "::" in hook_name
+            else self.module.qualified(hook_name)
+        )
+        body_name = f"{qualified}%{body_suffix or len(self.module.hooks)}"
+        function = Function(
+            body_name,
+            [Parameter(pname, ptype) for pname, ptype in params],
+            ht.VOID,
+            hook_name=qualified,
+            hook_priority=priority,
+            hook_group=group,
+        )
+        self.module.add_function(function)
+        return FunctionBuilder(self, function)
+
+    def finish(self) -> Module:
+        return self.module

@@ -1,0 +1,72 @@
+"""Control-flow graphs over HILTI functions.
+
+Used by the optimizer for reachability (dead-block elimination) and by the
+code generator to resolve fall-through edges: blocks without an explicit
+terminator continue at the lexically following block, as in the paper's
+Figure 5 listing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .ir import Block, Function, LabelRef
+
+__all__ = ["successors", "build_cfg", "reachable_blocks"]
+
+_TERMINATORS = {"jump", "if.else", "switch", "return.void", "return.result"}
+
+
+def successors(function: Function, index: int) -> List[str]:
+    """Labels of the blocks control can reach from block *index*."""
+    block = function.blocks[index]
+    out: List[str] = []
+    last = block.instructions[-1] if block.instructions else None
+    mnemonic = last.mnemonic if last is not None else None
+    if mnemonic in ("return.void", "return.result"):
+        return out
+    if mnemonic in ("jump", "if.else", "switch"):
+        for operand in last.operands:
+            if isinstance(operand, LabelRef):
+                out.append(operand.label)
+            elif hasattr(operand, "elements"):
+                for element in operand.elements:
+                    if isinstance(element, LabelRef):
+                        out.append(element.label)
+    else:
+        # Fall-through edge.
+        if index + 1 < len(function.blocks):
+            out.append(function.blocks[index + 1].label)
+    # try.begin handlers are reachable from anywhere inside the scope; be
+    # conservative and treat every handler label as a successor of the
+    # block opening the scope.
+    for instruction in block.instructions:
+        if instruction.mnemonic == "try.begin" and instruction.operands:
+            handler = instruction.operands[0]
+            if isinstance(handler, LabelRef):
+                out.append(handler.label)
+    return out
+
+
+def build_cfg(function: Function) -> Dict[str, List[str]]:
+    """label -> successor labels for every block."""
+    return {
+        block.label: successors(function, index)
+        for index, block in enumerate(function.blocks)
+    }
+
+
+def reachable_blocks(function: Function) -> Set[str]:
+    """Labels reachable from the entry block."""
+    if not function.blocks:
+        return set()
+    graph = build_cfg(function)
+    seen: Set[str] = set()
+    stack = [function.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(graph.get(label, ()))
+    return seen

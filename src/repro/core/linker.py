@@ -1,0 +1,194 @@
+"""Linking HILTI compilation units.
+
+The paper adds a specialized linker for transformations that need a global
+view of all units (section 5 "Linker"):
+
+* merging every module's globals into a single per-virtual-thread array —
+  thread-locals are per *virtual* thread, so pthread-style TLS cannot be
+  used; each execution context carries one flat array laid out here;
+* merging hook bodies across units, so ``hook.run`` sees every
+  implementation regardless of the defining module;
+* resolving cross-module calls, including calls into *native* (host
+  application) functions registered by name;
+* optionally dropping functions the host application's parameterization
+  can never reach (the link-time dead-code elimination of section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import types as ht
+from .ir import Function, GlobalVar, Module
+
+__all__ = ["LinkedProgram", "link", "LinkError"]
+
+
+class LinkError(Exception):
+    pass
+
+
+def _builtin_natives() -> Dict[str, Callable]:
+    """The ``Hilti::*`` standard library available to every program."""
+
+    def hilti_print(ctx, *args):
+        def render(value):
+            from ..runtime.bytes_buffer import Bytes
+
+            if isinstance(value, Bytes):
+                return value.to_bytes().decode("utf-8", "replace")
+            if isinstance(value, bool):
+                return "True" if value else "False"
+            if isinstance(value, tuple):
+                return "(" + ", ".join(render(v) for v in value) + ")"
+            return str(value)
+
+        text = ", ".join(render(a) for a in args)
+        ctx.print_stream.write(text + "\n")
+
+    def hilti_terminate(ctx, *args):
+        raise SystemExit(args[0] if args else 0)
+
+    return {
+        "Hilti::print": hilti_print,
+        "Hilti::terminate": hilti_terminate,
+    }
+
+
+class LinkedProgram:
+    """The merged, resolved view of a set of modules."""
+
+    def __init__(self):
+        self.modules: List[Module] = []
+        self.functions: Dict[str, Function] = {}
+        self.hooks: Dict[str, List[Function]] = {}
+        self.types: Dict[str, ht.Type] = {}
+        # Flat thread-local layout: slot index per qualified global name.
+        self.global_layout: List[GlobalVar] = []
+        self.global_index: Dict[str, int] = {}
+        self.natives: Dict[str, Callable] = _builtin_natives()
+        self.entry: Optional[str] = None
+
+    def register_native(self, name: str, fn: Callable) -> None:
+        """Expose a host-application function to HILTI code."""
+        self.natives[name] = fn
+
+    def resolve_function(self, name: str, module: Optional[Module] = None):
+        """Resolve a call target: HILTI function, else native, else error.
+
+        Returns ``("hilti", Function)`` or ``("native", callable)``.
+        """
+        candidates = [name]
+        if module is not None and "::" not in name:
+            candidates.insert(0, module.qualified(name))
+        for candidate in candidates:
+            if candidate in self.functions:
+                return "hilti", self.functions[candidate]
+        for candidate in candidates:
+            if candidate in self.natives:
+                return "native", self.natives[candidate]
+        raise LinkError(f"unresolved function {name!r}")
+
+    def global_slot(self, name: str, module: Optional[Module] = None) -> int:
+        candidates = [name]
+        if module is not None and "::" not in name:
+            candidates.insert(0, module.qualified(name))
+        for candidate in candidates:
+            if candidate in self.global_index:
+                return self.global_index[candidate]
+        raise LinkError(f"unresolved global {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<LinkedProgram {len(self.functions)} functions, "
+            f"{len(self.hooks)} hooks, {len(self.global_layout)} globals>"
+        )
+
+
+def link(
+    modules: Sequence[Module],
+    natives: Optional[Dict[str, Callable]] = None,
+    entry: Optional[str] = None,
+) -> LinkedProgram:
+    """Merge *modules* into a LinkedProgram.
+
+    *natives* maps function names to host-application Python callables with
+    signature ``fn(ctx, *args)``.  *entry* names the default entry point
+    (``Main::run`` by convention when present).
+    """
+    program = LinkedProgram()
+    if natives:
+        for name, fn in natives.items():
+            program.register_native(name, fn)
+    for module in modules:
+        program.modules.append(module)
+        for type_name, declared in module.types.items():
+            program.types.setdefault(module.qualified(type_name), declared)
+        for function in module.functions.values():
+            if function.name in program.functions:
+                raise LinkError(f"duplicate function {function.name!r}")
+            program.functions[function.name] = function
+        for hook in module.hooks:
+            bodies = program.hooks.setdefault(hook.hook_name, [])
+            bodies.append(hook)
+            # Highest priority first; insertion order breaks ties.
+            bodies.sort(key=lambda body: -body.hook_priority)
+        for name, var in module.globals.items():
+            qualified = module.qualified(name)
+            if qualified in program.global_index:
+                raise LinkError(f"duplicate global {qualified!r}")
+            program.global_index[qualified] = len(program.global_layout)
+            program.global_layout.append(var)
+    if entry is not None:
+        program.entry = entry
+    elif "Main::run" in program.functions:
+        program.entry = "Main::run"
+    return program
+
+
+def strip_unreachable(program: LinkedProgram, roots: Sequence[str]) -> int:
+    """Drop functions unreachable from *roots* (link-time DCE, section 7).
+
+    Hooks are retained: host applications may trigger them at any time.
+    Returns the number of removed functions.
+    """
+    from .ir import FuncRef
+
+    by_name = dict(program.functions)
+    for bodies in program.hooks.values():
+        for body in bodies:
+            by_name.setdefault(body.name, body)
+    keep = set()
+    stack = [name for name in roots if name in by_name]
+    # Hook bodies stay live, and so do their callees.
+    for bodies in program.hooks.values():
+        stack.extend(body.name for body in bodies)
+    while stack:
+        name = stack.pop()
+        if name in keep:
+            continue
+        keep.add(name)
+        function = by_name.get(name)
+        if function is None:
+            continue
+        for block in function.blocks:
+            for instruction in block.instructions:
+                for operand in instruction.operands:
+                    if not isinstance(operand, FuncRef):
+                        continue
+                    target = operand.name
+                    if target not in keep:
+                        stack.append(target)
+                    if "::" not in target:
+                        # Unqualified references may resolve into any
+                        # module; keep all candidates (conservative).
+                        suffix = f"::{target}"
+                        stack.extend(
+                            candidate for candidate in by_name
+                            if candidate.endswith(suffix)
+                            and candidate not in keep
+                        )
+    removed = [name for name in program.functions if name not in keep]
+    for name in removed:
+        del program.functions[name]
+    return len(removed)

@@ -1,0 +1,324 @@
+"""HILTI-level optimization passes.
+
+The paper notes its prototype "lacks support for even the most basic
+compiler optimizations, such as constant folding and common subexpression
+elimination at the HILTI level" (section 6.6) and sketches them as the
+clear next step.  We implement them, which the ablation benchmark
+(``benchmarks/bench_ablations.py``) turns on and off:
+
+* constant folding — pure instructions with all-constant operands execute
+  at compile time;
+* dead-block elimination — blocks unreachable in the CFG are dropped;
+* dead-store elimination — pure results written to locals nobody reads;
+* local common-subexpression elimination — repeated pure computations on
+  unchanged operands within a block collapse to a copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import types as ht
+from .cfg import reachable_blocks
+from .instructions import REGISTRY
+from .ir import Const, FieldRef, Function, Instruction, Module, Operand, TupleOp, Var
+
+__all__ = ["optimize_module", "optimize_function", "OptStats"]
+
+# Mnemonic prefixes whose instructions are pure (no side effects, result
+# depends only on operand values).
+_PURE_PREFIXES = (
+    "int.",
+    "double.",
+    "bool.",
+    "string.",
+    "addr.",
+    "net.",
+    "port.",
+    "time.",
+    "interval.",
+    "tuple.",
+    "bitset.",
+    "enum.",
+)
+_PURE_EXACT = {
+    "assign", "equal", "unequal", "select", "and", "or", "not",
+}
+# Pure but may raise (division by zero, index errors): foldable only when
+# folding succeeds, never removable as dead? They are removable — HILTI
+# semantics make the trap observable, but dead-store elimination of a
+# trapping division changes behaviour only for programs already raising;
+# we keep them to stay semantics-preserving.
+_PURE_MAY_RAISE = {"int.div", "int.mod", "double.div", "tuple.index"}
+
+
+class OptStats:
+    """Counts of what each pass changed (reported by the ablation bench)."""
+
+    def __init__(self):
+        self.folded = 0
+        self.dead_blocks = 0
+        self.dead_stores = 0
+        self.cse_hits = 0
+        self.jumps_threaded = 0
+
+    def total(self) -> int:
+        return (self.folded + self.dead_blocks + self.dead_stores
+                + self.cse_hits + self.jumps_threaded)
+
+    def __repr__(self) -> str:
+        return (
+            f"OptStats(folded={self.folded}, dead_blocks={self.dead_blocks}, "
+            f"dead_stores={self.dead_stores}, cse={self.cse_hits}, "
+            f"jumps={self.jumps_threaded})"
+        )
+
+
+def _is_pure(mnemonic: str) -> bool:
+    if mnemonic in _PURE_EXACT:
+        return True
+    return any(mnemonic.startswith(p) for p in _PURE_PREFIXES)
+
+
+def _operand_key(operand: Operand) -> Optional[Tuple]:
+    """A hashable identity for CSE; None if the operand defies comparison."""
+    if isinstance(operand, Const):
+        try:
+            hash(operand.value)
+        except TypeError:
+            return None
+        return ("const", operand.value)
+    if isinstance(operand, Var):
+        return ("var", operand.name)
+    if isinstance(operand, FieldRef):
+        return ("field", operand.name)
+    if isinstance(operand, TupleOp):
+        parts = tuple(_operand_key(e) for e in operand.elements)
+        if any(p is None for p in parts):
+            return None
+        return ("tuple",) + parts
+    return None
+
+
+def _operand_vars(operand: Operand) -> Set[str]:
+    if isinstance(operand, Var):
+        return {operand.name}
+    if isinstance(operand, TupleOp):
+        out: Set[str] = set()
+        for element in operand.elements:
+            out |= _operand_vars(element)
+        return out
+    return set()
+
+
+# --------------------------------------------------------------------------
+# Passes
+# --------------------------------------------------------------------------
+
+
+def fold_constants(function: Function, stats: OptStats) -> None:
+    """Evaluate pure all-constant instructions at compile time."""
+    for block in function.blocks:
+        for position, instruction in enumerate(block.instructions):
+            if instruction.target is None:
+                continue
+            if not _is_pure(instruction.mnemonic):
+                continue
+            if instruction.mnemonic == "assign":
+                continue
+            if not instruction.operands or not all(
+                isinstance(op, Const) for op in instruction.operands
+            ):
+                continue
+            definition = REGISTRY[instruction.mnemonic]
+            if definition.fn is None:
+                continue
+            try:
+                result = definition.fn(
+                    None, *[op.value for op in instruction.operands]
+                )
+            except Exception:
+                continue  # Trapping fold (e.g. 1/0): leave for runtime.
+            block.instructions[position] = Instruction(
+                "assign",
+                (Const(ht.ANY, result),),
+                instruction.target,
+                instruction.location,
+            )
+            stats.folded += 1
+
+
+def remove_dead_blocks(function: Function, stats: OptStats) -> None:
+    reachable = reachable_blocks(function)
+    kept = [b for b in function.blocks if b.label in reachable]
+    stats.dead_blocks += len(function.blocks) - len(kept)
+    function.blocks = kept
+    function.rebuild_block_index()
+
+
+def remove_dead_stores(function: Function, module: Module,
+                       stats: OptStats) -> None:
+    """Drop pure instructions whose local target nobody reads."""
+    read: Set[str] = set()
+    for block in function.blocks:
+        for instruction in block.instructions:
+            for operand in instruction.operands:
+                read |= _operand_vars(operand)
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            kept: List[Instruction] = []
+            for instruction in block.instructions:
+                target = instruction.target
+                removable = (
+                    target is not None
+                    and _is_pure(instruction.mnemonic)
+                    and instruction.mnemonic not in _PURE_MAY_RAISE
+                    and target.name not in read
+                    and function.variable_type(target.name) is not None
+                )
+                if removable:
+                    stats.dead_stores += 1
+                    changed = True
+                    continue
+                kept.append(instruction)
+            block.instructions = kept
+        if changed:
+            read = set()
+            for block in function.blocks:
+                for instruction in block.instructions:
+                    for operand in instruction.operands:
+                        read |= _operand_vars(operand)
+
+
+def local_cse(function: Function, stats: OptStats) -> None:
+    """Collapse repeated pure computations within each block."""
+    for block in function.blocks:
+        available: Dict[Tuple, str] = {}
+        for position, instruction in enumerate(block.instructions):
+            target = instruction.target
+            # Invalidate expressions that depend on a reassigned variable.
+            if target is not None:
+                stale = [
+                    key for key in available
+                    if ("var", target.name) in _flatten(key)
+                ]
+                for key in stale:
+                    del available[key]
+                available = {
+                    key: var for key, var in available.items()
+                    if var != target.name
+                }
+            if (
+                target is None
+                or not _is_pure(instruction.mnemonic)
+                or instruction.mnemonic in _PURE_MAY_RAISE
+                or instruction.mnemonic == "assign"
+                or function.variable_type(target.name) is None
+            ):
+                continue
+            keys = tuple(_operand_key(op) for op in instruction.operands)
+            if any(k is None for k in keys):
+                continue
+            expr = (instruction.mnemonic,) + keys
+            previous = available.get(expr)
+            if previous is not None and previous != target.name:
+                block.instructions[position] = Instruction(
+                    "assign",
+                    (Var(previous),),
+                    target,
+                    instruction.location,
+                )
+                stats.cse_hits += 1
+            else:
+                available[expr] = target.name
+
+
+def _flatten(key) -> Set[Tuple]:
+    out: Set[Tuple] = set()
+    stack = [key]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, tuple):
+            if len(item) == 2 and item[0] in ("var", "const", "field"):
+                out.add(item)
+            else:
+                stack.extend(item)
+    return out
+
+
+def thread_jumps(function: Function, stats: OptStats) -> None:
+    """Collapse chains of trivial forwarding blocks.
+
+    A block containing only ``jump X`` adds a needless control transfer;
+    every branch targeting it is redirected straight to ``X`` (cycles are
+    left alone).  Dead-block elimination then removes the skipped block.
+    """
+    from .ir import LabelRef
+
+    forwards: Dict[str, str] = {}
+    for block in function.blocks:
+        if len(block.instructions) == 1 and \
+                block.instructions[0].mnemonic == "jump":
+            target = block.instructions[0].operands[0].label
+            if target != block.label:
+                forwards[block.label] = target
+
+    def resolve(label: str) -> str:
+        seen = set()
+        while label in forwards and label not in seen:
+            seen.add(label)
+            label = forwards[label]
+        return label
+
+    rewired = 0
+    for block in function.blocks:
+        for instruction in block.instructions:
+            if instruction.mnemonic not in ("jump", "if.else", "switch",
+                                            "try.begin"):
+                continue
+            new_operands = []
+            changed = False
+            for operand in instruction.operands:
+                if isinstance(operand, LabelRef):
+                    resolved = resolve(operand.label)
+                    if resolved != operand.label:
+                        operand = LabelRef(resolved)
+                        changed = True
+                elif isinstance(operand, TupleOp):
+                    elements = []
+                    for element in operand.elements:
+                        if isinstance(element, LabelRef):
+                            resolved = resolve(element.label)
+                            if resolved != element.label:
+                                element = LabelRef(resolved)
+                                changed = True
+                        elements.append(element)
+                    operand = TupleOp(elements)
+                new_operands.append(operand)
+            if changed:
+                instruction.operands = tuple(new_operands)
+                rewired += 1
+    stats.jumps_threaded += rewired
+
+
+def optimize_function(module: Module, function: Function,
+                      stats: Optional[OptStats] = None) -> OptStats:
+    if stats is None:
+        stats = OptStats()
+    fold_constants(function, stats)
+    local_cse(function, stats)
+    remove_dead_stores(function, module, stats)
+    thread_jumps(function, stats)
+    remove_dead_blocks(function, stats)
+    return stats
+
+
+def optimize_module(module: Module, stats: Optional[OptStats] = None) -> OptStats:
+    """Run all passes over every function of *module*."""
+    if stats is None:
+        stats = OptStats()
+    for function in module.all_functions():
+        optimize_function(module, function, stats)
+    return stats

@@ -1,0 +1,269 @@
+"""Static verification of HILTI IR modules.
+
+HILTI is statically typed; the verifier rejects malformed programs before
+execution, providing the "contained, well-defined, and statically typed
+environment" of the paper's section 2.  Checks:
+
+* every instruction exists and gets the right number/kind of operands;
+* targets are present exactly when the instruction produces a result;
+* variable references resolve to a parameter, local, or module global;
+* control-flow targets reference existing blocks;
+* functions end in a terminator (or fall through to a following block);
+* operand *kinds* match the instruction's specs where statically known
+  (integers where ints are required, labels where labels are, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import types as ht
+from .instructions import REGISTRY
+from .ir import (
+    Block,
+    Const,
+    FieldRef,
+    FuncRef,
+    Function,
+    Instruction,
+    LabelRef,
+    Module,
+    Operand,
+    TupleOp,
+    TypeRef,
+    Var,
+)
+
+__all__ = ["TypeCheckError", "check_module", "check_function"]
+
+_TERMINATORS = {"jump", "if.else", "switch", "return.void", "return.result"}
+
+# Operand kind -> static predicate on constant values / types.
+_KIND_CHECKS = {
+    "int": lambda t: isinstance(t, (ht.Integer, ht.EnumT, ht.BitsetT)),
+    "bool": lambda t: isinstance(t, ht.Bool),
+    "double": lambda t: isinstance(t, ht.Double),
+    "string": lambda t: isinstance(t, ht.String),
+    "bytes": lambda t: isinstance(t, (ht.BytesT, ht.RefT)),
+    "addr": lambda t: isinstance(t, ht.AddrT),
+    "net": lambda t: isinstance(t, ht.NetT),
+    "port": lambda t: isinstance(t, ht.PortT),
+    "time": lambda t: isinstance(t, ht.TimeT),
+    "interval": lambda t: isinstance(t, ht.IntervalT),
+    "tuple": lambda t: isinstance(t, ht.TupleT),
+    "ref": lambda t: t is None or isinstance(t, ht.RefT) or t.is_reference_type,
+    "iter": lambda t: True,
+    "val": lambda t: True,
+}
+
+
+class TypeCheckError(Exception):
+    def __init__(self, message: str, instruction: Optional[Instruction] = None):
+        if instruction is not None:
+            message = f"{message} [{instruction.mnemonic} at {instruction.location}]"
+        super().__init__(message)
+
+
+def check_module(module: Module) -> None:
+    """Verify all functions of *module*; raises TypeCheckError."""
+    for function in module.all_functions():
+        check_function(module, function)
+
+
+def check_function(module: Module, function: Function) -> None:
+    if not function.blocks:
+        raise TypeCheckError(f"function {function.name} has no blocks")
+    labels = {block.label for block in function.blocks}
+    for index, block in enumerate(function.blocks):
+        last_block = index == len(function.blocks) - 1
+        _check_block(module, function, block, labels, last_block)
+
+
+def _check_block(
+    module: Module,
+    function: Function,
+    block: Block,
+    labels: set,
+    last_block: bool,
+) -> None:
+    for position, instruction in enumerate(block.instructions):
+        _check_instruction(module, function, instruction, labels)
+        is_last = position == len(block.instructions) - 1
+        if not is_last and instruction.mnemonic in _TERMINATORS:
+            raise TypeCheckError(
+                f"terminator {instruction.mnemonic} mid-block in "
+                f"{function.name}:{block.label}",
+                instruction,
+            )
+    terminated = bool(block.instructions) and (
+        block.instructions[-1].mnemonic in _TERMINATORS
+    )
+    if last_block and not terminated:
+        # Implicit return at the end of the function is permitted only for
+        # void functions.
+        if function.result != ht.VOID:
+            raise TypeCheckError(
+                f"function {function.name} may fall off its end without "
+                "returning a result"
+            )
+
+
+def _check_instruction(
+    module: Module,
+    function: Function,
+    instruction: Instruction,
+    labels: set,
+) -> None:
+    definition = REGISTRY.get(instruction.mnemonic)
+    if definition is None:
+        raise TypeCheckError(
+            f"unknown instruction {instruction.mnemonic!r}", instruction
+        )
+    # Target discipline.
+    if definition.target is None and instruction.target is not None:
+        raise TypeCheckError(
+            f"{instruction.mnemonic} does not produce a result", instruction
+        )
+    if definition.target == "req" and instruction.target is None:
+        raise TypeCheckError(
+            f"{instruction.mnemonic} requires a target", instruction
+        )
+    if instruction.target is not None:
+        if _variable_type(module, function, instruction.target.name) is None:
+            raise TypeCheckError(
+                f"undefined target variable {instruction.target.name!r} in "
+                f"{function.name}",
+                instruction,
+            )
+    # Operand count.
+    count = len(instruction.operands)
+    minimum = definition.min_operands()
+    maximum = definition.max_operands()
+    if count < minimum or (maximum is not None and count > maximum):
+        expect = (
+            f"{minimum}" if maximum == minimum else f"{minimum}..{maximum or 'n'}"
+        )
+        raise TypeCheckError(
+            f"{instruction.mnemonic} expects {expect} operands, got {count}",
+            instruction,
+        )
+    # Operand kinds.
+    for position, operand in enumerate(instruction.operands):
+        spec = (
+            definition.operands[min(position, len(definition.operands) - 1)]
+            if definition.operands
+            else "val"
+        )
+        kind = spec.rstrip("?*")
+        _check_operand(module, function, instruction, operand, kind, labels)
+
+
+def _check_operand(
+    module: Module,
+    function: Function,
+    instruction: Instruction,
+    operand: Operand,
+    kind: str,
+    labels: set,
+) -> None:
+    if kind == "label":
+        if not isinstance(operand, LabelRef):
+            raise TypeCheckError(
+                f"{instruction.mnemonic} expects a label operand", instruction
+            )
+        if operand.label not in labels:
+            raise TypeCheckError(
+                f"branch to unknown block {operand.label!r} in {function.name}",
+                instruction,
+            )
+        return
+    if kind == "func":
+        if not isinstance(operand, FuncRef):
+            raise TypeCheckError(
+                f"{instruction.mnemonic} expects a function operand", instruction
+            )
+        return
+    if kind == "type":
+        if not isinstance(operand, TypeRef):
+            raise TypeCheckError(
+                f"{instruction.mnemonic} expects a type operand", instruction
+            )
+        return
+    if kind == "field":
+        if not isinstance(operand, (FieldRef, Const)):
+            raise TypeCheckError(
+                f"{instruction.mnemonic} expects a field/label operand",
+                instruction,
+            )
+        return
+    if isinstance(operand, LabelRef):
+        # A label where a value belongs (switch tuples hold labels and are
+        # checked by the lowering); only reject at top level.
+        if instruction.mnemonic != "switch":
+            raise TypeCheckError(
+                f"unexpected label operand for {instruction.mnemonic}",
+                instruction,
+            )
+        return
+    if isinstance(operand, Var):
+        var_type = _variable_type(module, function, operand.name)
+        if var_type is None:
+            raise TypeCheckError(
+                f"undefined variable {operand.name!r} in {function.name}",
+                instruction,
+            )
+        _check_value_kind(instruction, var_type, kind)
+        return
+    if isinstance(operand, Const):
+        _check_value_kind(instruction, operand.type, kind)
+        return
+    if isinstance(operand, TupleOp):
+        for element in operand.elements:
+            if isinstance(element, Var):
+                if _variable_type(module, function, element.name) is None:
+                    raise TypeCheckError(
+                        f"undefined variable {element.name!r} in tuple",
+                        instruction,
+                    )
+        return
+    if isinstance(operand, (FuncRef, TypeRef, FieldRef)):
+        # Permitted in generic positions (e.g. call through 'val').
+        return
+    raise TypeCheckError(
+        f"unsupported operand {operand!r} for {instruction.mnemonic}",
+        instruction,
+    )
+
+
+def _check_value_kind(instruction: Instruction, value_type: ht.Type, kind: str) -> None:
+    if isinstance(value_type, ht.Any) or value_type is None:
+        return
+    predicate = _KIND_CHECKS.get(kind)
+    if predicate is None:
+        return
+    checked_type = value_type
+    if kind not in ("ref", "bytes") and isinstance(checked_type, ht.RefT):
+        checked_type = checked_type.target
+    if kind == "bytes" and isinstance(checked_type, ht.RefT):
+        checked_type = checked_type.target
+        if not isinstance(checked_type, ht.BytesT):
+            raise TypeCheckError(
+                f"{instruction.mnemonic} expects bytes, got ref<{checked_type}>",
+                instruction,
+            )
+        return
+    if not predicate(checked_type):
+        raise TypeCheckError(
+            f"{instruction.mnemonic} expects operand kind {kind!r}, got "
+            f"{value_type}",
+            instruction,
+        )
+
+
+def _variable_type(module: Module, function: Function, name: str) -> Optional[ht.Type]:
+    var_type = function.variable_type(name)
+    if var_type is not None:
+        return var_type
+    if name in module.globals:
+        return module.globals[name].type
+    return None

@@ -1,0 +1,205 @@
+"""A reusable session table, written in HILTI.
+
+The canonical higher-level component of the paper's vision (§1, §7): a
+keyed table of per-session state with built-in inactivity expiration —
+the structure every stateful network application reinvents (the paper's
+§2 found iptables, Snort, and XORP each carrying their own).  Host
+applications link the module, create instances, and get:
+
+* access-refreshed inactivity timeouts driven by the context's global
+  timer manager (network time);
+* a ``lookup_or_create``-style API so per-session state appears on first
+  touch (the factory is a HILTI callable the application provides);
+* an optional eviction callback receiving the expired key, for
+  final-flush logic (Bro's connection_state_remove pattern).
+
+``SessionTable`` wraps the compiled module for Python hosts, but the
+component is equally usable from pure HILTI code — see
+``tests/apps/test_session_table.py`` for a cross-module HILTI consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+SESSION_TABLE = """module SessionTable
+
+import Hilti
+
+# Create a session table whose entries expire after `timeout` of
+# inactivity (every read refreshes the clock).
+ref<map<any, any>> create(interval timeout) {
+    local ref<map<any, any>> table
+    table = new map<any, any>
+    map.timeout table ExpireStrategy::Access timeout
+    return table
+}
+
+# Create a table whose entries expire `timeout` after insertion,
+# regardless of access (hard session caps).
+ref<map<any, any>> create_fixed_lifetime(interval timeout) {
+    local ref<map<any, any>> table
+    table = new map<any, any>
+    map.timeout table ExpireStrategy::Create timeout
+    return table
+}
+
+# Attach an eviction callback: on expiration, `on_evict` runs with the
+# evicted key appended to its bound arguments.
+void on_evict(ref<map<any, any>> table, ref<callable<any>> callback) {
+    map.on_expire table callback
+}
+
+bool contains(ref<map<any, any>> table, any key) {
+    local bool present
+    present = map.exists table key
+    return present
+}
+
+any lookup(ref<map<any, any>> table, any key) {
+    local any value
+    value = map.get table key
+    return value
+}
+
+# The workhorse: return the session state for `key`, creating it via the
+# `factory` callable on first touch.
+any lookup_or_create(ref<map<any, any>> table, any key,
+                     ref<callable<any>> factory) {
+    local bool present
+    present = map.exists table key
+    if.else present hit miss
+hit:
+    local any value
+    value = map.get table key
+    return value
+miss:
+    local any fresh
+    fresh = callable.call factory
+    map.insert table key fresh
+    return fresh
+}
+
+void insert(ref<map<any, any>> table, any key, any value) {
+    map.insert table key value
+}
+
+void remove(ref<map<any, any>> table, any key) {
+    map.remove table key
+}
+
+int<64> size(ref<map<any, any>> table) {
+    local int<64> n
+    n = map.size table
+    return n
+}
+
+# Advance the session clock (host applications call this per packet,
+# like the firewall's match_packet does).
+void advance(time now) {
+    timer_mgr.advance_global now
+}
+"""
+
+
+class SessionTable:
+    """Python-host convenience wrapper over the HILTI component.
+
+    One instance owns one table inside one execution context.  The
+    *factory* creating per-session state and the optional *on_evict*
+    callback are host Python functions, registered as natives — the same
+    integration path a C++ host application would use.
+    """
+
+    def __init__(self, timeout_seconds: float, factory=None, on_evict=None,
+                 access_refreshes: bool = True):
+        from ..core.toolchain import hiltic
+        from ..core.values import Interval
+
+        natives = {}
+        if factory is not None:
+            natives["Host::factory"] = lambda ctx: factory()
+        if on_evict is not None:
+            natives["Host::evicted"] = lambda ctx, key: on_evict(key)
+
+        driver = """module Driver
+
+import Hilti
+
+global ref<map<any, any>> table
+
+void init(interval timeout, bool access_refreshes) {
+    if.else access_refreshes by_access by_create
+by_access:
+    table = call SessionTable::create(timeout)
+    jump wire
+by_create:
+    table = call SessionTable::create_fixed_lifetime(timeout)
+wire:
+    local ref<callable<any>> cb
+    cb = callable.bind Host::evicted ()
+    call SessionTable::on_evict(table, cb)
+}
+
+any get_or_create(any key) {
+    local ref<callable<any>> factory
+    factory = callable.bind Host::factory ()
+    local any value
+    value = call SessionTable::lookup_or_create(table, key, factory)
+    return value
+}
+
+bool contains(any key) {
+    local bool b
+    b = call SessionTable::contains(table, key)
+    return b
+}
+
+void put(any key, any value) {
+    call SessionTable::insert(table, key, value)
+}
+
+void drop(any key) {
+    call SessionTable::remove(table, key)
+}
+
+int<64> size() {
+    local int<64> n
+    n = call SessionTable::size(table)
+    return n
+}
+
+void advance(time now) {
+    call SessionTable::advance(now)
+}
+"""
+        natives.setdefault("Host::factory", lambda ctx: None)
+        natives.setdefault("Host::evicted", lambda ctx, key: None)
+        self.program = hiltic([SESSION_TABLE, driver], natives=natives)
+        self.ctx = self.program.make_context()
+        self.program.call(
+            self.ctx, "Driver::init",
+            [Interval(timeout_seconds), access_refreshes],
+        )
+
+    def get_or_create(self, key):
+        return self.program.call(self.ctx, "Driver::get_or_create", [key])
+
+    def __contains__(self, key) -> bool:
+        return self.program.call(self.ctx, "Driver::contains", [key])
+
+    def put(self, key, value) -> None:
+        self.program.call(self.ctx, "Driver::put", [key, value])
+
+    def drop(self, key) -> None:
+        self.program.call(self.ctx, "Driver::drop", [key])
+
+    def __len__(self) -> int:
+        return self.program.call(self.ctx, "Driver::size")
+
+    def advance(self, now) -> None:
+        from ..core.values import Time
+
+        if not isinstance(now, Time):
+            now = Time(float(now))
+        self.program.call(self.ctx, "Driver::advance", [now])

@@ -1,0 +1,115 @@
+"""Flows: 5-tuples and hash-based load balancing.
+
+The ID-based virtual-thread model maps directly onto the hash-based
+load-balancing schemes deployed for parallel traffic analysis: hash the
+flow's 5-tuple into an integer and interpret it as the virtual thread to
+run that flow's analysis on (paper, section 3.2).  The hash is symmetric —
+both directions of a connection land on the same thread — matching the
+front-end balancers of NIDS clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.values import Addr, Port
+from .packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    IPv4Packet,
+    TCPSegment,
+    UDPDatagram,
+    parse_ethernet,
+)
+
+__all__ = ["FiveTuple", "flow_hash", "flow_of_frame"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a(data: bytes) -> int:
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class FiveTuple:
+    """A connection identifier: endpoints plus transport protocol."""
+
+    __slots__ = ("src", "dst", "src_port", "dst_port", "protocol")
+
+    def __init__(self, src: Addr, dst: Addr, src_port: int, dst_port: int,
+                 protocol: int):
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.protocol = protocol
+
+    def reversed(self) -> "FiveTuple":
+        return FiveTuple(
+            self.dst, self.src, self.dst_port, self.src_port, self.protocol
+        )
+
+    def canonical(self) -> "FiveTuple":
+        """Direction-independent form: smaller endpoint first."""
+        this_end = (self.src.value, self.src_port)
+        that_end = (self.dst.value, self.dst_port)
+        if this_end <= that_end:
+            return self
+        return self.reversed()
+
+    @property
+    def key(self) -> Tuple:
+        return (self.src, self.dst, self.src_port, self.dst_port,
+                self.protocol)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FiveTuple) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        proto = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}.get(
+            self.protocol, str(self.protocol)
+        )
+        return (
+            f"{self.src}:{self.src_port} -> {self.dst}:{self.dst_port}/{proto}"
+        )
+
+
+def flow_hash(flow: FiveTuple) -> int:
+    """A stable, symmetric 64-bit hash of the flow.
+
+    Both directions produce the same value, so scheduling by
+    ``flow_hash(ft) % n_threads`` serializes each connection's analysis on
+    a single virtual thread.
+    """
+    canonical = flow.canonical()
+    material = (
+        canonical.src.packed()
+        + canonical.dst.packed()
+        + canonical.src_port.to_bytes(2, "big")
+        + canonical.dst_port.to_bytes(2, "big")
+        + canonical.protocol.to_bytes(1, "big")
+    )
+    return _fnv1a(material)
+
+
+def flow_of_frame(frame: bytes) -> Optional[FiveTuple]:
+    """Extract the 5-tuple of an Ethernet frame, or None if not TCP/UDP."""
+    try:
+        ip, transport = parse_ethernet(frame)
+    except Exception:
+        return None
+    if isinstance(transport, TCPSegment):
+        return FiveTuple(ip.src, ip.dst, transport.src_port,
+                         transport.dst_port, PROTO_TCP)
+    if isinstance(transport, UDPDatagram):
+        return FiveTuple(ip.src, ip.dst, transport.src_port,
+                         transport.dst_port, PROTO_UDP)
+    return None

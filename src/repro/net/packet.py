@@ -1,0 +1,360 @@
+"""Wire-format packet construction and parsing.
+
+The substrate beneath every host application: Ethernet / IPv4 / IPv6 /
+TCP / UDP headers built and parsed directly in wire format, since HILTI's
+definition of a networking application is one that "processes network
+packets directly in wire format" (paper, section 2, footnote 1).
+
+Builders produce real byte strings (checksums included) that flow into
+pcap files; parsers perform the inverse, validating lengths as they go.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..core.values import Addr, Port
+
+__all__ = [
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_IPV6",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "EthernetFrame",
+    "IPv4Packet",
+    "IPv6Packet",
+    "TCPSegment",
+    "UDPDatagram",
+    "PacketError",
+    "build_tcp_packet",
+    "build_udp_packet",
+    "build_tcp6_packet",
+    "build_udp6_packet",
+    "parse_ethernet",
+    "checksum16",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# TCP flags.
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+
+class PacketError(ValueError):
+    """Malformed packet data."""
+
+
+def checksum16(data: bytes) -> int:
+    """The Internet checksum (RFC 1071)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack(">H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class EthernetFrame:
+    __slots__ = ("dst_mac", "src_mac", "ethertype", "payload")
+
+    def __init__(self, payload: bytes, ethertype: int = ETHERTYPE_IPV4,
+                 src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+                 dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02"):
+        self.dst_mac = dst_mac
+        self.src_mac = src_mac
+        self.ethertype = ethertype
+        self.payload = payload
+
+    def build(self) -> bytes:
+        return (
+            self.dst_mac + self.src_mac
+            + struct.pack(">H", self.ethertype)
+            + self.payload
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < 14:
+            raise PacketError("truncated Ethernet frame")
+        ethertype = struct.unpack(">H", data[12:14])[0]
+        return cls(data[14:], ethertype, data[6:12], data[0:6])
+
+
+class IPv4Packet:
+    __slots__ = ("src", "dst", "protocol", "payload", "ttl", "identification",
+                 "tos", "flags_fragment")
+
+    def __init__(self, src: Addr, dst: Addr, protocol: int, payload: bytes,
+                 ttl: int = 64, identification: int = 0, tos: int = 0,
+                 flags_fragment: int = 0x4000):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.payload = payload
+        self.ttl = ttl
+        self.identification = identification
+        self.tos = tos
+        self.flags_fragment = flags_fragment
+
+    def build(self) -> bytes:
+        total_length = 20 + len(self.payload)
+        header = struct.pack(
+            ">BBHHHBBH4s4s",
+            0x45,  # version 4, IHL 5
+            self.tos,
+            total_length,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.packed(),
+            self.dst.packed(),
+        )
+        check = checksum16(header)
+        header = header[:10] + struct.pack(">H", check) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv4Packet":
+        if len(data) < 20:
+            raise PacketError("truncated IPv4 header")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise PacketError(f"not an IPv4 packet (version {version_ihl >> 4})")
+        ihl = (version_ihl & 0x0F) * 4
+        if ihl < 20 or len(data) < ihl:
+            raise PacketError("bad IPv4 header length")
+        (tos, total_length, identification, flags_fragment, ttl, protocol,
+         __, src_raw, dst_raw) = struct.unpack(">BHHHBBH4s4s", data[1:20])
+        payload_end = min(total_length, len(data))
+        return cls(
+            Addr(src_raw), Addr(dst_raw), protocol,
+            data[ihl:payload_end], ttl, identification, tos, flags_fragment,
+        )
+
+
+class IPv6Packet:
+    """A fixed-header IPv6 packet (extension headers unsupported)."""
+
+    __slots__ = ("src", "dst", "protocol", "payload", "hop_limit",
+                 "traffic_class", "flow_label")
+
+    def __init__(self, src: Addr, dst: Addr, protocol: int, payload: bytes,
+                 hop_limit: int = 64, traffic_class: int = 0,
+                 flow_label: int = 0):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol  # the "next header" field
+        self.payload = payload
+        self.hop_limit = hop_limit
+        self.traffic_class = traffic_class
+        self.flow_label = flow_label
+
+    def build(self) -> bytes:
+        first_word = (
+            (6 << 28)
+            | (self.traffic_class << 20)
+            | (self.flow_label & 0xFFFFF)
+        )
+        header = struct.pack(
+            ">IHBB", first_word, len(self.payload), self.protocol,
+            self.hop_limit,
+        ) + self.src.packed() + self.dst.packed()
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv6Packet":
+        if len(data) < 40:
+            raise PacketError("truncated IPv6 header")
+        first_word, payload_length, next_header, hop_limit = \
+            struct.unpack(">IHBB", data[:8])
+        if first_word >> 28 != 6:
+            raise PacketError(
+                f"not an IPv6 packet (version {first_word >> 28})"
+            )
+        src = Addr(data[8:24])
+        dst = Addr(data[24:40])
+        end = min(40 + payload_length, len(data))
+        return cls(
+            src, dst, next_header, data[40:end], hop_limit,
+            (first_word >> 20) & 0xFF, first_word & 0xFFFFF,
+        )
+
+
+class TCPSegment:
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "window",
+                 "payload")
+
+    def __init__(self, src_port: int, dst_port: int, seq: int = 0,
+                 ack: int = 0, flags: int = ACK, window: int = 65535,
+                 payload: bytes = b""):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+
+    def build(self, src: Optional[Addr] = None,
+              dst: Optional[Addr] = None) -> bytes:
+        header = struct.pack(
+            ">HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            5 << 4,  # data offset, no options
+            self.flags,
+            self.window,
+            0,  # checksum placeholder
+            0,  # urgent pointer
+        )
+        segment = header + self.payload
+        if src is not None and dst is not None:
+            pseudo = (
+                src.packed() + dst.packed()
+                + struct.pack(">BBH", 0, PROTO_TCP, len(segment))
+            )
+            check = checksum16(pseudo + segment)
+            segment = segment[:16] + struct.pack(">H", check) + segment[18:]
+        return segment
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TCPSegment":
+        if len(data) < 20:
+            raise PacketError("truncated TCP header")
+        (src_port, dst_port, seq, ack, offset_flags_hi, flags, window, __,
+         __) = struct.unpack(">HHIIBBHHH", data[:20])
+        data_offset = (offset_flags_hi >> 4) * 4
+        if data_offset < 20 or len(data) < data_offset:
+            raise PacketError("bad TCP data offset")
+        return cls(src_port, dst_port, seq, ack, flags, window,
+                   data[data_offset:])
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & RST)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & ACK)
+
+
+class UDPDatagram:
+    __slots__ = ("src_port", "dst_port", "payload")
+
+    def __init__(self, src_port: int, dst_port: int, payload: bytes = b""):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+
+    def build(self, src: Optional[Addr] = None,
+              dst: Optional[Addr] = None) -> bytes:
+        length = 8 + len(self.payload)
+        header = struct.pack(">HHHH", self.src_port, self.dst_port, length, 0)
+        datagram = header + self.payload
+        if src is not None and dst is not None:
+            pseudo = (
+                src.packed() + dst.packed()
+                + struct.pack(">BBH", 0, PROTO_UDP, length)
+            )
+            check = checksum16(pseudo + datagram) or 0xFFFF
+            datagram = datagram[:6] + struct.pack(">H", check) + datagram[8:]
+        return datagram
+
+    @classmethod
+    def parse(cls, data: bytes) -> "UDPDatagram":
+        if len(data) < 8:
+            raise PacketError("truncated UDP header")
+        src_port, dst_port, length, __ = struct.unpack(">HHHH", data[:8])
+        if length < 8:
+            raise PacketError("bad UDP length")
+        return cls(src_port, dst_port, data[8:length])
+
+
+# --------------------------------------------------------------------------
+# Convenience builders / parsers for full frames
+# --------------------------------------------------------------------------
+
+
+def build_tcp_packet(src: Addr, dst: Addr, src_port: int, dst_port: int,
+                     seq: int = 0, ack: int = 0, flags: int = ACK,
+                     payload: bytes = b"",
+                     identification: int = 0) -> bytes:
+    """A complete Ethernet/IPv4/TCP frame in wire format."""
+    segment = TCPSegment(src_port, dst_port, seq, ack, flags,
+                         payload=payload).build(src, dst)
+    packet = IPv4Packet(src, dst, PROTO_TCP, segment,
+                        identification=identification).build()
+    return EthernetFrame(packet).build()
+
+
+def build_udp_packet(src: Addr, dst: Addr, src_port: int, dst_port: int,
+                     payload: bytes = b"",
+                     identification: int = 0) -> bytes:
+    """A complete Ethernet/IPv4/UDP frame in wire format."""
+    datagram = UDPDatagram(src_port, dst_port, payload).build(src, dst)
+    packet = IPv4Packet(src, dst, PROTO_UDP, datagram,
+                        identification=identification).build()
+    return EthernetFrame(packet).build()
+
+
+def build_udp6_packet(src: Addr, dst: Addr, src_port: int, dst_port: int,
+                      payload: bytes = b"") -> bytes:
+    """A complete Ethernet/IPv6/UDP frame in wire format."""
+    datagram = UDPDatagram(src_port, dst_port, payload).build(src, dst)
+    packet = IPv6Packet(src, dst, PROTO_UDP, datagram).build()
+    return EthernetFrame(packet, ethertype=ETHERTYPE_IPV6).build()
+
+
+def build_tcp6_packet(src: Addr, dst: Addr, src_port: int, dst_port: int,
+                      seq: int = 0, ack: int = 0, flags: int = ACK,
+                      payload: bytes = b"") -> bytes:
+    """A complete Ethernet/IPv6/TCP frame in wire format."""
+    segment = TCPSegment(src_port, dst_port, seq, ack, flags,
+                         payload=payload).build(src, dst)
+    packet = IPv6Packet(src, dst, PROTO_TCP, segment).build()
+    return EthernetFrame(packet, ethertype=ETHERTYPE_IPV6).build()
+
+
+def parse_ethernet(data: bytes):
+    """Parse a frame down to transport: (ip, segment_or_datagram).
+
+    Returns ``(IPv4Packet | IPv6Packet, TCPSegment | UDPDatagram |
+    None)``; other ethertypes raise PacketError.  Both IP classes expose
+    ``src``/``dst``/``protocol``/``payload``, so callers are
+    family-agnostic — HILTI's single ``addr`` type carries through.
+    """
+    frame = EthernetFrame.parse(data)
+    if frame.ethertype == ETHERTYPE_IPV4:
+        ip = IPv4Packet.parse(frame.payload)
+    elif frame.ethertype == ETHERTYPE_IPV6:
+        ip = IPv6Packet.parse(frame.payload)
+    else:
+        raise PacketError(f"unsupported ethertype {frame.ethertype:#06x}")
+    transport = None
+    if ip.protocol == PROTO_TCP:
+        transport = TCPSegment.parse(ip.payload)
+    elif ip.protocol == PROTO_UDP:
+        transport = UDPDatagram.parse(ip.payload)
+    return ip, transport

@@ -1,0 +1,134 @@
+"""Reading and writing libpcap trace files.
+
+The evaluation drives every application from trace files in libpcap
+format (paper, section 6.1).  The classic pcap container is a simple
+binary format: a 24-byte global header followed by per-packet records of
+a 16-byte header (seconds, microseconds — or nanoseconds for the
+nanosecond-magic variant — plus captured/original lengths) and the raw
+frame bytes.  We implement both endiannesses and both time resolutions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..core.values import Time
+
+__all__ = ["PcapReader", "PcapWriter", "PcapError", "LINKTYPE_ETHERNET"]
+
+MAGIC_MICROS = 0xA1B2C3D4
+MAGIC_NANOS = 0xA1B23C4D
+LINKTYPE_ETHERNET = 1
+
+
+class PcapError(ValueError):
+    """Malformed pcap data."""
+
+
+class PcapWriter:
+    """Writes packets into a pcap file (microsecond resolution)."""
+
+    def __init__(self, path: str, link_type: int = LINKTYPE_ETHERNET,
+                 snaplen: int = 262144, nanos: bool = False):
+        self._stream = open(path, "wb")
+        self._nanos = nanos
+        magic = MAGIC_NANOS if nanos else MAGIC_MICROS
+        self._stream.write(
+            struct.pack("<IHHiIII", magic, 2, 4, 0, 0, snaplen, link_type)
+        )
+        self.packets_written = 0
+
+    def write(self, timestamp: Time, data: bytes) -> None:
+        nanos = timestamp.nanos
+        seconds, remainder = divmod(nanos, 1_000_000_000)
+        fraction = remainder if self._nanos else remainder // 1000
+        self._stream.write(
+            struct.pack("<IIII", seconds, fraction, len(data), len(data))
+        )
+        self._stream.write(data)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterates ``(Time, bytes)`` records of a pcap file."""
+
+    def __init__(self, path: str):
+        self._stream = open(path, "rb")
+        header = self._stream.read(24)
+        if len(header) < 24:
+            raise PcapError(f"{path}: truncated pcap global header")
+        magic_le = struct.unpack("<I", header[:4])[0]
+        magic_be = struct.unpack(">I", header[:4])[0]
+        if magic_le in (MAGIC_MICROS, MAGIC_NANOS):
+            self._endian = "<"
+            magic = magic_le
+        elif magic_be in (MAGIC_MICROS, MAGIC_NANOS):
+            self._endian = ">"
+            magic = magic_be
+        else:
+            raise PcapError(f"{path}: bad pcap magic {header[:4]!r}")
+        self._nanos = magic == MAGIC_NANOS
+        fields = struct.unpack(self._endian + "HHiIII", header[4:])
+        self.version = (fields[0], fields[1])
+        self.snaplen = fields[4]
+        self.link_type = fields[5]
+        self.packets_read = 0
+
+    def read_packet(self) -> Optional[Tuple[Time, bytes]]:
+        record = self._stream.read(16)
+        if not record:
+            return None
+        if len(record) < 16:
+            raise PcapError("truncated pcap record header")
+        seconds, fraction, captured, __ = struct.unpack(
+            self._endian + "IIII", record
+        )
+        data = self._stream.read(captured)
+        if len(data) < captured:
+            raise PcapError("truncated pcap record body")
+        nanos = seconds * 1_000_000_000 + (
+            fraction if self._nanos else fraction * 1000
+        )
+        self.packets_read += 1
+        return Time.from_nanos(nanos), data
+
+    def __iter__(self) -> Iterator[Tuple[Time, bytes]]:
+        while True:
+            record = self.read_packet()
+            if record is None:
+                return
+            yield record
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_pcap(path: str, packets: Iterable[Tuple[Time, bytes]],
+               nanos: bool = False) -> int:
+    """Write all *packets* to *path*; returns the packet count."""
+    with PcapWriter(path, nanos=nanos) as writer:
+        for timestamp, data in packets:
+            writer.write(timestamp, data)
+        return writer.packets_written
+
+
+def read_pcap(path: str) -> List[Tuple[Time, bytes]]:
+    """All packets of the trace at *path*."""
+    with PcapReader(path) as reader:
+        return list(reader)

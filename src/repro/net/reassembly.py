@@ -1,0 +1,211 @@
+"""TCP stream reassembly.
+
+The paper envisions a robust TCP reassembler as exactly the kind of
+reusable component HILTI should provide as a library (sections 1 and 7).
+This implementation reorders out-of-sequence segments, resolves
+overlapping retransmissions (first-arrival wins, the common NIDS policy),
+tracks FIN/RST teardown, and hands contiguous payload to a consumer —
+which, in the Bro-style host application, is the incremental BinPAC++
+parser feeding a suspended fiber.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .packet import FIN, RST, SYN, TCPSegment
+
+__all__ = ["StreamReassembler", "ConnectionReassembler"]
+
+_SEQ_MOD = 1 << 32
+
+
+def _seq_lt(a: int, b: int) -> bool:
+    """Sequence-number comparison with 32-bit wraparound."""
+    return ((a - b) & 0xFFFFFFFF) > 0x7FFFFFFF
+
+
+class StreamReassembler:
+    """One direction of a TCP connection."""
+
+    __slots__ = ("_next_seq", "_pending", "_started", "_finished",
+                 "delivered_bytes", "gap_bytes", "out_of_order_segments")
+
+    def __init__(self):
+        self._next_seq: Optional[int] = None
+        # pending: seq -> payload, only out-of-order data waits here.
+        self._pending: Dict[int, bytes] = {}
+        self._started = False
+        self._finished = False
+        self.delivered_bytes = 0
+        self.gap_bytes = 0
+        self.out_of_order_segments = 0
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def on_syn(self, seq: int) -> None:
+        self._started = True
+        self._next_seq = (seq + 1) % _SEQ_MOD
+
+    def feed(self, seq: int, payload: bytes, fin: bool = False) -> bytes:
+        """Add a segment; returns newly contiguous payload (may be empty)."""
+        if self._finished:
+            return b""
+        if self._next_seq is None:
+            # Mid-stream pickup: accept the first segment as the origin.
+            self._next_seq = seq
+            self._started = True
+        output: List[bytes] = []
+        if payload:
+            self._insert(seq, payload)
+            output.append(self._drain())
+        if fin:
+            fin_seq = (seq + len(payload)) % _SEQ_MOD
+            if not _seq_lt(self._next_seq, fin_seq):
+                self._finished = True
+        result = b"".join(output)
+        self.delivered_bytes += len(result)
+        return result
+
+    def skip_gap(self) -> int:
+        """Skip over a sequence hole to the earliest pending segment.
+
+        Returns the number of bytes skipped (0 if nothing pending).  Host
+        applications call this to resume after loss — Bro's "content gap"
+        handling.
+        """
+        if not self._pending or self._next_seq is None:
+            return 0
+        nearest = min(
+            self._pending,
+            key=lambda s: (s - self._next_seq) & 0xFFFFFFFF,
+        )
+        skipped = (nearest - self._next_seq) & 0xFFFFFFFF
+        self.gap_bytes += skipped
+        self._next_seq = nearest
+        return skipped
+
+    def pending_bytes(self) -> int:
+        return sum(len(p) for p in self._pending.values())
+
+    # -- internals ------------------------------------------------------------
+
+    def _insert(self, seq: int, payload: bytes) -> None:
+        next_seq = self._next_seq
+        offset = (next_seq - seq) & 0xFFFFFFFF
+        if 0 < offset <= 0x7FFFFFFF:
+            # Segment starts before next_seq: trim the overlap
+            # (first-arrival wins — already delivered bytes stand).
+            if offset >= len(payload):
+                return  # Entirely old data (retransmission).
+            payload = payload[offset:]
+            seq = next_seq
+        if seq != next_seq:
+            self.out_of_order_segments += 1
+        existing = self._pending.get(seq)
+        if existing is None or len(payload) > len(existing):
+            self._pending[seq] = payload
+
+    def _drain(self) -> bytes:
+        chunks: List[bytes] = []
+        while self._next_seq in self._pending:
+            chunk = self._pending.pop(self._next_seq)
+            # Trim any overlap with later pending segments conservatively:
+            chunks.append(chunk)
+            self._next_seq = (self._next_seq + len(chunk)) % _SEQ_MOD
+            # A shorter duplicate that was subsumed may linger; drop any
+            # pending segment now entirely in the past.
+            stale = [
+                s for s in self._pending
+                if ((self._next_seq - s) & 0xFFFFFFFF) <= 0x7FFFFFFF
+                and ((self._next_seq - s) & 0xFFFFFFFF)
+                >= len(self._pending[s])
+            ]
+            for s in stale:
+                del self._pending[s]
+        return b"".join(chunks)
+
+
+class ConnectionReassembler:
+    """Both directions of a TCP connection with event callbacks.
+
+    ``on_data(is_originator, payload)`` fires for each contiguous chunk;
+    ``on_established()`` after the three-way handshake; ``on_close()`` when
+    both sides finished or a RST arrived.
+    """
+
+    def __init__(
+        self,
+        on_data: Optional[Callable[[bool, bytes], None]] = None,
+        on_established: Optional[Callable[[], None]] = None,
+        on_close: Optional[Callable[[], None]] = None,
+    ):
+        self.originator = StreamReassembler()
+        self.responder = StreamReassembler()
+        self._on_data = on_data
+        self._on_established = on_established
+        self._on_close = on_close
+        self._syn_seen = False
+        self._syn_ack_seen = False
+        self._established = False
+        self._closed = False
+
+    @property
+    def established(self) -> bool:
+        return self._established
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def feed_segment(self, is_originator: bool, segment: TCPSegment) -> bytes:
+        """Process one segment; returns contiguous new payload."""
+        if self._closed:
+            return b""
+        stream = self.originator if is_originator else self.responder
+        if segment.flags & RST:
+            self._close()
+            return b""
+        seq = segment.seq
+        if segment.flags & SYN:
+            if is_originator:
+                self._syn_seen = True
+            else:
+                self._syn_ack_seen = True
+            stream.on_syn(seq)
+            seq = (seq + 1) % _SEQ_MOD
+            if (
+                self._syn_seen
+                and self._syn_ack_seen
+                and not self._established
+                and (is_originator or segment.is_ack)
+            ):
+                pass  # Established on the final ACK below.
+        if (
+            not self._established
+            and self._syn_seen
+            and self._syn_ack_seen
+            and segment.is_ack
+            and not segment.syn
+        ):
+            self._established = True
+            if self._on_established is not None:
+                self._on_established()
+        data = stream.feed(seq, segment.payload, fin=segment.fin)
+        if data and self._on_data is not None:
+            self._on_data(is_originator, data)
+        if self.originator.finished and self.responder.finished:
+            self._close()
+        return data
+
+    def _close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._on_close is not None:
+                self._on_close()

@@ -1,0 +1,502 @@
+"""Synthetic full-payload HTTP and DNS traffic generation.
+
+The paper's evaluation runs on two full-payload traces captured at the UC
+Berkeley border: 52 minutes of TCP port-80 HTTP and 10 minutes of UDP
+port-53 DNS (section 6.1).  Those traces are private, so this module
+synthesizes traffic with the session structure that drives the measured
+quantities: request/reply counts and diversity, persistent connections,
+MIME-typed message bodies, "Partial Content" sessions, response-code and
+record-type mixes, and a controlled fraction of non-conforming "crud".
+Generation is fully deterministic given a seed.
+
+The output is a list of timestamped Ethernet frames (or a pcap file),
+byte-exact wire format — parsers see exactly what they would see on a
+capture port.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.values import Addr, Interval, Time
+from .packet import (
+    ACK,
+    FIN,
+    PSH,
+    SYN,
+    build_tcp_packet,
+    build_udp6_packet,
+    build_udp_packet,
+)
+from .pcap import write_pcap
+
+__all__ = [
+    "HttpTraceConfig",
+    "DnsTraceConfig",
+    "generate_http_trace",
+    "generate_dns_trace",
+    "write_http_trace",
+    "write_dns_trace",
+]
+
+_MSS = 1460
+
+
+def _body_bytes(rng: random.Random, size: int) -> bytes:
+    """Deterministic pseudo-random body content (compressible-ish)."""
+    seed = rng.getrandbits(64).to_bytes(8, "big")
+    out = bytearray()
+    counter = 0
+    while len(out) < size:
+        out.extend(hashlib.sha256(seed + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(out[:size])
+
+
+class _Timeline:
+    """Monotonic packet timestamps with exponential inter-arrivals."""
+
+    def __init__(self, rng: random.Random, start: float, rate: float):
+        self._rng = rng
+        self._now = start
+        self._rate = rate
+
+    def next(self, scale: float = 1.0) -> Time:
+        self._now += self._rng.expovariate(self._rate) * scale
+        return Time(self._now)
+
+
+# ==========================================================================
+# HTTP
+# ==========================================================================
+
+
+class HttpTraceConfig:
+    """Knobs for the synthetic HTTP workload."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        sessions: int = 200,
+        start_time: float = 1_400_000_000.0,
+        clients: int = 40,
+        servers: int = 15,
+        max_requests_per_session: int = 4,
+        mean_body_size: int = 2048,
+        partial_content_fraction: float = 0.02,
+        crud_fraction: float = 0.01,
+        reorder_fraction: float = 0.0,
+        packet_rate: float = 500.0,
+    ):
+        self.seed = seed
+        self.sessions = sessions
+        self.start_time = start_time
+        self.clients = clients
+        self.servers = servers
+        self.max_requests_per_session = max_requests_per_session
+        self.mean_body_size = mean_body_size
+        self.partial_content_fraction = partial_content_fraction
+        self.crud_fraction = crud_fraction
+        self.reorder_fraction = reorder_fraction
+        self.packet_rate = packet_rate
+
+
+_METHODS = [("GET", 0.82), ("POST", 0.12), ("HEAD", 0.05), ("PUT", 0.01)]
+_STATUS = [
+    (200, "OK", 0.82),
+    (404, "Not Found", 0.06),
+    (302, "Found", 0.05),
+    (304, "Not Modified", 0.04),
+    (500, "Internal Server Error", 0.02),
+    (403, "Forbidden", 0.01),
+]
+_CONTENT_TYPES = [
+    ("text/html", 0.45),
+    ("image/png", 0.15),
+    ("image/jpeg", 0.10),
+    ("application/json", 0.10),
+    ("text/plain", 0.08),
+    ("application/javascript", 0.07),
+    ("text/css", 0.05),
+]
+_USER_AGENTS = [
+    "Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/24.0",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_9) Safari/537.36",
+    "Wget/1.14 (linux-gnu)",
+    "curl/7.30.0",
+    "python-requests/2.2.1",
+]
+_PATH_WORDS = [
+    "index", "about", "news", "search", "static", "img", "api", "v1",
+    "users", "login", "data", "feed", "media", "doc", "download", "wiki",
+]
+_HOSTS = [
+    "www.example.edu", "mirror.example.edu", "cdn.example.net",
+    "api.example.org", "static.example.com", "news.example.com",
+]
+
+
+def _weighted(rng: random.Random, table):
+    roll = rng.random()
+    acc = 0.0
+    for entry in table:
+        acc += entry[-1]
+        if roll <= acc:
+            return entry
+    return table[0]
+
+
+def _http_uri(rng: random.Random) -> str:
+    depth = rng.randint(1, 3)
+    parts = [rng.choice(_PATH_WORDS) for _ in range(depth)]
+    path = "/" + "/".join(parts)
+    suffix = rng.choice(["", ".html", ".png", ".js", "?q=net&id=%d" % rng.randint(1, 999)])
+    return path + suffix
+
+
+class _SessionState:
+    """Byte-stream state of one synthetic TCP connection."""
+
+    def __init__(self, rng, client, server, sport):
+        self.client = client
+        self.server = server
+        self.sport = sport
+        self.client_seq = rng.randrange(1 << 31)
+        self.server_seq = rng.randrange(1 << 31)
+
+
+def generate_http_trace(config: Optional[HttpTraceConfig] = None
+                        ) -> List[Tuple[Time, bytes]]:
+    """Synthesize a full HTTP trace; returns timestamped frames."""
+    config = config or HttpTraceConfig()
+    rng = random.Random(config.seed)
+    clients = [Addr(f"10.10.{i // 250}.{i % 250 + 1}") for i in range(config.clients)]
+    servers = [Addr(f"172.16.{i // 250}.{i % 250 + 1}") for i in range(config.servers)]
+    timeline = _Timeline(rng, config.start_time, config.packet_rate)
+    frames: List[Tuple[Time, bytes]] = []
+    ident = [1]
+
+    def emit(src, dst, sport, dport, seq, ack, flags, payload=b""):
+        ident[0] += 1
+        frames.append((
+            timeline.next(),
+            build_tcp_packet(src, dst, sport, dport, seq, ack, flags,
+                             payload, identification=ident[0] & 0xFFFF),
+        ))
+
+    def emit_stream(state: _SessionState, from_client: bool, data: bytes):
+        """Segment *data* into MSS-sized TCP packets."""
+        src = state.client if from_client else state.server
+        dst = state.server if from_client else state.client
+        sport = state.sport if from_client else 80
+        dport = 80 if from_client else state.sport
+        offset = 0
+        pending = []
+        while offset < len(data):
+            chunk = data[offset:offset + _MSS]
+            if from_client:
+                seq, ack = state.client_seq, state.server_seq
+                state.client_seq = (state.client_seq + len(chunk)) % (1 << 32)
+            else:
+                seq, ack = state.server_seq, state.client_seq
+                state.server_seq = (state.server_seq + len(chunk)) % (1 << 32)
+            pending.append((src, dst, sport, dport, seq, ack,
+                            ACK | (PSH if offset + _MSS >= len(data) else 0),
+                            chunk))
+            offset += len(chunk)
+        if (
+            config.reorder_fraction > 0
+            and len(pending) > 1
+            and rng.random() < config.reorder_fraction
+        ):
+            swap = rng.randrange(len(pending) - 1)
+            pending[swap], pending[swap + 1] = pending[swap + 1], pending[swap]
+        for packet in pending:
+            emit(*packet[:7], payload=packet[7])
+
+    for session_index in range(config.sessions):
+        client = rng.choice(clients)
+        server = rng.choice(servers)
+        sport = rng.randrange(1024, 65000)
+        state = _SessionState(rng, client, server, sport)
+
+        # Three-way handshake.
+        emit(client, server, sport, 80, state.client_seq, 0, SYN)
+        state.client_seq = (state.client_seq + 1) % (1 << 32)
+        emit(server, client, 80, sport, state.server_seq,
+             state.client_seq, SYN | ACK)
+        state.server_seq = (state.server_seq + 1) % (1 << 32)
+        emit(client, server, sport, 80, state.client_seq,
+             state.server_seq, ACK)
+
+        crud_session = rng.random() < config.crud_fraction
+        n_requests = rng.randint(1, config.max_requests_per_session)
+        for request_index in range(n_requests):
+            method, __ = _weighted(rng, _METHODS)
+            uri = _http_uri(rng)
+            host = rng.choice(_HOSTS)
+            agent = rng.choice(_USER_AGENTS)
+            request_lines = [
+                f"{method} {uri} HTTP/1.1",
+                f"Host: {host}",
+                f"User-Agent: {agent}",
+                "Accept: */*",
+            ]
+            request_body = b""
+            if method in ("POST", "PUT"):
+                request_body = _body_bytes(
+                    rng, max(8, int(rng.expovariate(1 / 256.0)))
+                )
+                request_lines.append(f"Content-Length: {len(request_body)}")
+                request_lines.append(
+                    "Content-Type: application/x-www-form-urlencoded"
+                )
+            last = request_index == n_requests - 1
+            request_lines.append("Connection: " + ("close" if last else "keep-alive"))
+            if crud_session and request_index == 0:
+                # Non-conforming: stray header with odd whitespace/bytes.
+                request_lines.append("X-Broken\t: \x01crud")
+            request = ("\r\n".join(request_lines) + "\r\n\r\n").encode("latin-1")
+            emit_stream(state, True, request + request_body)
+
+            status, reason, __ = _weighted(rng, _STATUS)
+            partial = rng.random() < config.partial_content_fraction
+            if partial:
+                status, reason = 206, "Partial Content"
+            ctype, __ = _weighted(rng, _CONTENT_TYPES)
+            if method == "HEAD" or status == 304:
+                body = b""
+            else:
+                size = max(0, int(rng.expovariate(1.0 / config.mean_body_size)))
+                body = _body_bytes(rng, size)
+            response_lines = [
+                f"HTTP/1.1 {status} {reason}",
+                "Server: Apache/2.2.22 (Unix)",
+                f"Content-Type: {ctype}",
+                f"Content-Length: {len(body)}",
+            ]
+            if partial:
+                total = len(body) + rng.randint(100, 5000)
+                response_lines.append(
+                    f"Content-Range: bytes 0-{max(len(body) - 1, 0)}/{total}"
+                )
+            response_lines.append(
+                "Connection: " + ("close" if last else "keep-alive")
+            )
+            response = ("\r\n".join(response_lines) + "\r\n\r\n").encode(
+                "latin-1") + body
+            emit_stream(state, False, response)
+
+        # Teardown.
+        emit(client, server, sport, 80, state.client_seq,
+             state.server_seq, FIN | ACK)
+        state.client_seq = (state.client_seq + 1) % (1 << 32)
+        emit(server, client, 80, sport, state.server_seq,
+             state.client_seq, FIN | ACK)
+        state.server_seq = (state.server_seq + 1) % (1 << 32)
+        emit(client, server, sport, 80, state.client_seq,
+             state.server_seq, ACK)
+
+    return frames
+
+
+# ==========================================================================
+# DNS
+# ==========================================================================
+
+
+class DnsTraceConfig:
+    """Knobs for the synthetic DNS workload."""
+
+    def __init__(
+        self,
+        seed: int = 2,
+        queries: int = 2000,
+        start_time: float = 1_400_100_000.0,
+        clients: int = 120,
+        resolvers: int = 4,
+        nxdomain_fraction: float = 0.08,
+        crud_fraction: float = 0.005,
+        unanswered_fraction: float = 0.02,
+        packet_rate: float = 2000.0,
+        ipv6_fraction: float = 0.0,
+    ):
+        self.seed = seed
+        self.queries = queries
+        self.start_time = start_time
+        self.clients = clients
+        self.resolvers = resolvers
+        self.nxdomain_fraction = nxdomain_fraction
+        self.crud_fraction = crud_fraction
+        self.unanswered_fraction = unanswered_fraction
+        self.packet_rate = packet_rate
+        # Fraction of queries exchanged over IPv6 transport (HILTI's
+        # addr type covers both families transparently).
+        self.ipv6_fraction = ipv6_fraction
+
+
+# Query type -> (numeric code, weight)
+_QTYPES = [
+    ("A", 1, 0.55),
+    ("AAAA", 28, 0.2),
+    ("PTR", 12, 0.08),
+    ("MX", 15, 0.05),
+    ("TXT", 16, 0.05),
+    ("CNAME", 5, 0.04),
+    ("NS", 2, 0.03),
+]
+_DOMAIN_WORDS = [
+    "mail", "www", "ns1", "cdn", "app", "login", "static", "db", "edge",
+    "imgs", "auth", "api", "video", "pool", "mx",
+]
+_TLDS = ["com", "net", "org", "edu", "io"]
+
+
+def _encode_name(name: str) -> bytes:
+    out = bytearray()
+    for label in name.strip(".").split("."):
+        raw = label.encode("ascii")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def _dns_question(name: str, qtype: int) -> bytes:
+    return _encode_name(name) + struct.pack(">HH", qtype, 1)
+
+
+def _rr(name_ptr: bytes, rtype: int, ttl: int, rdata: bytes) -> bytes:
+    return name_ptr + struct.pack(">HHIH", rtype, 1, ttl, len(rdata)) + rdata
+
+
+def _random_domain(rng: random.Random) -> str:
+    labels = [rng.choice(_DOMAIN_WORDS)]
+    labels.append(rng.choice(_DOMAIN_WORDS) + str(rng.randint(1, 99)))
+    labels.append(rng.choice(_TLDS))
+    return ".".join(labels)
+
+
+def generate_dns_trace(config: Optional[DnsTraceConfig] = None
+                       ) -> List[Tuple[Time, bytes]]:
+    """Synthesize a DNS request/reply trace; returns timestamped frames."""
+    config = config or DnsTraceConfig()
+    rng = random.Random(config.seed)
+    clients = [Addr(f"10.20.{i // 250}.{i % 250 + 1}")
+               for i in range(config.clients)]
+    resolvers = [Addr(f"192.0.2.{i + 1}") for i in range(config.resolvers)]
+    clients6 = [Addr(f"2001:db8:1::{i + 1:x}") for i in range(config.clients)]
+    resolvers6 = [Addr(f"2001:db8:53::{i + 1:x}")
+                  for i in range(config.resolvers)]
+    timeline = _Timeline(rng, config.start_time, config.packet_rate)
+    frames: List[Tuple[Time, bytes]] = []
+    ident = [1]
+    txt_records_emitted = 0
+
+    def emit(src, dst, sport, dport, payload):
+        ident[0] += 1
+        if src.is_v6:
+            frame = build_udp6_packet(src, dst, sport, dport, payload)
+        else:
+            frame = build_udp_packet(src, dst, sport, dport, payload,
+                                     identification=ident[0] & 0xFFFF)
+        frames.append((timeline.next(), frame))
+
+    for __ in range(config.queries):
+        over_v6 = rng.random() < config.ipv6_fraction
+        if over_v6:
+            client = rng.choice(clients6)
+            resolver = rng.choice(resolvers6)
+        else:
+            client = rng.choice(clients)
+            resolver = rng.choice(resolvers)
+        sport = rng.randrange(1024, 65000)
+        txid = rng.randrange(1 << 16)
+        if rng.random() < config.crud_fraction:
+            # Crud: random bytes on port 53 that are not DNS at all.
+            emit(client, resolver, sport, 53,
+                 bytes(rng.getrandbits(8) for _ in range(rng.randint(4, 40))))
+            continue
+        qname = _random_domain(rng)
+        __, qtype, ___ = _weighted(rng, _QTYPES)
+        question = _dns_question(qname, qtype)
+        query = struct.pack(">HHHHHH", txid, 0x0100, 1, 0, 0, 0) + question
+        emit(client, resolver, sport, 53, query)
+
+        if rng.random() < config.unanswered_fraction:
+            continue
+        nxdomain = rng.random() < config.nxdomain_fraction
+        flags = 0x8183 if nxdomain else 0x8180
+        answers: List[bytes] = []
+        if not nxdomain:
+            # Compression pointer to the question name at offset 12.
+            name_ptr = b"\xc0\x0c"
+            count = rng.randint(1, 3)
+            ttl = rng.choice([30, 60, 300, 3600, 86400])
+            for answer_index in range(count):
+                if qtype == 1:  # A
+                    rdata = Addr(
+                        f"198.51.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+                    ).packed()
+                    answers.append(_rr(name_ptr, 1, ttl, rdata))
+                elif qtype == 28:  # AAAA
+                    rdata = bytes([0x20, 0x01, 0x0d, 0xb8]) + bytes(
+                        rng.getrandbits(8) for _ in range(12)
+                    )
+                    answers.append(_rr(name_ptr, 28, ttl, rdata))
+                elif qtype == 5:  # CNAME
+                    answers.append(
+                        _rr(name_ptr, 5, ttl, _encode_name(_random_domain(rng)))
+                    )
+                elif qtype == 15:  # MX
+                    rdata = struct.pack(">H", (answer_index + 1) * 10) + \
+                        _encode_name("mail." + _random_domain(rng))
+                    answers.append(_rr(name_ptr, 15, ttl, rdata))
+                elif qtype == 16:  # TXT
+                    texts = []
+                    # Multi-string TXT records are rare in the wild; they
+                    # are exactly where the standard and BinPAC++ parsers
+                    # disagree (§6.4).  Every 100th TXT record carries two
+                    # character-strings, so the mismatch is deterministic
+                    # and its rate tunes dns.log agreement.
+                    txt_records_emitted += 1
+                    n_strings = 2 if txt_records_emitted % 100 == 0 else 1
+                    for __txt in range(n_strings):
+                        text = f"v=spf{rng.randint(1, 3)} include:{qname}".encode()
+                        texts.append(bytes([len(text)]) + text)
+                    answers.append(_rr(name_ptr, 16, ttl, b"".join(texts)))
+                elif qtype == 12:  # PTR
+                    answers.append(
+                        _rr(name_ptr, 12, ttl, _encode_name(_random_domain(rng)))
+                    )
+                elif qtype == 2:  # NS
+                    answers.append(
+                        _rr(name_ptr, 2, ttl,
+                            _encode_name("ns1." + _random_domain(rng)))
+                    )
+        response = struct.pack(
+            ">HHHHHH", txid, flags, 1, len(answers), 0, 0
+        ) + question + b"".join(answers)
+        emit(resolver, client, 53, sport, response)
+
+    return frames
+
+
+# ==========================================================================
+# Persistence helpers
+# ==========================================================================
+
+
+def write_http_trace(path: str,
+                     config: Optional[HttpTraceConfig] = None) -> int:
+    """Generate and write an HTTP pcap; returns the packet count."""
+    return write_pcap(path, generate_http_trace(config))
+
+
+def write_dns_trace(path: str,
+                    config: Optional[DnsTraceConfig] = None) -> int:
+    """Generate and write a DNS pcap; returns the packet count."""
+    return write_pcap(path, generate_dns_trace(config))

@@ -1,0 +1,30 @@
+"""The HILTI runtime library: data types and execution services."""
+
+from .bytes_buffer import Bytes, BytesIter  # noqa: F401
+from .channels import Channel, deep_copy_value  # noqa: F401
+from .classifier import (  # noqa: F401
+    Classifier,
+    LinearClassifier,
+    TrieClassifier,
+    make_classifier,
+)
+from .containers import (  # noqa: F401
+    EXPIRE_ACCESS,
+    EXPIRE_CREATE,
+    HiltiList,
+    HiltiMap,
+    HiltiSet,
+    HiltiVector,
+)
+from .context import ExecutionContext  # noqa: F401
+from .exceptions import HiltiError, builtin_exception_types  # noqa: F401
+from .fibers import Fiber, FiberStats, YIELDED  # noqa: F401
+from .files import FileManager, HiltiFile  # noqa: F401
+from .iosrc import IOSource  # noqa: F401
+from .memory import AllocationStats  # noqa: F401
+from .overlay import OverlayInstance, unpack_value  # noqa: F401
+from .profiler import Profiler, ProfilerRegistry  # noqa: F401
+from .regexp import MATCH_FAIL, MATCH_NEED_MORE, MatchState, RegExp  # noqa: F401
+from .structs import Callable, StructInstance  # noqa: F401
+from .threads import Job, Scheduler  # noqa: F401
+from .timers import Timer, TimerMgr  # noqa: F401

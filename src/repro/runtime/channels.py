@@ -1,0 +1,113 @@
+"""Thread-safe channels for transferring objects between threads.
+
+Channels are HILTI's primary way of exchanging state across virtual
+threads.  The runtime deep-copies all mutable data on write so the sender
+never observes modifications the receiver makes (paper, section 3.2 — the
+strict data-isolation model that makes concurrent execution safe without
+locks at the program level).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import deque
+from typing import Optional
+
+from .exceptions import HiltiError, CHANNEL_EMPTY, CHANNEL_FULL
+from .memory import Managed
+
+__all__ = ["Channel", "deep_copy_value"]
+
+
+def deep_copy_value(value):
+    """Deep-copy a HILTI value for cross-thread transfer.
+
+    Immutable values (numbers, strings, addr/port/net/time/interval, enums)
+    are returned as-is; containers, bytes objects, and structs are copied
+    recursively.
+    """
+    if value is None or isinstance(value, (int, float, bool, str, bytes)):
+        return value
+    if isinstance(value, tuple):
+        # Copy composite values in ONE deepcopy so internal references
+        # stay consistent (an iterator next to its bytes object must
+        # point at the *copied* buffer, not the original).
+        return copy.deepcopy(value)
+    cls = type(value)
+    module = cls.__module__
+    if module.endswith("core.values"):
+        return value  # Addr / Network / Port / Time / Interval are immutable.
+    return copy.deepcopy(value)
+
+
+class Channel(Managed):
+    """A FIFO channel with optional capacity.
+
+    ``write``/``read`` raise ``Hilti::ChannelFull`` / ``Hilti::ChannelEmpty``
+    on non-blocking misses, mirroring ``channel.write_try`` semantics; the
+    scheduler-level blocking variants live in ``repro.runtime.threads``.
+    """
+
+    __slots__ = ("_queue", "_capacity", "_lock", "_not_empty", "_not_full")
+
+    def __init__(self, capacity: int = 0):
+        super().__init__()
+        self._queue = deque()
+        self._capacity = capacity  # 0 = unbounded
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def write(self, value, timeout: Optional[float] = None) -> None:
+        """Blocking write (deep-copies *value* first)."""
+        item = deep_copy_value(value)
+        with self._not_full:
+            while self._capacity and len(self._queue) >= self._capacity:
+                if not self._not_full.wait(timeout):
+                    raise HiltiError(CHANNEL_FULL, "channel write timed out")
+            self._queue.append(item)
+            self._not_empty.notify()
+
+    def write_try(self, value) -> None:
+        """Non-blocking write; raises ``Hilti::ChannelFull`` when full."""
+        item = deep_copy_value(value)
+        with self._lock:
+            if self._capacity and len(self._queue) >= self._capacity:
+                raise HiltiError(CHANNEL_FULL, "channel is full")
+            self._queue.append(item)
+            self._not_empty.notify()
+
+    def read(self, timeout: Optional[float] = None):
+        """Blocking read."""
+        with self._not_empty:
+            while not self._queue:
+                if not self._not_empty.wait(timeout):
+                    raise HiltiError(CHANNEL_EMPTY, "channel read timed out")
+            value = self._queue.popleft()
+            self._not_full.notify()
+            return value
+
+    def read_try(self):
+        """Non-blocking read; raises ``Hilti::ChannelEmpty`` when empty."""
+        with self._lock:
+            if not self._queue:
+                raise HiltiError(CHANNEL_EMPTY, "channel is empty")
+            value = self._queue.popleft()
+            self._not_full.notify()
+            return value
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __repr__(self) -> str:
+        cap = self._capacity or "unbounded"
+        return f"<Channel size={len(self)} capacity={cap}>"

@@ -1,0 +1,208 @@
+"""ACL-style packet classification (HILTI's ``classifier`` type).
+
+A classifier maps a tuple of fields (addresses, networks, ports, integers)
+to a value; rules are added, then ``compile`` freezes the rule set, and
+``get`` returns the value of the first rule (in insertion order) matching a
+lookup key — the semantics the stateful-firewall exemplar relies on
+(Figure 5).
+
+The paper notes the prototype implements the classifier "as a linked list
+internally, which does not scale with larger numbers of rules", and that a
+better structure could be swapped in transparently.  We provide both: the
+faithful linear matcher and a source/destination trie, selectable at
+construction — the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.values import Addr, Network, Port
+from .exceptions import HiltiError, INDEX_ERROR, VALUE_ERROR
+from .memory import Managed
+
+__all__ = ["Classifier", "LinearClassifier", "TrieClassifier", "make_classifier"]
+
+
+def _field_matches(rule_field, key_field) -> bool:
+    """Match one rule field against one key field.
+
+    ``None`` is the wildcard ``*``.  A ``Network`` rule field matches any
+    address inside the prefix; everything else matches by equality.
+    """
+    if rule_field is None:
+        return True
+    if isinstance(rule_field, Network):
+        if isinstance(key_field, Addr):
+            return rule_field.contains(key_field)
+        if isinstance(key_field, Network):
+            return rule_field == key_field
+        return False
+    return rule_field == key_field
+
+
+class Classifier(Managed):
+    """Common interface of the classifier implementations."""
+
+    __slots__ = ("_rules", "_compiled", "num_fields")
+
+    def __init__(self, num_fields: int):
+        super().__init__()
+        if num_fields < 1:
+            raise HiltiError(VALUE_ERROR, "classifier needs at least one field")
+        self.num_fields = num_fields
+        self._rules: List[Tuple[Tuple, object]] = []
+        self._compiled = False
+
+    def add(self, fields: Sequence, value) -> None:
+        """Add a rule; call before ``compile``."""
+        if self._compiled:
+            raise HiltiError(VALUE_ERROR, "classifier already compiled")
+        fields = tuple(fields)
+        if len(fields) != self.num_fields:
+            raise HiltiError(
+                VALUE_ERROR,
+                f"rule has {len(fields)} fields, classifier expects "
+                f"{self.num_fields}",
+            )
+        self._rules.append((fields, value))
+
+    def compile(self) -> None:
+        """Freeze the rule set and build lookup structures."""
+        self._compiled = True
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    def lookup(self, key: Sequence) -> Optional[Tuple[Tuple, object]]:
+        raise NotImplementedError
+
+    def get(self, key: Sequence):
+        """Value of the first matching rule; raises IndexError otherwise."""
+        if not self._compiled:
+            raise HiltiError(VALUE_ERROR, "classifier not compiled yet")
+        key = tuple(key)
+        if len(key) != self.num_fields:
+            raise HiltiError(
+                VALUE_ERROR,
+                f"key has {len(key)} fields, classifier expects {self.num_fields}",
+            )
+        hit = self.lookup(key)
+        if hit is None:
+            raise HiltiError(INDEX_ERROR, f"no classifier rule matches {key!r}")
+        return hit[1]
+
+    def matches(self, key: Sequence) -> bool:
+        if not self._compiled:
+            raise HiltiError(VALUE_ERROR, "classifier not compiled yet")
+        return self.lookup(tuple(key)) is not None
+
+
+class LinearClassifier(Classifier):
+    """The paper's linked-list classifier: scan rules in insertion order."""
+
+    __slots__ = ()
+
+    def lookup(self, key: Tuple) -> Optional[Tuple[Tuple, object]]:
+        for fields, value in self._rules:
+            hit = True
+            for rule_field, key_field in zip(fields, key):
+                if not _field_matches(rule_field, key_field):
+                    hit = False
+                    break
+            if hit:
+                return fields, value
+        return None
+
+
+class _TrieNode:
+    __slots__ = ("children", "rules")
+
+    def __init__(self):
+        self.children = [None, None]
+        self.rules: List[int] = []
+
+
+class TrieClassifier(Classifier):
+    """A binary trie on the first network/address field.
+
+    Rules whose first field is a ``Network`` (or exact ``Addr``) insert into
+    the trie under their prefix bits; wildcard/non-address rules live in a
+    catch-all list.  A lookup walks the key address's bits, gathering every
+    rule at matching prefixes, then resolves remaining fields linearly and
+    picks the rule with the lowest insertion index — identical first-match
+    semantics to :class:`LinearClassifier`, checked by a property test.
+    """
+
+    __slots__ = ("_root", "_catch_all")
+
+    def __init__(self, num_fields: int):
+        super().__init__(num_fields)
+        self._root = _TrieNode()
+        self._catch_all: List[int] = []
+
+    @staticmethod
+    def _prefix_bits(field) -> Optional[Tuple[int, int]]:
+        """(value, bit-length) of the field's prefix, or None if untriable."""
+        if isinstance(field, Network):
+            width = 32 if field.family == 4 else 128
+            base = field.prefix.v4_value if field.family == 4 else field.prefix.value
+            return base >> (width - field.length) if field.length else 0, field.length
+        if isinstance(field, Addr):
+            if field.is_v4:
+                return field.v4_value, 32
+            return field.value, 128
+        return None
+
+    def compile(self) -> None:
+        for index, (fields, __) in enumerate(self._rules):
+            prefix = self._prefix_bits(fields[0])
+            if prefix is None:
+                self._catch_all.append(index)
+                continue
+            value, length = prefix
+            node = self._root
+            for bit_pos in range(length - 1, -1, -1):
+                bit = (value >> bit_pos) & 1
+                if node.children[bit] is None:
+                    node.children[bit] = _TrieNode()
+                node = node.children[bit]
+            node.rules.append(index)
+        super().compile()
+
+    def lookup(self, key: Tuple) -> Optional[Tuple[Tuple, object]]:
+        candidates = list(self._catch_all)
+        first = key[0]
+        if isinstance(first, Addr):
+            bits = first.v4_value if first.is_v4 else first.value
+            width = 32 if first.is_v4 else 128
+            node = self._root
+            candidates.extend(node.rules)
+            for bit_pos in range(width - 1, -1, -1):
+                node = node.children[(bits >> bit_pos) & 1]
+                if node is None:
+                    break
+                candidates.extend(node.rules)
+        best: Optional[int] = None
+        for index in candidates:
+            fields, __ = self._rules[index]
+            hit = True
+            for rule_field, key_field in zip(fields, key):
+                if not _field_matches(rule_field, key_field):
+                    hit = False
+                    break
+            if hit and (best is None or index < best):
+                best = index
+        if best is None:
+            return None
+        return self._rules[best]
+
+
+def make_classifier(num_fields: int, implementation: str = "linear") -> Classifier:
+    """Factory mirroring HILTI's "transparently switch implementations"."""
+    if implementation == "linear":
+        return LinearClassifier(num_fields)
+    if implementation == "trie":
+        return TrieClassifier(num_fields)
+    raise HiltiError(VALUE_ERROR, f"unknown classifier implementation {implementation!r}")

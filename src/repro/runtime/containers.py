@@ -1,0 +1,417 @@
+"""State-managed container types: list, vector, set, map.
+
+HILTI's containers come with built-in state management: attach a timeout
+policy and a timer manager, and entries expire automatically as that
+manager's time advances (paper, sections 2 and 3.2).  Two strategies exist,
+matching ``ExpireStrategy`` in the firewall example (Figure 5):
+
+* ``Create`` — an entry lives for *timeout* after insertion.
+* ``Access`` — the clock restarts on every read of the entry.
+
+Expiration is O(expired) per advance: entries are kept in recency order, so
+a sweep pops from the stale end only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..core.values import Interval, Time
+from .exceptions import HiltiError, INDEX_ERROR, UNDEFINED_VALUE, VALUE_ERROR
+from .memory import Managed
+from .timers import TimerMgr
+
+__all__ = [
+    "EXPIRE_CREATE",
+    "EXPIRE_ACCESS",
+    "HiltiMap",
+    "HiltiSet",
+    "HiltiList",
+    "ListIter",
+    "HiltiVector",
+]
+
+EXPIRE_CREATE = "Create"
+EXPIRE_ACCESS = "Access"
+_STRATEGIES = (EXPIRE_CREATE, EXPIRE_ACCESS)
+
+
+class _Expiring(Managed):
+    """Shared expiration machinery for maps and sets."""
+
+    __slots__ = ("_entries", "_stamps", "_strategy", "_timeout", "_mgr",
+                 "_expire_hook")
+
+    def __init__(self):
+        super().__init__()
+        self._entries = OrderedDict()
+        self._stamps = {}
+        self._strategy: Optional[str] = None
+        self._timeout: Optional[Interval] = None
+        self._mgr: Optional[TimerMgr] = None
+        self._expire_hook = None
+
+    def set_timeout(self, strategy: str, timeout: Interval, mgr: TimerMgr) -> None:
+        """Attach an expiration policy driven by timer manager *mgr*."""
+        # Accept both bare names and qualified enum labels, e.g. the
+        # paper's "ExpireStrategy::Access".
+        strategy = strategy.split("::")[-1]
+        if strategy not in _STRATEGIES:
+            raise HiltiError(VALUE_ERROR, f"unknown expire strategy {strategy!r}")
+        if timeout.nanos <= 0:
+            raise HiltiError(VALUE_ERROR, "expiration timeout must be positive")
+        if self._mgr is not None:
+            self._mgr.unregister_participant(self)
+        self._strategy = strategy
+        self._timeout = timeout
+        self._mgr = mgr
+        mgr.register_participant(self)
+
+    def on_expire(self, hook) -> None:
+        """Call *hook(key)* whenever an entry expires."""
+        self._expire_hook = hook
+
+    def _now_nanos(self) -> int:
+        return self._mgr.current.nanos if self._mgr is not None else 0
+
+    def _stamp_insert(self, key) -> None:
+        if self._mgr is not None:
+            self._stamps[key] = self._now_nanos()
+            self._entries.move_to_end(key)
+
+    def _stamp_access(self, key) -> None:
+        if self._mgr is not None and self._strategy == EXPIRE_ACCESS:
+            self._stamps[key] = self._now_nanos()
+            self._entries.move_to_end(key)
+
+    def expire_until(self, now: Time) -> int:
+        """Drop entries stale at *now*; called by the timer manager."""
+        if self._timeout is None:
+            return 0
+        deadline = now.nanos - self._timeout.nanos
+        expired = 0
+        while self._entries:
+            key = next(iter(self._entries))
+            if self._stamps.get(key, 0) > deadline:
+                break
+            del self._entries[key]
+            self._stamps.pop(key, None)
+            expired += 1
+            if self._expire_hook is not None:
+                self._expire_hook(key)
+        return expired
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._stamps.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _hashable(key):
+    """Map unhashable composite keys (lists/Bytes) onto hashable stand-ins."""
+    if isinstance(key, tuple):
+        return tuple(_hashable(k) for k in key)
+    if isinstance(key, list):
+        return tuple(_hashable(k) for k in key)
+    return key
+
+
+class HiltiMap(_Expiring):
+    """``map<K, V>`` with optional default value and expiration."""
+
+    __slots__ = ("_default", "_has_default")
+
+    def __init__(self):
+        super().__init__()
+        self._default = None
+        self._has_default = False
+
+    # OrderedDict entries map hashable(key) -> (key, value) so that we can
+    # return the original key objects during iteration.
+
+    def set_default(self, value) -> None:
+        self._default = value
+        self._has_default = True
+
+    def insert(self, key, value) -> None:
+        h = _hashable(key)
+        self._entries[h] = (key, value)
+        self._stamp_insert(h)
+
+    def get(self, key):
+        h = _hashable(key)
+        try:
+            __, value = self._entries[h]
+        except KeyError:
+            if self._has_default:
+                return self._default
+            raise HiltiError(INDEX_ERROR, f"map has no entry for {key!r}") from None
+        self._stamp_access(h)
+        return value
+
+    def get_default(self, key, default):
+        h = _hashable(key)
+        entry = self._entries.get(h)
+        if entry is None:
+            return default
+        self._stamp_access(h)
+        return entry[1]
+
+    def exists(self, key) -> bool:
+        return _hashable(key) in self._entries
+
+    def remove(self, key) -> None:
+        h = _hashable(key)
+        self._entries.pop(h, None)
+        self._stamps.pop(h, None)
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        return iter(list(self._entries.values()))
+
+    def keys(self) -> Iterator[object]:
+        return iter([k for k, __ in list(self._entries.values())])
+
+    def __iter__(self):
+        return self.keys()
+
+    def __repr__(self) -> str:
+        return f"<HiltiMap len={len(self)}>"
+
+
+class HiltiSet(_Expiring):
+    """``set<T>`` with optional expiration."""
+
+    __slots__ = ()
+
+    def insert(self, element) -> None:
+        h = _hashable(element)
+        self._entries[h] = element
+        self._stamp_insert(h)
+
+    def exists(self, element) -> bool:
+        h = _hashable(element)
+        if h in self._entries:
+            self._stamp_access(h)
+            return True
+        return False
+
+    def remove(self, element) -> None:
+        h = _hashable(element)
+        self._entries.pop(h, None)
+        self._stamps.pop(h, None)
+
+    def __iter__(self):
+        return iter(list(self._entries.values()))
+
+    def __contains__(self, element) -> bool:
+        return _hashable(element) in self._entries
+
+    def __repr__(self) -> str:
+        return f"<HiltiSet len={len(self)}>"
+
+
+class _ListNode:
+    __slots__ = ("value", "prev", "next", "alive")
+
+    def __init__(self, value):
+        self.value = value
+        self.prev: Optional["_ListNode"] = None
+        self.next: Optional["_ListNode"] = None
+        self.alive = True
+
+
+class HiltiList(Managed):
+    """``list<T>`` — a doubly-linked list with stable iterators.
+
+    Iterators survive insertion and deletion of *other* elements, the
+    type-safe generic access the paper ascribes to container iterators.
+    """
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(self, items: Iterable = ()):
+        super().__init__()
+        self._head: Optional[_ListNode] = None
+        self._tail: Optional[_ListNode] = None
+        self._size = 0
+        for item in items:
+            self.push_back(item)
+
+    def push_back(self, value) -> None:
+        node = _ListNode(value)
+        node.prev = self._tail
+        if self._tail is not None:
+            self._tail.next = node
+        else:
+            self._head = node
+        self._tail = node
+        self._size += 1
+
+    append = push_back
+
+    def push_front(self, value) -> None:
+        node = _ListNode(value)
+        node.next = self._head
+        if self._head is not None:
+            self._head.prev = node
+        else:
+            self._tail = node
+        self._head = node
+        self._size += 1
+
+    def pop_front(self):
+        if self._head is None:
+            raise HiltiError(UNDEFINED_VALUE, "pop_front on empty list")
+        node = self._head
+        self._unlink(node)
+        return node.value
+
+    def pop_back(self):
+        if self._tail is None:
+            raise HiltiError(UNDEFINED_VALUE, "pop_back on empty list")
+        node = self._tail
+        self._unlink(node)
+        return node.value
+
+    def _unlink(self, node: _ListNode) -> None:
+        if not node.alive:
+            raise HiltiError(UNDEFINED_VALUE, "element already erased")
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.alive = False
+        self._size -= 1
+
+    def erase(self, it: "ListIter") -> None:
+        if it.node is None:
+            raise HiltiError(INDEX_ERROR, "erase at end of list")
+        self._unlink(it.node)
+
+    def insert_before(self, it: "ListIter", value) -> None:
+        if it.node is None:
+            self.push_back(value)
+            return
+        node = _ListNode(value)
+        node.prev = it.node.prev
+        node.next = it.node
+        if it.node.prev is not None:
+            it.node.prev.next = node
+        else:
+            self._head = node
+        it.node.prev = node
+        self._size += 1
+
+    def begin(self) -> "ListIter":
+        return ListIter(self, self._head)
+
+    def end(self) -> "ListIter":
+        return ListIter(self, None)
+
+    def front(self):
+        if self._head is None:
+            raise HiltiError(UNDEFINED_VALUE, "front of empty list")
+        return self._head.value
+
+    def back(self):
+        if self._tail is None:
+            raise HiltiError(UNDEFINED_VALUE, "back of empty list")
+        return self._tail.value
+
+    def clear(self) -> None:
+        node = self._head
+        while node is not None:
+            node.alive = False
+            node = node.next
+        self._head = self._tail = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        node = self._head
+        while node is not None:
+            following = node.next
+            yield node.value
+            node = following
+
+    def __repr__(self) -> str:
+        return f"<HiltiList len={self._size}>"
+
+
+class ListIter:
+    """An iterator into a HiltiList; ``node is None`` means end()."""
+
+    __slots__ = ("owner", "node")
+
+    def __init__(self, owner: HiltiList, node: Optional[_ListNode]):
+        self.owner = owner
+        self.node = node
+
+    def deref(self):
+        if self.node is None or not self.node.alive:
+            raise HiltiError(INDEX_ERROR, "dereferencing invalid list iterator")
+        return self.node.value
+
+    def incr(self) -> "ListIter":
+        if self.node is None:
+            raise HiltiError(INDEX_ERROR, "incrementing end iterator")
+        return ListIter(self.owner, self.node.next)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ListIter)
+            and self.owner is other.owner
+            and self.node is other.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.owner), id(self.node)))
+
+
+class HiltiVector(Managed):
+    """``vector<T>`` — index-addressed, growing on demand with a default."""
+
+    __slots__ = ("_items", "_default")
+
+    def __init__(self, default=None, items: Iterable = ()):
+        super().__init__()
+        self._items = list(items)
+        self._default = default
+
+    def get(self, index: int):
+        if not 0 <= index < len(self._items):
+            raise HiltiError(INDEX_ERROR, f"vector index {index} out of range")
+        return self._items[index]
+
+    def set(self, index: int, value) -> None:
+        if index < 0:
+            raise HiltiError(INDEX_ERROR, f"vector index {index} out of range")
+        if index >= len(self._items):
+            self._items.extend([self._default] * (index + 1 - len(self._items)))
+        self._items[index] = value
+
+    def push_back(self, value) -> None:
+        self._items.append(value)
+
+    append = push_back
+
+    def reserve(self, size: int) -> None:
+        """Size hint; kept for API fidelity (Python lists grow on demand)."""
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(list(self._items))
+
+    def __repr__(self) -> str:
+        return f"<HiltiVector len={len(self._items)}>"

@@ -1,0 +1,105 @@
+"""HILTI exception model.
+
+HILTI programs raise typed exceptions for robust error handling; the
+machine model guarantees that instructions validate their operands and turn
+undefined behaviour into catchable exceptions (paper, section 7 "Safe
+Execution Environment").  ``HiltiError`` is the runtime carrier that
+propagates through both execution tiers; ``except_type`` identifies the
+HILTI-level exception type so ``try``/``catch`` clauses can match it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import types as ht
+
+__all__ = [
+    "HiltiError",
+    "EXCEPTION_BASE",
+    "INDEX_ERROR",
+    "UNDEFINED_VALUE",
+    "OVERLAY_NOT_ATTACHED",
+    "VALUE_ERROR",
+    "DIVISION_BY_ZERO",
+    "WOULD_BLOCK",
+    "TYPE_ERROR",
+    "PATTERN_ERROR",
+    "IO_ERROR",
+    "CHANNEL_FULL",
+    "CHANNEL_EMPTY",
+    "TIMER_ALREADY_SCHEDULED",
+    "NOT_IMPLEMENTED",
+    "ASSERTION_ERROR",
+    "INTERNAL_ERROR",
+    "STACK_LIMIT_EXCEEDED",
+    "builtin_exception_types",
+]
+
+# The built-in exception hierarchy of the Hilti standard module.
+EXCEPTION_BASE = ht.ExceptionT("Hilti::Exception")
+INDEX_ERROR = ht.ExceptionT("Hilti::IndexError", EXCEPTION_BASE)
+UNDEFINED_VALUE = ht.ExceptionT("Hilti::UndefinedValue", EXCEPTION_BASE)
+OVERLAY_NOT_ATTACHED = ht.ExceptionT("Hilti::OverlayNotAttached", EXCEPTION_BASE)
+VALUE_ERROR = ht.ExceptionT("Hilti::ValueError", EXCEPTION_BASE)
+DIVISION_BY_ZERO = ht.ExceptionT("Hilti::DivisionByZero", EXCEPTION_BASE)
+WOULD_BLOCK = ht.ExceptionT("Hilti::WouldBlock", EXCEPTION_BASE)
+TYPE_ERROR = ht.ExceptionT("Hilti::TypeError", EXCEPTION_BASE)
+PATTERN_ERROR = ht.ExceptionT("Hilti::PatternError", EXCEPTION_BASE)
+IO_ERROR = ht.ExceptionT("Hilti::IOError", EXCEPTION_BASE)
+CHANNEL_FULL = ht.ExceptionT("Hilti::ChannelFull", EXCEPTION_BASE)
+CHANNEL_EMPTY = ht.ExceptionT("Hilti::ChannelEmpty", EXCEPTION_BASE)
+TIMER_ALREADY_SCHEDULED = ht.ExceptionT("Hilti::TimerAlreadyScheduled", EXCEPTION_BASE)
+NOT_IMPLEMENTED = ht.ExceptionT("Hilti::NotImplemented", EXCEPTION_BASE)
+ASSERTION_ERROR = ht.ExceptionT("Hilti::AssertionError", EXCEPTION_BASE)
+INTERNAL_ERROR = ht.ExceptionT("Hilti::InternalError", EXCEPTION_BASE)
+STACK_LIMIT_EXCEEDED = ht.ExceptionT("Hilti::StackLimitExceeded", EXCEPTION_BASE)
+
+_BUILTINS = {
+    t.type_name: t
+    for t in (
+        EXCEPTION_BASE,
+        INDEX_ERROR,
+        UNDEFINED_VALUE,
+        OVERLAY_NOT_ATTACHED,
+        VALUE_ERROR,
+        DIVISION_BY_ZERO,
+        WOULD_BLOCK,
+        TYPE_ERROR,
+        PATTERN_ERROR,
+        IO_ERROR,
+        CHANNEL_FULL,
+        CHANNEL_EMPTY,
+        TIMER_ALREADY_SCHEDULED,
+        NOT_IMPLEMENTED,
+        ASSERTION_ERROR,
+        INTERNAL_ERROR,
+        STACK_LIMIT_EXCEEDED,
+    )
+}
+
+
+def builtin_exception_types() -> dict:
+    """Name → type mapping of the built-in ``Hilti::*`` exceptions."""
+    return dict(_BUILTINS)
+
+
+class HiltiError(Exception):
+    """A HILTI-level exception travelling through the execution engine.
+
+    Uncaught, it surfaces to the host application through the generated
+    stubs, mirroring the paper's C-stub ``hlt_exception **`` out-parameter.
+    """
+
+    def __init__(self, except_type: ht.ExceptionT, message: str = "", arg=None):
+        super().__init__(message or except_type.type_name)
+        self.except_type = except_type
+        self.message = message
+        self.arg = arg
+
+    def matches(self, catch_type: ht.ExceptionT) -> bool:
+        """True if a ``catch`` clause for *catch_type* handles this."""
+        return self.except_type.is_a(catch_type)
+
+    def __repr__(self) -> str:
+        return f"HiltiError({self.except_type.type_name}, {self.message!r})"

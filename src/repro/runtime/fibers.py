@@ -1,0 +1,97 @@
+"""Fibers: suspendable execution for incremental processing.
+
+HILTI multiplexes analyses within a single hardware thread by switching
+between stacks: when a parsing function runs out of input it freezes its
+state into a fiber; when new payload arrives the application resumes the
+fiber and parsing continues where it left off (paper, section 3.2).
+
+The C implementation freezes machine stacks with ``setcontext``.  Our
+execution engine owns its call state inside Python generators, so a fiber
+is a handle on the engine's generator: suspension is the generator yielding
+and resumption is ``send`` — O(1) state capture with memory proportional to
+the frames actually in use, the property the paper verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .exceptions import HiltiError, VALUE_ERROR
+from .memory import Managed
+
+__all__ = ["Fiber", "FiberStats", "YIELDED"]
+
+# Sentinel distinguishing "the fiber yielded" from any return value.
+YIELDED = object()
+
+
+class FiberStats:
+    """Counters for the fiber micro-benchmark (paper, section 5)."""
+
+    __slots__ = ("switches", "created", "completed")
+
+    def __init__(self):
+        self.switches = 0
+        self.created = 0
+        self.completed = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FiberStats(switches={self.switches}, created={self.created}, "
+            f"completed={self.completed})"
+        )
+
+
+class Fiber(Managed):
+    """A suspended-or-running computation with resume semantics."""
+
+    __slots__ = ("_generator", "_done", "_result", "stats")
+
+    def __init__(self, generator, stats: Optional[FiberStats] = None):
+        super().__init__()
+        self._generator = generator
+        self._done = False
+        self._result = None
+        self.stats = stats
+        if stats is not None:
+            stats.created += 1
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self):
+        if not self._done:
+            raise HiltiError(VALUE_ERROR, "fiber has not completed yet")
+        return self._result
+
+    def resume(self):
+        """Run until the next suspension point or completion.
+
+        Returns the fiber's result once it completes, or the module-level
+        ``YIELDED`` sentinel if it suspended again.
+        """
+        if self._done:
+            raise HiltiError(VALUE_ERROR, "resuming a completed fiber")
+        if self.stats is not None:
+            self.stats.switches += 1
+        try:
+            next(self._generator)
+        except StopIteration as stop:
+            self._done = True
+            self._result = stop.value
+            if self.stats is not None:
+                self.stats.completed += 1
+            return self._result
+        return YIELDED
+
+    def abort(self) -> None:
+        """Discard the suspended computation."""
+        if not self._done:
+            self._generator.close()
+            self._done = True
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "suspended"
+        return f"<Fiber {state}>"

@@ -1,0 +1,150 @@
+"""File output with serialized multi-thread access.
+
+HILTI's runtime routes operations that require serial execution — file
+output from multiple concurrent threads being the canonical case — through
+a command queue to a single dedicated manager (paper, section 5 "Runtime
+Library").  ``FileManager`` implements that queue; ``HiltiFile`` is the
+``file`` data type the instruction set exposes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+from .bytes_buffer import Bytes
+from .exceptions import HiltiError, IO_ERROR
+from .memory import Managed
+
+__all__ = ["HiltiFile", "FileManager"]
+
+
+class FileManager:
+    """Serializes writes from many threads into per-path streams.
+
+    Commands enter a queue; ``flush`` drains it on the caller's thread (the
+    deterministic single-process mode), while ``start``/``stop`` run a real
+    dedicated manager thread for the threaded configuration.
+    """
+
+    def __init__(self):
+        self._queue = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._streams: Dict[str, object] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = False
+
+    def submit(self, path: str, data: bytes) -> None:
+        with self._wakeup:
+            self._queue.append((path, data))
+            self._wakeup.notify()
+
+    def _write(self, path: str, data: bytes) -> None:
+        stream = self._streams.get(path)
+        if stream is None:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            try:
+                stream = open(path, "ab")
+            except OSError as exc:
+                raise HiltiError(IO_ERROR, f"cannot open {path}: {exc}") from exc
+            self._streams[path] = stream
+        stream.write(data)
+
+    def flush(self) -> int:
+        """Drain the queue synchronously; returns commands processed."""
+        processed = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    break
+                path, data = self._queue.popleft()
+            self._write(path, data)
+            processed += 1
+        for stream in self._streams.values():
+            stream.flush()
+        return processed
+
+    def start(self) -> None:
+        """Run a dedicated manager thread draining the queue."""
+        if self._thread is not None:
+            return
+        self._stop = False
+
+        def run():
+            while True:
+                with self._wakeup:
+                    while not self._queue and not self._stop:
+                        self._wakeup.wait(0.05)
+                    if self._stop and not self._queue:
+                        return
+                    path, data = self._queue.popleft()
+                self._write(path, data)
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        with self._wakeup:
+            self._stop = True
+            self._wakeup.notify_all()
+        self._thread.join()
+        self._thread = None
+        self.flush()
+
+    def close_all(self) -> None:
+        self.flush()
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()
+
+
+class HiltiFile(Managed):
+    """The ``file`` data type: open/write/close through the manager."""
+
+    __slots__ = ("_manager", "_path", "_open")
+
+    def __init__(self, manager: FileManager):
+        super().__init__()
+        self._manager = manager
+        self._path: Optional[str] = None
+        self._open = False
+
+    def open(self, path: str, append: bool = True) -> None:
+        if not append and os.path.exists(path):
+            os.remove(path)
+        self._path = path
+        self._open = True
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    def write(self, data) -> None:
+        if not self._open or self._path is None:
+            raise HiltiError(IO_ERROR, "write to closed file")
+        if isinstance(data, Bytes):
+            data = data.to_bytes()
+        elif isinstance(data, str):
+            data = data.encode("utf-8")
+        self._manager.submit(self._path, data)
+
+    def write_line(self, text: str) -> None:
+        self.write(text + "\n")
+
+    def close(self) -> None:
+        self._open = False
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "closed"
+        return f"<HiltiFile {self._path!r} {state}>"

@@ -1,0 +1,81 @@
+"""Input sources for packet I/O (HILTI's ``iosrc`` type).
+
+An ``iosrc`` hands the program timestamped raw packets from an external
+source — a live interface or a trace file (paper, section 3.2).  Offline
+we support libpcap trace files through ``repro.net.pcap`` and any iterable
+of ``(Time, bytes)`` pairs for synthetic feeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..core.values import Time
+from .bytes_buffer import Bytes
+from .exceptions import HiltiError, IO_ERROR
+from .memory import Managed
+
+__all__ = ["IOSource"]
+
+
+class IOSource(Managed):
+    """A pull-based source of timestamped packets."""
+
+    __slots__ = ("_iterator", "_exhausted", "_link_type", "name")
+
+    def __init__(self, packets: Iterable[Tuple[Time, bytes]],
+                 link_type: int = 1, name: str = "<iterable>"):
+        super().__init__()
+        self._iterator: Iterator = iter(packets)
+        self._exhausted = False
+        self._link_type = link_type
+        self.name = name
+
+    @classmethod
+    def from_pcap(cls, path: str) -> "IOSource":
+        """Open a libpcap trace file."""
+        from ..net.pcap import PcapReader
+
+        reader = PcapReader(path)
+
+        def generate():
+            with reader:
+                for timestamp, payload in reader:
+                    yield timestamp, payload
+
+        return cls(generate(), link_type=reader.link_type, name=path)
+
+    @property
+    def link_type(self) -> int:
+        return self._link_type
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def read(self) -> Optional[Tuple[Time, Bytes]]:
+        """Next packet as ``(timestamp, payload)``, or None at end."""
+        if self._exhausted:
+            return None
+        try:
+            timestamp, payload = next(self._iterator)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        except OSError as exc:
+            raise HiltiError(IO_ERROR, f"packet source failed: {exc}") from exc
+        if not isinstance(timestamp, Time):
+            timestamp = Time(timestamp)
+        buf = Bytes(payload)
+        buf.freeze()
+        return timestamp, buf
+
+    def __iter__(self):
+        while True:
+            item = self.read()
+            if item is None:
+                return
+            yield item
+
+    def __repr__(self) -> str:
+        return f"<IOSource {self.name!r}>"

@@ -1,0 +1,100 @@
+"""Struct instances and callables (captured function calls).
+
+``struct`` values are heap objects with typed, optionally-defaulted fields;
+reading an unset field without a default raises ``Hilti::UndefinedValue``.
+``Callable`` captures a function plus arguments for later invocation — the
+value timers schedule and ``thread.schedule`` ships across threads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core import types as ht
+from .exceptions import HiltiError, UNDEFINED_VALUE
+from .memory import Managed
+
+__all__ = ["StructInstance", "Callable"]
+
+
+class StructInstance(Managed):
+    """A heap-allocated struct value."""
+
+    __slots__ = ("struct_type", "_values", "_set")
+
+    def __init__(self, struct_type: ht.StructT):
+        super().__init__()
+        self.struct_type = struct_type
+        self._values = [f.default for f in struct_type.fields]
+        self._set = [f.default is not None for f in struct_type.fields]
+
+    def get(self, name: str):
+        index = self.struct_type.field_index(name)
+        if not self._set[index]:
+            raise HiltiError(
+                UNDEFINED_VALUE,
+                f"field {name!r} of struct {self.struct_type.type_name} is unset",
+            )
+        return self._values[index]
+
+    def get_default(self, name: str, default):
+        index = self.struct_type.field_index(name)
+        if not self._set[index]:
+            return default
+        return self._values[index]
+
+    def set(self, name: str, value) -> None:
+        index = self.struct_type.field_index(name)
+        self._values[index] = value
+        self._set[index] = True
+
+    def is_set(self, name: str) -> bool:
+        return self._set[self.struct_type.field_index(name)]
+
+    def unset(self, name: str) -> None:
+        index = self.struct_type.field_index(name)
+        self._values[index] = self.struct_type.fields[index].default
+        self._set[index] = self.struct_type.fields[index].default is not None
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.struct_type.fields)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, StructInstance)
+            and self.struct_type == other.struct_type
+            and self._values == other._values
+            and self._set == other._set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.struct_type.type_name, tuple(map(str, self._values))))
+
+    def __repr__(self) -> str:
+        parts = []
+        for field, value, is_set in zip(
+            self.struct_type.fields, self._values, self._set
+        ):
+            parts.append(f"{field.name}={value!r}" if is_set else f"{field.name}=<unset>")
+        return f"<{self.struct_type.type_name} {' '.join(parts)}>"
+
+
+class Callable(Managed):
+    """A captured function call: function plus bound arguments.
+
+    ``function`` may be a name (resolved by the engine against the linked
+    program) or an already-resolved compiled function object.
+    """
+
+    __slots__ = ("function", "args")
+
+    hilti_callable = True
+
+    def __init__(self, function, args: Sequence = ()):
+        super().__init__()
+        self.function = function
+        self.args = tuple(args)
+
+    def __repr__(self) -> str:
+        name = getattr(self.function, "name", self.function)
+        return f"<Callable {name} args={self.args!r}>"

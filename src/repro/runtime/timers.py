@@ -1,0 +1,160 @@
+"""Timers and timer managers.
+
+HILTI schedules function calls into the future with timers, and supports
+*multiple independent notions of time* through timer managers (paper,
+section 3.2) — e.g. network time driven by packet timestamps versus wall
+clock.  Advancing a manager fires every timer due at or before the new
+time, which is also what expires stale entries from the state-managed
+containers attached to it.
+
+Timer actions come in two flavours:
+
+* Python callables — used by runtime-internal services (container cleanup);
+  they run inline during ``advance``.
+* HILTI ``callable`` values — captured function calls that must execute on
+  the engine; ``advance`` collects and returns them for the engine to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional
+
+from ..core.values import Time
+from .exceptions import HiltiError, TIMER_ALREADY_SCHEDULED, VALUE_ERROR
+from .memory import Managed
+
+__all__ = ["Timer", "TimerMgr"]
+
+
+class Timer(Managed):
+    """A single scheduled action."""
+
+    __slots__ = ("action", "_mgr", "_when", "_cancelled", "_generation")
+
+    def __init__(self, action):
+        super().__init__()
+        self.action = action
+        self._mgr: Optional["TimerMgr"] = None
+        self._when: Optional[Time] = None
+        self._cancelled = False
+        # Bumped on every (re)schedule; stale heap entries are detected
+        # by comparing their recorded generation against the timer's.
+        self._generation = 0
+
+    @property
+    def scheduled(self) -> bool:
+        return self._mgr is not None and not self._cancelled
+
+    @property
+    def when(self) -> Optional[Time]:
+        return self._when
+
+    def cancel(self) -> None:
+        """Unschedule without firing."""
+        self._cancelled = True
+        self._mgr = None
+
+    def update(self, when: Time) -> None:
+        """Reschedule an already scheduled timer to a new time."""
+        if self._mgr is None:
+            raise HiltiError(VALUE_ERROR, "timer.update on unscheduled timer")
+        mgr = self._mgr
+        self.cancel()
+        self._cancelled = False
+        mgr.schedule(when, self)
+
+    def __repr__(self) -> str:
+        state = "scheduled" if self.scheduled else "idle"
+        return f"<Timer {state} at {self._when}>"
+
+
+class TimerMgr(Managed):
+    """An independent notion of time with a pending-timer queue."""
+
+    __slots__ = ("_now", "_heap", "_counter", "_participants", "name")
+
+    def __init__(self, name: str = "timer_mgr", start: Time = Time.EPOCH):
+        super().__init__()
+        self.name = name
+        self._now = start
+        self._heap: List = []
+        self._counter = itertools.count()
+        # Containers with expiration policies register themselves here.
+        self._participants: List = []
+
+    @property
+    def current(self) -> Time:
+        return self._now
+
+    def schedule(self, when: Time, timer: Timer) -> None:
+        if timer.scheduled:
+            raise HiltiError(
+                TIMER_ALREADY_SCHEDULED, "timer is already scheduled"
+            )
+        timer._mgr = self
+        timer._when = when
+        timer._cancelled = False
+        timer._generation += 1
+        heapq.heappush(
+            self._heap,
+            (when.nanos, next(self._counter), timer, timer._generation),
+        )
+
+    def schedule_callable(self, when: Time, action) -> Timer:
+        """Convenience: wrap *action* in a fresh timer and schedule it."""
+        timer = Timer(action)
+        self.schedule(when, timer)
+        return timer
+
+    def register_participant(self, participant) -> None:
+        """Attach an object exposing ``expire_until(now)`` (containers)."""
+        self._participants.append(participant)
+
+    def unregister_participant(self, participant) -> None:
+        self._participants.remove(participant)
+
+    def advance(self, now: Time) -> list:
+        """Move time forward and fire everything due.
+
+        Python-callable actions run inline.  HILTI ``callable`` actions are
+        returned for the engine to execute (they may suspend, call hooks,
+        etc.).  Time never moves backwards; a stale *now* is a no-op.
+        """
+        if now < self._now:
+            return []
+        self._now = now
+        pending_engine_actions = []
+        while self._heap and self._heap[0][0] <= now.nanos:
+            __, __, timer, generation = heapq.heappop(self._heap)
+            if timer._cancelled or generation != timer._generation:
+                continue  # cancelled, or superseded by a reschedule
+            timer._mgr = None
+            action = timer.action
+            if getattr(action, "hilti_callable", False):
+                pending_engine_actions.append(action)
+            elif callable(action):
+                action()
+            else:
+                pending_engine_actions.append(action)
+        for participant in self._participants:
+            participant.expire_until(now)
+        return pending_engine_actions
+
+    def expire_all(self) -> list:
+        """Fire every pending timer regardless of its due time."""
+        if not self._heap:
+            return self.advance(self._now)
+        far_future = Time.from_nanos(max(entry[0] for entry in self._heap))
+        return self.advance(max(self._now, far_future))
+
+    @property
+    def pending_count(self) -> int:
+        return sum(
+            1 for __, __, t, generation in self._heap
+            if not t._cancelled and generation == t._generation
+        )
+
+    def __repr__(self) -> str:
+        return f"<TimerMgr {self.name} now={self._now} pending={self.pending_count}>"

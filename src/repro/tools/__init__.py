@@ -1,0 +1,10 @@
+"""Command-line tools mirroring the paper's toolchain.
+
+* ``python -m repro.tools.hiltic`` — compile and optionally JIT-execute
+  HILTI source files (the paper's ``hiltic``).
+* ``python -m repro.tools.hilti_build`` — compile sources and run the
+  ``Main::run`` entry point (the paper's ``hilti-build && ./a.out``).
+* ``python -m repro.tools.bro`` — ``bro -r trace.pcap`` in miniature:
+  run the default analysis scripts over a pcap, writing the logs.
+* ``python -m repro.tools.tracegen`` — write synthetic HTTP/DNS pcaps.
+"""

@@ -1,0 +1,35 @@
+"""hilti-build — compile HILTI sources and run them (paper, Figure 3).
+
+    # hilti-build hello.hlt -o a.out && ./a.out
+    python -m repro.tools.hilti_build hello.hlt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.toolchain import hilti_build
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hilti-build",
+        description="Build a HILTI executable and run it",
+    )
+    parser.add_argument("sources", nargs="+", help="HILTI source files")
+    parser.add_argument("-O0", dest="optimize", action="store_false")
+    parser.add_argument("args", nargs="*", default=[],
+                        help="arguments for Main::run")
+    options = parser.parse_args(argv)
+    sources = []
+    for path in options.sources:
+        with open(path) as stream:
+            sources.append(stream.read())
+    executable = hilti_build(sources, optimize=options.optimize)
+    executable.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""hiltic — the HILTI compiler driver (paper, Figure 2/3).
+
+Usage::
+
+    python -m repro.tools.hiltic prog.hlt [more.hlt ...] [options]
+
+Without ``--run``, parses / verifies / optimizes and reports; with
+``--run``, JIT-executes the program's entry point.  ``--print-ir`` dumps
+the linked module inventory, ``--profile`` inserts function-granularity
+instrumentation and prints the profiler report after the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.toolchain import hiltic
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hiltic", description="HILTI compiler")
+    parser.add_argument("sources", nargs="+", help="HILTI source files")
+    parser.add_argument("--run", action="store_true",
+                        help="JIT-execute the entry point after compiling")
+    parser.add_argument("--entry", default=None,
+                        help="entry function (default Main::run)")
+    parser.add_argument("--tier", choices=["compiled", "interpreted"],
+                        default="compiled")
+    parser.add_argument("-O0", dest="optimize", action="store_false",
+                        help="disable HILTI-level optimizations")
+    parser.add_argument("--profile", action="store_true",
+                        help="insert function-granularity profiling")
+    parser.add_argument("--print-ir", action="store_true",
+                        help="print the linked program inventory")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_argparser().parse_args(argv)
+    sources = []
+    for path in args.sources:
+        with open(path) as stream:
+            sources.append(stream.read())
+    program = hiltic(
+        sources,
+        optimize=args.optimize,
+        entry=args.entry,
+        tier=args.tier,
+        profile=args.profile,
+    )
+    linked = program.linked
+    if args.print_ir:
+        print(f"modules:   {', '.join(m.name for m in linked.modules)}")
+        print(f"functions: {len(linked.functions)}")
+        for name in sorted(linked.functions):
+            print(f"  {name}")
+        print(f"hooks:     {len(linked.hooks)}")
+        print(f"globals:   {len(linked.global_layout)}")
+    if args.run:
+        ctx = program.make_context()
+        result = program.run(ctx=ctx)
+        if result is not None:
+            print(result)
+        if args.profile:
+            ctx.profilers.dump(sys.stdout)
+    elif not args.print_ir:
+        print(
+            f"compiled {len(linked.functions)} functions, "
+            f"{len(linked.hooks)} hooks ({args.tier} tier)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

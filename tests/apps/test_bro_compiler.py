@@ -1,0 +1,285 @@
+"""The Bro script compiler: interpreter vs. compiled HILTI differential."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.bro.compiler import ScriptCompiler
+from repro.apps.bro.core import BroCore
+from repro.apps.bro.interp import ScriptInterp
+from repro.apps.bro.lang import parse_script
+from repro.core.values import Addr
+
+
+def _engines(source):
+    """(interp_engine, interp_core), (hilti_engine, hilti_core)."""
+    out_i, out_h = io.StringIO(), io.StringIO()
+    core_i = BroCore(print_stream=out_i)
+    interp = ScriptInterp(parse_script(source), core_i,
+                          print_stream=out_i)
+    core_i.script_engine = interp
+    core_h = BroCore(print_stream=out_h)
+    compiled = ScriptCompiler(parse_script(source), core_h).compile()
+    core_h.script_engine = compiled
+    return (interp, core_i, out_i), (compiled, core_h, out_h)
+
+
+class TestDifferential:
+    def test_fib(self):
+        src = """
+function fib(n: count): count {
+    if ( n < 2 )
+        return n;
+    return fib(n - 1) + fib(n - 2);
+}
+"""
+        (interp, *__), (compiled, *___) = _engines(src)
+        for n in (0, 1, 5, 12):
+            assert interp.call_function("fib", [n]) == \
+                compiled.call_function("fib", [n])
+
+    def test_figure8_output_matches(self):
+        src = """
+global hosts: set[addr];
+
+event connection_established(c: connection) {
+    add hosts[c$id$resp_h];
+}
+
+event bro_done() {
+    for ( i in hosts )
+        print i;
+}
+"""
+        (interp, core_i, out_i), (compiled, core_h, out_h) = _engines(src)
+        for engine, core in ((interp, core_i), (compiled, core_h)):
+            for ip in ("208.80.152.118", "208.80.152.2", "208.80.152.3"):
+                conn = core.make_connection_val(
+                    "C1", Addr("10.0.0.1"), None, Addr(ip), None,
+                    core.network_time(), "tcp",
+                )
+                engine.dispatch("connection_established", [conn])
+            engine.dispatch("bro_done", [])
+        assert out_i.getvalue() == out_h.getvalue()
+        assert "208.80.152.118" in out_i.getvalue()
+
+    def test_state_tables_match(self):
+        src = """
+global t: table[string] of count;
+
+event put(k: string, v: count) {
+    t[k] = v;
+}
+
+function get(k: string): count {
+    if ( k in t )
+        return t[k];
+    return 0;
+}
+"""
+        (interp, *__), (compiled, *___) = _engines(src)
+        for engine in (interp, compiled):
+            engine.dispatch("put", ["a", 1])
+            engine.dispatch("put", ["b", 2])
+            engine.dispatch("put", ["a", 3])
+        assert interp.call_function("get", ["a"]) == \
+            compiled.call_function("get", ["a"]) == 3
+        assert interp.call_function("get", ["zz"]) == \
+            compiled.call_function("get", ["zz"]) == 0
+
+    def test_records_and_vectors_match(self):
+        src = """
+type Info: record {
+    name: string;
+    hits: count;
+};
+
+global infos: vector of Info;
+
+event observe(name: string) {
+    local found: bool = F;
+    for ( i in infos ) {
+        if ( infos[i]$name == name ) {
+            infos[i]$hits = infos[i]$hits + 1;
+            found = T;
+        }
+    }
+    if ( ! found ) {
+        local info: Info;
+        info$name = name;
+        info$hits = 1;
+        infos[|infos|] = info;
+    }
+}
+
+function report(): string {
+    local s: string = "";
+    for ( i in infos )
+        s = s + fmt("%s=%d;", infos[i]$name, infos[i]$hits);
+    return s;
+}
+"""
+        (interp, *__), (compiled, *___) = _engines(src)
+        for engine in (interp, compiled):
+            for name in ("a", "b", "a", "c", "a", "b"):
+                engine.dispatch("observe", [name])
+        assert interp.call_function("report", []) == \
+            compiled.call_function("report", []) == "a=3;b=2;c=1;"
+
+    def test_logging_matches(self):
+        src = """
+type Row: record {
+    k: string;
+    v: count;
+};
+
+event emit(k: string, v: count) {
+    local row: Row;
+    row$k = k;
+    row$v = v;
+    Log::write("rows", row);
+}
+"""
+        (interp, core_i, __), (compiled, core_h, ___) = _engines(src)
+        core_i.logs.create_stream("rows", ["k", "v"])
+        core_h.logs.create_stream("rows", ["k", "v"])
+        for engine in (interp, compiled):
+            engine.dispatch("emit", ["x", 1])
+            engine.dispatch("emit", ["y", 2])
+        assert core_i.logs.lines("rows") == core_h.logs.lines("rows")
+
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.integers(0, 100)), max_size=20))
+    @settings(max_examples=15, deadline=None)
+    def test_random_event_sequences(self, ops):
+        src = """
+global acc: table[string] of count;
+
+event bump(k: string, v: count) {
+    if ( k in acc )
+        acc[k] = acc[k] + v;
+    else
+        acc[k] = v;
+}
+
+function value(k: string): count {
+    if ( k in acc )
+        return acc[k];
+    return 0;
+}
+"""
+        (interp, *__), (compiled, *___) = _engines(src)
+        for key, amount in ops:
+            interp.dispatch("bump", [key, amount])
+            compiled.dispatch("bump", [key, amount])
+        for key in "abcd":
+            assert interp.call_function("value", [key]) == \
+                compiled.call_function("value", [key])
+
+
+class TestGlueAccounting:
+    def test_glue_counts_conversions(self):
+        src = """
+event noop(c: connection) {
+}
+"""
+        (interp, core_i, __), (compiled, core_h, ___) = _engines(src)
+        conn = core_h.make_connection_val(
+            "C1", Addr("1.1.1.1"), None, Addr("2.2.2.2"), None,
+            core_h.network_time(), "tcp",
+        )
+        before = compiled.glue.to_hilti_calls
+        compiled.dispatch("noop", [conn])
+        assert compiled.glue.to_hilti_calls > before
+        assert compiled.glue.ns_spent > 0
+
+    def test_roundtrip_preserves_values(self):
+        from repro.apps.bro.glue import Glue
+        from repro.apps.bro.val import RecordVal, SetVal, TableVal, VectorVal
+
+        glue = Glue()
+        table = TableVal({("k", 2): VectorVal([1, 2])})
+        back = glue.from_hilti(glue.to_hilti(table))
+        assert isinstance(back, TableVal)
+        assert list(back.get(("k", 2))) == [1, 2]
+
+        s = SetVal([Addr("1.2.3.4")])
+        back = glue.from_hilti(glue.to_hilti(s))
+        assert back.contains(Addr("1.2.3.4"))
+
+
+_scalar_vals = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+    st.booleans(),
+    st.builds(Addr.from_v4_int, st.integers(0, (1 << 32) - 1)),
+)
+
+
+@st.composite
+def _vals(draw, depth=0):
+    from repro.apps.bro.val import RecordVal, SetVal, TableVal, VectorVal
+
+    if depth >= 2:
+        return draw(_scalar_vals)
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(_scalar_vals)
+    if choice == 1:
+        return VectorVal(draw(st.lists(_vals(depth + 1), max_size=4)))
+    if choice == 2:
+        return SetVal(draw(st.lists(_scalar_vals, max_size=4)))
+    if choice == 3:
+        keys = draw(st.lists(_scalar_vals, max_size=4, unique_by=str))
+        from repro.apps.bro.val import TableVal
+
+        table = TableVal()
+        for key in keys:
+            table.set(key, draw(_vals(depth + 1)))
+        return table
+    from repro.apps.bro.val import RecordVal
+
+    fields = draw(st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), _vals(depth + 1), max_size=3,
+    ))
+    return RecordVal(None, fields)
+
+
+class TestGlueRoundtripProperty:
+    @staticmethod
+    def _canonical(value):
+        """Order-insensitive structural fingerprint.
+
+        Anonymous-record field order is not semantically significant
+        (the glue's struct types canonicalize it), so records render
+        with sorted fields; sets sort their members.
+        """
+        from repro.apps.bro.val import RecordVal, SetVal, TableVal, VectorVal
+
+        canonical = TestGlueRoundtripProperty._canonical
+        if isinstance(value, RecordVal):
+            inner = ", ".join(
+                f"${k}={canonical(v)}"
+                for k, v in sorted(value.fields().items())
+            )
+            return f"[{inner}]"
+        if isinstance(value, VectorVal):
+            return "<" + ", ".join(canonical(v) for v in value) + ">"
+        if isinstance(value, SetVal):
+            return "{" + ", ".join(sorted(canonical(v) for v in value)) + "}"
+        if isinstance(value, TableVal):
+            entries = sorted(
+                f"{canonical(k)}:{canonical(value.get(k))}" for k in value
+            )
+            return "map{" + ", ".join(entries) + "}"
+        return repr(value)
+
+    @given(_vals())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_structure(self, value):
+        from repro.apps.bro.glue import Glue
+
+        glue = Glue()
+        back = glue.from_hilti(glue.to_hilti(value))
+        assert self._canonical(back) == self._canonical(value)

@@ -1,0 +1,77 @@
+"""The logging framework: rendering, streams, normalization."""
+
+import pytest
+
+from repro.apps.bro.logging import (
+    LogManager,
+    LogStream,
+    normalize_log,
+    render_value,
+)
+from repro.apps.bro.val import RecordVal, SetVal, VectorVal
+from repro.core.values import Addr, Interval, Port, Time
+
+
+class TestRendering:
+    def test_scalars(self):
+        assert render_value(None) == "-"
+        assert render_value(True) == "T"
+        assert render_value(False) == "F"
+        assert render_value(1.5) == "1.500000"
+        assert render_value("") == "(empty)"
+        assert render_value("x") == "x"
+        assert render_value(b"raw") == "raw"
+
+    def test_domain_values(self):
+        assert render_value(Addr("10.1.2.3")) == "10.1.2.3"
+        assert render_value(Port(80, "tcp")) == "80/tcp"
+        assert render_value(Time(1.5)) == "1.500000"
+        assert render_value(Interval(300)) == "300.000000"
+
+    def test_vectors_comma_joined(self):
+        assert render_value(VectorVal(["a", "b"])) == "a,b"
+        assert render_value(VectorVal()) == "-"
+
+
+class TestStreams:
+    def test_write_renders_columns_in_order(self):
+        stream = LogStream("t", ["b", "a"])
+        line = stream.write(RecordVal(None, {"a": 1, "b": 2}))
+        assert line == "2\t1"
+
+    def test_unset_column_is_dash(self):
+        stream = LogStream("t", ["a", "missing"])
+        assert stream.write(RecordVal(None, {"a": 1})) == "1\t-"
+
+    def test_header(self):
+        assert LogStream("t", ["x", "y"]).header() == "#fields\tx\ty"
+
+    def test_manager_disabled_counts_but_skips(self):
+        manager = LogManager(enabled=False)
+        manager.create_stream("s", ["a"])
+        manager.write("s", RecordVal(None, {"a": 1}))
+        assert manager.streams["s"].writes == 1
+        assert manager.lines("s") == []
+
+    def test_unknown_stream(self):
+        with pytest.raises(KeyError):
+            LogManager().write("nope", RecordVal())
+
+    def test_save(self, tmp_path):
+        manager = LogManager()
+        manager.create_stream("s", ["a"])
+        manager.write("s", RecordVal(None, {"a": "v"}))
+        manager.save(str(tmp_path))
+        content = (tmp_path / "s.log").read_text()
+        assert content == "#fields\ta\nv\n"
+
+
+class TestNormalization:
+    def test_sort_unique(self):
+        lines = ["b\t2", "a\t1", "b\t2"]
+        assert normalize_log(lines) == ["a\t1", "b\t2"]
+
+    def test_drop_columns(self):
+        lines = ["1.0\tx\tk", "2.0\tx\tk"]
+        # Dropping the timestamp folds the two entries together.
+        assert normalize_log(lines, drop_columns=(0,)) == ["x\tk"]

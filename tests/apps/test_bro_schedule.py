@@ -1,0 +1,93 @@
+"""Bro's ``schedule`` statement: timer-driven events on network time."""
+
+import io
+
+import pytest
+
+from repro.apps.bro.compiler import ScriptCompiler
+from repro.apps.bro.core import BroCore
+from repro.apps.bro.interp import ScriptInterp
+from repro.apps.bro.lang import parse_script
+from repro.core.values import Time
+
+_SRC = """
+global fired: vector of count;
+
+event start(n: count) {
+    schedule 10 sec { event later(n); };
+}
+
+event later(n: count) {
+    fired[|fired|] = n;
+}
+
+function count_fired(): count {
+    return |fired|;
+}
+"""
+
+
+def _engine(kind, source=_SRC):
+    out = io.StringIO()
+    core = BroCore(print_stream=out)
+    if kind == "interp":
+        engine = ScriptInterp(parse_script(source), core, print_stream=out)
+    else:
+        engine = ScriptCompiler(parse_script(source), core).compile()
+    core.script_engine = engine
+    return engine, core
+
+
+@pytest.mark.parametrize("kind", ["interp", "hilti"])
+class TestSchedule:
+    def test_fires_after_delay(self, kind):
+        engine, core = _engine(kind)
+        core.advance_time(Time(100.0))
+        core.queue_event("start", [1])
+        core.drain_events()
+        core.advance_time(Time(105.0))
+        core.drain_events()
+        assert engine.call_function("count_fired", []) == 0
+        core.advance_time(Time(110.0))
+        core.drain_events()
+        assert engine.call_function("count_fired", []) == 1
+
+    def test_multiple_schedules_fire_in_order(self, kind):
+        engine, core = _engine(kind)
+        core.advance_time(Time(0.0))
+        for n in (1, 2, 3):
+            core.queue_event("start", [n])
+            core.drain_events()
+        core.advance_time(Time(100.0))
+        core.drain_events()
+        assert engine.call_function("count_fired", []) == 3
+
+    def test_event_arguments_carried(self, kind):
+        engine, core = _engine(kind)
+        core.advance_time(Time(0.0))
+        core.queue_event("start", [99])
+        core.drain_events()
+        core.advance_time(Time(50.0))
+        core.drain_events()
+        fired = engine.globals["fired"] if kind == "interp" else None
+        if fired is not None:
+            assert list(fired) == [99]
+        else:
+            assert engine.call_function("count_fired", []) == 1
+
+
+class TestParity:
+    def test_engines_agree(self):
+        results = {}
+        for kind in ("interp", "hilti"):
+            engine, core = _engine(kind)
+            core.advance_time(Time(0.0))
+            core.queue_event("start", [5])
+            core.drain_events()
+            core.advance_time(Time(9.999))
+            core.drain_events()
+            early = engine.call_function("count_fired", [])
+            core.advance_time(Time(10.0))
+            core.drain_events()
+            results[kind] = (early, engine.call_function("count_fired", []))
+        assert results["interp"] == results["hilti"] == (0, 1)

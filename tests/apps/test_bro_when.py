@@ -1,0 +1,104 @@
+"""Bro's ``when`` statement, lowered to HILTI watchpoints (footnote 4)."""
+
+import io
+
+import pytest
+
+from repro.apps.bro.compiler import ScriptCompiler
+from repro.apps.bro.core import BroCore
+from repro.apps.bro.interp import ScriptInterp
+from repro.apps.bro.lang import parse_script
+
+_SRC = """
+global seen: count;
+global fired_at: count;
+
+event tick() {
+    seen = seen + 1;
+    if ( seen == 1 ) {
+        when ( seen >= 3 ) {
+            fired_at = seen;
+            print fmt("threshold at %d", seen);
+        }
+    }
+}
+
+function get_fired(): count {
+    return fired_at;
+}
+"""
+
+
+def _engine(kind, source=_SRC):
+    out = io.StringIO()
+    core = BroCore(print_stream=out)
+    if kind == "interp":
+        engine = ScriptInterp(parse_script(source), core, print_stream=out)
+    else:
+        engine = ScriptCompiler(parse_script(source), core).compile()
+    core.script_engine = engine
+    return engine, core, out
+
+
+@pytest.mark.parametrize("kind", ["interp", "hilti"])
+class TestWhen:
+    def test_fires_once_at_threshold(self, kind):
+        engine, core, out = _engine(kind)
+        for __ in range(6):
+            core.queue_event("tick", [])
+            core.drain_events()
+        assert out.getvalue() == "threshold at 3\n"
+        assert engine.call_function("get_fired", []) == 3
+
+    def test_not_fired_below_threshold(self, kind):
+        engine, core, out = _engine(kind)
+        core.queue_event("tick", [])
+        core.drain_events()
+        assert out.getvalue() == ""
+        assert engine.call_function("get_fired", []) == 0
+
+    def test_multiple_whens_fire_independently(self, kind):
+        source = """
+global a: count;
+global b: count;
+
+event start() {
+    when ( a >= 2 ) {
+        print "a";
+    }
+    when ( b >= 1 ) {
+        print "b";
+    }
+}
+
+event bump_a() {
+    a = a + 1;
+}
+
+event bump_b() {
+    b = b + 1;
+}
+"""
+        engine, core, out = _engine(kind, source)
+        core.queue_event("start", [])
+        core.drain_events()
+        core.queue_event("bump_b", [])
+        core.drain_events()
+        assert out.getvalue() == "b\n"
+        core.queue_event("bump_a", [])
+        core.queue_event("bump_a", [])
+        core.drain_events()
+        assert out.getvalue() == "b\na\n"
+
+
+class TestEngineParity:
+    def test_same_behaviour_on_both_engines(self):
+        outputs = {}
+        for kind in ("interp", "hilti"):
+            engine, core, out = _engine(kind)
+            for __ in range(5):
+                core.queue_event("tick", [])
+                core.drain_events()
+            outputs[kind] = (out.getvalue(),
+                             engine.call_function("get_fired", []))
+        assert outputs["interp"] == outputs["hilti"]

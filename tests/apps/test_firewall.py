@@ -1,0 +1,144 @@
+"""The stateful firewall exemplar (§6.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.firewall import (
+    HiltiFirewall,
+    ReferenceFirewall,
+    RuleError,
+    RuleSet,
+    compile_firewall,
+    generate_hilti_source,
+)
+from repro.core.values import Addr, Time
+from repro.net import ipsumdump
+from repro.net.tracegen import DnsTraceConfig, generate_dns_trace
+
+
+class TestRuleSet:
+    def test_text_format(self):
+        rs = RuleSet.parse("""
+# static policy
+10.3.2.1/32  10.1.0.0/16  allow
+10.12.0.0/16 10.1.0.0/16  deny
+10.1.6.0/24  *            allow
+""")
+        assert len(rs) == 3
+        assert rs.rules[0].allow
+        assert not rs.rules[1].allow
+        assert rs.rules[2].dst is None
+
+    def test_bad_lines(self):
+        with pytest.raises(RuleError):
+            RuleSet.parse("10.0.0.0/8 allow")
+        with pytest.raises(RuleError):
+            RuleSet.parse("10.0.0.0/8 * maybe")
+
+
+class TestSemantics:
+    def _firewall(self, timeout=300.0):
+        rs = RuleSet(timeout_seconds=timeout)
+        rs.add("10.3.2.1/32", "10.1.0.0/16", True)
+        rs.add("10.12.0.0/16", "10.1.0.0/16", False)
+        rs.add("10.1.6.0/24", "*", True)
+        return compile_firewall(rs)
+
+    def test_first_match_wins(self):
+        fw = self._firewall()
+        assert fw.match_packet(Time(1.0), Addr("10.3.2.1"), Addr("10.1.9.9"))
+        assert not fw.match_packet(Time(2.0), Addr("10.12.1.1"),
+                                   Addr("10.1.2.3"))
+
+    def test_default_deny(self):
+        fw = self._firewall()
+        assert not fw.match_packet(Time(1.0), Addr("1.2.3.4"),
+                                   Addr("5.6.7.8"))
+
+    def test_dynamic_reverse_rule(self):
+        fw = self._firewall()
+        assert fw.match_packet(Time(1.0), Addr("10.3.2.1"), Addr("10.1.5.5"))
+        # Reverse direction normally denied, but dynamic state allows it.
+        assert fw.match_packet(Time(2.0), Addr("10.1.5.5"), Addr("10.3.2.1"))
+
+    def test_dynamic_rule_expires_on_inactivity(self):
+        fw = self._firewall(timeout=10.0)
+        fw.match_packet(Time(0.0), Addr("10.3.2.1"), Addr("10.1.5.5"))
+        assert not fw.match_packet(Time(100.0), Addr("10.1.5.5"),
+                                   Addr("10.3.2.1"))
+
+    def test_activity_keeps_dynamic_rule_alive(self):
+        fw = self._firewall(timeout=10.0)
+        fw.match_packet(Time(0.0), Addr("10.3.2.1"), Addr("10.1.5.5"))
+        for t in (5.0, 12.0, 19.0):
+            assert fw.match_packet(Time(t), Addr("10.1.5.5"),
+                                   Addr("10.3.2.1"))
+
+    def test_generated_source_shape(self):
+        rs = RuleSet().add("10.0.0.0/8", "*", True)
+        source = generate_hilti_source(rs)
+        assert "classifier.add r (10.0.0.0/8, *) True" in source
+        assert "set.timeout dyn ExpireStrategy::Access" in source
+
+
+class TestAgainstReference:
+    def test_dns_trace_agreement(self):
+        rs = RuleSet(timeout_seconds=2.0)
+        rs.add("10.20.0.0/26", "192.0.2.0/28", True)
+        rs.add("10.20.0.64/26", "*", False)
+        rs.add("*", "192.0.2.2/32", True)
+        frames = generate_dns_trace(DnsTraceConfig(queries=250))
+        lines = list(ipsumdump.dump_lines(frames))
+        hilti_fw = compile_firewall(rs)
+        reference = ReferenceFirewall(rs)
+        for line in lines:
+            t, src, dst = ipsumdump.parse_line(line)
+            assert hilti_fw.match_packet(t, src, dst) == \
+                reference.match_packet(t, src, dst)
+        assert 0 < hilti_fw.matches < len(lines)
+
+    @given(
+        st.lists(st.tuples(
+            st.integers(0, 5),             # inter-arrival seconds
+            st.integers(0, 3),             # src index
+            st.integers(0, 3),             # dst index
+        ), max_size=40),
+        st.integers(1, 20),                # timeout
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_workloads_agree(self, packets, timeout):
+        hosts = [Addr("10.0.0.1"), Addr("10.0.0.2"), Addr("10.1.0.1"),
+                 Addr("192.168.1.1")]
+        rs = RuleSet(timeout_seconds=float(timeout))
+        rs.add("10.0.0.0/24", "10.1.0.0/16", True)
+        rs.add("10.1.0.0/16", "*", False)
+        hilti_fw = compile_firewall(rs)
+        reference = ReferenceFirewall(rs)
+        clock = 0
+        for delta, s, d in packets:
+            clock += delta
+            t = Time(float(clock))
+            assert hilti_fw.match_packet(t, hosts[s], hosts[d]) == \
+                reference.match_packet(t, hosts[s], hosts[d])
+
+    def test_interpreted_tier_agrees(self):
+        rs = RuleSet(timeout_seconds=5.0)
+        rs.add("10.0.0.0/8", "*", True)
+        compiled = compile_firewall(rs, tier="compiled")
+        interp = compile_firewall(rs, tier="interpreted")
+        cases = [
+            (Time(1.0), Addr("10.1.1.1"), Addr("9.9.9.9")),
+            (Time(2.0), Addr("9.9.9.9"), Addr("10.1.1.1")),
+            (Time(100.0), Addr("9.9.9.9"), Addr("10.1.1.1")),
+        ]
+        for t, s, d in cases:
+            assert compiled.match_packet(t, s, d) == \
+                interp.match_packet(t, s, d)
+
+    def test_run_ipsumdump_interface(self):
+        rs = RuleSet().add("10.20.0.0/16", "*", True)
+        frames = generate_dns_trace(DnsTraceConfig(queries=30))
+        lines = list(ipsumdump.dump_lines(frames))
+        fw = compile_firewall(rs)
+        matches, non_matches = fw.run_ipsumdump(lines)
+        assert matches + non_matches == len(lines)

@@ -1,0 +1,98 @@
+"""The command-line tools (hiltic / hilti-build / bro / trace-gen)."""
+
+import os
+
+import pytest
+
+from repro.tools import bro as bro_cli
+from repro.tools import hilti_build as build_cli
+from repro.tools import hiltic as hiltic_cli
+from repro.tools import tracegen as tracegen_cli
+
+_HELLO = """module Main
+
+import Hilti
+
+void run() {
+    call Hilti::print("Hello, World!")
+}
+"""
+
+
+@pytest.fixture()
+def hello_file(tmp_path):
+    path = tmp_path / "hello.hlt"
+    path.write_text(_HELLO)
+    return str(path)
+
+
+class TestHiltic:
+    def test_compile_only(self, hello_file, capsys):
+        assert hiltic_cli.main([hello_file]) == 0
+        assert "compiled 1 functions" in capsys.readouterr().out
+
+    def test_run(self, hello_file, capsys):
+        assert hiltic_cli.main([hello_file, "--run"]) == 0
+        assert "Hello, World!" in capsys.readouterr().out
+
+    def test_print_ir(self, hello_file, capsys):
+        hiltic_cli.main([hello_file, "--print-ir"])
+        out = capsys.readouterr().out
+        assert "Main::run" in out
+
+    def test_interpreted_tier(self, hello_file, capsys):
+        assert hiltic_cli.main([hello_file, "--tier", "interpreted",
+                                "--run"]) == 0
+        assert "Hello, World!" in capsys.readouterr().out
+
+    def test_profile(self, hello_file, capsys):
+        hiltic_cli.main([hello_file, "--run", "--profile"])
+        out = capsys.readouterr().out
+        assert "#profile func/Main::run" in out
+
+
+class TestHiltiBuild:
+    def test_figure3(self, hello_file, capsys):
+        assert build_cli.main([hello_file]) == 0
+        assert capsys.readouterr().out == "Hello, World!\n"
+
+
+class TestTraceGenAndBro:
+    def test_end_to_end(self, tmp_path, capsys):
+        pcap = str(tmp_path / "dns.pcap")
+        assert tracegen_cli.main(["dns", "--queries", "50",
+                                  "-o", pcap]) == 0
+        logdir = str(tmp_path / "logs")
+        assert bro_cli.main(["-r", pcap, "--logdir", logdir]) == 0
+        out = capsys.readouterr().out
+        assert "processed" in out
+        assert os.path.exists(os.path.join(logdir, "dns.log"))
+        with open(os.path.join(logdir, "dns.log")) as stream:
+            header = stream.readline()
+        assert header.startswith("#fields\tts\tuid")
+
+    def test_compiled_scripts_flag(self, tmp_path, capsys):
+        pcap = str(tmp_path / "http.pcap")
+        tracegen_cli.main(["http", "--sessions", "5", "-o", pcap])
+        logdir = str(tmp_path / "logs")
+        assert bro_cli.main(["-r", pcap, "--compile-scripts",
+                             "--stats", "--logdir", logdir]) == 0
+        out = capsys.readouterr().out
+        assert "glue" in out
+
+    def test_bundled_track_script(self, tmp_path, capsys):
+        pcap = str(tmp_path / "http.pcap")
+        tracegen_cli.main(["http", "--sessions", "4", "-o", pcap])
+        logdir = str(tmp_path / "logs")
+        assert bro_cli.main(["-r", pcap, "track.bro",
+                             "--logdir", logdir]) == 0
+
+
+class TestBroPacParsers:
+    def test_pac_parser_tier_cli(self, tmp_path, capsys):
+        pcap = str(tmp_path / "dns.pcap")
+        tracegen_cli.main(["dns", "--queries", "30", "-o", pcap])
+        logdir = str(tmp_path / "logs")
+        assert bro_cli.main(["-r", pcap, "--parsers", "pac",
+                             "--logdir", logdir]) == 0
+        assert os.path.exists(os.path.join(logdir, "dns.log"))

@@ -1,0 +1,293 @@
+"""End-to-end execution of HILTI programs on the compiled tier."""
+
+import io
+
+import pytest
+
+from repro.core import hiltic, run_source
+from repro.core.values import Addr, Interval, Time
+from repro.runtime.exceptions import HiltiError
+
+
+def _run(source, fn, args=(), natives=None):
+    program = hiltic([source], natives=natives)
+    ctx = program.make_context()
+    return program.call(ctx, fn, list(args))
+
+
+class TestControlFlow:
+    def test_branches(self):
+        src = """module Main
+int<64> sign(int<64> x) {
+    local bool neg
+    neg = int.lt x 0
+    if.else neg negative check_zero
+check_zero:
+    local bool zero
+    zero = int.eq x 0
+    if.else zero is_zero positive
+negative:
+    return -1
+is_zero:
+    return 0
+positive:
+    return 1
+}
+"""
+        assert _run(src, "Main::sign", [-5]) == -1
+        assert _run(src, "Main::sign", [0]) == 0
+        assert _run(src, "Main::sign", [7]) == 1
+
+    def test_loop_via_jump(self):
+        src = """module Main
+int<64> sum_to(int<64> n) {
+    local int<64> acc
+    local int<64> i
+    acc = 0
+    i = 0
+head:
+    local bool more
+    more = int.le i n
+    if.else more body done
+body:
+    acc = int.add acc i
+    i = int.incr i
+    jump head
+done:
+    return acc
+}
+"""
+        assert _run(src, "Main::sum_to", [10]) == 55
+
+    def test_recursion(self):
+        src = """module Main
+int<64> fib(int<64> n) {
+    local bool base
+    base = int.lt n 2
+    if.else base basecase recurse
+basecase:
+    return n
+recurse:
+    local int<64> a
+    local int<64> b
+    local int<64> n1
+    local int<64> n2
+    n1 = int.sub n 1
+    n2 = int.sub n 2
+    a = call fib(n1)
+    b = call fib(n2)
+    local int<64> r
+    r = int.add a b
+    return r
+}
+"""
+        assert _run(src, "Main::fib", [15]) == 610
+
+    def test_switch(self):
+        from repro.core import types as ht
+        from repro.core.builder import ModuleBuilder
+        from repro.core.ir import Const, LabelRef, TupleOp
+
+        mb = ModuleBuilder("Main")
+        fb = mb.function("pick", [("x", ht.INT64)], ht.STRING)
+        fb.emit(
+            "switch", fb.var("x"), LabelRef("other"),
+            TupleOp((Const(ht.INT64, 1), LabelRef("one"))),
+            TupleOp((Const(ht.INT64, 2), LabelRef("two"))),
+        )
+        fb.block("one")
+        fb.ret(fb.const(ht.STRING, "one"))
+        fb.block("two")
+        fb.ret(fb.const(ht.STRING, "two"))
+        fb.block("other")
+        fb.ret(fb.const(ht.STRING, "other"))
+        program = hiltic([mb.finish()])
+        ctx = program.make_context()
+        assert program.call(ctx, "Main::pick", [1]) == "one"
+        assert program.call(ctx, "Main::pick", [2]) == "two"
+        assert program.call(ctx, "Main::pick", [99]) == "other"
+
+
+class TestExceptions:
+    def test_catch_matching_type(self):
+        src = """module Main
+bool lookup() {
+    local ref<map<string, int<64>>> m
+    m = new map<string, int<64>>
+    try {
+        local int<64> v
+        v = map.get m "missing"
+    } catch (ref<Hilti::IndexError> e) {
+        return True
+    }
+    return False
+}
+"""
+        assert _run(src, "Main::lookup") is True
+
+    def test_uncaught_propagates_to_host(self):
+        src = """module Main
+void boom() {
+    local int<64> x
+    x = int.div 1 0
+}
+"""
+        with pytest.raises(HiltiError) as exc:
+            _run(src, "Main::boom")
+        assert "DivisionByZero" in exc.value.except_type.type_name
+
+    def test_catch_base_type_catches_derived(self):
+        src = """module Main
+bool f() {
+    try {
+        local int<64> x
+        x = int.div 1 0
+    } catch (ref<Hilti::Exception> e) {
+        return True
+    }
+    return False
+}
+"""
+        assert _run(src, "Main::f") is True
+
+    def test_mismatched_catch_rethrows(self):
+        src = """module Main
+void f() {
+    try {
+        local int<64> x
+        x = int.div 1 0
+    } catch (ref<Hilti::IndexError> e) {
+        return
+    }
+}
+"""
+        with pytest.raises(HiltiError):
+            _run(src, "Main::f")
+
+    def test_exception_propagates_through_calls(self):
+        src = """module Main
+void inner() {
+    local int<64> x
+    x = int.div 1 0
+}
+
+bool outer() {
+    try {
+        call inner()
+    } catch (ref<Hilti::DivisionByZero> e) {
+        return True
+    }
+    return False
+}
+"""
+        assert _run(src, "Main::outer") is True
+
+
+class TestGlobalsAndHooks:
+    def test_globals_are_per_context(self):
+        src = """module Main
+global int<64> counter
+
+void bump() {
+    counter = int.incr counter
+}
+
+int<64> get() {
+    return counter
+}
+"""
+        program = hiltic([src])
+        ctx1 = program.make_context()
+        ctx2 = program.make_context()
+        program.call(ctx1, "Main::bump")
+        program.call(ctx1, "Main::bump")
+        assert program.call(ctx1, "Main::get") == 2
+        assert program.call(ctx2, "Main::get") == 0
+
+    def test_hooks_run_all_bodies(self):
+        src = """module Main
+global int<64> total
+
+hook void observe(int<64> x) {
+    total = int.add total x
+}
+
+hook void observe(int<64> x) {
+    total = int.add total 100
+}
+
+void fire() {
+    hook.run Main::observe (5)
+}
+"""
+        program = hiltic([src])
+        ctx = program.make_context()
+        program.call(ctx, "Main::fire")
+        # Both bodies ran: +5 and +100.
+        slot = program.linked.global_slot("Main::total")
+        assert ctx.globals[slot] == 105
+
+    def test_host_run_hook(self):
+        src = """module Main
+global int<64> seen
+
+hook void on_data(int<64> x) {
+    seen = x
+}
+"""
+        program = hiltic([src])
+        ctx = program.make_context()
+        program.run_hook(ctx, "Main::on_data", [42])
+        assert ctx.globals[program.linked.global_slot("Main::seen")] == 42
+
+
+class TestTimersInPrograms:
+    def test_timer_fires_callable(self):
+        src = """module Main
+global int<64> fired
+
+void on_timer(int<64> x) {
+    fired = x
+}
+
+void go() {
+    local ref<callable<any>> c
+    c = callable.bind on_timer (99)
+    local ref<timer> t
+    t = new timer c
+    timer_mgr.schedule_global time(10) t
+    timer_mgr.advance_global time(20)
+}
+"""
+        program = hiltic([src])
+        ctx = program.make_context()
+        program.call(ctx, "Main::go")
+        assert ctx.globals[program.linked.global_slot("Main::fired")] == 99
+
+
+class TestNatives:
+    def test_host_function_call(self):
+        calls = []
+
+        def record(ctx, *args):
+            calls.append(args)
+            return sum(args)
+
+        src = """module Main
+int<64> f() {
+    local int<64> r
+    r = call Host::record(1, 2, 3)
+    return r
+}
+"""
+        assert _run(src, "Main::f", natives={"Host::record": record}) == 6
+        assert calls == [(1, 2, 3)]
+
+    def test_print_output(self):
+        out = io.StringIO()
+        run_source(
+            'module Main\nimport Hilti\nvoid run() {\n'
+            '    call Hilti::print("x", 1, True)\n}\n',
+            print_stream=out,
+        )
+        assert out.getvalue() == "x, 1, True\n"

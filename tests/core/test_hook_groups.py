@@ -1,0 +1,74 @@
+"""Hook priorities and groups across both execution tiers."""
+
+import pytest
+
+from repro.core import hiltic
+from repro.core import types as ht
+from repro.core.builder import ModuleBuilder
+
+
+def _module():
+    mb = ModuleBuilder("Main")
+    mb.global_var("trace", ht.STRING)
+
+    def body(suffix, priority=0, group=None, text="?"):
+        fb = mb.hook("observe", [("x", ht.INT64)], body_suffix=suffix,
+                     priority=priority, group=group)
+        combined = fb.temp(ht.STRING, "s")
+        fb.emit("string.concat", fb.var("trace"),
+                fb.const(ht.STRING, text), target=combined)
+        fb.emit("assign", combined, target=fb.var("trace"))
+        fb.ret()
+
+    body("low", priority=-5, text="L")
+    body("high", priority=10, text="H")
+    body("mid", priority=0, group="optional", text="M")
+
+    fb = mb.function("fire", [], ht.VOID)
+    fb.emit("hook.run", fb.field("Main::observe"),
+            fb.args(fb.const(ht.INT64, 1)))
+    fb.ret()
+
+    fb = mb.function("disable_optional", [], ht.VOID)
+    fb.emit("hook.group_disable", fb.field("optional"))
+    fb.ret()
+
+    fb = mb.function("enable_optional", [], ht.VOID)
+    fb.emit("hook.group_enable", fb.field("optional"))
+    fb.ret()
+
+    fb = mb.function("get_trace", [], ht.STRING)
+    fb.ret(fb.var("trace"))
+    return mb.finish()
+
+
+@pytest.fixture(params=["compiled", "interpreted"])
+def program(request):
+    return hiltic([_module()], tier=request.param)
+
+
+class TestHookOrderingAndGroups:
+    def test_priority_order(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::fire")
+        assert program.call(ctx, "Main::get_trace") == "HML"
+
+    def test_group_disable_skips_bodies(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::disable_optional")
+        program.call(ctx, "Main::fire")
+        assert program.call(ctx, "Main::get_trace") == "HL"
+
+    def test_group_reenable(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::disable_optional")
+        program.call(ctx, "Main::fire")
+        program.call(ctx, "Main::enable_optional")
+        program.call(ctx, "Main::fire")
+        assert program.call(ctx, "Main::get_trace") == "HL" + "HML"
+
+    def test_host_run_hook_respects_groups(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::disable_optional")
+        program.run_hook(ctx, "Main::observe", [1])
+        assert program.call(ctx, "Main::get_trace") == "HL"

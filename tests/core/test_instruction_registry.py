@@ -1,0 +1,247 @@
+"""The instruction registry: metadata sanity and per-group semantics.
+
+Table 1 of the paper lists HILTI's instruction groups; these tests sweep
+the whole registry for structural invariants and exercise representative
+value semantics of every group directly through the shared semantics
+functions (the same ones both execution tiers dispatch to).
+"""
+
+import pytest
+
+from repro.core import types as ht
+from repro.core.instructions import ENGINE_MNEMONICS, REGISTRY, lookup
+from repro.core.values import Addr, Interval, Network, Port, Time
+from repro.runtime.bytes_buffer import Bytes
+from repro.runtime.context import ExecutionContext
+from repro.runtime.exceptions import HiltiError
+
+
+@pytest.fixture()
+def ctx():
+    return ExecutionContext()
+
+
+def _fn(mnemonic):
+    return REGISTRY[mnemonic].fn
+
+
+def _frozen(data: bytes) -> Bytes:
+    b = Bytes(data)
+    b.freeze()
+    return b
+
+
+class TestRegistryShape:
+    def test_size_matches_paper_scale(self):
+        # "In total HILTI currently offers about 200 instructions."
+        assert len(REGISTRY) >= 200
+
+    def test_every_instruction_well_formed(self):
+        for mnemonic, definition in REGISTRY.items():
+            assert definition.mnemonic == mnemonic
+            assert definition.target in (None, "req", "opt")
+            # Engine instructions have no value semantics; value
+            # instructions must have them.
+            if definition.engine:
+                assert mnemonic in ENGINE_MNEMONICS
+            else:
+                assert definition.fn is not None, mnemonic
+            # Variadic/optional specs only at the tail.
+            specs = definition.operands
+            for position, spec in enumerate(specs):
+                if spec.endswith("*"):
+                    assert position == len(specs) - 1, mnemonic
+                if spec.endswith("?"):
+                    assert all(
+                        s.endswith("?") or s.endswith("*")
+                        for s in specs[position:]
+                    ), mnemonic
+
+    def test_table1_groups_present(self):
+        groups = {m.split(".")[0] for m in REGISTRY if "." in m}
+        for expected in ("bitset", "bool", "network" if False else "net",
+                         "hook", "callable", "channel", "bytes",
+                         "double", "enum", "exception", "file", "map",
+                         "set", "addr", "int", "list", "iosrc",
+                         "classifier", "overlay", "port", "profiler",
+                         "regexp", "string", "struct", "interval",
+                         "timer_mgr", "timer", "time", "tuple", "vector",
+                         "thread"):
+            assert expected in groups, expected
+
+    def test_lookup(self):
+        assert lookup("int.add").mnemonic == "int.add"
+        with pytest.raises(ValueError):
+            lookup("no.such")
+
+
+class TestIntGroup:
+    def test_arithmetic(self, ctx):
+        assert _fn("int.add")(ctx, 20, 22) == 42
+        assert _fn("int.sub")(ctx, 10, 15) == -5
+        assert _fn("int.mul")(ctx, 6, 7) == 42
+        assert _fn("int.pow")(ctx, 2, 10) == 1024
+        assert _fn("int.abs")(ctx, -9) == 9
+        assert _fn("int.min")(ctx, 3, 5) == 3
+        assert _fn("int.max")(ctx, 3, 5) == 5
+
+    def test_c_style_division(self, ctx):
+        assert _fn("int.div")(ctx, 7, 2) == 3
+        assert _fn("int.div")(ctx, -7, 2) == -3   # truncation, not floor
+        assert _fn("int.mod")(ctx, -7, 2) == -1
+        with pytest.raises(HiltiError):
+            _fn("int.div")(ctx, 1, 0)
+        with pytest.raises(HiltiError):
+            _fn("int.mod")(ctx, 1, 0)
+
+    def test_bitwise(self, ctx):
+        assert _fn("int.and")(ctx, 0b1100, 0b1010) == 0b1000
+        assert _fn("int.or")(ctx, 0b1100, 0b1010) == 0b1110
+        assert _fn("int.xor")(ctx, 0b1100, 0b1010) == 0b0110
+        assert _fn("int.shl")(ctx, 1, 8) == 256
+        assert _fn("int.shr")(ctx, 256, 4) == 16
+
+    def test_wrap(self, ctx):
+        assert _fn("int.wrap")(ctx, 255, 8) == -1
+        assert _fn("int.wrap")(ctx, 127, 8) == 127
+        assert _fn("int.wrap")(ctx, 128, 8) == -128
+
+    def test_conversions(self, ctx):
+        assert _fn("int.to_double")(ctx, 3) == 3.0
+        assert _fn("int.to_time")(ctx, 5) == Time(5)
+        assert _fn("int.to_interval")(ctx, 5) == Interval(5)
+
+
+class TestStringGroup:
+    def test_basics(self, ctx):
+        assert _fn("string.concat")(ctx, "a", "b") == "ab"
+        assert _fn("string.length")(ctx, "abc") == 3
+        assert _fn("string.upper")(ctx, "aB") == "AB"
+        assert _fn("string.substr")(ctx, "hello", 1, 3) == "ell"
+        assert _fn("string.find")(ctx, "hello", "ll") == 2
+
+    def test_encode_decode(self, ctx):
+        encoded = _fn("string.encode")(ctx, "héllo")
+        assert isinstance(encoded, Bytes)
+        assert _fn("string.decode")(ctx, encoded) == "héllo"
+
+    def test_fmt(self, ctx):
+        assert _fn("string.fmt")(ctx, "%s=%d", ("x", 4)) == "x=4"
+        with pytest.raises(HiltiError):
+            _fn("string.fmt")(ctx, "%d", ())
+
+
+class TestBytesGroup:
+    def test_core_operations(self, ctx):
+        b = _frozen(b"hello world")
+        assert _fn("bytes.length")(ctx, b) == 11
+        assert _fn("bytes.contains")(ctx, b, _frozen(b"wor")) is True
+        assert _fn("bytes.startswith")(ctx, b, _frozen(b"hell")) is True
+        assert _fn("bytes.to_int")(ctx, _frozen(b"42")) == 42
+        assert _fn("bytes.to_int")(ctx, _frozen(b"2a"), 16) == 42
+        cmp = _fn("bytes.cmp")
+        assert cmp(ctx, _frozen(b"a"), _frozen(b"b")) == -1
+        assert cmp(ctx, _frozen(b"b"), _frozen(b"a")) == 1
+        assert cmp(ctx, _frozen(b"a"), _frozen(b"a")) == 0
+
+    def test_unpack_at_iterator(self, ctx):
+        b = _frozen(b"\x01\x02\x03\x04")
+        value, it = _fn("bytes.unpack")(ctx, b.begin(), "UInt16Big")
+        assert value == 0x0102
+        assert it.offset == 2
+
+    def test_split(self, ctx):
+        parts = _fn("bytes.split")(ctx, _frozen(b"a,b,c"), _frozen(b","))
+        assert [p.to_bytes() for p in parts] == [b"a", b"b", b"c"]
+
+
+class TestDomainGroups:
+    def test_addr(self, ctx):
+        a = Addr("192.168.1.77")
+        assert _fn("addr.family")(ctx, a) == 4
+        assert _fn("addr.mask")(ctx, a, 24) == Addr("192.168.1.0")
+        assert _fn("addr.to_string")(ctx, a) == "192.168.1.77"
+
+    def test_net(self, ctx):
+        n = Network("10.0.0.0/8")
+        assert _fn("net.contains")(ctx, n, Addr("10.9.9.9")) is True
+        assert _fn("net.prefix")(ctx, n) == Addr("10.0.0.0")
+        assert _fn("net.length")(ctx, n) == 8
+
+    def test_port(self, ctx):
+        p = Port(443, "tcp")
+        assert _fn("port.number")(ctx, p) == 443
+        assert _fn("port.protocol")(ctx, p) == "tcp"
+
+    def test_time_interval(self, ctx):
+        t = Time(100.0)
+        i = Interval(5.0)
+        assert _fn("time.add")(ctx, t, i) == Time(105.0)
+        assert _fn("time.sub")(ctx, t, i) == Time(95.0)
+        assert _fn("time.sub")(ctx, Time(105.0), t) == Interval(5.0)
+        assert _fn("time.nsecs")(ctx, t) == 100 * 10**9
+        assert _fn("interval.mul")(ctx, i, 3) == Interval(15.0)
+        assert _fn("interval.to_double")(ctx, i) == 5.0
+
+    def test_enum_bitset(self, ctx):
+        assert _fn("bitset.set")(ctx, 0b01, 0b10) == 0b11
+        assert _fn("bitset.clear")(ctx, 0b11, 0b01) == 0b10
+        assert _fn("bitset.has")(ctx, 0b11, 0b10) is True
+        assert _fn("bitset.has")(ctx, 0b01, 0b10) is False
+
+
+class TestGenericGroup:
+    def test_equal_bridges_bytes(self, ctx):
+        assert _fn("equal")(ctx, _frozen(b"x"), b"x") is True
+        assert _fn("unequal")(ctx, _frozen(b"x"), b"y") is True
+
+    def test_select(self, ctx):
+        assert _fn("select")(ctx, True, 1, 2) == 1
+        assert _fn("select")(ctx, False, 1, 2) == 2
+
+    def test_tuple(self, ctx):
+        assert _fn("tuple.index")(ctx, (7, 8), 1) == 8
+        assert _fn("tuple.length")(ctx, (7, 8)) == 2
+        with pytest.raises(HiltiError):
+            _fn("tuple.index")(ctx, (7,), 3)
+
+
+class TestAllocation:
+    def test_new_counts_allocations(self, ctx):
+        from repro.core.instructions import instantiate
+
+        before = ctx.alloc_stats.allocations
+        instantiate(ctx, ht.MapT(ht.ANY, ht.ANY))
+        instantiate(ctx, ht.ListT(ht.ANY))
+        assert ctx.alloc_stats.allocations == before + 2
+
+    def test_new_rejects_unknown(self, ctx):
+        from repro.core.instructions import instantiate
+
+        with pytest.raises(HiltiError):
+            instantiate(ctx, ht.BOOL)
+
+
+class TestPack:
+    def test_pack_unpack_roundtrip(self, ctx):
+        from repro.core import types as ht
+        from repro.runtime.overlay import unpack_value
+
+        for fmt, value in (
+            ("UInt16Big", 0xBEEF),
+            ("UInt32Little", 12345678),
+            ("Int16Big", -2),
+            ("IPv4", Addr("10.1.2.3")),
+            ("PortTCP", Port(443, "tcp")),
+        ):
+            packed = _fn("pack")(ctx, value, fmt)
+            back = unpack_value(packed, 0, ht.UnpackFormat(fmt))
+            assert back == value, fmt
+
+    def test_pack_range_error(self, ctx):
+        with pytest.raises(HiltiError):
+            _fn("pack")(ctx, 70000, "UInt16Big")
+
+    def test_pack_unknown_format(self, ctx):
+        with pytest.raises(HiltiError):
+            _fn("pack")(ctx, 1, "Complex128")

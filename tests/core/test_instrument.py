@@ -1,0 +1,69 @@
+"""Compiler-inserted profiling instrumentation (paper §3.3)."""
+
+from repro.core import hiltic
+from repro.core.instrument import instrument_module
+from repro.core.parser import parse_module
+
+_SRC = """module Main
+int<64> helper(int<64> x) {
+    local bool neg
+    neg = int.lt x 0
+    if.else neg a b
+a:
+    return 0
+b:
+    local int<64> y
+    y = int.mul x 2
+    return y
+}
+
+void run_all() {
+    local int<64> r
+    r = call helper(5)
+    r = call helper(-5)
+    r = call helper(10)
+}
+"""
+
+
+class TestInstrumentation:
+    def test_stop_on_every_return(self):
+        module = parse_module(_SRC)
+        stops = instrument_module(module)
+        # helper has 2 returns; run_all falls off (1 implicit stop).
+        assert stops == 3
+
+    def test_profilers_populated_at_runtime(self):
+        program = hiltic([_SRC], profile=True)
+        ctx = program.make_context()
+        program.call(ctx, "Main::run_all")
+        helper = ctx.profilers.get("func/Main::helper")
+        run_all = ctx.profilers.get("func/Main::run_all")
+        assert helper.updates == 3
+        assert run_all.updates == 1
+        assert helper.wall_ns > 0
+        assert helper.instructions > 0
+
+    def test_results_unchanged_by_instrumentation(self):
+        plain = hiltic([_SRC])
+        instrumented = hiltic([_SRC], profile=True)
+        a = plain.call(plain.make_context(), "Main::helper", [21])
+        b = instrumented.call(
+            instrumented.make_context(), "Main::helper", [21])
+        assert a == b == 42
+
+    def test_interpreter_tier_supports_profiling_too(self):
+        program = hiltic([_SRC], profile=True, tier="interpreted")
+        ctx = program.make_context()
+        program.call(ctx, "Main::run_all")
+        assert ctx.profilers.get("func/Main::helper").updates == 3
+
+    def test_report_dump(self):
+        import io
+
+        program = hiltic([_SRC], profile=True)
+        ctx = program.make_context()
+        program.call(ctx, "Main::run_all")
+        out = io.StringIO()
+        ctx.profilers.dump(out)
+        assert "#profile func/Main::helper" in out.getvalue()

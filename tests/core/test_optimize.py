@@ -1,0 +1,247 @@
+"""HILTI-level optimization passes."""
+
+import pytest
+
+from repro.core import hiltic
+from repro.core.linker import link, strip_unreachable
+from repro.core.optimize import OptStats, optimize_module
+from repro.core.parser import parse_module
+
+
+def _optimized(source):
+    module = parse_module(source)
+    stats = optimize_module(module)
+    return module, stats
+
+
+class TestConstantFolding:
+    def test_folds_pure_constant_ops(self):
+        module, stats = _optimized("""module Main
+int<64> f() {
+    local int<64> x
+    x = int.add 20 22
+    return x
+}
+""")
+        assert stats.folded >= 1
+        instr = module.functions["Main::f"].blocks[0].instructions[0]
+        assert instr.mnemonic == "assign"
+        assert instr.operands[0].value == 42
+
+    def test_leaves_trapping_folds_for_runtime(self):
+        module, stats = _optimized("""module Main
+int<64> f() {
+    local int<64> x
+    x = int.div 1 0
+    return x
+}
+""")
+        instr = module.functions["Main::f"].blocks[0].instructions[0]
+        assert instr.mnemonic == "int.div"  # still traps at runtime
+
+    def test_folded_program_still_correct(self):
+        src = """module Main
+int<64> f() {
+    local int<64> x
+    local int<64> y
+    x = int.mul 6 7
+    y = int.add x 0
+    return y
+}
+"""
+        program = hiltic([src], optimize=True)
+        assert program.call(program.make_context(), "Main::f") == 42
+
+
+class TestDeadCode:
+    def test_unreachable_blocks_removed(self):
+        module, stats = _optimized("""module Main
+int<64> f() {
+    jump out
+dead:
+    local int<64> z
+    z = int.add 1 2
+    jump out
+out:
+    return 0
+}
+""")
+        # `dead` has no predecessors (jump goes straight to out).
+        labels = [b.label for b in module.functions["Main::f"].blocks]
+        assert "dead" not in labels
+        assert stats.dead_blocks >= 1
+
+    def test_dead_stores_removed(self):
+        module, stats = _optimized("""module Main
+int<64> f(int<64> a) {
+    local int<64> unused
+    unused = int.mul a a
+    return a
+}
+""")
+        assert stats.dead_stores >= 1
+        mnemonics = [
+            i.mnemonic
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        assert "int.mul" not in mnemonics
+
+    def test_global_stores_never_removed(self):
+        module, stats = _optimized("""module Main
+global int<64> g
+void f(int<64> a) {
+    g = int.mul a a
+}
+""")
+        mnemonics = [
+            i.mnemonic
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        assert "int.mul" in mnemonics
+
+
+class TestCSE:
+    def test_repeated_expression_collapses(self):
+        module, stats = _optimized("""module Main
+int<64> f(int<64> a, int<64> b) {
+    local int<64> x
+    local int<64> y
+    local int<64> r
+    x = int.add a b
+    y = int.add a b
+    r = int.add x y
+    return r
+}
+""")
+        assert stats.cse_hits >= 1
+        program = hiltic([parse_module("""module Main
+int<64> f(int<64> a, int<64> b) {
+    local int<64> x
+    local int<64> y
+    local int<64> r
+    x = int.add a b
+    y = int.add a b
+    r = int.add x y
+    return r
+}
+""")])
+        assert program.call(program.make_context(), "Main::f", [3, 4]) == 14
+
+    def test_reassignment_invalidates(self):
+        src = """module Main
+int<64> f(int<64> a) {
+    local int<64> x
+    local int<64> y
+    x = int.add a 1
+    a = int.mul a 2
+    y = int.add a 1
+    return y
+}
+"""
+        program = hiltic([src], optimize=True)
+        # a=5: x=6, a=10, y=11 — CSE must NOT reuse x for y.
+        assert program.call(program.make_context(), "Main::f", [5]) == 11
+
+
+class TestLinkTimeDCE:
+    def test_strip_unreachable_functions(self):
+        module = parse_module("""module Main
+void used() {
+    return
+}
+
+void unused() {
+    return
+}
+
+void run() {
+    call used()
+}
+""")
+        program = link([module])
+        removed = strip_unreachable(program, ["Main::run"])
+        assert removed == 1
+        assert "Main::unused" not in program.functions
+        assert "Main::used" in program.functions
+
+    def test_hook_bodies_kept(self):
+        module = parse_module("""module Main
+hook void h() {
+    call helper()
+}
+
+void helper() {
+    return
+}
+
+void run() {
+    return
+}
+""")
+        program = link([module])
+        removed = strip_unreachable(program, ["Main::run"])
+        assert removed == 0
+        assert "Main::helper" in program.functions
+
+
+class TestJumpThreading:
+    def test_forwarding_block_bypassed(self):
+        module, stats = _optimized("""module Main
+int<64> f(int<64> x) {
+    local bool b
+    b = int.lt x 0
+    if.else b hop direct
+hop:
+    jump target
+direct:
+    return 1
+target:
+    return 2
+}
+""")
+        assert stats.jumps_threaded >= 1
+        # The forwarding block is now unreachable and removed.
+        labels = [b.label for b in module.functions["Main::f"].blocks]
+        assert "hop" not in labels
+
+    def test_threaded_program_still_correct(self):
+        src = """module Main
+int<64> f(int<64> x) {
+    local bool b
+    b = int.lt x 0
+    if.else b hop direct
+hop:
+    jump target
+direct:
+    return 1
+target:
+    return 2
+}
+"""
+        from repro.core import hiltic
+
+        for optimize in (True, False):
+            program = hiltic([src], optimize=optimize)
+            ctx = program.make_context()
+            assert program.call(ctx, "Main::f", [-1]) == 2
+            assert program.call(ctx, "Main::f", [1]) == 1
+
+    def test_jump_cycle_left_alone(self):
+        # Two blocks jumping at each other must not hang the optimizer.
+        src = """module Main
+void f(bool b) {
+    if.else b a done
+a:
+    jump c
+c:
+    jump a
+done:
+    return
+}
+"""
+        from repro.core.optimize import optimize_module
+        from repro.core.parser import parse_module
+
+        optimize_module(parse_module(src))  # must terminate

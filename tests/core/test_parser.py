@@ -1,0 +1,193 @@
+"""The HILTI textual-syntax parser."""
+
+import pytest
+
+from repro.core import types as ht
+from repro.core.ir import Const, FieldRef, LabelRef, TupleOp, TypeRef, Var
+from repro.core.parser import ParseError, parse_module, parse_type
+
+
+class TestModuleStructure:
+    def test_hello_world(self):
+        module = parse_module(
+            'module Main\nimport Hilti\nvoid run() {\n'
+            '    call Hilti::print("Hello, World!")\n}\n'
+        )
+        assert module.name == "Main"
+        assert module.imports == ["Hilti"]
+        assert "Main::run" in module.functions
+
+    def test_comments_ignored(self):
+        module = parse_module(
+            "module Main\n# a comment\nvoid run() {\n"
+            "    return  # trailing comment\n}\n"
+        )
+        assert "Main::run" in module.functions
+
+    def test_globals(self):
+        module = parse_module(
+            "module Main\nglobal int<64> counter = 5\n"
+            "global ref<set<addr>> hosts\n"
+        )
+        assert module.globals["counter"].init.value == 5
+        assert isinstance(module.globals["hosts"].type, ht.RefT)
+
+    def test_global_constructor_init(self):
+        module = parse_module(
+            "module Main\nglobal ref<set<addr>> hosts = set<addr>()\n"
+        )
+        assert isinstance(module.globals["hosts"].init, TypeRef)
+
+    def test_struct_type(self):
+        module = parse_module(
+            "module Main\ntype Rule = struct { net src, net dst }\n"
+        )
+        rule = module.types["Rule"]
+        assert isinstance(rule, ht.StructT)
+        assert rule.field("src").type == ht.NET
+
+    def test_overlay_type(self):
+        module = parse_module(
+            "module Main\n"
+            "type Header = overlay {\n"
+            "    version: int<8> at 0 unpack UInt8InBigEndian (4, 7),\n"
+            "    src: addr at 12 unpack IPv4InNetworkOrder\n"
+            "}\n"
+        )
+        header = module.types["Header"]
+        assert isinstance(header, ht.OverlayT)
+        assert header.field("version").fmt.bits == (4, 7)
+        assert header.field("src").offset == 12
+
+    def test_enum_type(self):
+        module = parse_module(
+            "module Main\ntype Color = enum { Red, Green, Blue }\n"
+        )
+        assert module.types["Color"].label_value("Green") == 1
+
+    def test_hook_declaration(self):
+        module = parse_module(
+            "module Main\n"
+            "hook void on_thing(int<64> x) {\n    return\n}\n"
+        )
+        assert len(module.hooks) == 1
+        assert module.hooks[0].hook_name == "Main::on_thing"
+
+
+class TestStatements:
+    def _body(self, text):
+        module = parse_module(
+            f"module Main\nvoid f() {{\n{text}\n}}\n"
+        )
+        return module.functions["Main::f"]
+
+    def test_locals_with_defaults(self):
+        f = self._body("    local int<64> x = 3\n    local bool b")
+        assert f.locals[0].init.value == 3
+        assert f.locals[1].init is None
+
+    def test_assignment_sugar(self):
+        f = self._body("    local int<64> x\n    x = 42")
+        instr = f.blocks[0].instructions[0]
+        assert instr.mnemonic == "assign"
+        assert instr.operands[0].value == 42
+
+    def test_blocks_and_branches(self):
+        f = self._body(
+            "    local bool b\n"
+            "    if.else b yes no\n"
+            "yes:\n    return\nno:\n    return"
+        )
+        assert [b.label for b in f.blocks] == ["entry", "yes", "no"]
+
+    def test_literals(self):
+        f = self._body(
+            "    local addr a\n    a = 10.1.2.3\n"
+            "    local net n\n    n = 10.0.0.0/8\n"
+            "    local port p\n    p = 80/tcp\n"
+            "    local interval i\n    i = interval(300)\n"
+            '    local string s\n    s = "hi"\n'
+        )
+        values = [
+            i.operands[0].value
+            for i in f.blocks[0].instructions
+            if i.mnemonic == "assign"
+        ]
+        assert str(values[0]) == "10.1.2.3"
+        assert str(values[1]) == "10.0.0.0/8"
+        assert str(values[2]) == "80/tcp"
+        assert values[3].seconds == 300.0
+        assert values[4] == "hi"
+
+    def test_wildcard_and_tuple_operands(self):
+        module = parse_module(
+            "module Main\n"
+            "type Rule = struct { net src, net dst }\n"
+            "global ref<classifier<Rule, bool>> r\n"
+            "void f() {\n"
+            "    classifier.add r (10.0.0.0/8, *) True\n"
+            "}\n"
+        )
+        instr = module.functions["Main::f"].blocks[0].instructions[0]
+        tup = instr.operands[1]
+        assert isinstance(tup, TupleOp)
+        assert tup.elements[1].value is None
+
+    def test_try_catch_desugars(self):
+        f = self._body(
+            "    try {\n        return\n"
+            "    } catch (ref<Hilti::IndexError> e) {\n        return\n    }"
+        )
+        mnemonics = [i.mnemonic for b in f.blocks for i in b.instructions]
+        assert "try.begin" in mnemonics
+        labels = [b.label for b in f.blocks]
+        assert any(l.startswith("__catch") for l in labels)
+
+    def test_for_in_desugars(self):
+        module = parse_module(
+            "module Main\n"
+            "global ref<set<addr>> hosts\n"
+            "void f() {\n"
+            "    for ( i in hosts ) {\n"
+            "        call Hilti::print(i)\n"
+            "    }\n"
+            "}\n"
+        )
+        mnemonics = [
+            i.mnemonic
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        assert "container.iter" in mnemonics
+        assert "container.next" in mnemonics
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_module("module Main\nvoid f() {\n    frobnicate x\n}\n")
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_module("module Main\nglobal wat x\n")
+
+    def test_unterminated_body(self):
+        with pytest.raises(ParseError):
+            parse_module("module Main\nvoid f() {\n    return\n")
+
+    def test_tokenizer_error(self):
+        with pytest.raises(ParseError):
+            parse_module("module Main\nvoid f() {\n    x = €\n}\n")
+
+
+class TestParseType:
+    def test_nested(self):
+        t = parse_type("map<addr, list<tuple<int<64>, string>>>")
+        assert isinstance(t, ht.MapT)
+        assert isinstance(t.value, ht.ListT)
+        assert isinstance(t.value.element, ht.TupleT)
+
+    def test_int_widths(self):
+        assert parse_type("int<8>").width == 8
+        with pytest.raises(ValueError):
+            parse_type("int<7>")

@@ -1,0 +1,70 @@
+"""§5/§7: transparently switching runtime implementations.
+
+"We currently implement the classifier type as a linked list internally
+... It will be straightforward to later transparently switch to a better
+data structure" — the host selects the backend per program; the HILTI
+code (the Figure 5 firewall) does not change, and neither do its
+verdicts.
+"""
+
+import pytest
+
+from repro.apps.firewall import RuleSet, compile_firewall
+from repro.core import hiltic
+from repro.core.values import Addr, Time
+from repro.runtime.classifier import LinearClassifier, TrieClassifier
+
+
+def _ruleset():
+    rs = RuleSet(timeout_seconds=60.0)
+    rs.add("10.3.2.1/32", "10.1.0.0/16", True)
+    rs.add("10.12.0.0/16", "10.1.0.0/16", False)
+    rs.add("10.1.6.0/24", "*", True)
+    return rs
+
+
+class TestTransparentClassifierSwitch:
+    def test_same_program_different_backend(self):
+        from repro.apps.firewall.compiler import generate_hilti_source
+
+        source = generate_hilti_source(_ruleset())
+        cases = [
+            (Time(1.0), Addr("10.3.2.1"), Addr("10.1.5.5")),
+            (Time(2.0), Addr("10.12.1.1"), Addr("10.1.2.3")),
+            (Time(3.0), Addr("10.1.6.9"), Addr("8.8.8.8")),
+            (Time(4.0), Addr("1.2.3.4"), Addr("5.6.7.8")),
+            (Time(5.0), Addr("10.1.5.5"), Addr("10.3.2.1")),  # dynamic
+        ]
+        verdicts = {}
+        backends = {}
+        for impl in ("linear", "trie"):
+            program = hiltic([source])
+            program.runtime_options["classifier"] = impl
+            ctx = program.make_context()
+            program.call(ctx, "Main::init_classifier")
+            slot = program.linked.global_slot("Main::rules")
+            backends[impl] = type(ctx.globals[slot])
+            verdicts[impl] = [
+                program.call(ctx, "Main::match_packet", list(case))
+                for case in cases
+            ]
+        # The backend really switched...
+        assert backends["linear"] is LinearClassifier
+        assert backends["trie"] is TrieClassifier
+        # ...and the program's behaviour did not.
+        assert verdicts["linear"] == verdicts["trie"]
+        assert verdicts["linear"] == [True, False, True, False, True]
+
+    def test_default_is_the_papers_linked_list(self):
+        program = hiltic([
+            "module Main\n"
+            "type Rule = struct { net src, net dst }\n"
+            "global ref<classifier<Rule, bool>> c\n"
+            "void init() {\n"
+            "    c = new classifier<Rule, bool>\n"
+            "}\n"
+        ])
+        ctx = program.make_context()
+        program.call(ctx, "Main::init")
+        slot = program.linked.global_slot("Main::c")
+        assert type(ctx.globals[slot]) is LinearClassifier

@@ -1,0 +1,205 @@
+"""The static verifier and the linker."""
+
+import pytest
+
+from repro.core import hiltic
+from repro.core import types as ht
+from repro.core.builder import ModuleBuilder
+from repro.core.linker import LinkError, link
+from repro.core.parser import parse_module
+from repro.core.typecheck import TypeCheckError, check_module
+
+
+def _check(source):
+    check_module(parse_module(source))
+
+
+class TestVerifier:
+    def test_accepts_valid(self):
+        _check("""module Main
+int<64> f(int<64> x) {
+    local int<64> y
+    y = int.add x 1
+    return y
+}
+""")
+
+    def test_undefined_variable(self):
+        with pytest.raises(TypeCheckError, match="undefined variable"):
+            _check("""module Main
+void f() {
+    local int<64> y
+    y = int.add nope 1
+}
+""")
+
+    def test_undefined_target(self):
+        with pytest.raises(TypeCheckError, match="undefined target"):
+            _check("""module Main
+void f(int<64> x) {
+    y = int.add x 1
+}
+""")
+
+    def test_missing_required_target(self):
+        mb = ModuleBuilder("Main")
+        fb = mb.function("f", [("x", ht.INT64)], ht.VOID)
+        fb.emit("int.add", fb.var("x"), fb.const(ht.INT64, 1))
+        fb.ret()
+        with pytest.raises(TypeCheckError, match="requires a target"):
+            check_module(mb.finish())
+
+    def test_target_on_void_instruction(self):
+        mb = ModuleBuilder("Main")
+        fb = mb.function("f", [], ht.VOID)
+        out = fb.temp(ht.ANY)
+        fb.emit("return.void", target=out)
+        with pytest.raises(TypeCheckError, match="does not produce"):
+            check_module(mb.finish())
+
+    def test_operand_arity(self):
+        mb = ModuleBuilder("Main")
+        fb = mb.function("f", [("x", ht.INT64)], ht.VOID)
+        out = fb.temp(ht.INT64)
+        fb.emit("int.add", fb.var("x"), target=out)  # needs 2 operands
+        fb.ret()
+        with pytest.raises(TypeCheckError, match="expects 2 operands"):
+            check_module(mb.finish())
+
+    def test_operand_kind_mismatch(self):
+        mb = ModuleBuilder("Main")
+        fb = mb.function("f", [("s", ht.STRING)], ht.VOID)
+        out = fb.temp(ht.INT64)
+        fb.emit("int.add", fb.var("s"), fb.const(ht.INT64, 1), target=out)
+        fb.ret()
+        with pytest.raises(TypeCheckError, match="kind 'int'"):
+            check_module(mb.finish())
+
+    def test_branch_to_unknown_block(self):
+        mb = ModuleBuilder("Main")
+        fb = mb.function("f", [], ht.VOID)
+        fb.jump("nowhere")
+        with pytest.raises(TypeCheckError, match="unknown block"):
+            check_module(mb.finish())
+
+    def test_value_function_must_return(self):
+        with pytest.raises(TypeCheckError, match="fall off"):
+            _check("""module Main
+int<64> f() {
+    local int<64> x
+    x = 1
+}
+""")
+
+    def test_terminator_mid_block_rejected(self):
+        mb = ModuleBuilder("Main")
+        fb = mb.function("f", [], ht.VOID)
+        fb.ret()
+        fb.emit("return.void")
+        with pytest.raises(TypeCheckError, match="mid-block"):
+            check_module(mb.finish())
+
+
+class TestLinker:
+    def test_cross_module_calls(self):
+        lib = parse_module("""module Lib
+int<64> double(int<64> x) {
+    local int<64> r
+    r = int.mul x 2
+    return r
+}
+""")
+        main = parse_module("""module Main
+int<64> run() {
+    local int<64> r
+    r = call Lib::double(21)
+    return r
+}
+""")
+        program = hiltic([lib, main])
+        assert program.run(args=[]) == 42
+
+    def test_thread_local_layout_spans_modules(self):
+        a = parse_module("module A\nglobal int<64> x = 1\n")
+        b = parse_module("module B\nglobal int<64> y = 2\n")
+        linked = link([a, b])
+        assert linked.global_slot("A::x") == 0
+        assert linked.global_slot("B::y") == 1
+
+    def test_duplicate_global_rejected(self):
+        a = parse_module("module A\nglobal int<64> x\n")
+        with pytest.raises(LinkError):
+            link([a, parse_module("module A\nglobal int<64> x\n")])
+
+    def test_hooks_merge_across_modules(self):
+        a = parse_module("""module A
+global int<64> count
+hook void tick() {
+    count = int.incr count
+}
+""")
+        b = parse_module("""module B
+hook void A::tick() {
+    return
+}
+""")
+        linked = link([a, b])
+        assert len(linked.hooks["A::tick"]) == 2
+
+    def test_unresolved_function(self):
+        main = parse_module("""module Main
+void run() {
+    call NoSuch::fn()
+}
+""")
+        with pytest.raises(LinkError, match="unresolved function"):
+            hiltic([main])
+
+    def test_native_resolution(self):
+        main = parse_module("""module Main
+int<64> run() {
+    local int<64> r
+    r = call Host::fn()
+    return r
+}
+""")
+        program = hiltic([main], natives={"Host::fn": lambda ctx: 7})
+        assert program.run() == 7
+
+
+class TestStubs:
+    def test_stub_call_and_errors(self):
+        from repro.core.stubs import make_stub
+
+        src = """module Main
+int<64> f(int<64> x) {
+    local int<64> r
+    r = int.div 100 x
+    return r
+}
+"""
+        program = hiltic([src])
+        ctx = program.make_context()
+        stub = make_stub(program, "Main::f")
+        assert stub(ctx, 4) == 25
+        result = stub.call_checked(ctx, 0)
+        assert result.raised
+        assert "DivisionByZero" in result.error.except_type.type_name
+
+    def test_stub_fiber_resume(self):
+        src = """module Main
+int<64> f() {
+    yield
+    return 5
+}
+"""
+        program = hiltic([src])
+        ctx = program.make_context()
+        from repro.core.stubs import Stub
+
+        stub = Stub(program, "Main::f")
+        result = stub.start(ctx)
+        assert result.suspended
+        result = Stub.resume(result)
+        assert not result.suspended
+        assert result.value == 5

@@ -1,0 +1,94 @@
+"""Watchpoints — the paper's footnote-4 extension.
+
+"We plan to add watchpoints to HILTI to support [Bro's `when`
+statement, triggering script code asynchronously once a specified global
+condition becomes true]."  Implemented here: ``watchpoint.add``
+registers (predicate, action) callables; ``watchpoint.check`` (or the
+host-side ``check_watchpoints``) evaluates them, firing each action
+exactly once when its predicate turns true.
+"""
+
+import pytest
+
+from repro.core import hiltic
+
+_SRC = """module Main
+import Hilti
+
+global int<64> counter
+global int<64> fired_at
+
+bool threshold_reached() {
+    local bool b
+    b = int.ge counter 3
+    return b
+}
+
+void on_threshold() {
+    fired_at = counter
+}
+
+void arm() {
+    local ref<callable<any>> p
+    local ref<callable<any>> a
+    p = callable.bind threshold_reached ()
+    a = callable.bind on_threshold ()
+    watchpoint.add p a
+}
+
+void bump_and_check() {
+    counter = int.incr counter
+    watchpoint.check
+}
+
+int<64> get_fired_at() {
+    return fired_at
+}
+"""
+
+
+@pytest.fixture(params=["compiled", "interpreted"])
+def program(request):
+    return hiltic([_SRC], tier=request.param)
+
+
+class TestWatchpoints:
+    def test_fires_once_when_condition_becomes_true(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::arm")
+        for __ in range(6):
+            program.call(ctx, "Main::bump_and_check")
+        # Fired exactly when counter hit 3, not re-fired later.
+        assert program.call(ctx, "Main::get_fired_at") == 3
+
+    def test_not_fired_before_condition(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::arm")
+        program.call(ctx, "Main::bump_and_check")
+        assert program.call(ctx, "Main::get_fired_at") == 0
+        assert len(ctx.watchpoints) == 1  # still armed
+
+    def test_fired_watchpoints_removed(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::arm")
+        for __ in range(4):
+            program.call(ctx, "Main::bump_and_check")
+        assert ctx.watchpoints == []
+
+    def test_host_side_check(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::arm")
+        for __ in range(5):
+            program.call(ctx, "Main::bump_and_check")
+        # Arm again and drive the check from the host instead.
+        program.call(ctx, "Main::arm")
+        assert program.check_watchpoints(ctx) == 1
+        assert program.call(ctx, "Main::get_fired_at") == 5
+
+    def test_multiple_watchpoints_independent(self, program):
+        ctx = program.make_context()
+        program.call(ctx, "Main::arm")
+        program.call(ctx, "Main::arm")
+        for __ in range(3):
+            program.call(ctx, "Main::bump_and_check")
+        assert ctx.watchpoints == []  # both fired and were removed

@@ -1,0 +1,91 @@
+"""§7 "Global State": the master-thread pattern over channels.
+
+"Host applications can generally deploy message passing for
+communication between threads, and potentially designate a single
+'master' thread for managing state that requires global visibility."
+Worker vthreads process their share and report results over a channel;
+vthread 0 — the master — aggregates.  No shared mutable state anywhere,
+and the channel deep-copies every message.
+"""
+
+from repro.core import hiltic
+from repro.runtime.channels import Channel
+from repro.runtime.threads import Scheduler
+
+_SRC = """module Main
+import Hilti
+
+global int<64> local_count
+global ref<channel<any>> report_channel
+global int<64> master_total
+
+void set_channel(ref<channel<any>> c) {
+    report_channel = c
+}
+
+void work(int<64> amount) {
+    local_count = int.add local_count amount
+}
+
+void report() {
+    channel.write report_channel local_count
+}
+
+void collect() {
+    local int<64> size
+    size = channel.size report_channel
+head:
+    local bool empty
+    empty = int.eq size 0
+    if.else empty done take
+take:
+    local int<64> v
+    v = channel.read report_channel
+    master_total = int.add master_total v
+    size = int.decr size
+    jump head
+done:
+    return
+}
+
+int<64> get_master_total() {
+    return master_total
+}
+"""
+
+
+class TestMasterThreadPattern:
+    def test_workers_report_to_master_over_channel(self):
+        program = hiltic([_SRC])
+        scheduler = Scheduler(program, workers=3)
+        channel = Channel()
+        workers = range(1, 9)
+        # The channel object is shared by handing it to each vthread
+        # explicitly (channels are the sanctioned cross-thread type).
+        for vid in workers:
+            ctx = scheduler.context_for(vid)
+            program.call(ctx, "Main::set_channel", [channel])
+        master = scheduler.context_for(0)
+        program.call(master, "Main::set_channel", [channel])
+
+        for vid in workers:
+            for __ in range(vid):  # vthread v does v units of work
+                scheduler.schedule(vid, "Main::work", (1,))
+        scheduler.run_until_idle()
+        for vid in workers:
+            scheduler.schedule(vid, "Main::report", ())
+        scheduler.run_until_idle()
+
+        program.call(master, "Main::collect")
+        assert program.call(master, "Main::get_master_total") == \
+            sum(workers)
+
+    def test_thread_locals_stay_private(self):
+        program = hiltic([_SRC])
+        scheduler = Scheduler(program, workers=2)
+        scheduler.schedule(1, "Main::work", (5,))
+        scheduler.schedule(2, "Main::work", (7,))
+        scheduler.run_until_idle()
+        slot = program.linked.global_slot("Main::local_count")
+        assert scheduler.context_for(1).globals[slot] == 5
+        assert scheduler.context_for(2).globals[slot] == 7

@@ -1,0 +1,142 @@
+"""Wire formats and pcap trace files."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.values import Addr, Time
+from repro.net.packet import (
+    ACK,
+    SYN,
+    EthernetFrame,
+    IPv4Packet,
+    PacketError,
+    TCPSegment,
+    UDPDatagram,
+    build_tcp_packet,
+    build_udp_packet,
+    checksum16,
+    parse_ethernet,
+)
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert checksum16(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert checksum16(b"\xff") == checksum16(b"\xff\x00")
+
+    def test_header_checksum_validates(self):
+        packet = IPv4Packet(Addr("1.2.3.4"), Addr("5.6.7.8"), 6, b"")
+        raw = packet.build()
+        # Re-checksumming a valid header yields zero.
+        assert checksum16(raw[:20]) == 0
+
+
+class TestRoundTrips:
+    def test_tcp_frame(self):
+        frame = build_tcp_packet(
+            Addr("10.0.0.1"), Addr("10.0.0.2"), 1234, 80,
+            seq=1000, ack=2000, flags=SYN | ACK, payload=b"hello",
+        )
+        ip, tcp = parse_ethernet(frame)
+        assert ip.src == Addr("10.0.0.1")
+        assert ip.protocol == 6
+        assert tcp.src_port == 1234
+        assert tcp.dst_port == 80
+        assert tcp.seq == 1000
+        assert tcp.syn and tcp.is_ack
+        assert tcp.payload == b"hello"
+
+    def test_udp_frame(self):
+        frame = build_udp_packet(
+            Addr("10.0.0.1"), Addr("8.8.8.8"), 5353, 53, payload=b"query",
+        )
+        ip, udp = parse_ethernet(frame)
+        assert ip.protocol == 17
+        assert udp.dst_port == 53
+        assert udp.payload == b"query"
+
+    def test_non_ip_rejected(self):
+        frame = EthernetFrame(b"payload", ethertype=0x0806).build()  # ARP
+        with pytest.raises(PacketError):
+            parse_ethernet(frame)
+
+    def test_truncated_frames(self):
+        with pytest.raises(PacketError):
+            EthernetFrame.parse(b"short")
+        with pytest.raises(PacketError):
+            IPv4Packet.parse(b"\x45\x00")
+        with pytest.raises(PacketError):
+            TCPSegment.parse(b"\x00" * 10)
+        with pytest.raises(PacketError):
+            UDPDatagram.parse(b"\x00" * 4)
+
+    @given(st.binary(max_size=100),
+           st.integers(0, 65535), st.integers(0, 65535))
+    def test_tcp_payload_preserved(self, payload, sport, dport):
+        frame = build_tcp_packet(
+            Addr("1.1.1.1"), Addr("2.2.2.2"), sport, dport, payload=payload,
+        )
+        __, tcp = parse_ethernet(frame)
+        assert tcp.payload == payload
+        assert tcp.src_port == sport
+
+
+class TestPcap:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        packets = [
+            (Time(1.5), b"packet-one"),
+            (Time(2.000001), b"packet-two"),
+        ]
+        assert write_pcap(path, packets) == 2
+        back = read_pcap(path)
+        assert len(back) == 2
+        assert back[0][1] == b"packet-one"
+        assert abs(back[0][0].seconds - 1.5) < 1e-5
+        assert abs(back[1][0].seconds - 2.000001) < 1e-5
+
+    def test_nanosecond_variant(self, tmp_path):
+        path = str(tmp_path / "n.pcap")
+        t = Time.from_nanos(1_000_000_123)
+        write_pcap(path, [(t, b"x")], nanos=True)
+        back = read_pcap(path)
+        assert back[0][0].nanos == 1_000_000_123
+
+    def test_big_endian_reader(self, tmp_path):
+        path = str(tmp_path / "be.pcap")
+        with open(path, "wb") as f:
+            f.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                65535, 1))
+            f.write(struct.pack(">IIII", 10, 500000, 3, 3))
+            f.write(b"abc")
+        with PcapReader(path) as reader:
+            packets = list(reader)
+        assert packets[0][1] == b"abc"
+        assert abs(packets[0][0].seconds - 10.5) < 1e-6
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.pcap")
+        with open(path, "wb") as f:
+            f.write(b"\x00" * 24)
+        from repro.net.pcap import PcapError
+
+        with pytest.raises(PcapError):
+            PcapReader(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = str(tmp_path / "trunc.pcap")
+        with PcapWriter(path) as writer:
+            writer.write(Time(1.0), b"full-packet")
+        data = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(data[:-4])
+        from repro.net.pcap import PcapError
+
+        with pytest.raises(PcapError):
+            read_pcap(path)

@@ -1,0 +1,147 @@
+"""TCP stream reassembly under reordering, overlap, and loss."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import ACK, FIN, PSH, SYN, TCPSegment
+from repro.net.reassembly import ConnectionReassembler, StreamReassembler
+
+
+class TestStream:
+    def test_in_order(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        assert s.feed(100, b"abc") == b"abc"
+        assert s.feed(103, b"def") == b"def"
+
+    def test_out_of_order_buffered(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        assert s.feed(103, b"def") == b""
+        assert s.feed(100, b"abc") == b"abcdef"
+        assert s.out_of_order_segments == 1
+
+    def test_retransmission_dropped(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        s.feed(100, b"abcdef")
+        assert s.feed(100, b"abcdef") == b""
+        assert s.feed(103, b"defghi") == b"ghi"  # overlap trimmed
+
+    def test_sequence_wraparound(self):
+        s = StreamReassembler()
+        start = (1 << 32) - 3
+        s.on_syn(start - 1)
+        assert s.feed(start, b"abc") == b"abc"
+        assert s.feed(0, b"def") == b"def"
+
+    def test_gap_skip(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        s.feed(100, b"abc")
+        s.feed(110, b"xyz")  # hole at 103..109
+        assert s.pending_bytes() == 3
+        skipped = s.skip_gap()
+        assert skipped == 7
+        assert s.feed(113, b"") == b""
+        # After the skip the pending segment drains on the next feed.
+        assert s.feed(110, b"xyz") == b"xyz"
+
+    def test_mid_stream_pickup(self):
+        s = StreamReassembler()
+        assert s.feed(5000, b"data") == b"data"
+
+
+class TestConnection:
+    @staticmethod
+    def _handshake(conn):
+        conn.feed_segment(True, TCPSegment(1, 2, seq=100, flags=SYN))
+        conn.feed_segment(False, TCPSegment(2, 1, seq=500, ack=101,
+                                            flags=SYN | ACK))
+        conn.feed_segment(True, TCPSegment(1, 2, seq=101, ack=501,
+                                           flags=ACK))
+
+    def test_established_event(self):
+        events = []
+        conn = ConnectionReassembler(
+            on_established=lambda: events.append("est"),
+        )
+        self._handshake(conn)
+        assert conn.established
+        assert events == ["est"]
+
+    def test_data_delivery(self):
+        chunks = []
+        conn = ConnectionReassembler(
+            on_data=lambda is_orig, data: chunks.append((is_orig, data)),
+        )
+        self._handshake(conn)
+        conn.feed_segment(True, TCPSegment(1, 2, seq=101, ack=501,
+                                           flags=ACK | PSH,
+                                           payload=b"GET /"))
+        conn.feed_segment(False, TCPSegment(2, 1, seq=501, ack=106,
+                                            flags=ACK | PSH,
+                                            payload=b"200 OK"))
+        assert chunks == [(True, b"GET /"), (False, b"200 OK")]
+
+    def test_fin_both_sides_closes(self):
+        closed = []
+        conn = ConnectionReassembler(on_close=lambda: closed.append(1))
+        self._handshake(conn)
+        conn.feed_segment(True, TCPSegment(1, 2, seq=101, ack=501,
+                                           flags=FIN | ACK))
+        assert not conn.closed
+        conn.feed_segment(False, TCPSegment(2, 1, seq=501, ack=102,
+                                            flags=FIN | ACK))
+        assert conn.closed
+        assert closed == [1]
+
+    def test_rst_closes_immediately(self):
+        conn = ConnectionReassembler()
+        self._handshake(conn)
+        from repro.net.packet import RST
+
+        conn.feed_segment(True, TCPSegment(1, 2, seq=101, flags=RST))
+        assert conn.closed
+
+
+class TestReorderingProperty:
+    @given(st.binary(min_size=1, max_size=300), st.integers(0, 2**31),
+           st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_any_order_reassembles(self, payload, isn, rng):
+        """Segments delivered in any order reassemble to the stream."""
+        mss = 7
+        segments = []
+        seq = (isn + 1) % (1 << 32)
+        for i in range(0, len(payload), mss):
+            segments.append((seq, payload[i:i + mss]))
+            seq = (seq + len(payload[i:i + mss])) % (1 << 32)
+        rng.shuffle(segments)
+        s = StreamReassembler()
+        s.on_syn(isn)
+        out = bytearray()
+        for seg_seq, chunk in segments:
+            out.extend(s.feed(seg_seq, chunk))
+        assert bytes(out) == payload
+
+    @given(st.binary(min_size=1, max_size=200), st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_duplicates_do_not_corrupt(self, payload, rng):
+        mss = 5
+        segments = []
+        seq = 100
+        for i in range(0, len(payload), mss):
+            segments.append((seq, payload[i:i + mss]))
+            seq += len(payload[i:i + mss])
+        # Deliver everything twice in random order.
+        doubled = segments + segments
+        rng.shuffle(doubled)
+        s = StreamReassembler()
+        s.on_syn(99)
+        out = bytearray()
+        for seg_seq, chunk in doubled:
+            out.extend(s.feed(seg_seq, chunk))
+        assert bytes(out) == payload

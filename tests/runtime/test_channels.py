@@ -1,0 +1,79 @@
+"""Channels: isolation through deep copies, capacity, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.runtime.channels import Channel, deep_copy_value
+from repro.runtime.containers import HiltiMap
+from repro.runtime.exceptions import HiltiError
+
+
+class TestChannel:
+    def test_fifo(self):
+        c = Channel()
+        c.write(1)
+        c.write(2)
+        assert c.read() == 1
+        assert c.read() == 2
+
+    def test_capacity(self):
+        c = Channel(capacity=1)
+        c.write_try("a")
+        with pytest.raises(HiltiError):
+            c.write_try("b")
+        assert c.read_try() == "a"
+        c.write_try("b")
+
+    def test_read_empty_raises(self):
+        with pytest.raises(HiltiError):
+            Channel().read_try()
+
+    def test_receiver_modifications_invisible_to_sender(self):
+        c = Channel()
+        original = HiltiMap()
+        original.insert("k", 1)
+        c.write(original)
+        received = c.read()
+        received.insert("k", 999)
+        assert original.get("k") == 1
+
+    def test_sender_modifications_invisible_to_receiver(self):
+        c = Channel()
+        original = HiltiMap()
+        original.insert("k", 1)
+        c.write(original)
+        original.insert("k", 999)
+        assert c.read().get("k") == 1
+
+    def test_cross_thread(self):
+        c = Channel(capacity=4)
+        out = []
+
+        def consumer():
+            for __ in range(100):
+                out.append(c.read(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        for i in range(100):
+            c.write(i, timeout=5.0)
+        thread.join()
+        assert out == list(range(100))
+
+
+class TestDeepCopy:
+    def test_scalars_pass_through(self):
+        from repro.core.values import Addr, Time
+
+        for value in (1, "x", b"y", 1.5, True, None, Addr("1.2.3.4"),
+                      Time(5.0)):
+            assert deep_copy_value(value) is value or \
+                deep_copy_value(value) == value
+
+    def test_tuples_recursed(self):
+        m = HiltiMap()
+        m.insert("a", 1)
+        copied = deep_copy_value((m, 5))
+        copied[0].insert("a", 2)
+        assert m.get("a") == 1

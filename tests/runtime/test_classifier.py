@@ -1,0 +1,114 @@
+"""Packet classification: linear (the paper's) and trie implementations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.values import Addr, Network, Port
+from repro.runtime.classifier import (
+    LinearClassifier,
+    TrieClassifier,
+    make_classifier,
+)
+from repro.runtime.exceptions import HiltiError
+
+
+def _build(cls):
+    c = cls(2)
+    c.add((Network("10.3.2.1/32"), Network("10.1.0.0/16")), True)
+    c.add((Network("10.12.0.0/16"), Network("10.1.0.0/16")), False)
+    c.add((Network("10.1.6.0/24"), None), True)
+    c.add((Network("10.1.7.0/24"), None), True)
+    c.compile()
+    return c
+
+
+@pytest.mark.parametrize("cls", [LinearClassifier, TrieClassifier])
+class TestFirstMatch:
+    def test_exact_rule(self, cls):
+        c = _build(cls)
+        assert c.get((Addr("10.3.2.1"), Addr("10.1.99.1"))) is True
+
+    def test_deny_rule(self, cls):
+        c = _build(cls)
+        assert c.get((Addr("10.12.5.5"), Addr("10.1.0.9"))) is False
+
+    def test_wildcard_rule(self, cls):
+        c = _build(cls)
+        assert c.get((Addr("10.1.6.200"), Addr("8.8.8.8"))) is True
+
+    def test_no_match_raises(self, cls):
+        c = _build(cls)
+        with pytest.raises(HiltiError):
+            c.get((Addr("1.2.3.4"), Addr("5.6.7.8")))
+        assert not c.matches((Addr("1.2.3.4"), Addr("5.6.7.8")))
+
+    def test_order_decides(self, cls):
+        c = cls(1)
+        c.add((Network("10.0.0.0/8"),), "first")
+        c.add((Network("10.1.0.0/16"),), "second")
+        c.compile()
+        # 10.1.x matches both; the earlier (less specific!) rule wins —
+        # first-match, not best-match semantics.
+        assert c.get((Addr("10.1.2.3"),)) == "first"
+
+
+class TestDiscipline:
+    def test_add_after_compile_rejected(self):
+        c = LinearClassifier(1)
+        c.compile()
+        with pytest.raises(HiltiError):
+            c.add((None,), True)
+
+    def test_get_before_compile_rejected(self):
+        c = LinearClassifier(1)
+        c.add((None,), True)
+        with pytest.raises(HiltiError):
+            c.get((Addr("1.1.1.1"),))
+
+    def test_field_count_checked(self):
+        c = LinearClassifier(2)
+        with pytest.raises(HiltiError):
+            c.add((None,), True)
+
+    def test_factory(self):
+        assert isinstance(make_classifier(1, "linear"), LinearClassifier)
+        assert isinstance(make_classifier(1, "trie"), TrieClassifier)
+        with pytest.raises(HiltiError):
+            make_classifier(1, "hash")
+
+    def test_exact_value_fields(self):
+        c = LinearClassifier(2)
+        c.add((Network("10.0.0.0/8"), Port(80, "tcp")), "web")
+        c.compile()
+        assert c.get((Addr("10.9.9.9"), Port(80, "tcp"))) == "web"
+        assert not c.matches((Addr("10.9.9.9"), Port(443, "tcp")))
+
+
+_nets = st.builds(
+    lambda value, length: Network(Addr.from_v4_int(value), length),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+_rules = st.lists(
+    st.tuples(st.one_of(st.none(), _nets), st.one_of(st.none(), _nets),
+              st.integers()),
+    min_size=0, max_size=15,
+)
+_addrs = st.builds(Addr.from_v4_int,
+                   st.integers(min_value=0, max_value=(1 << 32) - 1))
+
+
+class TestLinearTrieEquivalence:
+    @given(_rules, st.lists(st.tuples(_addrs, _addrs), max_size=10))
+    def test_same_results(self, rules, keys):
+        linear = LinearClassifier(2)
+        trie = TrieClassifier(2)
+        for src, dst, value in rules:
+            linear.add((src, dst), value)
+            trie.add((src, dst), value)
+        linear.compile()
+        trie.compile()
+        for key in keys:
+            a = linear.lookup(key)
+            b = trie.lookup(key)
+            assert a == b

@@ -1,0 +1,221 @@
+"""State-managed containers: maps, sets, lists, vectors, expiration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.values import Interval, Time
+from repro.runtime.containers import (
+    EXPIRE_ACCESS,
+    EXPIRE_CREATE,
+    HiltiList,
+    HiltiMap,
+    HiltiSet,
+    HiltiVector,
+)
+from repro.runtime.exceptions import HiltiError
+from repro.runtime.timers import TimerMgr
+
+
+class TestMap:
+    def test_insert_get(self):
+        m = HiltiMap()
+        m.insert("k", 1)
+        assert m.get("k") == 1
+        assert m.exists("k")
+        assert len(m) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(HiltiError):
+            HiltiMap().get("missing")
+
+    def test_default(self):
+        m = HiltiMap()
+        m.set_default(42)
+        assert m.get("anything") == 42
+
+    def test_get_default(self):
+        m = HiltiMap()
+        assert m.get_default("x", 7) == 7
+
+    def test_remove(self):
+        m = HiltiMap()
+        m.insert("k", 1)
+        m.remove("k")
+        assert not m.exists("k")
+        m.remove("k")  # idempotent
+
+    def test_tuple_keys(self):
+        m = HiltiMap()
+        m.insert(("a", 1), "v")
+        assert m.get(("a", 1)) == "v"
+
+    def test_iteration_returns_original_keys(self):
+        m = HiltiMap()
+        m.insert(("x", 2), 1)
+        assert list(m.keys()) == [("x", 2)]
+
+
+class TestSet:
+    def test_membership(self):
+        s = HiltiSet()
+        s.insert(5)
+        assert s.exists(5)
+        assert 5 in s
+        assert not s.exists(6)
+
+    def test_iteration_order(self):
+        s = HiltiSet()
+        for x in (3, 1, 2):
+            s.insert(x)
+        assert list(s) == [3, 1, 2]
+
+
+class TestExpiration:
+    def _mgr(self, start=0.0):
+        return TimerMgr(start=Time(start))
+
+    def test_create_strategy_expires(self):
+        mgr = self._mgr()
+        s = HiltiSet()
+        s.set_timeout(EXPIRE_CREATE, Interval(10), mgr)
+        s.insert("a")
+        mgr.advance(Time(5.0))
+        assert s.exists("a")
+        mgr.advance(Time(10.0))
+        assert not s.exists("a")
+
+    def test_access_strategy_restarts_clock(self):
+        mgr = self._mgr()
+        s = HiltiSet()
+        s.set_timeout(EXPIRE_ACCESS, Interval(10), mgr)
+        s.insert("a")
+        mgr.advance(Time(8.0))
+        assert s.exists("a")  # the read restamps
+        mgr.advance(Time(16.0))
+        assert s.exists("a")  # survived because of the access at t=8
+        mgr.advance(Time(26.0))
+        assert not s.exists("a")
+
+    def test_create_strategy_ignores_access(self):
+        mgr = self._mgr()
+        s = HiltiSet()
+        s.set_timeout(EXPIRE_CREATE, Interval(10), mgr)
+        s.insert("a")
+        mgr.advance(Time(8.0))
+        assert s.exists("a")
+        mgr.advance(Time(10.0))
+        assert not s.exists("a")
+
+    def test_map_expiry_with_hook(self):
+        mgr = self._mgr()
+        m = HiltiMap()
+        m.set_timeout(EXPIRE_CREATE, Interval(5), mgr)
+        expired = []
+        m.on_expire(expired.append)
+        m.insert("a", 1)
+        m.insert("b", 2)
+        mgr.advance(Time(100.0))
+        assert len(m) == 0
+        assert sorted(expired) == ["a", "b"]
+
+    def test_qualified_strategy_name(self):
+        mgr = self._mgr()
+        s = HiltiSet()
+        s.set_timeout("ExpireStrategy::Access", Interval(1), mgr)
+        s.insert("x")
+        assert s.exists("x")
+
+    def test_bad_strategy(self):
+        with pytest.raises(HiltiError):
+            HiltiSet().set_timeout("Wat", Interval(1), self._mgr())
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 100)),
+                    min_size=1, max_size=30))
+    def test_expiration_invariant(self, inserts):
+        """After advancing to T, only entries inserted after T - timeout
+        survive under the Create strategy."""
+        timeout = 20
+        mgr = self._mgr()
+        m = HiltiMap()
+        m.set_timeout(EXPIRE_CREATE, Interval(timeout), mgr)
+        now = 0
+        stamps = {}
+        for key, at in inserts:
+            at = max(at, now)  # time is monotonic
+            now = at
+            mgr.advance(Time(float(at)))
+            m.insert(key, at)
+            stamps[key] = at
+        final = now + 25
+        mgr.advance(Time(float(final)))
+        for key, stamp in stamps.items():
+            assert not m.exists(key) or final - stamp < timeout
+
+
+class TestList:
+    def test_push_pop(self):
+        l = HiltiList()
+        l.push_back(1)
+        l.push_back(2)
+        l.push_front(0)
+        assert list(l) == [0, 1, 2]
+        assert l.pop_front() == 0
+        assert l.pop_back() == 2
+        assert len(l) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(HiltiError):
+            HiltiList().pop_front()
+
+    def test_iterators_survive_other_erase(self):
+        l = HiltiList([1, 2, 3])
+        it = l.begin().incr()  # points at 2
+        first = l.begin()
+        l.erase(first)
+        assert it.deref() == 2
+        assert list(l) == [2, 3]
+
+    def test_erase_invalidates_own_iterator(self):
+        l = HiltiList([1])
+        it = l.begin()
+        l.erase(it)
+        with pytest.raises(HiltiError):
+            it.deref()
+
+    def test_insert_before(self):
+        l = HiltiList([1, 3])
+        it = l.begin().incr()
+        l.insert_before(it, 2)
+        assert list(l) == [1, 2, 3]
+
+    def test_insert_before_end_appends(self):
+        l = HiltiList([1])
+        l.insert_before(l.end(), 2)
+        assert list(l) == [1, 2]
+
+    @given(st.lists(st.integers(), max_size=25))
+    def test_matches_python_list(self, items):
+        l = HiltiList(items)
+        assert list(l) == items
+        assert len(l) == len(items)
+
+
+class TestVector:
+    def test_get_set(self):
+        v = HiltiVector(default=0)
+        v.set(3, 42)
+        assert len(v) == 4
+        assert v.get(3) == 42
+        assert v.get(0) == 0
+
+    def test_out_of_range(self):
+        v = HiltiVector()
+        with pytest.raises(HiltiError):
+            v.get(0)
+        with pytest.raises(HiltiError):
+            v.set(-1, 0)
+
+    def test_push_back(self):
+        v = HiltiVector()
+        v.push_back("a")
+        assert list(v) == ["a"]

@@ -1,0 +1,167 @@
+"""Fibers (suspend/resume) and the virtual-thread scheduler."""
+
+import pytest
+
+from repro.core import hiltic
+from repro.core.values import Addr
+from repro.runtime.exceptions import HiltiError
+from repro.runtime.fibers import Fiber, FiberStats, YIELDED
+from repro.runtime.threads import Scheduler
+
+_COUNTER_SRC = """module Main
+import Hilti
+
+global int<64> counter
+
+void bump(int<64> amount) {
+    counter = int.add counter amount
+}
+
+int<64> get_counter() {
+    return counter
+}
+
+void fan_out() {
+    thread.schedule bump (1) 7
+    thread.schedule bump (2) 7
+    thread.schedule bump (5) 12
+}
+"""
+
+_YIELDING_SRC = """module Main
+import Hilti
+
+int<64> stepper() {
+    local int<64> x
+    x = 1
+    yield
+    x = int.add x 10
+    yield
+    x = int.add x 100
+    return x
+}
+"""
+
+
+class TestFibers:
+    def test_generator_fiber(self):
+        def gen():
+            yield
+            yield
+            return 42
+
+        fiber = Fiber(gen())
+        assert fiber.resume() is YIELDED
+        assert not fiber.done
+        assert fiber.resume() is YIELDED
+        assert fiber.resume() == 42
+        assert fiber.done
+        assert fiber.result == 42
+
+    def test_resume_after_done_raises(self):
+        def gen():
+            return 1
+            yield
+
+        fiber = Fiber(gen())
+        fiber.resume()
+        with pytest.raises(HiltiError):
+            fiber.resume()
+
+    def test_stats(self):
+        stats = FiberStats()
+
+        def gen():
+            yield
+            return None
+
+        fiber = Fiber(gen(), stats=stats)
+        fiber.resume()
+        fiber.resume()
+        assert stats.created == 1
+        assert stats.switches == 2
+        assert stats.completed == 1
+
+    def test_abort(self):
+        def gen():
+            yield
+            return 1
+
+        fiber = Fiber(gen())
+        fiber.resume()
+        fiber.abort()
+        assert fiber.done
+
+    def test_hilti_yield_suspends(self):
+        program = hiltic([_YIELDING_SRC])
+        ctx = program.make_context()
+        fiber = program.call_fiber(ctx, "Main::stepper")
+        assert fiber.resume() is YIELDED
+        assert fiber.resume() is YIELDED
+        assert fiber.resume() == 111
+
+
+class TestScheduler:
+    def test_jobs_update_vthread_locals(self):
+        program = hiltic([_COUNTER_SRC])
+        scheduler = Scheduler(program, workers=2)
+        scheduler.schedule(7, "Main::bump", (1,))
+        scheduler.schedule(7, "Main::bump", (2,))
+        scheduler.schedule(12, "Main::bump", (5,))
+        assert scheduler.run_until_idle() == 3
+        ctx7 = scheduler.context_for(7)
+        ctx12 = scheduler.context_for(12)
+        assert program.call(ctx7, "Main::get_counter") == 3
+        assert program.call(ctx12, "Main::get_counter") == 5
+
+    def test_thread_schedule_instruction(self):
+        program = hiltic([_COUNTER_SRC])
+        scheduler = Scheduler(program, workers=3)
+        ctx = scheduler.context_for(0)
+        program.call(ctx, "Main::fan_out")
+        scheduler.run_until_idle()
+        assert program.call(
+            scheduler.context_for(7), "Main::get_counter") == 3
+        assert program.call(
+            scheduler.context_for(12), "Main::get_counter") == 5
+
+    def test_same_vthread_serializes(self):
+        program = hiltic([_COUNTER_SRC])
+        scheduler = Scheduler(program, workers=4)
+        for __ in range(50):
+            scheduler.schedule(3, "Main::bump", (1,))
+        scheduler.run_until_idle()
+        assert program.call(
+            scheduler.context_for(3), "Main::get_counter") == 50
+
+    def test_threaded_mode_matches_deterministic(self):
+        program = hiltic([_COUNTER_SRC])
+        scheduler = Scheduler(program, workers=3)
+        for vid in range(9):
+            for __ in range(10):
+                scheduler.schedule(vid, "Main::bump", (1,))
+        executed = scheduler.run_threaded()
+        assert executed == 90
+        for vid in range(9):
+            assert program.call(
+                scheduler.context_for(vid), "Main::get_counter") == 10
+
+    def test_worker_of_is_stable(self):
+        program = hiltic([_COUNTER_SRC])
+        scheduler = Scheduler(program, workers=4)
+        assert scheduler.worker_of(7) == scheduler.worker_of(7)
+        assert scheduler.worker_of(4) == scheduler.worker_of(8)
+
+    def test_errors_collected_not_fatal(self):
+        bad = """module Main
+import Hilti
+void boom() {
+    local int<64> x
+    x = int.div 1 0
+}
+"""
+        program = hiltic([bad])
+        scheduler = Scheduler(program, workers=1)
+        scheduler.schedule(0, "Main::boom", ())
+        scheduler.run_until_idle()
+        assert len(scheduler.errors) == 1

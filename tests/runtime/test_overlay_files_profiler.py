@@ -1,0 +1,181 @@
+"""Overlays/unpacking, file output, profilers, allocation stats."""
+
+import os
+
+import pytest
+
+from repro.core import types as ht
+from repro.runtime.bytes_buffer import Bytes
+from repro.runtime.exceptions import HiltiError
+from repro.runtime.files import FileManager, HiltiFile
+from repro.runtime.memory import AllocationStats
+from repro.runtime.overlay import OverlayInstance, unpack_value
+from repro.runtime.profiler import Profiler, ProfilerRegistry
+
+
+def _ip_header_overlay() -> ht.OverlayT:
+    """The paper's Figure 4 IP::Header overlay."""
+    return ht.OverlayT("IP::Header", [
+        ht.OverlayField("version", ht.INT8, 0,
+                        ht.UnpackFormat("UInt8InBigEndian", (4, 7))),
+        ht.OverlayField("hdr_len", ht.INT8, 0,
+                        ht.UnpackFormat("UInt8InBigEndian", (0, 3))),
+        ht.OverlayField("src", ht.ADDR, 12,
+                        ht.UnpackFormat("IPv4InNetworkOrder")),
+        ht.OverlayField("dst", ht.ADDR, 16,
+                        ht.UnpackFormat("IPv4InNetworkOrder")),
+    ])
+
+
+def _sample_ip_packet() -> Bytes:
+    header = bytearray(20)
+    header[0] = 0x45  # version 4, IHL 5
+    header[12:16] = bytes([192, 168, 1, 1])
+    header[16:20] = bytes([10, 0, 0, 7])
+    b = Bytes(bytes(header))
+    b.freeze()
+    return b
+
+
+class TestOverlay:
+    def test_figure4_fields(self):
+        overlay = OverlayInstance(_ip_header_overlay())
+        overlay.attach(_sample_ip_packet())
+        assert overlay.get("version") == 4
+        assert overlay.get("hdr_len") == 5
+        assert str(overlay.get("src")) == "192.168.1.1"
+        assert str(overlay.get("dst")) == "10.0.0.7"
+
+    def test_detached_get_raises(self):
+        overlay = OverlayInstance(_ip_header_overlay())
+        with pytest.raises(HiltiError):
+            overlay.get("src")
+
+    def test_unknown_field(self):
+        overlay = OverlayInstance(_ip_header_overlay())
+        overlay.attach(_sample_ip_packet())
+        with pytest.raises(ValueError):
+            overlay.get("nope")
+
+    def test_truncated_data_raises(self):
+        overlay = OverlayInstance(_ip_header_overlay())
+        short = Bytes(b"\x45\x00")
+        short.freeze()
+        overlay.attach(short)
+        with pytest.raises(HiltiError):
+            overlay.get("src")
+
+
+class TestUnpack:
+    def test_widths_and_endianness(self):
+        data = Bytes(b"\x01\x02\x03\x04\x05\x06\x07\x08")
+        data.freeze()
+        assert unpack_value(data, 0, ht.UnpackFormat("UInt16Big")) == 0x0102
+        assert unpack_value(data, 0, ht.UnpackFormat("UInt16Little")) == 0x0201
+        assert unpack_value(data, 0, ht.UnpackFormat("UInt32Big")) == 0x01020304
+        assert unpack_value(
+            data, 0, ht.UnpackFormat("UInt64Big")
+        ) == 0x0102030405060708
+
+    def test_signed(self):
+        data = Bytes(b"\xff\xff")
+        data.freeze()
+        assert unpack_value(data, 0, ht.UnpackFormat("Int16Big")) == -1
+
+    def test_port_formats(self):
+        data = Bytes(b"\x00\x50")
+        data.freeze()
+        port = unpack_value(data, 0, ht.UnpackFormat("PortTCP"))
+        assert port.number == 80 and port.protocol == "tcp"
+
+    def test_bits_extraction(self):
+        data = Bytes(b"\xAB")
+        data.freeze()
+        assert unpack_value(data, 0, ht.UnpackFormat("UInt8Big", (4, 7))) == 0xA
+        assert unpack_value(data, 0, ht.UnpackFormat("UInt8Big", (0, 3))) == 0xB
+
+    def test_bytes_fixed(self):
+        data = Bytes(b"abcdef")
+        data.freeze()
+        out = unpack_value(data, 1, ht.UnpackFormat("BytesFixed3"))
+        assert out == b"bcd"
+
+    def test_unknown_format(self):
+        data = Bytes(b"ab")
+        data.freeze()
+        with pytest.raises(HiltiError):
+            unpack_value(data, 0, ht.UnpackFormat("Complex128"))
+
+
+class TestFiles:
+    def test_serialized_writes(self, tmp_path):
+        manager = FileManager()
+        f = HiltiFile(manager)
+        path = str(tmp_path / "out" / "test.log")
+        f.open(path)
+        f.write("hello ")
+        f.write(b"world")
+        f.write_line("")
+        manager.flush()
+        manager.close_all()
+        assert open(path).read() == "hello world\n"
+
+    def test_write_closed_raises(self):
+        f = HiltiFile(FileManager())
+        with pytest.raises(HiltiError):
+            f.write("x")
+
+    def test_manager_thread(self, tmp_path):
+        manager = FileManager()
+        manager.start()
+        f = HiltiFile(manager)
+        path = str(tmp_path / "bg.log")
+        f.open(path)
+        for i in range(50):
+            f.write_line(str(i))
+        manager.stop()
+        manager.close_all()
+        lines = open(path).read().splitlines()
+        assert lines == [str(i) for i in range(50)]
+
+
+class TestProfiler:
+    def test_accumulates(self):
+        p = Profiler("test")
+        p.start(instructions=0, allocations=0)
+        p.stop(instructions=100, allocations=5)
+        assert p.instructions == 100
+        assert p.allocations == 5
+        assert p.wall_ns >= 0
+        assert p.updates == 1
+
+    def test_registry(self):
+        r = ProfilerRegistry()
+        assert r.get("a") is r.get("a")
+        assert r.exists("a") and not r.exists("b")
+        r.get("b").update(wall_ns=10)
+        report = r.report()
+        assert report["b"]["wall_ns"] == 10
+
+    def test_dump_format(self, tmp_path):
+        import io
+
+        r = ProfilerRegistry()
+        r.get("x").update(wall_ns=5, instructions=2)
+        out = io.StringIO()
+        r.dump(out)
+        assert out.getvalue().startswith("#profile x ")
+
+
+class TestAllocationStats:
+    def test_counters(self):
+        stats = AllocationStats()
+        stats.on_new()
+        stats.on_new()
+        stats.on_free()
+        assert stats.allocations == 2
+        assert stats.live == 1
+        snapshot = stats.snapshot()
+        assert snapshot["frees"] == 1
+        stats.reset()
+        assert stats.allocations == 0

@@ -1,0 +1,171 @@
+"""The regexp engine: anchored, incremental, and set matching."""
+
+import re as python_re
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.bytes_buffer import Bytes
+from repro.runtime.exceptions import HiltiError
+from repro.runtime.regexp import MATCH_FAIL, MATCH_NEED_MORE, RegExp
+
+
+def _frozen(data: bytes) -> Bytes:
+    b = Bytes(data)
+    b.freeze()
+    return b
+
+
+class TestAnchored:
+    def test_literal(self):
+        assert RegExp("abc").matches(b"abcdef") == 1
+        assert RegExp("abc").matches(b"xabc") == 0
+
+    def test_char_class(self):
+        r = RegExp(r"[a-z]+")
+        assert r.matches(b"hello world") == 1
+
+    def test_negated_class(self):
+        r = RegExp(r"[^ \t\r\n]+")
+        assert r.matches(b"token rest") == 1
+        assert r.matches(b" leading") == 0
+
+    def test_alternation(self):
+        r = RegExp(r"cat|dog")
+        assert r.matches(b"dogma") == 1
+        assert r.matches(b"bird") == 0
+
+    def test_repetition(self):
+        assert RegExp(r"a*b").matches(b"aaab") == 1
+        assert RegExp(r"a+b").matches(b"b") == 0
+        assert RegExp(r"a?b").matches(b"ab") == 1
+        assert RegExp(r"a{2,3}b").matches(b"aab") == 1
+        assert RegExp(r"a{2,3}b").matches(b"ab") == 0
+
+    def test_escapes(self):
+        assert RegExp(r"\d+\.\d+").matches(b"1.1 ") == 1
+        assert RegExp(r"\r?\n").matches(b"\r\n") == 1
+        assert RegExp(r"\r?\n").matches(b"\n") == 1
+        assert RegExp(r"\x41+").matches(b"AAA") == 1
+
+    def test_dot_excludes_newline(self):
+        assert RegExp(r".+").matches(b"ab\ncd") == 1
+        assert RegExp(r".").matches(b"\n") == 0
+
+    def test_longest_match(self):
+        r = RegExp(r"[0-9]+")
+        b = _frozen(b"12345x")
+        status, it = r.match_token(b, b.begin())
+        assert status == 1
+        assert it.offset == 5
+
+    def test_bad_patterns(self):
+        for bad in ("*a", "(unclosed", "[z-a]", "a{3,1}"):
+            with pytest.raises(HiltiError):
+                RegExp(bad)
+
+
+class TestSetMatching:
+    def test_ids_in_order(self):
+        r = RegExp(["GET", "POST", "HEAD"])
+        assert r.matches(b"POST /") == 2
+        assert r.matches(b"HEAD /") == 3
+        assert r.matches(b"PUT /") == 0
+
+    def test_lowest_id_wins_ties(self):
+        r = RegExp(["ab", "a[b]"])
+        assert r.matches(b"ab") == 1
+
+
+class TestIncremental:
+    def test_need_more_then_match(self):
+        r = RegExp(r"[a-z]+X")
+        b = Bytes(b"hel")
+        status, __ = r.match_token(b, b.begin())
+        assert status == MATCH_NEED_MORE
+        b.append(b"loX!")
+        status, it = r.match_token(b, b.begin())
+        assert status == 1
+        assert it.offset == 6
+
+    def test_frozen_end_resolves(self):
+        r = RegExp(r"[a-z]+")
+        b = Bytes(b"abc")
+        status, __ = r.match_token(b, b.begin())
+        assert status == MATCH_NEED_MORE  # could still grow
+        b.freeze()
+        status, it = r.match_token(b, b.begin())
+        assert status == 1 and it.offset == 3
+
+    def test_fail_fast_without_more_input(self):
+        r = RegExp(r"GET")
+        b = Bytes(b"PUT")
+        status, __ = r.match_token(b, b.begin())
+        assert status == MATCH_FAIL
+
+    def test_feed_across_chunks(self):
+        r = RegExp(r"[0-9]+\.[0-9]+")
+        state = r.token_state()
+        assert r.feed(state, b"12", False)[0] == MATCH_NEED_MORE
+        assert r.feed(state, b".3", False)[0] == MATCH_NEED_MORE
+        status, length = r.feed(state, b"4 ", False)
+        assert status == 1 and length == 5  # "12.34"
+
+    def test_match_at_offset(self):
+        r = RegExp(r"world")
+        b = _frozen(b"hello world")
+        status, it = r.match_token(b, b.at(6))
+        assert status == 1 and it.offset == 11
+
+
+class TestFind:
+    def test_find_anywhere(self):
+        r = RegExp(r"b+c")
+        pid, begin, end = r.find(b"aaabbbcd")
+        assert (pid, begin, end) == (1, 3, 7)
+
+    def test_find_miss(self):
+        assert RegExp(r"zz")._dfa is not None
+        assert RegExp(r"zz").find(b"aaaa") == (0, -1, -1)
+
+    def test_matches_exactly(self):
+        r = RegExp(r"[a-z]+")
+        assert r.matches_exactly(b"abc") == 1
+        assert r.matches_exactly(b"abc1") == 0
+
+
+# A conservative pattern subset where our syntax and Python's agree.
+_SAFE_ATOM = st.sampled_from(
+    ["a", "b", "c", "[ab]", "[a-c]", "[^a]", r"\d", "."]
+)
+_SAFE_SUFFIX = st.sampled_from(["", "*", "+", "?"])
+
+
+@st.composite
+def _safe_patterns(draw):
+    parts = draw(st.lists(st.tuples(_SAFE_ATOM, _SAFE_SUFFIX),
+                          min_size=1, max_size=4))
+    return "".join(atom + suffix for atom, suffix in parts)
+
+
+class TestAgainstPythonRe:
+    @given(_safe_patterns(),
+           st.lists(st.sampled_from(list(b"abc1\n")), max_size=12))
+    def test_anchored_match_length_agrees(self, pattern, data):
+        data = bytes(data)
+        ours = RegExp(pattern)
+        theirs = python_re.compile(pattern.encode())
+        b = _frozen(data)
+        status, it = ours.match_token(b, b.begin())
+        match = theirs.match(data)
+        if match is not None and match.end() > 0:
+            assert status == 1
+            assert it.offset == match.end()
+        elif match is not None and match.end() == 0:
+            # Zero-length matches: our engine reports them as matches of
+            # length zero only when a pattern can accept empty input.
+            assert status in (0, 1)
+            if status == 1:
+                assert it.offset == 0
+        else:
+            assert status == 0

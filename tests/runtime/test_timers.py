@@ -1,0 +1,101 @@
+"""Timers and timer managers."""
+
+import pytest
+
+from repro.core.values import Time
+from repro.runtime.exceptions import HiltiError
+from repro.runtime.structs import Callable as HiltiCallable
+from repro.runtime.timers import Timer, TimerMgr
+
+
+class TestTimerMgr:
+    def test_fires_in_time_order(self):
+        mgr = TimerMgr()
+        fired = []
+        mgr.schedule(Time(10.0), Timer(lambda: fired.append("b")))
+        mgr.schedule(Time(5.0), Timer(lambda: fired.append("a")))
+        mgr.advance(Time(20.0))
+        assert fired == ["a", "b"]
+
+    def test_not_due_not_fired(self):
+        mgr = TimerMgr()
+        fired = []
+        mgr.schedule(Time(10.0), Timer(lambda: fired.append(1)))
+        mgr.advance(Time(9.999))
+        assert fired == []
+        assert mgr.pending_count == 1
+
+    def test_fires_at_exact_deadline(self):
+        mgr = TimerMgr()
+        fired = []
+        mgr.schedule(Time(10.0), Timer(lambda: fired.append(1)))
+        mgr.advance(Time(10.0))
+        assert fired == [1]
+
+    def test_time_never_goes_backwards(self):
+        mgr = TimerMgr()
+        mgr.advance(Time(100.0))
+        mgr.advance(Time(50.0))
+        assert mgr.current == Time(100.0)
+
+    def test_cancel(self):
+        mgr = TimerMgr()
+        fired = []
+        timer = Timer(lambda: fired.append(1))
+        mgr.schedule(Time(5.0), timer)
+        timer.cancel()
+        mgr.advance(Time(10.0))
+        assert fired == []
+
+    def test_update_reschedules(self):
+        mgr = TimerMgr()
+        fired = []
+        timer = Timer(lambda: fired.append(1))
+        mgr.schedule(Time(5.0), timer)
+        timer.update(Time(50.0))
+        mgr.advance(Time(10.0))
+        assert fired == []
+        mgr.advance(Time(50.0))
+        assert fired == [1]
+
+    def test_update_unscheduled_raises(self):
+        with pytest.raises(HiltiError):
+            Timer(lambda: None).update(Time(1.0))
+
+    def test_double_schedule_rejected(self):
+        mgr = TimerMgr()
+        timer = Timer(lambda: None)
+        mgr.schedule(Time(1.0), timer)
+        with pytest.raises(HiltiError):
+            mgr.schedule(Time(2.0), timer)
+
+    def test_hilti_callables_returned_for_engine(self):
+        mgr = TimerMgr()
+        bound = HiltiCallable("Main::cleanup", (1, 2))
+        mgr.schedule(Time(1.0), Timer(bound))
+        actions = mgr.advance(Time(2.0))
+        assert actions == [bound]
+
+    def test_expire_all(self):
+        mgr = TimerMgr()
+        fired = []
+        for t in (100.0, 200.0, 300.0):
+            mgr.schedule(Time(t), Timer(lambda t=t: fired.append(t)))
+        mgr.expire_all()
+        assert fired == [100.0, 200.0, 300.0]
+        assert mgr.pending_count == 0
+
+    def test_timer_fires_once(self):
+        mgr = TimerMgr()
+        fired = []
+        mgr.schedule(Time(1.0), Timer(lambda: fired.append(1)))
+        mgr.advance(Time(2.0))
+        mgr.advance(Time(3.0))
+        assert fired == [1]
+
+    def test_independent_notions_of_time(self):
+        network = TimerMgr(name="network")
+        wall = TimerMgr(name="wall")
+        network.advance(Time(1000.0))
+        assert wall.current == Time.EPOCH
+        assert network.current == Time(1000.0)
