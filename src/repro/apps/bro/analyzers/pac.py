@@ -22,7 +22,12 @@ from ....core.builder import ModuleBuilder
 from ....core.ir import TupleOp
 from ....core.values import Interval
 from ....runtime.bytes_buffer import Bytes
-from ....runtime.exceptions import HiltiError
+from ....runtime.exceptions import (
+    HiltiError,
+    INJECTED_FAULT,
+    PROCESSING_TIMEOUT,
+)
+from ....runtime.faults import SITE_BINPAC_PARSE
 from ...binpac.codegen import Parser
 from ...binpac.grammars import dns_grammar, http_grammar
 from ..files import FileInfo
@@ -85,6 +90,15 @@ class PacParsers:
         return self.http.ctx.instr_count + self.dns.ctx.instr_count
 
 
+def _containable(error: HiltiError) -> bool:
+    """Parse errors are handled inside the analyzer; injected faults and
+    watchdog timeouts must escape to the tracker's quarantine logic —
+    swallowing them here would hide exactly the activity the
+    fault-injection oracle measures."""
+    return not (error.matches(INJECTED_FAULT)
+                or error.matches(PROCESSING_TIMEOUT))
+
+
 def _field(struct, name, default=None):
     try:
         return struct.get(name)
@@ -121,28 +135,41 @@ class HttpPacAnalyzer:
         session = self.sessions[is_orig]
         if session is None or session.finished:
             return
+        core = self.core
+        core.faults.check(SITE_BINPAC_PARSE)
+        ctx = self.parsers.http.ctx
+        if core.watchdog_budget:
+            ctx.arm_watchdog(core.watchdog_budget)
         previous = self.parsers.current_sink
         self.parsers.current_sink = self
         self._current_is_orig = is_orig
         try:
             session.feed(payload)
-        except HiltiError:
-            self.sessions[is_orig] = None  # parse error: stop direction
+        except HiltiError as error:
+            if not _containable(error):
+                raise
+            # Parse error: stop this direction only, count the budget.
+            core.health.record_error(SITE_BINPAC_PARSE)
+            self.sessions[is_orig] = None
         finally:
+            ctx.disarm_watchdog()
             self.parsers.current_sink = previous
 
     def end(self) -> None:
         previous = self.parsers.current_sink
         self.parsers.current_sink = self
-        for is_orig, session in list(self.sessions.items()):
-            if session is None or session.finished:
-                continue
-            self._current_is_orig = is_orig
-            try:
-                session.done()
-            except HiltiError:
-                pass
-        self.parsers.current_sink = previous
+        try:
+            for is_orig, session in list(self.sessions.items()):
+                if session is None or session.finished:
+                    continue
+                self._current_is_orig = is_orig
+                try:
+                    session.done()
+                except HiltiError as error:
+                    if not _containable(error):
+                        raise
+        finally:
+            self.parsers.current_sink = previous
 
     # -- unit callbacks -----------------------------------------------------
 
@@ -207,6 +234,11 @@ class DnsPacAnalyzer:
         self.malformed = 0
 
     def data(self, is_orig: bool, payload: bytes) -> None:
+        core = self.core
+        core.faults.check(SITE_BINPAC_PARSE)
+        ctx = self.parsers.dns.ctx
+        if core.watchdog_budget:
+            ctx.arm_watchdog(core.watchdog_budget)
         previous = self.parsers.current_sink
         self.parsers.current_sink = self
         try:
@@ -215,9 +247,13 @@ class DnsPacAnalyzer:
             if not session.finished:
                 session.done()
             self.messages += 1
-        except HiltiError:
+        except HiltiError as error:
+            if not _containable(error):
+                raise
+            core.health.record_error(SITE_BINPAC_PARSE)
             self.malformed += 1
         finally:
+            ctx.disarm_watchdog()
             self.parsers.current_sink = previous
 
     def end(self) -> None:

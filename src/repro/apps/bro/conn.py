@@ -5,6 +5,14 @@ frames, tracks TCP connections through the stream reassembler (delivering
 contiguous payload in order), treats UDP endpoint pairs as flows, assigns
 Bro-style uids, and raises the connection lifecycle events
 (``connection_established``, ``connection_state_remove``).
+
+This layer is also the pipeline's primary fault boundary: frame parsing,
+reassembly, and analyzer dispatch are registered injection points, and a
+typed HILTI exception escaping an analyzer *quarantines* that analyzer
+for its flow only — the connection keeps being tracked (conn.log still
+gets its line), every other flow is untouched, and the violation feeds
+the circuit breaker that can degrade the parser tier for new flows
+(``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +30,13 @@ from ...net.packet import (
     parse_ethernet,
 )
 from ...net.reassembly import ConnectionReassembler
+from ...runtime.exceptions import HiltiError, PROCESSING_TIMEOUT
+from ...runtime.faults import (
+    SITE_ANALYZER_DISPATCH,
+    SITE_PACKET_PARSE,
+    SITE_TCP_REASSEMBLY,
+    classify,
+)
 from .core import BroCore
 
 __all__ = ["ConnectionTracker"]
@@ -83,8 +98,15 @@ class ConnectionTracker:
         self.core.advance_time(timestamp)
         self.packets += 1
         try:
+            self.core.faults.check(SITE_PACKET_PARSE)
             ip, transport = parse_ethernet(frame)
         except PacketError:
+            self.ignored += 1
+            return
+        except HiltiError:
+            # Contained at packet granularity: the frame is dropped like
+            # any unparseable one, the pipeline keeps running.
+            self.core.health.record_error(SITE_PACKET_PARSE)
             self.ignored += 1
             return
         if isinstance(transport, TCPSegment):
@@ -100,15 +122,55 @@ class ConnectionTracker:
             self._close_tcp(connection)
         self._tcp.clear()
         for flow in list(self._udp.values()):
-            if flow.analyzer is not None:
-                begin = _time.perf_counter_ns()
-                flow.analyzer.end()
-                self.parsing_ns += _time.perf_counter_ns() - begin
+            self._finish_analyzer(flow)
             self._finalize_conn_val(flow)
             self.core.queue_event(
                 "connection_state_remove", [flow.conn_val]
             )
         self._udp.clear()
+
+    # -- fault isolation ---------------------------------------------------------
+
+    def _deliver(self, entry, is_orig: bool, data: bytes) -> None:
+        """Hand payload to the flow's analyzer inside the fault boundary."""
+        analyzer = entry.analyzer
+        if analyzer is None:
+            return
+        try:
+            self.core.faults.check(SITE_ANALYZER_DISPATCH)
+            begin = _time.perf_counter_ns()
+            try:
+                analyzer.data(is_orig, data)
+            finally:
+                self.parsing_ns += _time.perf_counter_ns() - begin
+        except HiltiError as error:
+            self._quarantine(entry, error)
+
+    def _finish_analyzer(self, entry) -> None:
+        analyzer = entry.analyzer
+        if analyzer is None:
+            return
+        try:
+            begin = _time.perf_counter_ns()
+            try:
+                analyzer.end()
+            finally:
+                self.parsing_ns += _time.perf_counter_ns() - begin
+        except HiltiError as error:
+            self._quarantine(entry, error)
+
+    def _quarantine(self, entry, error: HiltiError) -> None:
+        """Disable the flow's analyzer; the flow itself stays tracked."""
+        entry.analyzer = None
+        health = self.core.health
+        health.flows_quarantined += 1
+        if error.matches(PROCESSING_TIMEOUT):
+            health.watchdog_trips += 1
+        site = getattr(error, "site", None) or SITE_ANALYZER_DISPATCH
+        health.record_error(site)
+        health.breaker.record_violation()
+        uid = entry.conn_val.get_or("uid") or ""
+        self.core.weird(classify(error), uid=uid, info=str(error))
 
     # -- TCP ------------------------------------------------------------------
 
@@ -135,6 +197,8 @@ class ConnectionTracker:
             analyzer = self.analyzer_factory(
                 conn_val, "tcp", segment.dst_port
             )
+            if analyzer is not None:
+                self.core.health.breaker.record_flow()
             connection = _TcpConnection(
                 key, conn_val,
                 ConnectionReassembler(),
@@ -154,25 +218,27 @@ class ConnectionTracker:
             connection.resp_pkts += 1
             connection.resp_bytes += len(segment.payload)
         reassembler = connection.reassembler
-        data = reassembler.feed_segment(is_orig, segment)
+        try:
+            self.core.faults.check(SITE_TCP_REASSEMBLY)
+            data = reassembler.feed_segment(is_orig, segment)
+        except HiltiError:
+            # Contained at segment granularity: this segment's payload is
+            # lost (like a capture drop); the stream continues.
+            self.core.health.record_error(SITE_TCP_REASSEMBLY)
+            data = b""
         if reassembler.established and not connection.established:
             connection.established = True
             self.core.queue_event(
                 "connection_established", [connection.conn_val]
             )
-        if data and connection.analyzer is not None:
-            begin = _time.perf_counter_ns()
-            connection.analyzer.data(is_orig, data)
-            self.parsing_ns += _time.perf_counter_ns() - begin
+        if data:
+            self._deliver(connection, is_orig, data)
         if reassembler.closed:
             self._close_tcp(connection)
             self._tcp.pop(key, None)
 
     def _close_tcp(self, connection: _TcpConnection) -> None:
-        if connection.analyzer is not None:
-            begin = _time.perf_counter_ns()
-            connection.analyzer.end()
-            self.parsing_ns += _time.perf_counter_ns() - begin
+        self._finish_analyzer(connection)
         self._finalize_conn_val(connection)
         self.core.queue_event(
             "connection_state_remove", [connection.conn_val]
@@ -216,6 +282,8 @@ class ConnectionTracker:
             analyzer = self.analyzer_factory(
                 conn_val, "udp", datagram.dst_port
             )
+            if analyzer is not None:
+                self.core.health.breaker.record_flow()
             flow = _UdpFlow(key, conn_val, analyzer)
             flow.orig_is_first = sender_is_first
             self._udp[key] = flow
@@ -228,7 +296,5 @@ class ConnectionTracker:
         else:
             flow.resp_pkts += 1
             flow.resp_bytes += len(datagram.payload)
-        if flow.analyzer is not None and datagram.payload:
-            begin = _time.perf_counter_ns()
-            flow.analyzer.data(is_orig, datagram.payload)
-            self.parsing_ns += _time.perf_counter_ns() - begin
+        if datagram.payload:
+            self._deliver(flow, is_orig, datagram.payload)

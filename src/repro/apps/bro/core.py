@@ -18,10 +18,18 @@ from collections import deque
 from typing import Dict, List, Optional
 
 from ...core.values import Time
+from ...runtime.exceptions import HiltiError
+from ...runtime.faults import (
+    NULL_INJECTOR,
+    SITE_SCRIPT_CALL,
+    HealthReport,
+    classify,
+)
 from .logging import LogManager
 from .val import RecordType, RecordVal
 
-__all__ = ["BroCore", "CONN_ID_TYPE", "CONNECTION_TYPE"]
+__all__ = ["BroCore", "CONN_ID_TYPE", "CONNECTION_TYPE", "WEIRD_TYPE",
+           "WEIRD_LOG_COLUMNS"]
 
 CONN_ID_TYPE = RecordType("conn_id", [
     ("orig_h", None), ("orig_p", None), ("resp_h", None), ("resp_p", None),
@@ -32,6 +40,14 @@ CONNECTION_TYPE = RecordType("connection", [
     # Filled in by the tracker just before connection_state_remove:
     ("duration", None), ("orig_bytes", None), ("resp_bytes", None),
     ("orig_pkts", None), ("resp_pkts", None), ("state", None),
+])
+
+# Bro-style weird.log records: every contained recovery action (analyzer
+# quarantine, watchdog trip, dropped event) leaves an audit trail.
+WEIRD_LOG_COLUMNS = ["ts", "uid", "name", "info"]
+
+WEIRD_TYPE = RecordType("weird", [
+    ("ts", None), ("uid", None), ("name", None), ("info", None),
 ])
 
 
@@ -52,6 +68,13 @@ class BroCore:
         }
         self._uid_counter = 0
         self.script_engine = None
+        # Fault-isolation services (repro.runtime.faults): the injector is
+        # the null object unless a host arms one; the health report always
+        # collects recovery counters; watchdog_budget, when set, bounds
+        # instructions per packet in the HILTI execution contexts.
+        self.faults = NULL_INJECTOR
+        self.health = HealthReport()
+        self.watchdog_budget = None
         # Events scheduled into the future (the `schedule` statement),
         # fired as network time advances past their due time.
         self._scheduled = []
@@ -100,18 +123,30 @@ class BroCore:
         self.events_queued += 1
 
     def drain_events(self) -> int:
-        """Dispatch queued events into the active script engine."""
+        """Dispatch queued events into the active script engine.
+
+        The script-engine call is an injection point and a containment
+        boundary: a typed HILTI exception escaping one event handler
+        drops that event (counted, logged as a weird) but never aborts
+        the run — later events still dispatch.
+        """
         dispatched = 0
         while self._event_queue:
             name, args = self._event_queue.popleft()
             begin = _time.perf_counter_ns()
-            if self.script_engine is not None:
-                self.script_engine.dispatch(name, args)
-                check = getattr(self.script_engine, "check_watchpoints",
-                                None)
-                if check is not None:
-                    check()
-            self.timers["script"] += _time.perf_counter_ns() - begin
+            try:
+                self.faults.check(SITE_SCRIPT_CALL)
+                if self.script_engine is not None:
+                    self.script_engine.dispatch(name, args)
+                    check = getattr(self.script_engine,
+                                    "check_watchpoints", None)
+                    if check is not None:
+                        check()
+            except HiltiError as error:
+                self.health.record_error(SITE_SCRIPT_CALL)
+                self.weird(classify(error), info=f"{name}: {error}")
+            finally:
+                self.timers["script"] += _time.perf_counter_ns() - begin
             dispatched += 1
         self.events_dispatched += dispatched
         return dispatched
@@ -120,6 +155,15 @@ class BroCore:
 
     def log_write(self, stream: str, record: RecordVal) -> None:
         self.logs.write(stream, record)
+
+    def weird(self, name: str, uid: str = "", info: str = "") -> None:
+        """Record one recovery action in the weird log (if it exists)."""
+        if "weird" not in self.logs.streams:
+            return
+        self.logs.write("weird", RecordVal(WEIRD_TYPE, {
+            "ts": self.network_time(), "uid": uid,
+            "name": name, "info": info,
+        }))
 
     def print_line(self, text: str) -> None:
         self.print_stream.write(text + "\n")

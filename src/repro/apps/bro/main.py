@@ -16,9 +16,15 @@ import time as _time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...core.values import Time
+from ...runtime.exceptions import HiltiError
+from ...runtime.faults import (
+    SITE_PCAP_RECORD,
+    CircuitBreaker,
+    HealthReport,
+)
 from .compiler import ScriptCompiler
 from .conn import ConnectionTracker
-from .core import BroCore
+from .core import BroCore, WEIRD_LOG_COLUMNS
 from .interp import ScriptInterp
 from .lang import Script, parse_script
 from .scripts import (
@@ -57,6 +63,10 @@ class Bro:
         log_enabled: bool = True,
         print_stream=None,
         pac_parsers=None,
+        fault_injector=None,
+        watchdog_budget: Optional[int] = None,
+        breaker_threshold: float = 0.25,
+        breaker_min_flows: int = 8,
     ):
         if parsers not in ("std", "pac"):
             raise ValueError(f"unknown parser tier {parsers!r}")
@@ -66,10 +76,21 @@ class Bro:
         self.script_tier = scripts_engine
         self.core = BroCore(log_enabled=log_enabled,
                             print_stream=print_stream)
+        # Fault-isolation services: deterministic injector (off by
+        # default), recovery/health accounting, per-packet instruction
+        # watchdog for the HILTI execution contexts, and the circuit
+        # breaker that degrades pac -> std when too many flows violate.
+        if fault_injector is not None:
+            self.core.faults = fault_injector
+        self.core.health = HealthReport(CircuitBreaker(
+            threshold=breaker_threshold, min_flows=breaker_min_flows,
+        ))
+        self.core.watchdog_budget = watchdog_budget
         self.core.logs.create_stream("conn", CONN_LOG_COLUMNS)
         self.core.logs.create_stream("http", HTTP_LOG_COLUMNS)
         self.core.logs.create_stream("files", FILES_LOG_COLUMNS)
         self.core.logs.create_stream("dns", DNS_LOG_COLUMNS)
+        self.core.logs.create_stream("weird", WEIRD_LOG_COLUMNS)
 
         merged = Script()
         for source in (scripts if scripts is not None else default_scripts()):
@@ -100,9 +121,18 @@ class Bro:
 
     # -- analyzer wiring ----------------------------------------------------
 
+    def _effective_tier(self) -> str:
+        """The parser tier new flows get: ``pac`` degrades to ``std``
+        once the circuit breaker has tripped (existing flows keep their
+        analyzer; only new flows fall back)."""
+        if self.parser_tier == "pac" and self.core.health.breaker.tripped:
+            self.core.health.tier_fallbacks += 1
+            return "std"
+        return self.parser_tier
+
     def _make_analyzer(self, conn_val, proto: str, resp_port: int):
         if proto == "tcp" and resp_port == 80:
-            if self.parser_tier == "std":
+            if self._effective_tier() == "std":
                 from .analyzers.http_std import HttpStdAnalyzer
 
                 return HttpStdAnalyzer(conn_val, self.core)
@@ -110,7 +140,7 @@ class Bro:
 
             return HttpPacAnalyzer(conn_val, self.core, self._pac)
         if proto == "udp" and resp_port == 53:
-            if self.parser_tier == "std":
+            if self._effective_tier() == "std":
                 from .analyzers.dns_std import DnsStdAnalyzer
 
                 return DnsStdAnalyzer(conn_val, self.core)
@@ -154,14 +184,33 @@ class Bro:
             "events": self.core.events_dispatched,
             "parser_tier": self.parser_tier,
             "script_tier": self.script_tier,
+            "health": self.core.health.as_dict(self.core.faults),
         }
         return self.stats
 
-    def run_pcap(self, path: str) -> Dict:
+    def _pcap_records(self, reader):
+        """Iterate trace records through the pcap.record injection point;
+        a fault there skips the record like a corrupt one in tolerant
+        mode."""
+        for record in reader:
+            try:
+                self.core.faults.check(SITE_PCAP_RECORD)
+            except HiltiError:
+                self.core.health.record_error(SITE_PCAP_RECORD)
+                self.core.health.records_skipped += 1
+                continue
+            yield record
+
+    def run_pcap(self, path: str, tolerant: bool = False) -> Dict:
         from ...net.pcap import PcapReader
 
-        with PcapReader(path) as reader:
-            return self.run(reader)
+        with PcapReader(path, tolerant=tolerant) as reader:
+            stats = self.run(self._pcap_records(reader))
+            skipped = reader.records_skipped
+        if skipped:
+            self.core.health.records_skipped += skipped
+        stats["health"] = self.core.health.as_dict(self.core.faults)
+        return stats
 
     # -- results ------------------------------------------------------------------
 

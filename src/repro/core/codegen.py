@@ -25,6 +25,7 @@ from ..runtime.exceptions import (
     HiltiError,
     INDEX_ERROR as _INDEX_ERROR,
     INTERNAL_ERROR,
+    PROCESSING_TIMEOUT,
     VALUE_ERROR,
 )
 from ..runtime.fibers import Fiber, FiberStats
@@ -941,6 +942,13 @@ def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
             for step in steps:
                 step(ctx, frame)
             ctx.instr_count += instr_count
+            if ctx.instr_budget is not None and \
+                    ctx.instr_count > ctx.instr_budget:
+                # One-shot: disarm so catch handlers can run.
+                ctx.instr_budget = None
+                raise HiltiError(
+                    PROCESSING_TIMEOUT, "instruction budget exhausted"
+                )
             kind = control[0]
             if kind == "goto":
                 seg = control[1]
@@ -1087,6 +1095,13 @@ def _run_simple(program: CompiledProgram, ctx, cf: CompiledFunction, args):
             for step in steps:
                 step(ctx, frame)
             ctx.instr_count += instr_count
+            if ctx.instr_budget is not None and \
+                    ctx.instr_count > ctx.instr_budget:
+                # One-shot: disarm so catch handlers can run.
+                ctx.instr_budget = None
+                raise HiltiError(
+                    PROCESSING_TIMEOUT, "instruction budget exhausted"
+                )
             kind = control[0]
             if kind == "goto":
                 seg = control[1]

@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..runtime.context import ExecutionContext
-from ..runtime.exceptions import HiltiError, INTERNAL_ERROR, VALUE_ERROR
+from ..runtime.exceptions import (
+    HiltiError,
+    INTERNAL_ERROR,
+    PROCESSING_TIMEOUT,
+    VALUE_ERROR,
+)
 from ..runtime.structs import Callable as HiltiCallable
 from . import types as ht
 from .instructions import REGISTRY, default_value, instantiate
@@ -156,6 +161,14 @@ class Interpreter:
                     jumped = False
                     for instruction in block.instructions:
                         ctx.instr_count += 1
+                        if ctx.instr_budget is not None and \
+                                ctx.instr_count > ctx.instr_budget:
+                            # One-shot: disarm so catch handlers can run.
+                            ctx.instr_budget = None
+                            raise HiltiError(
+                                PROCESSING_TIMEOUT,
+                                "instruction budget exhausted",
+                            )
                         next_label = self._step(
                             ctx, module, function, scope, handlers, instruction
                         )

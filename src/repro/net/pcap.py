@@ -33,6 +33,7 @@ class PcapWriter:
                  snaplen: int = 262144, nanos: bool = False):
         self._stream = open(path, "wb")
         self._nanos = nanos
+        self._snaplen = snaplen
         magic = MAGIC_NANOS if nanos else MAGIC_MICROS
         self._stream.write(
             struct.pack("<IHHiIII", magic, 2, 4, 0, 0, snaplen, link_type)
@@ -43,10 +44,13 @@ class PcapWriter:
         nanos = timestamp.nanos
         seconds, remainder = divmod(nanos, 1_000_000_000)
         fraction = remainder if self._nanos else remainder // 1000
+        # Honor the snaplen: capture at most snaplen bytes, but record the
+        # packet's true original length in the header.
+        captured = data[:self._snaplen]
         self._stream.write(
-            struct.pack("<IIII", seconds, fraction, len(data), len(data))
+            struct.pack("<IIII", seconds, fraction, len(captured), len(data))
         )
-        self._stream.write(data)
+        self._stream.write(captured)
         self.packets_written += 1
 
     def close(self) -> None:
@@ -59,10 +63,23 @@ class PcapWriter:
         self.close()
 
 
-class PcapReader:
-    """Iterates ``(Time, bytes)`` records of a pcap file."""
+# A record claiming to capture more than this many bytes is treated as
+# corrupt even when the global header's snaplen is unusable.
+_SANE_CAPTURE_LIMIT = 0x1000000  # 16 MiB
 
-    def __init__(self, path: str):
+
+class PcapReader:
+    """Iterates ``(Time, bytes)`` records of a pcap file.
+
+    In *tolerant* mode, truncated or corrupt records are skipped and
+    counted in :attr:`records_skipped` instead of raising ``PcapError`` —
+    the fail-safe trace-reading mode of the robustness layer
+    (``docs/ROBUSTNESS.md``).
+    """
+
+    def __init__(self, path: str, tolerant: bool = False):
+        self.tolerant = tolerant
+        self.records_skipped = 0
         self._stream = open(path, "rb")
         header = self._stream.read(24)
         if len(header) < 24:
@@ -84,23 +101,50 @@ class PcapReader:
         self.link_type = fields[5]
         self.packets_read = 0
 
+    def _capture_limit(self) -> int:
+        limit = self.snaplen if 0 < self.snaplen <= _SANE_CAPTURE_LIMIT \
+            else 0
+        return max(limit, 0x40000)
+
     def read_packet(self) -> Optional[Tuple[Time, bytes]]:
-        record = self._stream.read(16)
-        if not record:
-            return None
-        if len(record) < 16:
-            raise PcapError("truncated pcap record header")
-        seconds, fraction, captured, __ = struct.unpack(
-            self._endian + "IIII", record
-        )
-        data = self._stream.read(captured)
-        if len(data) < captured:
-            raise PcapError("truncated pcap record body")
-        nanos = seconds * 1_000_000_000 + (
-            fraction if self._nanos else fraction * 1000
-        )
-        self.packets_read += 1
-        return Time.from_nanos(nanos), data
+        while True:
+            record = self._stream.read(16)
+            if not record:
+                return None
+            if len(record) < 16:
+                if self.tolerant:
+                    self.records_skipped += 1
+                    return None
+                raise PcapError("truncated pcap record header")
+            seconds, fraction, captured, __ = struct.unpack(
+                self._endian + "IIII", record
+            )
+            if captured > self._capture_limit():
+                if not self.tolerant:
+                    raise PcapError(
+                        f"implausible captured length {captured}"
+                    )
+                self.records_skipped += 1
+                if captured > _SANE_CAPTURE_LIMIT:
+                    # Garbage length field: the record boundary is lost,
+                    # nothing after it can be trusted.
+                    return None
+                # Over-long but bounded: resync past the body and go on.
+                body = self._stream.read(captured)
+                if len(body) < captured:
+                    return None
+                continue
+            data = self._stream.read(captured)
+            if len(data) < captured:
+                if self.tolerant:
+                    self.records_skipped += 1
+                    return None
+                raise PcapError("truncated pcap record body")
+            nanos = seconds * 1_000_000_000 + (
+                fraction if self._nanos else fraction * 1000
+            )
+            self.packets_read += 1
+            return Time.from_nanos(nanos), data
 
     def __iter__(self) -> Iterator[Tuple[Time, bytes]]:
         while True:

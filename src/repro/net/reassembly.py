@@ -26,20 +26,43 @@ def _seq_lt(a: int, b: int) -> bool:
 
 
 class StreamReassembler:
-    """One direction of a TCP connection."""
+    """One direction of a TCP connection.
 
-    __slots__ = ("_next_seq", "_pending", "_started", "_finished",
-                 "delivered_bytes", "gap_bytes", "out_of_order_segments")
+    Out-of-order data waits in ``_pending`` as mutually *disjoint*
+    segments strictly ahead of ``_next_seq`` — overlapping and duplicated
+    retransmits (including adversarial ones carrying conflicting bytes)
+    are resolved deterministically on insert with a first-arrival-wins
+    policy, and total buffered data is bounded by *max_pending_bytes* so
+    a flood of disjoint out-of-window segments cannot grow memory without
+    limit (excess data is dropped and counted, like a content gap).
+    """
 
-    def __init__(self):
+    __slots__ = ("_next_seq", "_pending", "_pending_bytes", "_started",
+                 "_finished", "delivered_bytes", "gap_bytes",
+                 "out_of_order_segments", "duplicate_segments",
+                 "overlap_bytes", "dropped_bytes", "max_pending_bytes")
+
+    #: Default cap on buffered out-of-order payload per direction.
+    DEFAULT_MAX_PENDING = 4 * 1024 * 1024
+
+    def __init__(self, max_pending_bytes: int = DEFAULT_MAX_PENDING):
         self._next_seq: Optional[int] = None
         # pending: seq -> payload, only out-of-order data waits here.
         self._pending: Dict[int, bytes] = {}
+        self._pending_bytes = 0
         self._started = False
         self._finished = False
         self.delivered_bytes = 0
         self.gap_bytes = 0
         self.out_of_order_segments = 0
+        # Entirely-old retransmits and segments fully covered by buffered
+        # data (adversarial duplication shows up here).
+        self.duplicate_segments = 0
+        # Bytes discarded because an earlier arrival already covered them.
+        self.overlap_bytes = 0
+        # Bytes discarded by the max_pending_bytes memory bound.
+        self.dropped_bytes = 0
+        self.max_pending_bytes = max_pending_bytes
 
     @property
     def started(self) -> bool:
@@ -92,43 +115,74 @@ class StreamReassembler:
         return skipped
 
     def pending_bytes(self) -> int:
-        return sum(len(p) for p in self._pending.values())
+        return self._pending_bytes
 
     # -- internals ------------------------------------------------------------
 
     def _insert(self, seq: int, payload: bytes) -> None:
         next_seq = self._next_seq
-        offset = (next_seq - seq) & 0xFFFFFFFF
-        if 0 < offset <= 0x7FFFFFFF:
+        behind = (next_seq - seq) & 0xFFFFFFFF
+        if 0 < behind <= 0x7FFFFFFF:
             # Segment starts before next_seq: trim the overlap
             # (first-arrival wins — already delivered bytes stand).
-            if offset >= len(payload):
+            if behind >= len(payload):
+                self.duplicate_segments += 1
                 return  # Entirely old data (retransmission).
-            payload = payload[offset:]
+            self.overlap_bytes += behind
+            payload = payload[behind:]
             seq = next_seq
         if seq != next_seq:
             self.out_of_order_segments += 1
-        existing = self._pending.get(seq)
-        if existing is None or len(payload) > len(existing):
-            self._pending[seq] = payload
+        # Linearize sequence space relative to next_seq, then trim the
+        # newcomer against every buffered segment (first-arrival wins):
+        # what remains is a set of pieces disjoint from all pending data.
+        rel = (seq - next_seq) & 0xFFFFFFFF
+        pieces = [(rel, payload)]
+        for existing_seq, existing in self._pending.items():
+            if not pieces:
+                break
+            e0 = (existing_seq - next_seq) & 0xFFFFFFFF
+            e1 = e0 + len(existing)
+            remaining = []
+            for p0, data in pieces:
+                p1 = p0 + len(data)
+                if p1 <= e0 or p0 >= e1:
+                    remaining.append((p0, data))
+                    continue
+                self.overlap_bytes += min(p1, e1) - max(p0, e0)
+                if p0 < e0:
+                    remaining.append((p0, data[:e0 - p0]))
+                if p1 > e1:
+                    remaining.append((e1, data[e1 - p0:]))
+            pieces = remaining
+        if not pieces:
+            self.duplicate_segments += 1
+            return
+        budget = self.max_pending_bytes - self._pending_bytes
+        for p0, data in sorted(pieces):
+            if p0 > 0:
+                # Only out-of-order pieces consume the memory budget; a
+                # piece at next_seq drains immediately in _drain(), so a
+                # full buffer never blocks the in-order stream.
+                if budget <= 0:
+                    self.dropped_bytes += len(data)
+                    continue
+                if len(data) > budget:
+                    self.dropped_bytes += len(data) - budget
+                    data = data[:budget]
+                budget -= len(data)
+            self._pending[(next_seq + p0) & 0xFFFFFFFF] = data
+            self._pending_bytes += len(data)
 
     def _drain(self) -> bytes:
+        # Pending segments are disjoint and strictly ahead of next_seq,
+        # so draining is a plain walk of the contiguous prefix.
         chunks: List[bytes] = []
         while self._next_seq in self._pending:
             chunk = self._pending.pop(self._next_seq)
-            # Trim any overlap with later pending segments conservatively:
+            self._pending_bytes -= len(chunk)
             chunks.append(chunk)
             self._next_seq = (self._next_seq + len(chunk)) % _SEQ_MOD
-            # A shorter duplicate that was subsumed may linger; drop any
-            # pending segment now entirely in the past.
-            stale = [
-                s for s in self._pending
-                if ((self._next_seq - s) & 0xFFFFFFFF) <= 0x7FFFFFFF
-                and ((self._next_seq - s) & 0xFFFFFFFF)
-                >= len(self._pending[s])
-            ]
-            for s in stale:
-                del self._pending[s]
         return b"".join(chunks)
 
 
@@ -145,9 +199,10 @@ class ConnectionReassembler:
         on_data: Optional[Callable[[bool, bytes], None]] = None,
         on_established: Optional[Callable[[], None]] = None,
         on_close: Optional[Callable[[], None]] = None,
+        max_pending_bytes: int = StreamReassembler.DEFAULT_MAX_PENDING,
     ):
-        self.originator = StreamReassembler()
-        self.responder = StreamReassembler()
+        self.originator = StreamReassembler(max_pending_bytes)
+        self.responder = StreamReassembler(max_pending_bytes)
         self._on_data = on_data
         self._on_established = on_established
         self._on_close = on_close

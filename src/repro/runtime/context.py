@@ -36,6 +36,7 @@ class ExecutionContext:
         "program",
         "fiber",
         "instr_count",
+        "instr_budget",
         "debug_stream",
         "print_stream",
         "hook_groups_disabled",
@@ -61,6 +62,11 @@ class ExecutionContext:
         self.program = None
         self.fiber = None
         self.instr_count = 0
+        # Watchdog: when set, execution raises Hilti::ProcessingTimeout as
+        # soon as instr_count passes this value (one-shot; the engines
+        # disarm it on firing so handlers can run).  Hosts arm it per unit
+        # of untrusted work, e.g. per packet.
+        self.instr_budget = None
         self.debug_stream = sys.stderr
         self.print_stream = print_stream if print_stream is not None else sys.stdout
         self.hook_groups_disabled = set()
@@ -76,6 +82,13 @@ class ExecutionContext:
     @property
     def now(self) -> Time:
         return self.timer_mgr.current
+
+    def arm_watchdog(self, budget: int) -> None:
+        """Allow *budget* more instructions before Hilti::ProcessingTimeout."""
+        self.instr_budget = self.instr_count + budget
+
+    def disarm_watchdog(self) -> None:
+        self.instr_budget = None
 
     def clone_for_vthread(self, vthread_id: int) -> "ExecutionContext":
         """A fresh context for another virtual thread.

@@ -33,6 +33,8 @@ __all__ = [
     "ASSERTION_ERROR",
     "INTERNAL_ERROR",
     "STACK_LIMIT_EXCEEDED",
+    "PROCESSING_TIMEOUT",
+    "INJECTED_FAULT",
     "builtin_exception_types",
 ]
 
@@ -54,6 +56,11 @@ NOT_IMPLEMENTED = ht.ExceptionT("Hilti::NotImplemented", EXCEPTION_BASE)
 ASSERTION_ERROR = ht.ExceptionT("Hilti::AssertionError", EXCEPTION_BASE)
 INTERNAL_ERROR = ht.ExceptionT("Hilti::InternalError", EXCEPTION_BASE)
 STACK_LIMIT_EXCEEDED = ht.ExceptionT("Hilti::StackLimitExceeded", EXCEPTION_BASE)
+# Raised by the per-packet watchdog when an execution context exhausts its
+# instruction budget: runaway analysis becomes a catchable exception.
+PROCESSING_TIMEOUT = ht.ExceptionT("Hilti::ProcessingTimeout", EXCEPTION_BASE)
+# Raised by the deterministic fault-injection framework (repro.runtime.faults).
+INJECTED_FAULT = ht.ExceptionT("Hilti::InjectedFault", EXCEPTION_BASE)
 
 _BUILTINS = {
     t.type_name: t
@@ -75,6 +82,8 @@ _BUILTINS = {
         ASSERTION_ERROR,
         INTERNAL_ERROR,
         STACK_LIMIT_EXCEEDED,
+        PROCESSING_TIMEOUT,
+        INJECTED_FAULT,
     )
 }
 

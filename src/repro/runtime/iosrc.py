@@ -21,7 +21,7 @@ __all__ = ["IOSource"]
 class IOSource(Managed):
     """A pull-based source of timestamped packets."""
 
-    __slots__ = ("_iterator", "_exhausted", "_link_type", "name")
+    __slots__ = ("_iterator", "_exhausted", "_link_type", "name", "reader")
 
     def __init__(self, packets: Iterable[Tuple[Time, bytes]],
                  link_type: int = 1, name: str = "<iterable>"):
@@ -30,20 +30,34 @@ class IOSource(Managed):
         self._exhausted = False
         self._link_type = link_type
         self.name = name
+        # The underlying PcapReader when opened via from_pcap; exposes
+        # records_skipped for the tolerant mode's health accounting.
+        self.reader = None
 
     @classmethod
-    def from_pcap(cls, path: str) -> "IOSource":
-        """Open a libpcap trace file."""
+    def from_pcap(cls, path: str, tolerant: bool = False) -> "IOSource":
+        """Open a libpcap trace file.
+
+        With *tolerant* set, truncated or corrupt trace records are
+        skipped (counted in ``source.records_skipped``) instead of
+        surfacing as an ``IOError`` exception.
+        """
         from ..net.pcap import PcapReader
 
-        reader = PcapReader(path)
+        reader = PcapReader(path, tolerant=tolerant)
 
         def generate():
             with reader:
                 for timestamp, payload in reader:
                     yield timestamp, payload
 
-        return cls(generate(), link_type=reader.link_type, name=path)
+        source = cls(generate(), link_type=reader.link_type, name=path)
+        source.reader = reader
+        return source
+
+    @property
+    def records_skipped(self) -> int:
+        return getattr(self.reader, "records_skipped", 0)
 
     @property
     def link_type(self) -> int:
@@ -62,7 +76,9 @@ class IOSource(Managed):
         except StopIteration:
             self._exhausted = True
             return None
-        except OSError as exc:
+        except (OSError, ValueError) as exc:
+            # ValueError covers PcapError: malformed trace data surfaces
+            # as a typed HILTI exception, never a raw Python error.
             raise HiltiError(IO_ERROR, f"packet source failed: {exc}") from exc
         if not isinstance(timestamp, Time):
             timestamp = Time(timestamp)

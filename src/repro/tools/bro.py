@@ -7,6 +7,11 @@ The Figure 8 command line in miniature::
 
 Without script files, the default conn/http/dns analysis scripts run;
 logs are written into ``--logdir`` (default ``./logs``).
+
+Robustness controls (docs/ROBUSTNESS.md): ``--tolerant-pcap`` skips
+corrupt trace records, ``--watchdog N`` bounds HILTI instructions per
+packet, ``--inject SITE=RATE`` arms the deterministic fault injector,
+and ``--health`` prints the recovery/health report after the run.
 """
 
 from __future__ import annotations
@@ -16,11 +21,40 @@ import sys
 
 from ..apps.bro.main import Bro
 from ..apps.bro.scripts import TRACK_SCRIPT
+from ..runtime.faults import FaultInjector, registered_sites
 
 _BUNDLED = {"track.bro": TRACK_SCRIPT}
 
 
+def _parse_injections(specs, seed):
+    """``SITE=RATE`` pairs -> FaultInjector (None when no specs)."""
+    if not specs:
+        return None
+    sites = registered_sites()
+    rates = {}
+    for spec in specs:
+        site, sep, rate = spec.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"bro: --inject expects SITE=RATE, got {spec!r}")
+        if site != "all" and site not in sites:
+            known = ", ".join(sorted(sites))
+            raise SystemExit(
+                f"bro: unknown injection site {site!r} (known: {known})")
+        try:
+            value = float(rate)
+        except ValueError:
+            raise SystemExit(f"bro: bad injection rate in {spec!r}")
+        if site == "all":
+            for name in sites:
+                rates.setdefault(name, value)
+        else:
+            rates[site] = value
+    return FaultInjector(seed=seed, rates=rates)
+
+
 def main(argv=None) -> int:
+    sites = ", ".join(sorted(registered_sites()))
     parser = argparse.ArgumentParser(
         prog="bro", description="mini-Bro over a pcap trace")
     parser.add_argument("-r", "--read", required=True, metavar="TRACE",
@@ -37,6 +71,27 @@ def main(argv=None) -> int:
                         help="directory for the .log files")
     parser.add_argument("--stats", action="store_true",
                         help="print the per-component timing breakdown")
+    parser.add_argument("--tolerant-pcap", action="store_true",
+                        help="skip truncated/corrupt trace records "
+                             "instead of aborting (counted in the "
+                             "health report)")
+    parser.add_argument("--watchdog", type=int, default=None, metavar="N",
+                        help="per-packet HILTI instruction budget; "
+                             "exceeding it raises a catchable "
+                             "Hilti::ProcessingTimeout and quarantines "
+                             "the flow's analyzer")
+    parser.add_argument("--inject", action="append", metavar="SITE=RATE",
+                        help="arm the deterministic fault injector at "
+                             "SITE with probability RATE per pass "
+                             f"(SITE is 'all' or one of: {sites}); "
+                             "repeatable")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault injector's per-site "
+                             "random streams (default 0)")
+    parser.add_argument("--health", action="store_true",
+                        help="print the recovery/health report "
+                             "(quarantines, skipped records, watchdog "
+                             "trips, per-site error budget)")
     args = parser.parse_args(argv)
 
     scripts = None
@@ -53,8 +108,10 @@ def main(argv=None) -> int:
         scripts=scripts,
         parsers=args.parsers,
         scripts_engine="hilti" if args.compile_scripts else "interp",
+        fault_injector=_parse_injections(args.inject, args.fault_seed),
+        watchdog_budget=args.watchdog,
     )
-    stats = bro.run_pcap(args.read)
+    stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
     bro.core.logs.save(args.logdir)
     written = {
         name: stream.writes
@@ -68,6 +125,18 @@ def main(argv=None) -> int:
     if args.stats:
         for key in ("parsing_ns", "script_ns", "glue_ns", "other_ns"):
             print(f"  {key[:-3]:>8}: {stats[key] / 1e6:10.2f} ms")
+    if args.health:
+        health = stats["health"]
+        print("health:")
+        for key in ("flows_quarantined", "records_skipped",
+                    "watchdog_trips", "injected_faults", "tier_fallback"):
+            print(f"  {key}: {health[key]}")
+        breaker = health["breaker"]
+        print(f"  breaker: {breaker['violations']}/{breaker['flows']} "
+              f"flows violated (threshold {breaker['threshold']}, "
+              f"tripped={breaker['tripped']})")
+        for site, count in sorted(health["site_errors"].items()):
+            print(f"  errors[{site}]: {count}")
     return 0
 
 

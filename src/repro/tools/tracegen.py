@@ -2,6 +2,13 @@
 
     python -m repro.tools.tracegen http --sessions 200 -o http.pcap
     python -m repro.tools.tracegen dns  --queries 5000 -o dns.pcap
+
+Malformation is controlled and reproducible: ``--crud-fraction`` sets
+the share of non-conforming sessions/messages, ``--reorder-fraction``
+(HTTP) the share of segments delivered out of order, and ``--seed``
+fixes the whole trace byte-for-byte — the same seed and knobs always
+yield the identical pcap, which is what the fault-injection oracle in
+``tests/integration/test_fault_injection.py`` relies on.
 """
 
 from __future__ import annotations
@@ -24,25 +31,45 @@ def main(argv=None) -> int:
 
     http = sub.add_parser("http", help="HTTP/TCP-80 trace")
     http.add_argument("--sessions", type=int, default=200)
-    http.add_argument("--seed", type=int, default=1)
+    http.add_argument("--seed", type=int, default=1,
+                      help="deterministic generation seed: same seed and "
+                           "knobs -> byte-identical trace (default 1)")
+    http.add_argument("--crud-fraction", type=float, default=None,
+                      metavar="F",
+                      help="fraction of sessions carrying malformed "
+                           "('crud') traffic, 0..1 (default "
+                           f"{HttpTraceConfig().crud_fraction})")
+    http.add_argument("--reorder-fraction", type=float, default=None,
+                      metavar="F",
+                      help="fraction of TCP segments delivered out of "
+                           "order (default "
+                           f"{HttpTraceConfig().reorder_fraction})")
     http.add_argument("-o", "--output", default="http.pcap")
 
     dns = sub.add_parser("dns", help="DNS/UDP-53 trace")
     dns.add_argument("--queries", type=int, default=2000)
-    dns.add_argument("--seed", type=int, default=2)
+    dns.add_argument("--seed", type=int, default=2,
+                     help="deterministic generation seed: same seed and "
+                          "knobs -> byte-identical trace (default 2)")
+    dns.add_argument("--crud-fraction", type=float, default=None,
+                     metavar="F",
+                     help="fraction of malformed DNS messages, 0..1 "
+                          f"(default {DnsTraceConfig().crud_fraction})")
     dns.add_argument("-o", "--output", default="dns.pcap")
 
     args = parser.parse_args(argv)
     if args.kind == "http":
-        count = write_http_trace(
-            args.output,
-            HttpTraceConfig(seed=args.seed, sessions=args.sessions),
-        )
+        config = HttpTraceConfig(seed=args.seed, sessions=args.sessions)
+        if args.crud_fraction is not None:
+            config.crud_fraction = args.crud_fraction
+        if args.reorder_fraction is not None:
+            config.reorder_fraction = args.reorder_fraction
+        count = write_http_trace(args.output, config)
     else:
-        count = write_dns_trace(
-            args.output,
-            DnsTraceConfig(seed=args.seed, queries=args.queries),
-        )
+        config = DnsTraceConfig(seed=args.seed, queries=args.queries)
+        if args.crud_fraction is not None:
+            config.crud_fraction = args.crud_fraction
+        count = write_dns_trace(args.output, config)
     print(f"wrote {count} packets to {args.output}")
     return 0
 

@@ -1,0 +1,190 @@
+"""Exception hierarchy semantics, identical across both execution tiers.
+
+The paper's section 7 safety argument rests on typed exceptions with a
+hierarchy: a handler for a parent type catches every descendant, and the
+rules cannot differ between the interpreter and the compiled backend —
+otherwise "safe in testing" would not imply "safe in production".  Every
+test here runs the same program on both tiers and demands the same
+answer; the per-packet watchdog (``Hilti::ProcessingTimeout``) is part
+of the same contract: catchable, typed, and one-shot.
+"""
+
+import pytest
+
+from repro.core import hiltic
+from repro.runtime.exceptions import (
+    EXCEPTION_BASE,
+    HiltiError,
+    PROCESSING_TIMEOUT,
+)
+
+TIERS = ["compiled", "interpreted"]
+
+
+def _run(source, fn, args=(), tier="compiled"):
+    program = hiltic([source], tier=tier)
+    ctx = program.make_context()
+    return program.call(ctx, fn, list(args))
+
+
+def _throw_and_catch(thrown: str, caught: str) -> str:
+    """A program throwing *thrown* inside a handler for *caught*."""
+    return f"""module Main
+bool f() {{
+    try {{
+        local ref<Hilti::Exception> e
+        e = exception.new {thrown} "boom"
+        exception.throw e
+    }} catch (ref<{caught}> h) {{
+        return True
+    }}
+    return False
+}}
+"""
+
+
+@pytest.mark.parametrize("tier", TIERS)
+class TestHierarchyMatching:
+    def test_exact_type_matches(self, tier):
+        src = _throw_and_catch("Hilti::PatternError", "Hilti::PatternError")
+        assert _run(src, "Main::f", tier=tier) is True
+
+    def test_parent_catches_child(self, tier):
+        src = _throw_and_catch("Hilti::PatternError", "Hilti::Exception")
+        assert _run(src, "Main::f", tier=tier) is True
+
+    def test_sibling_does_not_catch(self, tier):
+        src = _throw_and_catch("Hilti::PatternError", "Hilti::IndexError")
+        with pytest.raises(HiltiError) as err:
+            _run(src, "Main::f", tier=tier)
+        assert err.value.except_type.type_name == "Hilti::PatternError"
+
+    def test_builtin_throw_matches_parent(self, tier):
+        src = """module Main
+bool f() {
+    try {
+        local int<64> x
+        x = int.div 1 0
+    } catch (ref<Hilti::Exception> e) {
+        return True
+    }
+    return False
+}
+"""
+        assert _run(src, "Main::f", tier=tier) is True
+
+    def test_nearest_matching_handler_wins(self, tier):
+        src = """module Main
+int<64> f() {
+    try {
+        try {
+            try {
+                local ref<Hilti::Exception> e
+                e = exception.new Hilti::IndexError "oob"
+                exception.throw e
+            } catch (ref<Hilti::PatternError> p) {
+                return 1
+            }
+        } catch (ref<Hilti::IndexError> i) {
+            return 2
+        }
+    } catch (ref<Hilti::Exception> any) {
+        return 3
+    }
+    return 0
+}
+"""
+        assert _run(src, "Main::f", tier=tier) == 2
+
+    def test_uncaught_escapes_through_calls(self, tier):
+        src = """module Main
+void inner() {
+    local ref<Hilti::Exception> e
+    e = exception.new Hilti::ValueError "deep"
+    exception.throw e
+}
+
+bool outer() {
+    try {
+        call inner()
+    } catch (ref<Hilti::ValueError> v) {
+        return True
+    }
+    return False
+}
+"""
+        assert _run(src, "Main::outer", tier=tier) is True
+
+    def test_new_robustness_types_in_hierarchy(self, tier):
+        for name in ("Hilti::ProcessingTimeout", "Hilti::InjectedFault"):
+            src = _throw_and_catch(name, "Hilti::Exception")
+            assert _run(src, "Main::f", tier=tier) is True
+
+
+_SPIN = """module Main
+int<64> spin(int<64> n) {
+    local int<64> i
+    i = 0
+head:
+    local bool more
+    more = int.lt i n
+    if.else more body done
+body:
+    i = int.incr i
+    jump head
+done:
+    return i
+}
+"""
+
+
+@pytest.mark.parametrize("tier", TIERS)
+class TestWatchdog:
+    def test_budget_trips_as_processing_timeout(self, tier):
+        program = hiltic([_SPIN], tier=tier)
+        ctx = program.make_context()
+        ctx.arm_watchdog(100)
+        with pytest.raises(HiltiError) as err:
+            program.call(ctx, "Main::spin", [100_000])
+        assert err.value.matches(PROCESSING_TIMEOUT)
+        assert err.value.matches(EXCEPTION_BASE)
+
+    def test_sufficient_budget_does_not_trip(self, tier):
+        program = hiltic([_SPIN], tier=tier)
+        ctx = program.make_context()
+        ctx.arm_watchdog(10_000_000)
+        assert program.call(ctx, "Main::spin", [50]) == 50
+
+    def test_timeout_is_catchable_in_hilti(self, tier):
+        src = _SPIN + """
+bool guarded() {
+    try {
+        local int<64> out
+        out = call Main::spin (100000)
+    } catch (ref<Hilti::ProcessingTimeout> t) {
+        return True
+    }
+    return False
+}
+"""
+        program = hiltic([src], tier=tier)
+        ctx = program.make_context()
+        ctx.arm_watchdog(100)
+        assert program.call(ctx, "Main::guarded") is True
+
+    def test_one_shot_disarms_after_firing(self, tier):
+        """After the watchdog fires once, recovery code runs unbounded."""
+        program = hiltic([_SPIN], tier=tier)
+        ctx = program.make_context()
+        ctx.arm_watchdog(100)
+        with pytest.raises(HiltiError):
+            program.call(ctx, "Main::spin", [100_000])
+        assert ctx.instr_budget is None
+        assert program.call(ctx, "Main::spin", [500]) == 500
+
+    def test_disarm_clears_budget(self, tier):
+        program = hiltic([_SPIN], tier=tier)
+        ctx = program.make_context()
+        ctx.arm_watchdog(10)
+        ctx.disarm_watchdog()
+        assert program.call(ctx, "Main::spin", [500]) == 500

@@ -140,3 +140,102 @@ class TestPcap:
 
         with pytest.raises(PcapError):
             read_pcap(path)
+
+
+class TestSnaplen:
+    def test_writer_truncates_to_snaplen(self, tmp_path):
+        path = str(tmp_path / "snap.pcap")
+        with PcapWriter(path, snaplen=16) as writer:
+            writer.write(Time(1.0), b"x" * 100)
+        with open(path, "rb") as f:
+            f.seek(24)
+            header = f.read(16)
+            captured, original = struct.unpack("<IIII", header)[2:]
+            body = f.read()
+        assert captured == 16
+        assert original == 100  # true wire length preserved
+        assert body == b"x" * 16
+
+    def test_short_packet_unaffected(self, tmp_path):
+        path = str(tmp_path / "short.pcap")
+        with PcapWriter(path, snaplen=64) as writer:
+            writer.write(Time(1.0), b"small")
+        back = read_pcap(path)
+        assert back[0][1] == b"small"
+
+    def test_truncated_capture_reads_back(self, tmp_path):
+        path = str(tmp_path / "rt.pcap")
+        with PcapWriter(path, snaplen=8) as writer:
+            writer.write(Time(1.0), b"0123456789abcdef")
+        back = read_pcap(path)
+        assert back[0][1] == b"01234567"
+
+
+class TestTolerantReader:
+    @staticmethod
+    def _write_records(path, records):
+        """A little-endian pcap with raw (captured, original, body) records."""
+        with open(path, "wb") as f:
+            f.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                262144, 1))
+            for captured, original, body in records:
+                f.write(struct.pack("<IIII", 1, 0, captured, original))
+                f.write(body)
+
+    def test_truncated_body_skipped(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        self._write_records(path, [
+            (3, 3, b"one"),
+            (100, 100, b"cut"),  # body shorter than claimed
+        ])
+        with PcapReader(path, tolerant=True) as reader:
+            packets = list(reader)
+        assert [p[1] for p in packets] == [b"one"]
+        assert reader.records_skipped == 1
+
+    def test_truncated_header_skipped(self, tmp_path):
+        path = str(tmp_path / "h.pcap")
+        self._write_records(path, [(3, 3, b"one")])
+        with open(path, "ab") as f:
+            f.write(b"\x01\x02\x03")  # partial next record header
+        with PcapReader(path, tolerant=True) as reader:
+            packets = list(reader)
+        assert len(packets) == 1
+        assert reader.records_skipped == 1
+
+    def test_oversized_record_resyncs(self, tmp_path):
+        """A record longer than the capture limit (but bounded) is skipped
+        and reading resumes at the following record."""
+        path = str(tmp_path / "big.pcap")
+        big = 0x40001  # just over the minimum capture limit
+        self._write_records(path, [
+            (3, 3, b"one"),
+            (big, big, b"\x00" * big),
+            (3, 3, b"two"),
+        ])
+        with PcapReader(path, tolerant=True) as reader:
+            packets = list(reader)
+        assert [p[1] for p in packets] == [b"one", b"two"]
+        assert reader.records_skipped == 1
+
+    def test_garbage_length_stops_cleanly(self, tmp_path):
+        """An implausible length loses the record boundary: tolerant mode
+        stops at the corruption instead of reading garbage."""
+        path = str(tmp_path / "g.pcap")
+        self._write_records(path, [
+            (3, 3, b"one"),
+            (0xFFFFFFF0, 0xFFFFFFF0, b"junk"),
+            (3, 3, b"never-reached"),
+        ])
+        with PcapReader(path, tolerant=True) as reader:
+            packets = list(reader)
+        assert [p[1] for p in packets] == [b"one"]
+        assert reader.records_skipped == 1
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        path = str(tmp_path / "s.pcap")
+        self._write_records(path, [(100, 100, b"cut")])
+        from repro.net.pcap import PcapError
+
+        with pytest.raises(PcapError):
+            read_pcap(path)

@@ -145,3 +145,101 @@ class TestReorderingProperty:
         for seg_seq, chunk in doubled:
             out.extend(s.feed(seg_seq, chunk))
         assert bytes(out) == payload
+
+
+class TestAdversarialOverlap:
+    """Pathological overlap/duplication: deterministic resolution,
+    counters, bounded memory (docs/ROBUSTNESS.md)."""
+
+    def test_conflicting_retransmit_first_arrival_wins(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        assert s.feed(103, b"DEF") == b""  # buffered out of order
+        # Attacker retransmits the same range with different content.
+        assert s.feed(103, b"XYZ") == b""
+        assert s.feed(100, b"abc") == b"abcDEF"
+        assert s.duplicate_segments == 1
+        assert s.overlap_bytes == 3
+
+    def test_overlap_straddling_pending_segment(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        s.feed(104, b"EF")  # pending at 104..105
+        # Newcomer 102..107 overlaps the middle; only the disjoint
+        # head and tail survive (first arrival keeps "EF").
+        s.feed(102, b"cdXXgh")
+        assert s.overlap_bytes == 2
+        assert s.feed(100, b"ab") == b"abcdEFgh"
+
+    def test_pending_segment_straddles_delivered_boundary(self):
+        """A buffered segment reaching behind an in-order delivery must
+        not lose its tail (regression: stale pending entries)."""
+        s = StreamReassembler()
+        s.on_syn(99)
+        s.feed(102, b"ccdd")  # pending 102..105
+        assert s.feed(100, b"ab") == b"abccdd"
+        assert s.pending_bytes() == 0
+
+    def test_fully_covered_newcomer_counted_duplicate(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        s.feed(102, b"cdef")
+        s.feed(103, b"XX")  # entirely inside the pending segment
+        assert s.duplicate_segments == 1
+        assert s.feed(100, b"ab") == b"abcdef"
+
+    def test_old_data_trimmed_not_redelivered(self):
+        s = StreamReassembler()
+        s.on_syn(99)
+        assert s.feed(100, b"abcdef") == b"abcdef"
+        # Overlapping retransmit with a new tail: only the tail comes out.
+        assert s.feed(102, b"XXXXghi") == b"ghi"
+        assert s.overlap_bytes == 4
+
+    def test_memory_bound_drops_and_counts(self):
+        s = StreamReassembler(max_pending_bytes=10)
+        s.on_syn(99)
+        s.feed(200, b"A" * 8)   # buffered: 8 bytes
+        s.feed(300, b"B" * 8)   # 2 admitted, 6 dropped
+        assert s.pending_bytes() == 10
+        assert s.dropped_bytes == 6
+        s.feed(400, b"C" * 4)   # budget exhausted entirely
+        assert s.pending_bytes() == 10
+        assert s.dropped_bytes == 10
+
+    def test_memory_bound_does_not_block_in_order_data(self):
+        s = StreamReassembler(max_pending_bytes=4)
+        s.on_syn(99)
+        s.feed(110, b"Z" * 4)  # fills the pending budget
+        # In-order data never touches the pending buffer.
+        assert s.feed(100, b"abcde") == b"abcde"
+
+    def test_duplicate_flood_bounded(self):
+        """Re-sending one out-of-order segment forever costs no memory."""
+        s = StreamReassembler()
+        s.on_syn(99)
+        for _ in range(1000):
+            s.feed(200, b"flood")
+        assert s.pending_bytes() == 5
+        assert s.duplicate_segments == 999
+
+    def test_overlap_resolution_is_arrival_order_deterministic(self):
+        """Same segments, same order -> identical stream and counters."""
+        segments = [(104, b"EEff"), (100, b"abCD"), (102, b"cdeF"),
+                    (100, b"ABcd"), (106, b"ghij")]
+
+        def run():
+            s = StreamReassembler()
+            s.on_syn(99)
+            out = bytearray()
+            for seq, data in segments:
+                out.extend(s.feed(seq, data))
+            return bytes(out), s.overlap_bytes, s.duplicate_segments
+
+        assert run() == run()
+        out, overlap, dups = run()
+        # First arrival per byte: "EEff" (104..107) landed before the
+        # conflicting retransmits at 100/102, so its bytes stand.
+        assert out == b"abCDEEffij"
+        assert overlap == 2
+        assert dups == 2
