@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Benchmark-regression harness for the IR optimization pipeline.
+
+Runs the paper's benchmark kernels — recursive Fibonacci (§6.5), the
+BPF filter (§6.2), the BinPAC++ HTTP parser (Figure 9), and the Bro
+scripts (Figure 10) — once at ``-O0`` and once at ``-O1``, checks the
+outputs are byte-identical, and writes a machine-readable report to
+``BENCH_ir_opt.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py [--quick]
+        [--output PATH] [--check fib,bpf]
+
+``--quick`` shrinks the workloads for CI smoke runs; ``--check`` exits
+non-zero if -O1 is slower than -O0 on any named kernel (the regression
+gate).  See docs/PERFORMANCE.md for the JSON schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import io
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+
+def _best_of(fn, rounds, setup=None):
+    """Best-of-N timing of ``fn``; ``setup`` runs untimed before each
+    round (compilation stays out of the measurement)."""
+    best = None
+    result = None
+    for __ in range(rounds):
+        state = setup() if setup is not None else None
+        begin = time.perf_counter()
+        result = fn(state) if setup is not None else fn()
+        elapsed = time.perf_counter() - begin
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _http_trace(sessions, seed=101):
+    from repro.net.tracegen import HttpTraceConfig, generate_http_trace
+
+    return generate_http_trace(HttpTraceConfig(sessions=sessions, seed=seed))
+
+
+def bench_fib(quick):
+    """§6.5 baseline: recursive fib through the Bro script pipeline."""
+    from repro.apps.bro import Bro
+    from repro.apps.bro.scripts import FIB_SCRIPT
+
+    n = 18 if quick else 22
+    rounds = 3 if quick else 5
+    results = {}
+    for level in (0, 1):
+        bro = Bro(scripts=[FIB_SCRIPT], scripts_engine="hilti",
+                  opt_level=level, print_stream=io.StringIO())
+        seconds, value = _best_of(
+            lambda: bro.call_function("fib", [n]), rounds
+        )
+        results[level] = (seconds, f"fib({n})={value}")
+    return results
+
+
+def bench_bpf(quick):
+    """§6.2: the compiled HILTI packet filter over an HTTP trace."""
+    from repro.apps.bpf import compile_to_hilti, parse_filter
+    from repro.net.packet import parse_ethernet
+
+    trace = _http_trace(40 if quick else 120)
+    ip, __ = parse_ethernet(trace[3][1])
+    node = parse_filter(
+        f"host {ip.src} or src net 172.16.0.0/16 and port 80"
+    )
+    frames = [f for __, f in trace]
+    rounds = 3 if quick else 5
+    results = {}
+    for level in (0, 1):
+        hilti_filter = compile_to_hilti(node, opt_level=level)
+        seconds, decisions = _best_of(
+            lambda: bytes(1 if hilti_filter(f) else 0 for f in frames),
+            rounds,
+        )
+        results[level] = (
+            seconds,
+            f"packets={len(frames)} matches={sum(decisions)} "
+            f"decisions=sha:{hashlib.sha256(decisions).hexdigest()[:12]}",
+        )
+    return results
+
+
+def bench_parser(quick):
+    """Figure 9: the BinPAC++ HTTP parser inside the Bro pipeline."""
+    from repro.apps.bro import Bro
+    from repro.apps.bro.analyzers.pac import PacParsers
+
+    trace = _http_trace(10 if quick else 40, seed=7)
+    rounds = 2 if quick else 3
+    results = {}
+    for level in (0, 1):
+        def setup(level=level):
+            return Bro(parsers="pac",
+                       pac_parsers=PacParsers(opt_level=level),
+                       scripts_engine="hilti", opt_level=level,
+                       print_stream=io.StringIO())
+
+        def run(bro):
+            bro.run(trace)
+            return (
+                "\n".join(bro.core.logs.lines("http")),
+                bro.core.events_dispatched,
+            )
+        seconds, (http_log, events) = _best_of(run, rounds, setup=setup)
+        results[level] = (
+            seconds,
+            f"events={events} http_log=sha:"
+            f"{hashlib.sha256(http_log.encode()).hexdigest()[:12]}",
+        )
+    return results
+
+
+def bench_script(quick):
+    """Figure 10: the default analysis scripts over an HTTP trace."""
+    from repro.apps.bro import Bro
+
+    trace = _http_trace(10 if quick else 40, seed=13)
+    rounds = 2 if quick else 3
+    results = {}
+    for level in (0, 1):
+        def setup(level=level):
+            return Bro(scripts_engine="hilti", opt_level=level,
+                       print_stream=io.StringIO())
+
+        def run(bro):
+            bro.run(trace)
+            return (
+                "\n".join(bro.core.logs.lines("conn")),
+                bro.core.events_dispatched,
+            )
+        seconds, (conn_log, events) = _best_of(run, rounds, setup=setup)
+        results[level] = (
+            seconds,
+            f"events={events} conn_log=sha:"
+            f"{hashlib.sha256(conn_log.encode()).hexdigest()[:12]}",
+        )
+    return results
+
+
+KERNELS = {
+    "fib": bench_fib,
+    "bpf": bench_bpf,
+    "parser": bench_parser,
+    "script": bench_script,
+}
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="shrink workloads for CI smoke runs")
+    ap.add_argument("--output", default=str(REPO / "BENCH_ir_opt.json"),
+                    help="where to write the JSON report")
+    ap.add_argument("--check", default=None, metavar="KERNELS",
+                    help="comma-separated kernels that must not regress "
+                         "(exit 1 if -O1 is slower than -O0)")
+    ap.add_argument("--kernels", default=",".join(KERNELS),
+                    metavar="KERNELS", help="which kernels to run")
+    args = ap.parse_args(argv)
+
+    report = {
+        "schema": "bench-ir-opt/1",
+        "quick": args.quick,
+        "kernels": {},
+    }
+    for name in args.kernels.split(","):
+        name = name.strip()
+        if name not in KERNELS:
+            ap.error(f"unknown kernel {name!r}")
+        print(f"[bench_regression] {name} ...", flush=True)
+        results = KERNELS[name](args.quick)
+        (o0_s, o0_fp), (o1_s, o1_fp) = results[0], results[1]
+        entry = {
+            "O0": {"seconds": round(o0_s, 6), "fingerprint": o0_fp},
+            "O1": {"seconds": round(o1_s, 6), "fingerprint": o1_fp},
+            "speedup": round(o0_s / o1_s, 3) if o1_s else None,
+            "identical": o0_fp == o1_fp,
+        }
+        report["kernels"][name] = entry
+        print(f"[bench_regression]   O0={o0_s * 1e3:.2f}ms "
+              f"O1={o1_s * 1e3:.2f}ms speedup={entry['speedup']}x "
+              f"identical={entry['identical']}", flush=True)
+
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_regression] wrote {out_path}")
+
+    failures = []
+    for name, entry in report["kernels"].items():
+        if not entry["identical"]:
+            failures.append(f"{name}: -O0/-O1 outputs differ")
+    if args.check:
+        for name in args.check.split(","):
+            name = name.strip()
+            entry = report["kernels"].get(name)
+            if entry is None:
+                failures.append(f"{name}: kernel not run")
+            elif entry["speedup"] is not None and entry["speedup"] < 1.0:
+                failures.append(
+                    f"{name}: -O1 slower than -O0 "
+                    f"(speedup {entry['speedup']}x)"
+                )
+    if failures:
+        for failure in failures:
+            print(f"[bench_regression] FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

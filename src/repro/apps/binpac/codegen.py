@@ -598,7 +598,8 @@ class Parser:
     def __init__(self, grammar: Grammar, extra_modules=(),
                  natives: Optional[dict] = None,
                  optimize: bool = True,
-                 on_event: Optional[Callable] = None):
+                 on_event: Optional[Callable] = None,
+                 opt_level: Optional[int] = None):
         self.grammar = grammar
         compiled_module = GrammarCompiler(grammar).compile_module()
         table = bp_runtime.natives()
@@ -618,6 +619,7 @@ class Parser:
             [compiled_module, *extra_modules],
             natives=table,
             optimize=optimize,
+            opt_level=opt_level,
         )
         self.ctx = self.program.make_context()
 

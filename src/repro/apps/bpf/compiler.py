@@ -235,7 +235,8 @@ class HiltiFilter:
 
 
 def compile_to_hilti(filter_text_or_node, optimize: bool = True,
-                     tier: str = "compiled") -> HiltiFilter:
+                     tier: str = "compiled",
+                     opt_level=None) -> HiltiFilter:
     """Full pipeline: filter expression -> HILTI -> executable filter."""
     node = (
         parse_filter(filter_text_or_node)
@@ -243,7 +244,8 @@ def compile_to_hilti(filter_text_or_node, optimize: bool = True,
         else filter_text_or_node
     )
     module = build_filter_module(node).finish()
-    program = hiltic([module], optimize=optimize, tier=tier)
+    program = hiltic([module], optimize=optimize, tier=tier,
+                     opt_level=opt_level)
     if tier == "interpreted":
         filt = HiltiFilter.__new__(HiltiFilter)
         filt.program = program

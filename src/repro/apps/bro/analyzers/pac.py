@@ -58,7 +58,7 @@ def _unit_done_glue(grammar_name: str, unit_names) -> object:
 class PacParsers:
     """Compiled HTTP and DNS parsers, shared by all connections."""
 
-    def __init__(self, optimize: bool = True):
+    def __init__(self, optimize: bool = True, opt_level=None):
         self.current_sink = None  # the analyzer currently feeding data
 
         def route(name, args):
@@ -69,12 +69,14 @@ class PacParsers:
             http_grammar(),
             extra_modules=[_unit_done_glue("HTTP", ["Request", "Reply"])],
             optimize=optimize,
+            opt_level=opt_level,
             on_event=route,
         )
         self.dns = Parser(
             dns_grammar(),
             extra_modules=[_unit_done_glue("DNS", ["Message"])],
             optimize=optimize,
+            opt_level=opt_level,
             on_event=route,
         )
 

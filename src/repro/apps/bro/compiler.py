@@ -389,9 +389,10 @@ class _BodyCompiler:
 class ScriptCompiler:
     """Compiles a Script into a HILTI module plus the native bridge."""
 
-    def __init__(self, script: Script, core):
+    def __init__(self, script: Script, core, opt_level=None):
         self.script = script
         self.core = core
+        self.opt_level = opt_level
         self.glue = Glue()
         self.mb = ModuleBuilder("Scripts")
         self.global_names = {g.name for g in script.globals}
@@ -449,7 +450,8 @@ class ScriptCompiler:
         for index, statement in enumerate(self._when_statements):
             self._compile_when(statement, index)
         module = self.mb.finish()
-        program = hiltic([module], natives=self._natives())
+        program = hiltic([module], natives=self._natives(),
+                         opt_level=self.opt_level)
         return CompiledScripts(self, program)
 
     def _compile_global_init(self) -> None:

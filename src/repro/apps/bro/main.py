@@ -67,6 +67,7 @@ class Bro:
         watchdog_budget: Optional[int] = None,
         breaker_threshold: float = 0.25,
         breaker_min_flows: int = 8,
+        opt_level: Optional[int] = None,
     ):
         if parsers not in ("std", "pac"):
             raise ValueError(f"unknown parser tier {parsers!r}")
@@ -103,7 +104,8 @@ class Bro:
                 merged, self.core, print_stream=self.core.print_stream
             )
         else:
-            compiler = ScriptCompiler(merged, self.core)
+            compiler = ScriptCompiler(merged, self.core,
+                                      opt_level=opt_level)
             self.engine = compiler.compile()
             self.glue = compiler.glue
         self.core.script_engine = self.engine
@@ -115,7 +117,7 @@ class Bro:
             else:
                 from .analyzers.pac import PacParsers
 
-                self._pac = pac_parsers or PacParsers()
+                self._pac = pac_parsers or PacParsers(opt_level=opt_level)
         self.tracker = ConnectionTracker(self.core, self._make_analyzer)
         self.stats: Dict[str, object] = {}
 

@@ -23,6 +23,7 @@ from .ir import (  # noqa: F401
 from .linker import LinkedProgram, LinkError, link  # noqa: F401
 from .optimize import OptStats, optimize_module  # noqa: F401
 from .parser import ParseError, parse_module, parse_type  # noqa: F401
+from .printer import PrintError, print_module  # noqa: F401
 from .stubs import Stub, StubResult, make_stub  # noqa: F401
 from .toolchain import (  # noqa: F401
     HiltiExecutable,

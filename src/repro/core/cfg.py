@@ -21,6 +21,16 @@ def successors(function: Function, index: int) -> List[str]:
     """Labels of the blocks control can reach from block *index*."""
     block = function.blocks[index]
     out: List[str] = []
+    # try.begin handlers are reachable from anywhere inside the scope; be
+    # conservative and treat every handler label as a successor of the
+    # block opening the scope.  This must run even for return-terminated
+    # blocks: an exception raised before the return still transfers to
+    # the handler.
+    for instruction in block.instructions:
+        if instruction.mnemonic == "try.begin" and instruction.operands:
+            handler = instruction.operands[0]
+            if isinstance(handler, LabelRef):
+                out.append(handler.label)
     last = block.instructions[-1] if block.instructions else None
     mnemonic = last.mnemonic if last is not None else None
     if mnemonic in ("return.void", "return.result"):
@@ -37,14 +47,6 @@ def successors(function: Function, index: int) -> List[str]:
         # Fall-through edge.
         if index + 1 < len(function.blocks):
             out.append(function.blocks[index + 1].label)
-    # try.begin handlers are reachable from anywhere inside the scope; be
-    # conservative and treat every handler label as a successor of the
-    # block opening the scope.
-    for instruction in block.instructions:
-        if instruction.mnemonic == "try.begin" and instruction.operands:
-            handler = instruction.operands[0]
-            if isinstance(handler, LabelRef):
-                out.append(handler.label)
     return out
 
 

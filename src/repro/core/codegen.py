@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..runtime import overlay as rt_overlay
 from ..runtime.bytes_buffer import Bytes
 from ..runtime.context import ExecutionContext
 from ..runtime.exceptions import (
@@ -127,6 +128,10 @@ class CompiledProgram:
         # Host-selectable runtime backends ("transparent integration of
         # non-standard capabilities", §7): e.g. {"classifier": "trie"}.
         self.runtime_options: Dict[str, str] = {}
+        # Optimization level the program was lowered at (-O0/-O1).
+        self.opt_level = 1
+        # IR-level optimization statistics, attached by the toolchain.
+        self.opt_stats = None
 
     # -- host-facing API ------------------------------------------------------
 
@@ -269,10 +274,15 @@ _SEGMENT_BREAKERS = {
 
 class _FunctionLowering:
     def __init__(self, program: CompiledProgram, module: Module,
-                 function: Function):
+                 function: Function, opt_level: int = 0,
+                 ir_suspends: Optional[Dict[str, bool]] = None):
         self.program = program
         self.module = module
         self.function = function
+        # At -O1, calls to provably non-suspending callees compile into
+        # the straight-line batches instead of splitting the segment.
+        self.opt_level = opt_level
+        self.ir_suspends = ir_suspends
         self.slots: Dict[str, int] = {}
         for param in function.params:
             self.slots[param.name] = len(self.slots)
@@ -420,12 +430,185 @@ class _FunctionLowering:
         slot = self.program.linked.global_slot(name, self.module)
         return f"ctx.globals[{slot}]"
 
+    def _make_call_thunk(self, callee_name: str) -> Callable:
+        """A per-call-site inline cache for a batched HILTI-to-HILTI call.
+
+        The compiled callee is looked up in ``program.functions`` once, on
+        the first execution of this site, then reused — no per-call dict
+        lookup, no control-tuple dispatch.  The cache also revalidates the
+        inlining decision: the IR-level suspension analysis proved the
+        callee non-suspending, and if the segment-level fixpoint ever
+        disagreed we fail loudly instead of silently dropping a yield.
+        """
+        program = self.program
+        cache: List[CompiledFunction] = []
+
+        def call_site(ctx, *args, _program=program, _name=callee_name,
+                      _cache=cache, _run=_run_simple):
+            if not _cache:
+                cf = _program.functions[_name]
+                if cf.can_suspend:
+                    raise HiltiError(
+                        INTERNAL_ERROR,
+                        f"batched call to suspending function {_name}",
+                    )
+                _cache.append(cf)
+            return _run(_program, ctx, _cache[0], list(args))
+
+        return call_site
+
+    def _make_hook_thunk(self, hook_name: str) -> Callable:
+        """Per-call-site inline cache for batched hook dispatch."""
+        program = self.program
+        cache: List[Tuple[CompiledFunction, ...]] = []
+
+        def hook_site(ctx, *args, _program=program, _name=hook_name,
+                      _cache=cache, _run=_run_simple):
+            if not _cache:
+                bodies = tuple(_program.hooks.get(_name, ()))
+                for body in bodies:
+                    if body.can_suspend:
+                        raise HiltiError(
+                            INTERNAL_ERROR,
+                            f"batched dispatch to suspending hook body "
+                            f"{body.name}",
+                        )
+                _cache.append(bodies)
+            result = None
+            for body in _cache[0]:
+                if body.hook_group is not None and \
+                        body.hook_group in ctx.hook_groups_disabled:
+                    continue
+                try:
+                    _run(_program, ctx, body, list(args))
+                except _HookStop as stop:
+                    result = stop.value
+                    break
+            return result
+
+        return hook_site
+
+    def _specialized_memread(self, instruction: Instruction, position: int,
+                             env: Dict, args: List[str]) -> Optional[str]:
+        """-O1: resolve a constant-layout memory read at compile time.
+
+        ``overlay.get`` with a constant overlay type and field, and
+        ``unpack`` with a constant format, spend most of their time
+        re-resolving the field spec (offset, format alias, struct code,
+        bit range) on every execution; here that resolution happens once
+        and the site compiles to a precompiled extraction closure.
+        Returns the batch expression, or None to use the generic path.
+        """
+        operands = instruction.operands
+        if instruction.mnemonic == "overlay.get":
+            if len(operands) != 3 or not isinstance(operands[0], TypeRef) \
+                    or not isinstance(operands[1], FieldRef):
+                return None
+            overlay_type = operands[0].type
+            if isinstance(overlay_type, ht.RefT):
+                overlay_type = overlay_type.target
+            try:
+                fld = overlay_type.field(operands[1].name)
+                unpacker = rt_overlay.make_unpacker(fld.fmt)
+            except Exception:
+                return None  # let the generic path report it at runtime
+            offset = fld.offset
+
+            def get_field(ctx, data, _u=unpacker, _off=offset):
+                return _u(data, data.begin_offset + _off)
+
+            fn_name = f"f{position}"
+            env[fn_name] = get_field
+            return f"{fn_name}(ctx, {args[2]})"
+        # unpack <bytes> <offset> <Format> (no bit-range operand)
+        if len(operands) != 3 or not isinstance(operands[2], FieldRef):
+            return None
+        try:
+            unpacker = rt_overlay.make_unpacker(
+                ht.UnpackFormat(operands[2].name, None)
+            )
+        except Exception:
+            return None
+
+        def unpack_at(ctx, data, offset, _u=unpacker):
+            return _u(data, data.begin_offset + offset)
+
+        fn_name = f"f{position}"
+        env[fn_name] = unpack_at
+        return f"{fn_name}(ctx, {args[0]}, {args[1]})"
+
+    def _call_inlinable(self, instruction: Instruction) -> bool:
+        """Whether a ``call`` can compile into the enclosing batch."""
+        if self.opt_level < 1 or self.ir_suspends is None:
+            return False
+        if len(instruction.operands) > 1 and \
+                not isinstance(instruction.operands[1], TupleOp):
+            return False
+        try:
+            kind, target = self.program.linked.resolve_function(
+                instruction.operands[0].name, self.module
+            )
+        except (LinkError, KeyError):
+            return False
+        if kind == "native":
+            return True  # natives are synchronous by construction
+        return not self.ir_suspends.get(target.name, True)
+
+    def _hook_inlinable(self, instruction: Instruction) -> bool:
+        """Whether a ``hook.run`` can compile into the enclosing batch."""
+        if self.opt_level < 1 or self.ir_suspends is None:
+            return False
+        if len(instruction.operands) > 1 and \
+                not isinstance(instruction.operands[1], TupleOp):
+            return False
+        operand = instruction.operands[0]
+        name = operand.name if isinstance(operand, (FieldRef, FuncRef)) \
+            else str(operand)
+        bodies = self.program.linked.hooks.get(name, ())
+        return all(
+            not self.ir_suspends.get(body.name, True) for body in bodies
+        )
+
     def _compile_batch(self, batch: List[Instruction]) -> Callable:
         """Compile a straight-line instruction run into one function."""
         env: Dict = {}
         lines: List[str] = []
         for position, instruction in enumerate(batch):
             mnemonic = instruction.mnemonic
+            if mnemonic in ("call", "hook.run"):
+                fn_name = f"f{position}"
+                if mnemonic == "call":
+                    kind, target = self.program.linked.resolve_function(
+                        instruction.operands[0].name, self.module
+                    )
+                    env[fn_name] = target if kind == "native" \
+                        else self._make_call_thunk(target.name)
+                else:
+                    operand = instruction.operands[0]
+                    hook_name = operand.name \
+                        if isinstance(operand, (FieldRef, FuncRef)) \
+                        else str(operand)
+                    env[fn_name] = self._make_hook_thunk(hook_name)
+                arg_ops = (
+                    instruction.operands[1].elements
+                    if len(instruction.operands) > 1
+                    else ()
+                )
+                joined = ", ".join(
+                    self._expr_source(e, env) for e in arg_ops
+                )
+                expression = (
+                    f"{fn_name}(ctx, {joined})" if joined
+                    else f"{fn_name}(ctx)"
+                )
+                if instruction.target is not None:
+                    lines.append(
+                        f"    {self._target_source(instruction.target)} = "
+                        f"{expression}"
+                    )
+                else:
+                    lines.append(f"    {expression}")
+                continue
             args = [self._expr_source(op, env) for op in instruction.operands]
             expression = None
             if mnemonic == "assign":
@@ -451,7 +634,12 @@ class _FunctionLowering:
                 expression = f"({args[0]} and {args[1]})"
             elif mnemonic == "bool.or":
                 expression = f"({args[0]} or {args[1]})"
-            else:
+            elif self.opt_level >= 1 and \
+                    mnemonic in ("overlay.get", "unpack"):
+                expression = self._specialized_memread(
+                    instruction, position, env, args
+                )
+            if expression is None:
                 definition = REGISTRY[mnemonic]
                 if definition.fn is None:
                     raise LinkError(
@@ -668,6 +856,15 @@ class _FunctionLowering:
                 # Anything after a terminator in the same block is dead.
                 break
             if mnemonic in _SEGMENT_BREAKERS:
+                if mnemonic == "call" and self._call_inlinable(instruction):
+                    batch.append(instruction)
+                    position += 1
+                    continue
+                if mnemonic == "hook.run" and \
+                        self._hook_inlinable(instruction):
+                    batch.append(instruction)
+                    position += 1
+                    continue
                 special = self.compile_special_step(instruction)
                 if special is not None:
                     flush_batch()
@@ -836,30 +1033,149 @@ class _NextSegment:
 _NEXT_SEGMENT = _NextSegment()
 
 
-def compile_program(linked: LinkedProgram) -> CompiledProgram:
-    """Lower every function of *linked* into a CompiledProgram."""
+def compile_program(linked: LinkedProgram,
+                    opt_level: int = 1) -> CompiledProgram:
+    """Lower every function of *linked* into a CompiledProgram.
+
+    At ``opt_level >= 1``, call/hook dispatch is optimized two ways: sites
+    whose targets provably cannot suspend compile straight into the
+    batches (with per-site inline caches), and the remaining dispatch
+    controls get their targets resolved to compiled objects at link time
+    instead of per-execution name lookups.
+    """
     program = CompiledProgram(linked)
+    program.opt_level = opt_level
     module_of: Dict[str, Module] = {}
     for module in linked.modules:
         for function in module.all_functions():
             module_of[id(function)] = module
+    ir_suspends = _ir_can_suspend(linked, module_of) if opt_level >= 1 \
+        else None
     for name, function in linked.functions.items():
         lowering = _FunctionLowering(
-            program, module_of.get(id(function)), function
+            program, module_of.get(id(function)), function,
+            opt_level=opt_level, ir_suspends=ir_suspends,
         )
         program.functions[name] = _finalize(lowering.lower())
     for hook_name, bodies in linked.hooks.items():
         compiled_bodies = []
         for body in bodies:
             lowering = _FunctionLowering(
-                program, module_of.get(id(body)), body
+                program, module_of.get(id(body)), body,
+                opt_level=opt_level, ir_suspends=ir_suspends,
             )
             compiled_bodies.append(_finalize(lowering.lower()))
         program.hooks[hook_name] = compiled_bodies
     for index, var in enumerate(linked.global_layout):
         program._global_inits.append((index, var.init, var.type))
     _compute_suspension(program)
+    if opt_level >= 1:
+        _resolve_dispatch(program)
     return program
+
+
+# IR mnemonics that are themselves suspension points; the IR-level
+# analysis mirrors _SUSPENDING_CONTROLS but runs *before* lowering so the
+# batch compiler can inline provably non-suspending call sites.
+_IR_SUSPENDING = {
+    "yield",
+    "timer_mgr.advance",
+    "timer_mgr.advance_global",
+    "timer_mgr.expire_all",
+    "callable.call",
+    "watchpoint.check",
+}
+
+
+def _ir_can_suspend(linked: LinkedProgram,
+                    module_of: Dict[int, Module]) -> Dict[str, bool]:
+    """Whole-program fixpoint over the *IR*: function name -> may suspend.
+
+    Same lattice as :func:`_compute_suspension`, computed pre-lowering;
+    anything unresolvable stays conservatively suspending, so the two
+    analyses agree wherever this one says "no".
+    """
+    entries: List[Function] = list(linked.functions.values())
+    for bodies in linked.hooks.values():
+        entries.extend(bodies)
+    suspend: Dict[str, bool] = {}
+    callees: Dict[str, set] = {}
+    hook_calls: Dict[str, set] = {}
+    for function in entries:
+        direct = False
+        called: set = set()
+        hooks_run: set = set()
+        for block in function.blocks:
+            for instruction in block.instructions:
+                mnemonic = instruction.mnemonic
+                if mnemonic in _IR_SUSPENDING:
+                    direct = True
+                elif mnemonic == "call":
+                    try:
+                        kind, target = linked.resolve_function(
+                            instruction.operands[0].name,
+                            module_of.get(id(function)),
+                        )
+                    except (LinkError, KeyError):
+                        direct = True  # unresolvable: stay conservative
+                        continue
+                    if kind == "hilti":
+                        called.add(target.name)
+                elif mnemonic == "hook.run":
+                    operand = instruction.operands[0]
+                    name = operand.name \
+                        if isinstance(operand, (FieldRef, FuncRef)) \
+                        else str(operand)
+                    hooks_run.add(name)
+        suspend[function.name] = direct
+        callees[function.name] = called
+        hook_calls[function.name] = hooks_run
+    bodies_of = {
+        name: [body.name for body in bodies]
+        for name, bodies in linked.hooks.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for function in entries:
+            name = function.name
+            if suspend[name]:
+                continue
+            transitively = any(
+                suspend.get(callee, True) for callee in callees[name]
+            ) or any(
+                suspend.get(body, True)
+                for hook in hook_calls[name]
+                for body in bodies_of.get(hook, ())
+            )
+            if transitively:
+                suspend[name] = True
+                changed = True
+    return suspend
+
+
+def _resolve_dispatch(program: CompiledProgram) -> None:
+    """Resolve remaining call/hook controls to compiled objects.
+
+    The engine accepts either form (name for -O0, object for -O1); this
+    removes the per-execution ``program.functions[name]`` /
+    ``program.hooks.get(name)`` lookups from suspending dispatch sites
+    that could not be batched.
+    """
+    everything: List[CompiledFunction] = list(program.functions.values())
+    for bodies in program.hooks.values():
+        everything.extend(bodies)
+    for cf in everything:
+        resolved = []
+        for steps, control, count in cf.segments:
+            if control[0] == "call":
+                control = ("call", program.functions[control[1]],
+                           control[2], control[3], control[4])
+            elif control[0] == "hook":
+                control = ("hook", tuple(program.hooks.get(control[1], ())),
+                           control[2], control[3], control[4])
+            resolved.append((steps, control, count))
+        cf.segments = resolved
 
 
 # Control kinds that are themselves suspension points: yield, and any
@@ -965,8 +1281,9 @@ def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
             if kind == "ret":
                 return None
             if kind == "call":
-                __, callee_name, arg_accs, store, nxt = control
-                callee = program.functions[callee_name]
+                __, callee, arg_accs, store, nxt = control
+                if callee.__class__ is str:  # -O0: resolve per execution
+                    callee = program.functions[callee]
                 if callee.can_suspend:
                     result = yield from _execute(
                         program, ctx, callee,
@@ -1003,8 +1320,9 @@ def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
                 seg = control[1]
                 continue
             if kind == "hook":
-                __, hook_name, arg_accs, store, nxt = control
-                bodies = program.hooks.get(hook_name, ())
+                __, hook_ref, arg_accs, store, nxt = control
+                bodies = program.hooks.get(hook_ref, ()) \
+                    if hook_ref.__class__ is str else hook_ref
                 hook_args = [a(ctx, frame) for a in arg_accs]
                 hook_result = None
                 for body in bodies:
@@ -1118,8 +1436,9 @@ def _run_simple(program: CompiledProgram, ctx, cf: CompiledFunction, args):
             if kind == "ret":
                 return None
             if kind == "call":
-                __, callee_name, arg_accs, store, nxt = control
-                callee = program.functions[callee_name]
+                __, callee, arg_accs, store, nxt = control
+                if callee.__class__ is str:  # -O0: resolve per execution
+                    callee = program.functions[callee]
                 result = _run_simple(
                     program, ctx, callee,
                     [a(ctx, frame) for a in arg_accs],
@@ -1146,8 +1465,9 @@ def _run_simple(program: CompiledProgram, ctx, cf: CompiledFunction, args):
                 seg = control[1]
                 continue
             if kind == "hook":
-                __, hook_name, arg_accs, store, nxt = control
-                bodies = program.hooks.get(hook_name, ())
+                __, hook_ref, arg_accs, store, nxt = control
+                bodies = program.hooks.get(hook_ref, ()) \
+                    if hook_ref.__class__ is str else hook_ref
                 hook_args = [a(ctx, frame) for a in arg_accs]
                 hook_result = None
                 for body in bodies:

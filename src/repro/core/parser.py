@@ -81,8 +81,8 @@ _TOKEN_RE = re.compile(
     | (?P<port>\d+/(?:tcp|udp|icmp))
     | (?P<double>-?\d+\.\d+(?:[eE][-+]?\d+)?)
     | (?P<int>-?\d+)
-    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:(?:::|\.)[A-Za-z_][A-Za-z0-9_]*)*)
-    | (?P<op><=|>=|==|!=|[{}()<>,=:*\[\]])
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:(?:::|\.)%?[A-Za-z_][A-Za-z0-9_]*)*)
+    | (?P<op><=|>=|==|!=|[{}()<>,=:*&\[\]])
     """,
     re.VERBOSE,
 )
@@ -431,6 +431,19 @@ class _Parser:
                     break
             self.skip_newlines()
             self.expect("op", ")")
+        priority = 0
+        group: Optional[str] = None
+        while self.accept("op", "&"):
+            attr = self.expect("ident").text
+            if not is_hook:
+                raise self.error(f"attribute &{attr} only applies to hooks")
+            self.expect("op", "=")
+            if attr == "priority":
+                priority = int(self.expect("int").text)
+            elif attr == "group":
+                group = self.expect("ident").text
+            else:
+                raise self.error(f"unknown hook attribute &{attr}")
         qualified = self.module.qualified(name)
         if is_hook:
             # Hook names are global: an already-qualified name attaches a
@@ -446,6 +459,8 @@ class _Parser:
             result,
             hook_name=hook_name,
             location=self.location(),
+            hook_priority=priority,
+            hook_group=group,
         )
         self.module.add_function(function)
         self.skip_newlines()
@@ -615,7 +630,12 @@ class _BodyBuilder:
                 if spec_index < len(definition.operands)
                 else "val"
             )
-            operands.append(self.parse_operand(spec.rstrip("?*")))
+            kind = spec.rstrip("?*")
+            if mnemonic == "switch" and kind == "tuple":
+                # Switch cases are (constant, label) pairs; a plain tuple
+                # parse would lose the label (it would come back a Var).
+                kind = "case"
+            operands.append(self.parse_operand(kind))
             if spec_index < len(definition.operands) - 1 or not spec.endswith("*"):
                 spec_index += 1
         self.emit(mnemonic, operands, target)
@@ -725,6 +745,14 @@ class _BodyBuilder:
     def parse_operand(self, spec: str = "val") -> Operand:
         p = self.p
         token = p.peek()
+        if spec == "case":
+            # A switch case: (constant-or-var, label).
+            p.expect("op", "(")
+            value = self.parse_operand()
+            p.expect("op", ",")
+            label = self.parse_operand("label")
+            p.expect("op", ")")
+            return TupleOp((value, label))
         if token.kind == "op" and token.text == "(":
             p.next()
             elements: List[Operand] = []
@@ -753,6 +781,19 @@ class _BodyBuilder:
                 if ctor == "interval":
                     return Const(ht.INTERVAL, Interval(value))
                 return Const(ht.TIME, Time(value))
+            # regexp("pat", ...): precompiled pattern-set literal.
+            if token.text == "regexp" and (
+                p.peek(1).kind == "op" and p.peek(1).text == "("
+            ):
+                from ..runtime.regexp import RegExp
+
+                p.next()
+                p.expect("op", "(")
+                patterns = [_unescape(p.expect("string").text[1:-1])]
+                while p.accept("op", ","):
+                    patterns.append(_unescape(p.expect("string").text[1:-1]))
+                p.expect("op", ")")
+                return Const(ht.REGEXP, RegExp(patterns))
             name = p.next().text
             if name in ("True", "False"):
                 return Const(ht.BOOL, name == "True")
@@ -798,14 +839,25 @@ class _BodyBuilder:
         raise p.error(f"unexpected operand {token.text!r}")
 
 
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
 def _unescape(text: str) -> str:
-    return (
-        text.replace("\\n", "\n")
-        .replace("\\t", "\t")
-        .replace("\\r", "\r")
-        .replace('\\"', '"')
-        .replace("\\\\", "\\")
-    )
+    # Single pass: sequential str.replace would mis-read the 't' of an
+    # escaped backslash followed by 't' ("\\t" -> backslash + TAB).
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text) and text[i + 1] in _ESCAPES:
+            out.append(_ESCAPES[text[i + 1]])
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
 
 
 # The desugared for-loop uses two internal instructions for generic

@@ -1,0 +1,419 @@
+"""Printer for HILTI's textual syntax — the inverse of ``core.parser``.
+
+``print_module`` renders an IR module (parsed or built through
+``core.builder``) back into the register-style syntax of the paper's
+listings, such that ``parse_module(print_module(m))`` reconstructs an
+equivalent module and a second print yields the identical text
+(print -> parse -> print is idempotent).
+
+Rendering is driven by the instruction registry's operand specs, exactly
+mirroring how the parser decides whether a bare identifier is a label, a
+function, a field, or a type name.  Named types a host compiler attached
+without declaring (e.g. glue struct types) get synthesized declarations
+so the output is self-contained.  Constructs the textual syntax cannot
+express (IPv6 literals, non-finite doubles, opaque constant values)
+raise ``PrintError`` rather than emitting text that would not re-parse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..runtime.exceptions import builtin_exception_types
+from . import types as ht
+from .instructions import REGISTRY
+from .ir import (
+    Const,
+    FieldRef,
+    FuncRef,
+    Function,
+    Instruction,
+    LabelRef,
+    Module,
+    Operand,
+    TupleOp,
+    TypeRef,
+    Var,
+)
+from .values import Addr, Interval, Network, Port, Time
+
+__all__ = ["print_module", "PrintError"]
+
+
+class PrintError(Exception):
+    """The module contains a construct the textual syntax cannot express."""
+
+
+_SIMPLE_NAMES = {
+    ht.Bool: "bool",
+    ht.String: "string",
+    ht.BytesT: "bytes",
+    ht.Double: "double",
+    ht.AddrT: "addr",
+    ht.NetT: "net",
+    ht.PortT: "port",
+    ht.TimeT: "time",
+    ht.IntervalT: "interval",
+    ht.Void: "void",
+    ht.Any: "any",
+    ht.RegExpT: "regexp",
+    ht.TimerT: "timer",
+    ht.TimerMgrT: "timer_mgr",
+    ht.FileT: "file",
+    ht.IOSrcT: "iosrc",
+    ht.CAddrT: "caddr",
+    ht.MatchTokenStateT: "match_token_state",
+}
+
+_WRAPPERS = {
+    ht.RefT: ("ref", lambda t: (t.target,)),
+    ht.IteratorT: ("iterator", lambda t: (t.container,)),
+    ht.ListT: ("list", lambda t: (t.element,)),
+    ht.VectorT: ("vector", lambda t: (t.element,)),
+    ht.SetT: ("set", lambda t: (t.element,)),
+    ht.ChannelT: ("channel", lambda t: (t.element,)),
+    ht.CallableT: ("callable", lambda t: (t.result,)),
+    ht.MapT: ("map", lambda t: (t.key, t.value)),
+    ht.ClassifierT: ("classifier", lambda t: (t.rule, t.value)),
+}
+
+_NAMED_KINDS = (ht.StructT, ht.OverlayT, ht.EnumT, ht.BitsetT, ht.ExceptionT)
+
+
+def _double_text(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        raise PrintError(f"double {value!r} has no textual spelling")
+    text = repr(float(value))
+    mantissa, sep, exponent = text.partition("e")
+    if "." not in mantissa:
+        mantissa += ".0"
+    return mantissa + (f"e{exponent}" if sep else "")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+        .replace("\r", "\\r")
+    )
+
+
+class _Printer:
+    """One rendering of one module (tracks the type-name environment)."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.builtin = set(builtin_exception_types())
+        # id(type) -> the name bodies reference it by.
+        self.names: Dict[int, str] = {}
+        # Declarations to emit: (decl name, type), declared-first order.
+        self.decls: List[Tuple[str, ht.Type]] = []
+        for name, declared in module.types.items():
+            self.names[id(declared)] = name
+            self.decls.append((name, declared))
+        self._collect_undeclared()
+
+    # -- named-type environment -------------------------------------------
+
+    def _collect_undeclared(self) -> None:
+        for var in self.module.globals.values():
+            self._visit_type(var.type)
+        for function in self.module.all_functions():
+            self._visit_type(function.result)
+            for param in function.params:
+                self._visit_type(param.type)
+            for local in function.locals:
+                self._visit_type(local.type)
+            for block in function.blocks:
+                for instruction in block.instructions:
+                    for operand in instruction.operands:
+                        self._visit_operand(operand)
+
+    def _visit_operand(self, operand: Operand) -> None:
+        if isinstance(operand, TypeRef):
+            self._visit_type(operand.type)
+        elif isinstance(operand, TupleOp):
+            for element in operand.elements:
+                self._visit_operand(element)
+
+    def _visit_type(self, declared: ht.Type) -> None:
+        if isinstance(declared, _NAMED_KINDS):
+            self._ensure_named(declared)
+            return
+        cls = type(declared)
+        if cls in _WRAPPERS:
+            for inner in _WRAPPERS[cls][1](declared):
+                self._visit_type(inner)
+        elif isinstance(declared, ht.TupleT):
+            for element in declared.elements:
+                self._visit_type(element)
+
+    def _ensure_named(self, declared: ht.Type) -> None:
+        if id(declared) in self.names:
+            return
+        if declared.type_name in self.builtin:
+            self.names[id(declared)] = declared.type_name
+            return
+        # An equal type already named (e.g. re-built struct): reuse it.
+        for name, existing in self.decls:
+            if type(existing) is type(declared) and existing == declared:
+                self.names[id(declared)] = name
+                return
+        short = declared.type_name.split("::")[-1]
+        if any(name == short for name, __ in self.decls):
+            raise PrintError(
+                f"distinct types both want declaration name {short!r}"
+            )
+        self.names[id(declared)] = short
+        self.decls.append((short, declared))
+        if isinstance(declared, ht.StructT):
+            for field in declared.fields:
+                self._visit_type(field.type)
+        elif isinstance(declared, ht.OverlayT):
+            for field in declared.fields:
+                self._visit_type(field.type)
+        elif isinstance(declared, ht.ExceptionT) and declared.base is not None:
+            if declared.base.type_name != "Hilti::Exception":
+                self._ensure_named(declared.base)
+
+    # -- types --------------------------------------------------------------
+
+    def type_text(self, declared: ht.Type) -> str:
+        cls = type(declared)
+        if cls in _SIMPLE_NAMES:
+            return _SIMPLE_NAMES[cls]
+        if isinstance(declared, ht.Integer):
+            return f"int<{declared.width}>"
+        if cls in _WRAPPERS:
+            keyword, inner = _WRAPPERS[cls]
+            rendered = ", ".join(self.type_text(i) for i in inner(declared))
+            return f"{keyword}<{rendered}>"
+        if isinstance(declared, ht.TupleT):
+            rendered = ", ".join(self.type_text(e) for e in declared.elements)
+            return f"tuple<{rendered}>"
+        if isinstance(declared, _NAMED_KINDS):
+            return self.names[id(declared)]
+        name = getattr(declared, "type_name", None)
+        if name:
+            return name
+        raise PrintError(f"type {declared!r} has no textual spelling")
+
+    # -- literals ------------------------------------------------------------
+
+    def literal_text(self, value) -> str:
+        if value is None:
+            return "Null"
+        if value is True:
+            return "True"
+        if value is False:
+            return "False"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, float):
+            return _double_text(value)
+        if isinstance(value, str):
+            return f'"{_escape(value)}"'
+        if isinstance(value, (bytes, bytearray)):
+            return f'b"{_escape(bytes(value).decode("latin-1"))}"'
+        if isinstance(value, Addr):
+            if not value.is_v4:
+                raise PrintError(f"IPv6 literal {value} has no spelling")
+            return str(value)
+        if isinstance(value, Network):
+            text = str(value)
+            if ":" in text:
+                raise PrintError(f"IPv6 network {value} has no spelling")
+            return text
+        if isinstance(value, Port):
+            return str(value)
+        if isinstance(value, Interval):
+            return f"interval({_double_text(value.seconds)})"
+        if isinstance(value, Time):
+            return f"time({_double_text(value.seconds)})"
+        if isinstance(value, tuple):
+            return "(" + ", ".join(self.literal_text(v) for v in value) + ")"
+        patterns = getattr(value, "patterns", None)
+        if patterns is not None and type(value).__name__ == "RegExp":
+            rendered = ", ".join(f'"{_escape(p)}"' for p in patterns)
+            return f"regexp({rendered})"
+        raise PrintError(f"constant {value!r} has no textual spelling")
+
+    # -- operands and instructions ------------------------------------------
+
+    def operand_text(self, operand: Operand) -> str:
+        if isinstance(operand, Var):
+            return operand.name
+        if isinstance(operand, LabelRef):
+            return operand.label
+        if isinstance(operand, FuncRef):
+            return operand.name
+        if isinstance(operand, FieldRef):
+            return operand.name
+        if isinstance(operand, TupleOp):
+            return "(" + ", ".join(
+                self.operand_text(e) for e in operand.elements
+            ) + ")"
+        if isinstance(operand, TypeRef):
+            declared = operand.type
+            if isinstance(declared, _NAMED_KINDS):
+                return self.names[id(declared)]
+            raise PrintError(
+                f"type {declared!r} used where a declared name is required"
+            )
+        if isinstance(operand, Const):
+            return self.literal_text(operand.value)
+        raise PrintError(f"operand {operand!r} has no textual spelling")
+
+    def _case_text(self, operand: Operand) -> str:
+        if not isinstance(operand, TupleOp) or len(operand.elements) != 2:
+            raise PrintError(
+                f"switch case {operand!r} is not a (value, label) pair"
+            )
+        value, label = operand.elements
+        return f"({self.operand_text(value)}, {self.operand_text(label)})"
+
+    def instruction_text(self, instruction: Instruction) -> str:
+        mnemonic = instruction.mnemonic
+        head = f"{instruction.target.name} = " if instruction.target else ""
+        if mnemonic == "call":
+            func = instruction.operands[0]
+            if not isinstance(func, FuncRef):
+                raise PrintError(
+                    f"call callee {func!r} is not a function name"
+                )
+            args: List[str] = []
+            if len(instruction.operands) > 1:
+                args_op = instruction.operands[1]
+                if not isinstance(args_op, TupleOp):
+                    raise PrintError("call arguments must be a tuple operand")
+                args = [self.operand_text(a) for a in args_op.elements]
+            return f"{head}call {func.name}({', '.join(args)})"
+        if mnemonic == "new":
+            first = instruction.operands[0]
+            if not isinstance(first, TypeRef):
+                raise PrintError("new requires a type operand")
+            parts = [f"{head}new {self.type_text(first.type)}"]
+            parts.extend(
+                self.operand_text(o) for o in instruction.operands[1:]
+            )
+            return " ".join(parts)
+        definition = REGISTRY.get(mnemonic)
+        if definition is None:
+            raise PrintError(f"unknown instruction {mnemonic!r}")
+        parts = [head + mnemonic]
+        for index, operand in enumerate(instruction.operands):
+            spec = (
+                definition.operands[index]
+                if index < len(definition.operands)
+                else (definition.operands[-1] if definition.operands else "val")
+            ).rstrip("?*")
+            if mnemonic == "switch" and spec == "tuple":
+                parts.append(self._case_text(operand))
+            else:
+                parts.append(self.operand_text(operand))
+        return " ".join(parts)
+
+    # -- declarations --------------------------------------------------------
+
+    def type_decl_text(self, name: str, declared: ht.Type) -> str:
+        if isinstance(declared, ht.StructT):
+            fields = []
+            for field in declared.fields:
+                entry = f"{self.type_text(field.type)} {field.name}"
+                if field.default is not None:
+                    entry += f" = {self.literal_text(field.default)}"
+                fields.append(f"    {entry},")
+            body = "\n".join(fields)
+            return f"type {name} = struct {{\n{body}\n}}"
+        if isinstance(declared, ht.OverlayT):
+            fields = []
+            for field in declared.fields:
+                entry = (
+                    f"{field.name}: {self.type_text(field.type)} "
+                    f"at {field.offset} unpack {field.fmt.name}"
+                )
+                if field.fmt.bits is not None:
+                    low, high = field.fmt.bits
+                    entry += f" ({low}, {high})"
+                fields.append(f"    {entry},")
+            body = "\n".join(fields)
+            return f"type {name} = overlay {{\n{body}\n}}"
+        if isinstance(declared, ht.EnumT):
+            return f"type {name} = enum {{ {', '.join(declared.labels)} }}"
+        if isinstance(declared, ht.BitsetT):
+            return f"type {name} = bitset {{ {', '.join(declared.labels)} }}"
+        if isinstance(declared, ht.ExceptionT):
+            base = declared.base
+            if base is not None and base.type_name != "Hilti::Exception":
+                return f"type {name} = exception : {self.names[id(base)]}"
+            return f"type {name} = exception"
+        raise PrintError(
+            f"type declaration {name!r} has no textual spelling"
+        )
+
+    def _init_text(self, init) -> str:
+        if isinstance(init, TypeRef):
+            return f"{self.type_text(init.type)}()"
+        if isinstance(init, Const):
+            return self.literal_text(init.value)
+        return self.literal_text(init)
+
+    def function_text(self, function: Function) -> str:
+        lines: List[str] = []
+        params = ", ".join(
+            f"{self.type_text(p.type)} {p.name}" for p in function.params
+        )
+        if function.is_hook:
+            attrs = ""
+            if function.hook_priority:
+                attrs += f" &priority={function.hook_priority}"
+            if function.hook_group is not None:
+                attrs += f" &group={function.hook_group}"
+            lines.append(
+                f"hook {self.type_text(function.result)} "
+                f"{function.hook_name}({params}){attrs} {{"
+            )
+        else:
+            lines.append(
+                f"{self.type_text(function.result)} "
+                f"{function.name}({params}) {{"
+            )
+        for local in function.locals:
+            entry = f"    local {self.type_text(local.type)} {local.name}"
+            if local.init is not None:
+                entry += f" = {self._init_text(local.init)}"
+            lines.append(entry)
+        for index, block in enumerate(function.blocks):
+            if index > 0 or block.label != "entry":
+                lines.append(f"{block.label}:")
+            for instruction in block.instructions:
+                lines.append(f"    {self.instruction_text(instruction)}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def module_text(self) -> str:
+        module = self.module
+        parts: List[str] = [f"module {module.name}"]
+        for imported in module.imports:
+            parts.append(f"import {imported}")
+        for name, declared in self.decls:
+            parts.append(self.type_decl_text(name, declared))
+        for name, var in module.globals.items():
+            entry = f"global {self.type_text(var.type)} {name}"
+            if var.init is not None:
+                entry += f" = {self._init_text(var.init)}"
+            parts.append(entry)
+        for exported in module.exports:
+            parts.append(f"export {exported}")
+        for function in module.functions.values():
+            parts.append(self.function_text(function))
+        for hook in module.hooks:
+            parts.append(self.function_text(hook))
+        return "\n\n".join(parts) + "\n"
+
+
+def print_module(module: Module) -> str:
+    """Render *module* as parseable textual HILTI."""
+    return _Printer(module).module_text()

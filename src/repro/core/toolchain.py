@@ -17,7 +17,7 @@ from .instrument import instrument_module
 from .interp import Interpreter
 from .ir import Module
 from .linker import link
-from .optimize import optimize_module
+from .optimize import OptStats, optimize_module
 from .parser import parse_module
 from .typecheck import check_module
 
@@ -43,6 +43,7 @@ def hiltic(
     entry: Optional[str] = None,
     tier: str = "compiled",
     profile: bool = False,
+    opt_level: Optional[int] = None,
 ):
     """Compile sources into an executable program.
 
@@ -51,19 +52,32 @@ def hiltic(
     interpreter).  *profile* inserts function-granularity profiler
     instrumentation (paper, section 3.3); per-function reports appear in
     each context's ``profilers`` registry under ``func/<name>``.
+
+    *opt_level* is the ``-O`` knob: ``0`` lowers the IR verbatim, ``1``
+    (the default) runs the ``repro.core.optimize`` pass pipeline between
+    typecheck and lowering and optimizes call/hook dispatch in codegen.
+    The legacy boolean *optimize* maps onto it when *opt_level* is not
+    given.  The interpreted tier always executes the *unoptimized* IR so
+    the two tiers stay a differential oracle for the optimizer.
     """
+    level = opt_level if opt_level is not None else (1 if optimize else 0)
     modules = _to_modules(sources)
+    stats = OptStats()
     for module in modules:
         check_module(module)
-        if optimize:
-            optimize_module(module)
+        if level >= 1 and tier == "compiled":
+            optimize_module(module, stats, level=level)
         if profile:
             instrument_module(module)
     linked = link(modules, natives=natives, entry=entry)
     if tier == "compiled":
-        return compile_program(linked)
+        program = compile_program(linked, opt_level=level)
+        program.opt_stats = stats
+        return program
     if tier == "interpreted":
-        return Interpreter(linked)
+        interpreter = Interpreter(linked)
+        interpreter.opt_stats = stats
+        return interpreter
     raise ValueError(f"unknown tier {tier!r}")
 
 
@@ -85,9 +99,11 @@ def hilti_build(
     natives: Optional[Dict[str, Callable]] = None,
     optimize: bool = True,
     entry: Optional[str] = None,
+    opt_level: Optional[int] = None,
 ) -> HiltiExecutable:
     """Build an executable (entry defaults to ``Main::run``)."""
-    program = hiltic(sources, natives=natives, optimize=optimize, entry=entry)
+    program = hiltic(sources, natives=natives, optimize=optimize,
+                     entry=entry, opt_level=opt_level)
     if program.linked.entry is None:
         raise ValueError("hilti-build requires an entry point (Main::run)")
     return HiltiExecutable(program)

@@ -134,6 +134,18 @@ class Addr:
             raise TypeError(f"cannot build Addr from {type(address).__name__}")
 
     @classmethod
+    def from_packed(cls, raw: bytes) -> "Addr":
+        """Build from wire-format bytes (4 or 16) without dispatch overhead."""
+        addr = cls.__new__(cls)
+        if len(raw) == 4:
+            addr._value = _V4_MAPPED_PREFIX | int.from_bytes(raw, "big")
+        elif len(raw) == 16:
+            addr._value = int.from_bytes(raw, "big")
+        else:
+            raise ValueError("address bytes must be 4 or 16 bytes long")
+        return addr
+
+    @classmethod
     def from_v4_int(cls, value: int) -> "Addr":
         """Build an IPv4 address from its 32-bit host integer."""
         if not 0 <= value < (1 << 32):

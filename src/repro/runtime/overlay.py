@@ -20,7 +20,8 @@ from ..core.values import Addr, Port
 from .bytes_buffer import Bytes
 from .exceptions import HiltiError, OVERLAY_NOT_ATTACHED, VALUE_ERROR
 
-__all__ = ["unpack_value", "OverlayInstance", "FORMAT_SIZES"]
+__all__ = ["unpack_value", "make_unpacker", "OverlayInstance",
+           "FORMAT_SIZES"]
 
 # Format name -> (size in bytes, struct code or special handler tag).
 _FIXED_FORMATS = {
@@ -109,6 +110,60 @@ def unpack_value(data: Bytes, offset: int, fmt: ht.UnpackFormat):
             raise HiltiError(VALUE_ERROR, f"bit range {fmt.bits} out of field")
         value = (value >> low) & ((1 << (high - low + 1)) - 1)
     return value
+
+
+def make_unpacker(fmt: ht.UnpackFormat):
+    """Precompile :func:`unpack_value` for a fixed format.
+
+    Returns ``f(data, offset) -> value`` with the same observable
+    behavior, but format resolution, size/code dispatch, and bit-range
+    validation happen once — the compiled tier uses this to specialize
+    ``overlay.get``/``unpack`` sites whose layout is a compile-time
+    constant.
+    """
+    name = canonical_format(fmt.name)
+    if name.startswith("BytesFixed"):
+        count = int(name[len("BytesFixed"):])
+
+        def unpack_fixed_bytes(data, offset, _count=count):
+            result = Bytes(data.read(offset, _count))
+            result.freeze()
+            return result
+
+        return unpack_fixed_bytes
+    size, code = _FIXED_FORMATS[name]
+    if code in ("addr4", "addr6"):
+        from_packed = Addr.from_packed
+
+        def unpack_addr(data, offset, _size=size, _make=from_packed):
+            return _make(data.read(offset, _size))
+
+        return unpack_addr
+    if code in ("port-tcp", "port-udp"):
+        proto = Port.TCP if code == "port-tcp" else Port.UDP
+        port_unpack = struct.Struct(">H").unpack
+
+        def unpack_port(data, offset, _p=proto, _u=port_unpack):
+            return Port(_u(data.read(offset, 2))[0], _p)
+
+        return unpack_port
+    scalar_unpack = struct.Struct(code).unpack
+    if fmt.bits is not None:
+        low, high = fmt.bits
+        if not 0 <= low <= high < size * 8:
+            raise HiltiError(VALUE_ERROR, f"bit range {fmt.bits} out of field")
+        mask = (1 << (high - low + 1)) - 1
+
+        def unpack_bits(data, offset, _u=scalar_unpack, _size=size,
+                        _low=low, _mask=mask):
+            return (_u(data.read(offset, _size))[0] >> _low) & _mask
+
+        return unpack_bits
+
+    def unpack_scalar(data, offset, _u=scalar_unpack, _size=size):
+        return _u(data.read(offset, _size))[0]
+
+    return unpack_scalar
 
 
 class OverlayInstance:

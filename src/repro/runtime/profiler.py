@@ -28,7 +28,7 @@ class Profiler:
         "_start_ns",
         "_start_instr",
         "_start_alloc",
-        "_running",
+        "_depth",
         "snapshots",
         "snapshot_every_ns",
         "_last_snapshot_ns",
@@ -43,23 +43,33 @@ class Profiler:
         self._start_ns = 0
         self._start_instr = 0
         self._start_alloc = 0
-        self._running = False
+        self._depth = 0
         self.snapshots: List[Dict] = []
         self.snapshot_every_ns = snapshot_every_ns
         self._last_snapshot_ns = 0
 
     def start(self, instructions: int = 0, allocations: int = 0) -> None:
-        if self._running:
+        """Begin (or nest into) a measured region.
+
+        start/stop pairs may nest — e.g. a profiled function calling
+        itself recursively, or a hook profiled under the same name as
+        its caller.  Only the outermost pair delimits the measurement;
+        inner pairs just track depth, so the deltas are attributed once
+        instead of once per level (and never to the wrong baseline).
+        """
+        self._depth += 1
+        if self._depth > 1:
             return
-        self._running = True
         self._start_ns = time.perf_counter_ns()
         self._start_instr = instructions
         self._start_alloc = allocations
 
     def stop(self, instructions: int = 0, allocations: int = 0) -> None:
-        if not self._running:
+        if self._depth == 0:
             return
-        self._running = False
+        self._depth -= 1
+        if self._depth:
+            return
         now = time.perf_counter_ns()
         self.wall_ns += now - self._start_ns
         self.instructions += instructions - self._start_instr

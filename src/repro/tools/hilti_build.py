@@ -18,7 +18,11 @@ def main(argv=None) -> int:
         description="Build a HILTI executable and run it",
     )
     parser.add_argument("sources", nargs="+", help="HILTI source files")
-    parser.add_argument("-O0", dest="optimize", action="store_false")
+    parser.add_argument("-O0", dest="opt_level", action="store_const",
+                        const=0)
+    parser.add_argument("-O1", dest="opt_level", action="store_const",
+                        const=1)
+    parser.set_defaults(opt_level=1)
     parser.add_argument("args", nargs="*", default=[],
                         help="arguments for Main::run")
     options = parser.parse_args(argv)
@@ -26,7 +30,7 @@ def main(argv=None) -> int:
     for path in options.sources:
         with open(path) as stream:
             sources.append(stream.read())
-    executable = hilti_build(sources, optimize=options.optimize)
+    executable = hilti_build(sources, opt_level=options.opt_level)
     executable.run()
     return 0
 

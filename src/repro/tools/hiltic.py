@@ -28,8 +28,13 @@ def build_argparser() -> argparse.ArgumentParser:
                         help="entry function (default Main::run)")
     parser.add_argument("--tier", choices=["compiled", "interpreted"],
                         default="compiled")
-    parser.add_argument("-O0", dest="optimize", action="store_false",
+    parser.add_argument("-O0", dest="opt_level", action="store_const",
+                        const=0,
                         help="disable HILTI-level optimizations")
+    parser.add_argument("-O1", dest="opt_level", action="store_const",
+                        const=1,
+                        help="enable the IR pass pipeline (default)")
+    parser.set_defaults(opt_level=1)
     parser.add_argument("--profile", action="store_true",
                         help="insert function-granularity profiling")
     parser.add_argument("--print-ir", action="store_true",
@@ -45,7 +50,7 @@ def main(argv=None) -> int:
             sources.append(stream.read())
     program = hiltic(
         sources,
-        optimize=args.optimize,
+        opt_level=args.opt_level,
         entry=args.entry,
         tier=args.tier,
         profile=args.profile,

@@ -24,9 +24,15 @@ int<64> f() {
 }
 """)
         assert stats.folded >= 1
-        instr = module.functions["Main::f"].blocks[0].instructions[0]
-        assert instr.mnemonic == "assign"
-        assert instr.operands[0].value == 42
+        # The folded constant propagates all the way into the return.
+        instructions = [
+            i
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        assert all(i.mnemonic != "int.add" for i in instructions)
+        assert instructions[-1].mnemonic == "return.result"
+        assert instructions[-1].operands[0].value == 42
 
     def test_leaves_trapping_folds_for_runtime(self):
         module, stats = _optimized("""module Main
@@ -245,3 +251,145 @@ done:
         from repro.core.parser import parse_module
 
         optimize_module(parse_module(src))  # must terminate
+
+
+class TestConstantPropagation:
+    def test_propagates_across_blocks(self):
+        # x is 7 on every path into the join block; the branch on the
+        # known condition folds and the add computes at compile time.
+        module, stats = _optimized("""module Main
+int<64> f(bool c) {
+    local int<64> x
+    x = int.add 3 4
+    if.else c a b
+a:
+    jump join
+b:
+    jump join
+join:
+    local int<64> y
+    y = int.add x 1
+    return y
+}
+""")
+        assert stats.propagated + stats.folded >= 2
+        instructions = [
+            i
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        returns = [i for i in instructions if i.mnemonic == "return.result"]
+        assert returns and returns[0].operands[0].value == 8
+
+    def test_conflicting_paths_not_propagated(self):
+        src = """module Main
+int<64> f(bool c) {
+    local int<64> x
+    if.else c a b
+a:
+    x = int.add 0 1
+    jump join
+b:
+    x = int.add 0 2
+    jump join
+join:
+    return x
+}
+"""
+        for level in (0, 1):
+            program = hiltic([src], opt_level=level)
+            ctx = program.make_context()
+            assert program.call(ctx, "Main::f", [True]) == 1
+            assert program.call(ctx, "Main::f", [False]) == 2
+
+
+class TestBranchSimplification:
+    def test_constant_branch_becomes_jump(self):
+        module, stats = _optimized("""module Main
+int<64> f() {
+    local bool c
+    c = bool.and True True
+    if.else c yes no
+yes:
+    return 1
+no:
+    return 2
+}
+""")
+        assert stats.branches_simplified >= 1
+        assert stats.dead_blocks >= 1
+        mnemonics = [
+            i.mnemonic
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        assert "if.else" not in mnemonics
+
+
+class TestBlockMerging:
+    def test_single_pred_single_succ_merged(self):
+        module, stats = _optimized("""module Main
+int<64> f(int<64> a) {
+    local int<64> x
+    x = int.mul a a
+    jump next
+next:
+    local int<64> y
+    y = int.add x a
+    return y
+}
+""")
+        assert stats.jumps_threaded + stats.blocks_merged >= 1
+        function = module.functions["Main::f"]
+        assert len(function.blocks) == 1
+
+
+class TestLocalPruning:
+    def test_unused_locals_dropped(self):
+        module, stats = _optimized("""module Main
+int<64> f(int<64> a) {
+    local int<64> dead
+    local int<64> keep
+    dead = int.add a 1
+    keep = int.mul a 2
+    return keep
+}
+""")
+        assert stats.dead_stores >= 1
+        assert stats.locals_pruned >= 1
+        names = [l.name for l in module.functions["Main::f"].locals]
+        assert "dead" not in names
+        assert "keep" in names
+
+    def test_pruned_function_still_runs(self):
+        src = """module Main
+int<64> f(int<64> a) {
+    local int<64> dead
+    local int<64> keep
+    dead = int.add a 1
+    keep = int.mul a 2
+    return keep
+}
+"""
+        for level in (0, 1):
+            program = hiltic([src], opt_level=level)
+            assert program.call(program.make_context(), "Main::f", [6]) == 12
+
+
+class TestOptStats:
+    def test_as_dict_reports_every_counter(self):
+        module, stats = _optimized("""module Main
+int<64> f() {
+    local int<64> x
+    x = int.add 20 22
+    return x
+}
+""")
+        report = stats.as_dict()
+        assert report["folded"] >= 1
+        assert set(report) >= {
+            "folded", "propagated", "branches_simplified", "dead_blocks",
+            "dead_stores", "cse_hits", "jumps_threaded", "blocks_merged",
+            "locals_pruned",
+        }
+        assert stats.total() == sum(report.values())

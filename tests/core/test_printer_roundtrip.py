@@ -1,0 +1,199 @@
+"""Printer/parser round-trip: print -> parse -> print is idempotent.
+
+The property is checked over every kind of module the toolchain emits:
+the textual example listings, the library's HILTI sources, and the
+builder-constructed modules of the BPF, BinPAC++, and Bro-script
+compilers (tuple operands, field refs, hook declarations, overlays,
+regexp literals, switch cases).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import parse_module, print_module
+from repro.core import types as ht
+from repro.core.builder import ModuleBuilder
+from repro.core.ir import Const, LabelRef, TupleOp
+from repro.core.parser import _unescape
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _assert_roundtrip(module_or_text):
+    if isinstance(module_or_text, str):
+        module = parse_module(module_or_text)
+    else:
+        module = module_or_text
+    first = print_module(module)
+    reparsed = parse_module(first)
+    second = print_module(reparsed)
+    assert first == second
+    return reparsed
+
+
+def _example_sources():
+    cases = []
+    for path in sorted((REPO / "examples").glob("*.py")):
+        text = path.read_text()
+        for index, source in enumerate(
+            re.findall(r'"""(module .*?)"""', text, re.S)
+        ):
+            cases.append(pytest.param(source, id=f"{path.stem}-{index}"))
+    return cases
+
+
+@pytest.mark.parametrize("source", _example_sources())
+def test_example_modules_roundtrip(source):
+    _assert_roundtrip(source)
+
+
+def test_session_table_roundtrips():
+    from repro.lib import SESSION_TABLE
+
+    _assert_roundtrip(SESSION_TABLE)
+
+
+def test_firewall_module_roundtrips():
+    from repro.apps.firewall import RuleSet, generate_hilti_source
+
+    rules = RuleSet.parse(
+        """
+        10.20.0.0/26   192.0.2.0/28   allow
+        10.20.0.64/26  *              deny
+        *              192.0.2.2/32   allow
+        """,
+        timeout_seconds=5.0,
+    )
+    _assert_roundtrip(generate_hilti_source(rules))
+
+
+def test_bpf_module_roundtrips():
+    from repro.apps.bpf import parse_filter
+    from repro.apps.bpf.compiler import build_filter_module
+
+    node = parse_filter("host 10.0.0.1 or src net 172.16.0.0/16 and port 80")
+    _assert_roundtrip(build_filter_module(node).finish())
+
+
+@pytest.mark.parametrize("grammar_name", ["http", "dns"])
+def test_binpac_modules_roundtrip(grammar_name):
+    from repro.apps.binpac.codegen import GrammarCompiler
+
+    if grammar_name == "http":
+        from repro.apps.binpac.grammars.http import http_grammar as factory
+    else:
+        from repro.apps.binpac.grammars.dns import dns_grammar as factory
+    _assert_roundtrip(GrammarCompiler(factory()).compile_module())
+
+
+def test_bro_script_module_roundtrips():
+    """The script compiler's module references glue struct types it never
+    declares; the printer must synthesize their declarations so the text
+    is self-contained."""
+    from repro.apps.bro.compiler import ScriptCompiler
+    from repro.apps.bro.core import BroCore
+    from repro.apps.bro.lang import parse_script
+    from repro.apps.bro.main import default_scripts
+
+    merged = parse_script("\n".join(default_scripts()))
+    compiler = ScriptCompiler(merged, BroCore())
+    for decl in merged.globals:
+        compiler.mb.global_var(decl.name, ht.ANY)
+    compiler._compile_global_init()
+    for decl in merged.functions:
+        compiler._compile_function(decl)
+    for index, decl in enumerate(merged.events):
+        compiler._compile_event(decl, index)
+    for index, statement in enumerate(compiler._when_statements):
+        compiler._compile_when(statement, index)
+    reparsed = _assert_roundtrip(compiler.mb.finish())
+    # The synthesized struct declarations must actually be declarations.
+    assert any(
+        isinstance(declared, ht.StructT)
+        for declared in reparsed.types.values()
+    )
+
+
+def test_switch_cases_parse_as_label_refs():
+    """Regression: case labels used to come back as plain Vars, which the
+    code generator rejects (it requires (Const, LabelRef) pairs)."""
+    source = """module Main
+
+void f(int<64> x) {
+    switch x done (1, one) (2, two)
+one:
+    return.void
+two:
+    return.void
+done:
+    return.void
+}
+"""
+    module = parse_module(source)
+    switch = module.functions["Main::f"].blocks[0].instructions[0]
+    for case in switch.operands[2:]:
+        assert isinstance(case, TupleOp)
+        value, label = case.elements
+        assert isinstance(value, Const)
+        assert isinstance(label, LabelRef)
+    _assert_roundtrip(source)
+
+
+def test_hook_attributes_roundtrip():
+    source = """module Main
+
+hook void HTTP::request(bytes uri) &priority=5 &group=http {
+    return.void
+}
+"""
+    module = parse_module(source)
+    hook = module.hooks[0]
+    assert hook.hook_priority == 5
+    assert hook.hook_group == "http"
+    _assert_roundtrip(source)
+
+
+def test_hook_done_name_roundtrips():
+    """Hook names with a %done segment (unit hooks) must tokenize."""
+    source = """module Main
+
+hook void HTTP::Request::%done() {
+    return.void
+}
+"""
+    module = parse_module(source)
+    assert module.hooks[0].hook_name == "HTTP::Request::%done"
+    _assert_roundtrip(source)
+
+
+def test_regexp_literal_roundtrips():
+    from repro.runtime.regexp import RegExp
+
+    mb = ModuleBuilder("Main")
+    fb = mb.function("f", [], ht.VOID)
+    pattern = fb.const(ht.REGEXP, RegExp([r"[^ \t\r\n]+", "GET|POST"]))
+    fb.emit("assign", pattern, target=fb.local("re", ht.REGEXP))
+    fb.ret()
+    module = _assert_roundtrip(mb.finish())
+    function = next(iter(module.functions.values()))
+    value = function.blocks[0].instructions[0].operands[0].value
+    assert list(value.patterns) == [r"[^ \t\r\n]+", "GET|POST"]
+
+
+def test_unescape_backslash_then_letter():
+    """Regression: sequential str.replace turned the two-character input
+    backslash-backslash-t into backslash-TAB."""
+    assert _unescape(r"\\t") == "\\t"
+    assert _unescape(r"\t") == "\t"
+    assert _unescape(r"\\n") == "\\n"
+    assert _unescape(r"a\\\"b") == 'a\\"b'
+    assert _unescape("plain") == "plain"
+
+
+def test_string_escapes_roundtrip():
+    source = 'module Main\n\nglobal string s = "a\\\\tb\\nc"\n'
+    module = parse_module(source)
+    assert module.globals["s"].init.value == "a\\tb\nc"
+    _assert_roundtrip(source)

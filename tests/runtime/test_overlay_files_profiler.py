@@ -157,6 +157,40 @@ class TestProfiler:
         report = r.report()
         assert report["b"]["wall_ns"] == 10
 
+    def test_nested_start_stop_attributes_outermost_pair(self):
+        # A profiled function calling itself recursively: inner
+        # start/stop pairs must only track depth — the measurement
+        # spans the outermost pair, counted once.
+        p = Profiler("nested")
+        p.start(instructions=100)
+        p.start(instructions=150)   # recursion: nested region
+        p.stop(instructions=180)    # leaves inner level only
+        assert p.updates == 0       # still running
+        assert p.instructions == 0
+        p.stop(instructions=250)
+        assert p.updates == 1
+        assert p.instructions == 150  # 250 - 100, outermost baseline
+
+    def test_stop_without_start_is_noop(self):
+        p = Profiler("idle")
+        p.stop(instructions=50)
+        assert p.updates == 0 and p.instructions == 0
+        # Depth cannot go negative: a later balanced pair still works.
+        p.start(instructions=10)
+        p.stop(instructions=30)
+        assert p.updates == 1 and p.instructions == 20
+
+    def test_deep_nesting_balances(self):
+        p = Profiler("deep")
+        for depth in range(5):
+            p.start(instructions=depth)
+        for depth in range(4):
+            p.stop(instructions=999)
+        assert p.updates == 0
+        p.stop(instructions=42)
+        assert p.updates == 1
+        assert p.instructions == 42  # 42 - 0 from the outermost start
+
     def test_dump_format(self, tmp_path):
         import io
 
