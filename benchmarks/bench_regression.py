@@ -15,6 +15,16 @@ Usage::
 ``--quick`` shrinks the workloads for CI smoke runs; ``--check`` exits
 non-zero if -O1 is slower than -O0 on any named kernel (the regression
 gate).  See docs/PERFORMANCE.md for the JSON schema.
+
+``--telemetry-overhead`` switches to the observability cost harness
+(docs/OBSERVABILITY.md): each kernel runs three ways — *baseline* (no
+telemetry handle passed), *off* (an explicitly disabled
+``Telemetry``), and *on* (metrics collection plus compiler-inserted
+profiling) — and the deltas land in ``BENCH_observability.json``.
+``--check-overhead PCT`` exits non-zero if the disabled path costs
+more than PCT percent over baseline on any kernel (the "near-zero
+when off" gate; baseline and off execute the same guarded code, so
+the delta is timing noise plus the guard reads themselves).
 """
 
 from __future__ import annotations
@@ -162,18 +172,233 @@ KERNELS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Telemetry-overhead mode (--telemetry-overhead)
+# ---------------------------------------------------------------------------
+
+_MODES = ("baseline", "off", "on")
+
+
+def _telemetry(mode):
+    """Bro's ``telemetry=`` kwarg for one measurement mode."""
+    from repro.runtime.telemetry import Telemetry
+
+    if mode == "baseline":
+        return {}
+    if mode == "off":
+        return {"telemetry": Telemetry()}
+    return {"telemetry": Telemetry(metrics=True)}
+
+
+def overhead_fib(quick):
+    """Script-function kernel; 'on' adds compiler-inserted profiling."""
+    from repro.apps.bro import Bro
+    from repro.apps.bro.scripts import FIB_SCRIPT
+
+    n = 18 if quick else 22
+    rounds = 3 if quick else 5
+    results = {}
+    for mode in _MODES:
+        bro = Bro(scripts=[FIB_SCRIPT], scripts_engine="hilti",
+                  print_stream=io.StringIO(), **_telemetry(mode))
+        seconds, value = _best_of(
+            lambda: bro.call_function("fib", [n]), rounds
+        )
+        results[mode] = (seconds, f"fib({n})={value}")
+    return results
+
+
+def overhead_bpf(quick):
+    """Filter kernel; 'on' compiles the filter with profiling."""
+    from repro.apps.bpf import compile_to_hilti, parse_filter
+    from repro.apps.bpf.compiler import HiltiFilter, build_filter_module
+    from repro.core import hiltic
+    from repro.net.packet import parse_ethernet
+
+    trace = _http_trace(40 if quick else 120)
+    ip, __ = parse_ethernet(trace[3][1])
+    node = parse_filter(
+        f"host {ip.src} or src net 172.16.0.0/16 and port 80"
+    )
+    frames = [f for __, f in trace]
+    rounds = 3 if quick else 5
+    results = {}
+    for mode in _MODES:
+        if mode == "on":
+            program = hiltic([build_filter_module(node).finish()],
+                             profile=True)
+            hilti_filter = HiltiFilter(program)
+        else:
+            hilti_filter = compile_to_hilti(node)
+        seconds, decisions = _best_of(
+            lambda: bytes(1 if hilti_filter(f) else 0 for f in frames),
+            rounds,
+        )
+        results[mode] = (
+            seconds,
+            f"packets={len(frames)} matches={sum(decisions)} "
+            f"decisions=sha:{hashlib.sha256(decisions).hexdigest()[:12]}",
+        )
+    return results
+
+
+def overhead_parser(quick):
+    """Full pac-parser pipeline; 'on' gathers the unified metrics."""
+    from repro.apps.bro import Bro
+    from repro.apps.bro.analyzers.pac import PacParsers
+
+    trace = _http_trace(10 if quick else 40, seed=7)
+    rounds = 2 if quick else 3
+    pac = PacParsers()
+    results = {}
+    for mode in _MODES:
+        def setup(mode=mode):
+            return Bro(parsers="pac", pac_parsers=pac,
+                       scripts_engine="hilti",
+                       print_stream=io.StringIO(), **_telemetry(mode))
+
+        def run(bro):
+            bro.run(trace)
+            return (
+                "\n".join(bro.core.logs.lines("http")),
+                bro.core.events_dispatched,
+            )
+        seconds, (http_log, events) = _best_of(run, rounds, setup=setup)
+        results[mode] = (
+            seconds,
+            f"events={events} http_log=sha:"
+            f"{hashlib.sha256(http_log.encode()).hexdigest()[:12]}",
+        )
+    return results
+
+
+def overhead_script(quick):
+    """Default analysis scripts; 'on' gathers the unified metrics."""
+    from repro.apps.bro import Bro
+
+    trace = _http_trace(10 if quick else 40, seed=13)
+    rounds = 2 if quick else 3
+    results = {}
+    for mode in _MODES:
+        def setup(mode=mode):
+            return Bro(scripts_engine="hilti",
+                       print_stream=io.StringIO(), **_telemetry(mode))
+
+        def run(bro):
+            bro.run(trace)
+            return (
+                "\n".join(bro.core.logs.lines("conn")),
+                bro.core.events_dispatched,
+            )
+        seconds, (conn_log, events) = _best_of(run, rounds, setup=setup)
+        results[mode] = (
+            seconds,
+            f"events={events} conn_log=sha:"
+            f"{hashlib.sha256(conn_log.encode()).hexdigest()[:12]}",
+        )
+    return results
+
+
+OVERHEAD_KERNELS = {
+    "fib": overhead_fib,
+    "bpf": overhead_bpf,
+    "parser": overhead_parser,
+    "script": overhead_script,
+}
+
+
+def _overhead_pct(seconds, baseline):
+    return round((seconds - baseline) * 100.0 / baseline, 2) if baseline \
+        else None
+
+
+def run_telemetry_overhead(args):
+    report = {
+        "schema": "bench-observability/1",
+        "quick": args.quick,
+        "kernels": {},
+    }
+    for name in args.kernels.split(","):
+        name = name.strip()
+        if name not in OVERHEAD_KERNELS:
+            raise SystemExit(
+                f"bench_regression: unknown kernel {name!r}")
+        print(f"[bench_regression] telemetry-overhead {name} ...",
+              flush=True)
+        results = OVERHEAD_KERNELS[name](args.quick)
+        base_s = results["baseline"][0]
+        entry = {
+            mode: {
+                "seconds": round(seconds, 6),
+                "fingerprint": fingerprint,
+            }
+            for mode, (seconds, fingerprint) in results.items()
+        }
+        entry["disabled_overhead_pct"] = _overhead_pct(
+            results["off"][0], base_s)
+        entry["enabled_overhead_pct"] = _overhead_pct(
+            results["on"][0], base_s)
+        # Telemetry must observe the run, never change it.
+        entry["identical"] = len(
+            {fingerprint for __, fingerprint in results.values()}
+        ) == 1
+        report["kernels"][name] = entry
+        print(
+            f"[bench_regression]   baseline={base_s * 1e3:.2f}ms "
+            f"off={results['off'][0] * 1e3:.2f}ms "
+            f"({entry['disabled_overhead_pct']:+.2f}%) "
+            f"on={results['on'][0] * 1e3:.2f}ms "
+            f"({entry['enabled_overhead_pct']:+.2f}%) "
+            f"identical={entry['identical']}",
+            flush=True,
+        )
+
+    out_path = Path(args.output or str(REPO / "BENCH_observability.json"))
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_regression] wrote {out_path}")
+
+    failures = []
+    for name, entry in report["kernels"].items():
+        if not entry["identical"]:
+            failures.append(f"{name}: telemetry changed the kernel output")
+        if args.check_overhead is not None and \
+                entry["disabled_overhead_pct"] > args.check_overhead:
+            failures.append(
+                f"{name}: disabled telemetry costs "
+                f"{entry['disabled_overhead_pct']}% "
+                f"(bound {args.check_overhead}%)"
+            )
+    if failures:
+        for failure in failures:
+            print(f"[bench_regression] FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="shrink workloads for CI smoke runs")
-    ap.add_argument("--output", default=str(REPO / "BENCH_ir_opt.json"),
-                    help="where to write the JSON report")
+    ap.add_argument("--output", default=None,
+                    help="where to write the JSON report (default "
+                         "BENCH_ir_opt.json, or BENCH_observability.json "
+                         "with --telemetry-overhead)")
     ap.add_argument("--check", default=None, metavar="KERNELS",
                     help="comma-separated kernels that must not regress "
                          "(exit 1 if -O1 is slower than -O0)")
     ap.add_argument("--kernels", default=",".join(KERNELS),
                     metavar="KERNELS", help="which kernels to run")
+    ap.add_argument("--telemetry-overhead", action="store_true",
+                    help="measure telemetry cost (baseline/off/on) "
+                         "instead of -O0 vs -O1")
+    ap.add_argument("--check-overhead", type=float, default=None,
+                    metavar="PCT",
+                    help="with --telemetry-overhead, fail if disabled "
+                         "telemetry costs more than PCT%% over baseline")
     args = ap.parse_args(argv)
+
+    if args.telemetry_overhead:
+        return run_telemetry_overhead(args)
 
     report = {
         "schema": "bench-ir-opt/1",
@@ -198,7 +423,7 @@ def main(argv=None):
               f"O1={o1_s * 1e3:.2f}ms speedup={entry['speedup']}x "
               f"identical={entry['identical']}", flush=True)
 
-    out_path = Path(args.output)
+    out_path = Path(args.output or str(REPO / "BENCH_ir_opt.json"))
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench_regression] wrote {out_path}")
 

@@ -389,10 +389,14 @@ class _BodyCompiler:
 class ScriptCompiler:
     """Compiles a Script into a HILTI module plus the native bridge."""
 
-    def __init__(self, script: Script, core, opt_level=None):
+    def __init__(self, script: Script, core, opt_level=None,
+                 profile: bool = False):
         self.script = script
         self.core = core
         self.opt_level = opt_level
+        # Compiler-inserted function-granularity profiling (paper §3.3);
+        # armed by the host when metrics collection is on.
+        self.profile = profile
         self.glue = Glue()
         self.mb = ModuleBuilder("Scripts")
         self.global_names = {g.name for g in script.globals}
@@ -451,7 +455,7 @@ class ScriptCompiler:
             self._compile_when(statement, index)
         module = self.mb.finish()
         program = hiltic([module], natives=self._natives(),
-                         opt_level=self.opt_level)
+                         opt_level=self.opt_level, profile=self.profile)
         return CompiledScripts(self, program)
 
     def _compile_global_init(self) -> None:

@@ -37,6 +37,7 @@ from ...runtime.faults import (
     SITE_TCP_REASSEMBLY,
     classify,
 )
+from ...runtime.telemetry import NULL_SPAN, NULL_TRACER
 from .core import BroCore
 
 __all__ = ["ConnectionTracker"]
@@ -45,7 +46,7 @@ __all__ = ["ConnectionTracker"]
 class _TcpConnection:
     __slots__ = ("key", "conn_val", "reassembler", "analyzer",
                  "established", "orig_is_first", "orig_bytes", "resp_bytes",
-                 "orig_pkts", "resp_pkts", "last_time")
+                 "orig_pkts", "resp_pkts", "last_time", "span")
 
     def __init__(self, key, conn_val, reassembler, analyzer):
         self.key = key
@@ -58,12 +59,13 @@ class _TcpConnection:
         self.orig_pkts = 0
         self.resp_pkts = 0
         self.last_time = None
+        self.span = NULL_SPAN
 
 
 class _UdpFlow:
     __slots__ = ("key", "conn_val", "analyzer", "orig_is_first",
                  "orig_bytes", "resp_bytes", "orig_pkts", "resp_pkts",
-                 "last_time")
+                 "last_time", "span")
 
     def __init__(self, key, conn_val, analyzer):
         self.key = key
@@ -74,6 +76,7 @@ class _UdpFlow:
         self.orig_pkts = 0
         self.resp_pkts = 0
         self.last_time = None
+        self.span = NULL_SPAN
 
 
 class ConnectionTracker:
@@ -83,7 +86,8 @@ class ConnectionTracker:
     instance (or None to skip the connection).
     """
 
-    def __init__(self, core: BroCore, analyzer_factory: Callable):
+    def __init__(self, core: BroCore, analyzer_factory: Callable,
+                 tracer=None):
         self.core = core
         self.analyzer_factory = analyzer_factory
         self._tcp: Dict[Tuple, _TcpConnection] = {}
@@ -91,6 +95,42 @@ class ConnectionTracker:
         self.packets = 0
         self.ignored = 0
         self.parsing_ns = 0
+        # Telemetry: per-flow span trees (with per-packet child spans)
+        # when the tracer is enabled, plus always-on occupancy counters.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.flows_opened: Dict[str, int] = {"tcp": 0, "udp": 0}
+        self.flows_closed = 0
+        self.peak_flows = 0
+        self._reassembly_totals = {
+            "delivered_bytes": 0,
+            "pending_bytes": 0,
+            "gap_bytes": 0,
+            "overlap_bytes": 0,
+            "dropped_bytes": 0,
+        }
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def open_flows(self) -> int:
+        return len(self._tcp) + len(self._udp)
+
+    def reassembly_stats(self) -> Dict[str, int]:
+        """Closed-connection totals plus the live connections' state;
+        ``pending_bytes`` is the current out-of-order occupancy."""
+        out = dict(self._reassembly_totals)
+        out["pending_bytes"] = 0
+        for connection in self._tcp.values():
+            live = connection.reassembler.stats()
+            for key in ("delivered_bytes", "gap_bytes", "overlap_bytes",
+                        "dropped_bytes", "pending_bytes"):
+                out[key] += live[key]
+        return out
+
+    def _note_flow_opened(self, proto: str) -> None:
+        self.flows_opened[proto] += 1
+        occupancy = self.open_flows()
+        if occupancy > self.peak_flows:
+            self.peak_flows = occupancy
 
     # -- packet entry ------------------------------------------------------------
 
@@ -124,6 +164,9 @@ class ConnectionTracker:
         for flow in list(self._udp.values()):
             self._finish_analyzer(flow)
             self._finalize_conn_val(flow)
+            self.flows_closed += 1
+            flow.span.event("close")
+            flow.span.finish()
             self.core.queue_event(
                 "connection_state_remove", [flow.conn_val]
             )
@@ -131,11 +174,15 @@ class ConnectionTracker:
 
     # -- fault isolation ---------------------------------------------------------
 
-    def _deliver(self, entry, is_orig: bool, data: bytes) -> None:
+    def _deliver(self, entry, is_orig: bool, data: bytes,
+                 parent_span=NULL_SPAN) -> None:
         """Hand payload to the flow's analyzer inside the fault boundary."""
         analyzer = entry.analyzer
         if analyzer is None:
             return
+        span = NULL_SPAN
+        if self.tracer.enabled:
+            span = parent_span.child("parse", bytes=len(data))
         try:
             self.core.faults.check(SITE_ANALYZER_DISPATCH)
             begin = _time.perf_counter_ns()
@@ -145,6 +192,8 @@ class ConnectionTracker:
                 self.parsing_ns += _time.perf_counter_ns() - begin
         except HiltiError as error:
             self._quarantine(entry, error)
+        finally:
+            span.finish()
 
     def _finish_analyzer(self, entry) -> None:
         analyzer = entry.analyzer
@@ -162,6 +211,7 @@ class ConnectionTracker:
     def _quarantine(self, entry, error: HiltiError) -> None:
         """Disable the flow's analyzer; the flow itself stays tracked."""
         entry.analyzer = None
+        entry.span.event("quarantine", error=str(error))
         health = self.core.health
         health.flows_quarantined += 1
         if error.matches(PROCESSING_TIMEOUT):
@@ -208,6 +258,12 @@ class ConnectionTracker:
             # side is the originator.
             connection.orig_is_first = sender_is_first
             self._tcp[key] = connection
+            self._note_flow_opened("tcp")
+            if self.tracer.enabled:
+                connection.span = self.tracer.start_span(
+                    "flow", uid=conn_val.get_or("uid"), proto="tcp",
+                    resp_port=segment.dst_port,
+                )
             self.core.queue_event("new_connection", [conn_val])
         is_orig = sender_is_first == connection.orig_is_first
         connection.last_time = timestamp
@@ -217,6 +273,11 @@ class ConnectionTracker:
         else:
             connection.resp_pkts += 1
             connection.resp_bytes += len(segment.payload)
+        pkt_span = NULL_SPAN
+        if self.tracer.enabled:
+            pkt_span = connection.span.child(
+                "packet", len=len(segment.payload), is_orig=is_orig,
+            )
         reassembler = connection.reassembler
         try:
             self.core.faults.check(SITE_TCP_REASSEMBLY)
@@ -225,6 +286,7 @@ class ConnectionTracker:
             # Contained at segment granularity: this segment's payload is
             # lost (like a capture drop); the stream continues.
             self.core.health.record_error(SITE_TCP_REASSEMBLY)
+            pkt_span.event("reassembly_fault")
             data = b""
         if reassembler.established and not connection.established:
             connection.established = True
@@ -232,7 +294,8 @@ class ConnectionTracker:
                 "connection_established", [connection.conn_val]
             )
         if data:
-            self._deliver(connection, is_orig, data)
+            self._deliver(connection, is_orig, data, parent_span=pkt_span)
+        pkt_span.finish()
         if reassembler.closed:
             self._close_tcp(connection)
             self._tcp.pop(key, None)
@@ -240,6 +303,13 @@ class ConnectionTracker:
     def _close_tcp(self, connection: _TcpConnection) -> None:
         self._finish_analyzer(connection)
         self._finalize_conn_val(connection)
+        totals = self._reassembly_totals
+        for key, value in connection.reassembler.stats().items():
+            if key != "pending_bytes":  # still-buffered data is not a total
+                totals[key] += value
+        self.flows_closed += 1
+        connection.span.event("close")
+        connection.span.finish()
         self.core.queue_event(
             "connection_state_remove", [connection.conn_val]
         )
@@ -287,6 +357,12 @@ class ConnectionTracker:
             flow = _UdpFlow(key, conn_val, analyzer)
             flow.orig_is_first = sender_is_first
             self._udp[key] = flow
+            self._note_flow_opened("udp")
+            if self.tracer.enabled:
+                flow.span = self.tracer.start_span(
+                    "flow", uid=conn_val.get_or("uid"), proto="udp",
+                    resp_port=datagram.dst_port,
+                )
             self.core.queue_event("new_connection", [conn_val])
         is_orig = sender_is_first == flow.orig_is_first
         flow.last_time = timestamp
@@ -297,4 +373,11 @@ class ConnectionTracker:
             flow.resp_pkts += 1
             flow.resp_bytes += len(datagram.payload)
         if datagram.payload:
-            self._deliver(flow, is_orig, datagram.payload)
+            pkt_span = NULL_SPAN
+            if self.tracer.enabled:
+                pkt_span = flow.span.child(
+                    "packet", len=len(datagram.payload), is_orig=is_orig,
+                )
+            self._deliver(flow, is_orig, datagram.payload,
+                          parent_span=pkt_span)
+            pkt_span.finish()

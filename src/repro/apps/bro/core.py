@@ -61,6 +61,11 @@ class BroCore:
         self.print_stream = print_stream or sys.stdout
         self.events_queued = 0
         self.events_dispatched = 0
+        # Telemetry: per-event-name dispatch counts, collected only when
+        # a host flips count_events (the disabled path stays allocation-
+        # free on the dispatch hot loop).
+        self.count_events = False
+        self.event_counts: Dict[str, int] = {}
         # Component wall-clock accounting (ns): parsing / script / other
         # are filled by the runner; glue is read from the compiler's Glue.
         self.timers: Dict[str, int] = {
@@ -133,6 +138,8 @@ class BroCore:
         dispatched = 0
         while self._event_queue:
             name, args = self._event_queue.popleft()
+            if self.count_events:
+                self.event_counts[name] = self.event_counts.get(name, 0) + 1
             begin = _time.perf_counter_ns()
             try:
                 self.faults.check(SITE_SCRIPT_CALL)

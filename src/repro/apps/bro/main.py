@@ -12,6 +12,8 @@ protocol parsing, script execution, HILTI-to-Bro glue, and "other".
 
 from __future__ import annotations
 
+import json as _json
+import os as _os
 import time as _time
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -21,6 +23,11 @@ from ...runtime.faults import (
     SITE_PCAP_RECORD,
     CircuitBreaker,
     HealthReport,
+)
+from ...runtime.telemetry import (
+    Telemetry,
+    cpu_breakdown_report,
+    render_stats_log,
 )
 from .compiler import ScriptCompiler
 from .conn import ConnectionTracker
@@ -68,6 +75,7 @@ class Bro:
         breaker_threshold: float = 0.25,
         breaker_min_flows: int = 8,
         opt_level: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if parsers not in ("std", "pac"):
             raise ValueError(f"unknown parser tier {parsers!r}")
@@ -75,8 +83,13 @@ class Bro:
             raise ValueError(f"unknown script engine {scripts_engine!r}")
         self.parser_tier = parsers
         self.script_tier = scripts_engine
+        # Telemetry switchboard (repro.runtime.telemetry): metrics and
+        # flow tracing are both off by default; the disabled path costs
+        # one boolean check per guarded hook.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.core = BroCore(log_enabled=log_enabled,
                             print_stream=print_stream)
+        self.core.count_events = self.telemetry.enabled
         # Fault-isolation services: deterministic injector (off by
         # default), recovery/health accounting, per-packet instruction
         # watchdog for the HILTI execution contexts, and the circuit
@@ -105,7 +118,8 @@ class Bro:
             )
         else:
             compiler = ScriptCompiler(merged, self.core,
-                                      opt_level=opt_level)
+                                      opt_level=opt_level,
+                                      profile=self.telemetry.enabled)
             self.engine = compiler.compile()
             self.glue = compiler.glue
         self.core.script_engine = self.engine
@@ -118,8 +132,10 @@ class Bro:
                 from .analyzers.pac import PacParsers
 
                 self._pac = pac_parsers or PacParsers(opt_level=opt_level)
-        self.tracker = ConnectionTracker(self.core, self._make_analyzer)
+        self.tracker = ConnectionTracker(self.core, self._make_analyzer,
+                                         tracer=self.telemetry.tracer)
         self.stats: Dict[str, object] = {}
+        self._pcap_stats: Dict[str, int] = {}
 
     # -- analyzer wiring ----------------------------------------------------
 
@@ -188,7 +204,219 @@ class Bro:
             "script_tier": self.script_tier,
             "health": self.core.health.as_dict(self.core.faults),
         }
+        if self.telemetry.enabled:
+            self._gather_metrics()
         return self.stats
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def _engine_contexts(self) -> List[Tuple[str, object]]:
+        """Every HILTI ExecutionContext this run drove, labeled."""
+        contexts: List[Tuple[str, object]] = []
+        ctx = getattr(self.engine, "ctx", None)
+        if ctx is not None:
+            contexts.append(("scripts", ctx))
+        if self._pac is not None:
+            contexts.append(("pac/http", self._pac.http.ctx))
+            contexts.append(("pac/dns", self._pac.dns.ctx))
+        return contexts
+
+    def _opt_stats(self) -> List[Tuple[str, object]]:
+        """OptStats of every compiled program in the pipeline, labeled."""
+        out: List[Tuple[str, object]] = []
+        program = getattr(self.engine, "program", None)
+        stats = getattr(program, "opt_stats", None)
+        if stats is not None:
+            out.append(("scripts", stats))
+        if self._pac is not None:
+            for label, parser in (("pac/http", self._pac.http),
+                                  ("pac/dns", self._pac.dns)):
+                stats = getattr(parser.program, "opt_stats", None)
+                if stats is not None:
+                    out.append((label, stats))
+        return out
+
+    def _gather_metrics(self) -> None:
+        """Unify every component's counters into the metrics registry.
+
+        One exporter over the previously scattered instrumentation:
+        pipeline counts, per-component CPU attribution, both execution
+        tiers' dispatch counters, glue accounting, the fault layer's
+        HealthReport, optimizer OptStats, pcap reader skip/resync
+        counters, and reassembler/flow-table occupancy.
+        """
+        metrics = self.telemetry.metrics
+        stats = self.stats
+
+        # Pipeline throughput.
+        pipeline = {
+            "packets_total": self.tracker.packets,
+            "packets_ignored": self.tracker.ignored,
+            "events_queued": self.core.events_queued,
+            "events_dispatched": self.core.events_dispatched,
+            "flows_closed": self.tracker.flows_closed,
+        }
+        for name, value in pipeline.items():
+            metrics.counter(f"bro.{name}").inc(value)
+        for proto, count in self.tracker.flows_opened.items():
+            metrics.counter("bro.flows_opened", proto=proto).inc(count)
+        for name, count in sorted(self.core.event_counts.items()):
+            metrics.counter("bro.events_by_name", event=name).inc(count)
+
+        # Per-component CPU attribution (Figures 9-10 substrate).
+        for component in ("parsing", "script", "glue", "other", "total"):
+            metrics.gauge(
+                "bro.cpu_ns", component=component,
+            ).set(int(stats[f"{component}_ns"]))
+
+        # Execution tiers: instruction/dispatch counters per context.
+        for label, ctx in self._engine_contexts():
+            metrics.counter(
+                "engine.instructions", context=label,
+            ).inc(ctx.instr_count)
+            metrics.counter(
+                "engine.blocks_dispatched", context=label,
+            ).inc(ctx.blocks_dispatched)
+            metrics.counter(
+                "engine.segments_dispatched", context=label,
+            ).inc(ctx.segments_dispatched)
+            metrics.counter(
+                "engine.allocations", context=label,
+            ).inc(ctx.alloc_stats.allocations)
+
+        # HILTI-to-Bro glue accounting.
+        if self.glue is not None:
+            glue = self.glue.stats()
+            metrics.counter("glue.to_hilti_calls").inc(
+                glue["to_hilti_calls"])
+            metrics.counter("glue.from_hilti_calls").inc(
+                glue["from_hilti_calls"])
+
+        # Fault layer (HealthReport) and circuit breaker.
+        health = stats["health"]
+        for name in ("flows_quarantined", "records_skipped",
+                     "watchdog_trips", "injected_faults"):
+            metrics.counter(f"health.{name}").inc(health[name])
+        for site, count in health["site_errors"].items():
+            metrics.counter("health.site_errors", site=site).inc(count)
+        metrics.gauge("health.breaker_tripped").set(
+            int(health["breaker"]["tripped"]))
+
+        # Optimizer pass statistics.
+        for label, opt_stats in self._opt_stats():
+            for pass_name, count in opt_stats.as_dict().items():
+                metrics.counter(
+                    "opt.rewrites", context=label, opt_pass=pass_name,
+                ).inc(count)
+
+        # Trace-input robustness counters (populated by run_pcap).
+        for name, value in self._pcap_stats.items():
+            metrics.counter(f"pcap.{name}").inc(value)
+
+        # Flow-table and reassembler occupancy.
+        metrics.gauge("bro.flows_open").set(self.tracker.open_flows())
+        metrics.gauge("bro.flows_peak").set(self.tracker.peak_flows)
+        for name, value in self.tracker.reassembly_stats().items():
+            if name == "pending_bytes":
+                metrics.gauge("reassembly.pending_bytes").set(value)
+            else:
+                metrics.counter(f"reassembly.{name}").inc(value)
+
+        # Tracer self-accounting (visible truncation).
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            metrics.counter("trace.spans_started").inc(tracer.spans_started)
+            metrics.counter("trace.spans_dropped").inc(tracer.spans_dropped)
+
+    def cpu_breakdown(self) -> Dict:
+        """The Figures 9/10 machine-readable report for the last run."""
+        if not self.stats:
+            raise RuntimeError("cpu_breakdown() requires a completed run")
+        return cpu_breakdown_report(self.stats, config={
+            "parsers": self.parser_tier,
+            "scripts_engine": self.script_tier,
+        })
+
+    def telemetry_report(self) -> Dict:
+        """Everything the exporter knows, as one plain dict."""
+        profilers = {}
+        for label, ctx in self._engine_contexts():
+            report = ctx.profilers.report()
+            if report:
+                profilers[label] = report
+        return {
+            "stats": dict(self.stats),
+            "metrics": self.telemetry.metrics.collect(),
+            "profilers": profilers,
+            "pcap": dict(self._pcap_stats),
+        }
+
+    def write_telemetry(self, logdir: str) -> List[str]:
+        """Emit the reporting layer's files into *logdir*.
+
+        ``metrics.jsonl`` (machine-readable registry dump), ``stats.log``
+        (human run summary), ``prof.log`` (per-function profilers and
+        interval snapshots per execution context), and — when flow
+        tracing is armed — ``flows.jsonl`` with one span tree per flow.
+        Returns the paths written.
+        """
+        _os.makedirs(logdir, exist_ok=True)
+        written: List[str] = []
+
+        path = _os.path.join(logdir, "metrics.jsonl")
+        with open(path, "w") as stream:
+            self.telemetry.metrics.emit_jsonl(stream, meta={
+                "parsers": self.parser_tier,
+                "scripts_engine": self.script_tier,
+            })
+        written.append(path)
+
+        path = _os.path.join(logdir, "stats.log")
+        sections: Dict[str, Dict] = {}
+        if self.stats:
+            health = self.stats.get("health", {})
+            sections["health"] = {
+                key: health[key]
+                for key in ("flows_quarantined", "records_skipped",
+                            "watchdog_trips", "injected_faults")
+                if key in health
+            }
+        sections["occupancy"] = {
+            "flows_open": self.tracker.open_flows(),
+            "flows_peak": self.tracker.peak_flows,
+            "reassembly_pending_bytes":
+                self.tracker.reassembly_stats()["pending_bytes"],
+        }
+        engines = {}
+        for label, ctx in self._engine_contexts():
+            engines[f"{label}.instructions"] = ctx.instr_count
+        if engines:
+            sections["engine"] = engines
+        with open(path, "w") as stream:
+            stream.write(render_stats_log(self.stats, sections))
+        written.append(path)
+
+        path = _os.path.join(logdir, "prof.log")
+        with open(path, "w") as stream:
+            for label, ctx in self._engine_contexts():
+                stream.write(f"# context {label}\n")
+                ctx.profilers.dump(stream)
+        written.append(path)
+
+        if self.telemetry.tracer.enabled:
+            path = _os.path.join(logdir, "flows.jsonl")
+            with open(path, "w") as stream:
+                self.telemetry.tracer.emit_jsonl(stream)
+            written.append(path)
+        return written
+
+    def write_cpu_breakdown(self, path: str) -> Dict:
+        """Write the Figures 9/10 JSON report; returns the report."""
+        report = self.cpu_breakdown()
+        with open(path, "w") as stream:
+            _json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return report
 
     def _pcap_records(self, reader):
         """Iterate trace records through the pcap.record injection point;
@@ -202,6 +430,13 @@ class Bro:
                 self.core.health.records_skipped += 1
                 continue
             yield record
+        # The generator is exhausted before run() takes its totals, so
+        # the reader's final counters are visible to _gather_metrics.
+        self._pcap_stats = {
+            "records_read": reader.packets_read,
+            "records_skipped": reader.records_skipped,
+            "resyncs": reader.resyncs,
+        }
 
     def run_pcap(self, path: str, tolerant: bool = False) -> Dict:
         from ...net.pcap import PcapReader

@@ -1254,6 +1254,7 @@ def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
     seg = 0
     while True:
         steps, control, instr_count = segments[seg]
+        ctx.segments_dispatched += 1
         try:
             for step in steps:
                 step(ctx, frame)
@@ -1409,6 +1410,7 @@ def _run_simple(program: CompiledProgram, ctx, cf: CompiledFunction, args):
     seg = 0
     while True:
         steps, control, instr_count = segments[seg]
+        ctx.segments_dispatched += 1
         try:
             for step in steps:
                 step(ctx, frame)

@@ -8,10 +8,11 @@ then accumulates wall time, instruction counts, and allocation counts per
 function, queryable from the execution context after a run.
 
 The stop must fire on *every* exit: before each return terminator and on
-the implicit fall-off of void functions.  (Exceptional exits leave the
-profiler running — matching the prototype-grade behaviour the paper's
-profiler had, and trivially visible in the report as an unbalanced
-``updates`` count.)
+the implicit fall-off of void functions.  Exceptional exits bypass the
+inserted stop; the runtime drains such still-open profilers when their
+report is taken, accounting wall time up to the report instead of
+silently misattributing it, and flags the series ``unbalanced: true``
+(see ``repro.runtime.profiler.Profiler.drain``).
 """
 
 from __future__ import annotations

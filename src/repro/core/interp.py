@@ -157,6 +157,7 @@ class Interpreter:
         try:
             while True:
                 block = function.blocks[index]
+                ctx.blocks_dispatched += 1
                 try:
                     jumped = False
                     for instruction in block.instructions:
@@ -179,6 +180,12 @@ class Interpreter:
                     if jumped:
                         continue
                     index += 1  # fall through
+                    # The implicit control transfer (fall-through goto, or
+                    # the synthetic return of a void fall-off exit) counts
+                    # as one instruction, exactly like the compiled tier's
+                    # per-segment "+1 for the control transfer" — keeping
+                    # the two tiers' instruction counts identical.
+                    ctx.instr_count += 1
                     if index >= len(function.blocks):
                         return None
                 except HiltiError as error:

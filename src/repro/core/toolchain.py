@@ -63,20 +63,23 @@ def hiltic(
     level = opt_level if opt_level is not None else (1 if optimize else 0)
     modules = _to_modules(sources)
     stats = OptStats()
+    profile_stops = 0
     for module in modules:
         check_module(module)
         if level >= 1 and tier == "compiled":
             optimize_module(module, stats, level=level)
         if profile:
-            instrument_module(module)
+            profile_stops += instrument_module(module)
     linked = link(modules, natives=natives, entry=entry)
     if tier == "compiled":
         program = compile_program(linked, opt_level=level)
         program.opt_stats = stats
+        program.profile_stops = profile_stops
         return program
     if tier == "interpreted":
         interpreter = Interpreter(linked)
         interpreter.opt_stats = stats
+        interpreter.profile_stops = profile_stops
         return interpreter
     raise ValueError(f"unknown tier {tier!r}")
 

@@ -116,11 +116,21 @@ class SessionTable:
         from ..core.toolchain import hiltic
         from ..core.values import Interval
 
-        natives = {}
+        # Occupancy/eviction accounting for the telemetry exporter
+        # (docs/OBSERVABILITY.md): evictions counted by wrapping the
+        # eviction native, lookups/mutations by the wrapper methods.
+        self.evictions = 0
+        self.lookups = 0
+        self.mutations = 0
+
+        def _evicted(ctx, key):
+            self.evictions += 1
+            if on_evict is not None:
+                on_evict(key)
+
+        natives = {"Host::evicted": _evicted}
         if factory is not None:
             natives["Host::factory"] = lambda ctx: factory()
-        if on_evict is not None:
-            natives["Host::evicted"] = lambda ctx, key: on_evict(key)
 
         driver = """module Driver
 
@@ -183,15 +193,19 @@ void advance(time now) {
         )
 
     def get_or_create(self, key):
+        self.lookups += 1
         return self.program.call(self.ctx, "Driver::get_or_create", [key])
 
     def __contains__(self, key) -> bool:
+        self.lookups += 1
         return self.program.call(self.ctx, "Driver::contains", [key])
 
     def put(self, key, value) -> None:
+        self.mutations += 1
         self.program.call(self.ctx, "Driver::put", [key, value])
 
     def drop(self, key) -> None:
+        self.mutations += 1
         self.program.call(self.ctx, "Driver::drop", [key])
 
     def __len__(self) -> int:
@@ -203,3 +217,25 @@ void advance(time now) {
         if not isinstance(now, Time):
             now = Time(float(now))
         self.program.call(self.ctx, "Driver::advance", [now])
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Occupancy and activity snapshot (telemetry export)."""
+        return {
+            "occupancy": len(self),
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "mutations": self.mutations,
+            "instructions": self.ctx.instr_count,
+        }
+
+    def export_metrics(self, registry, table: str = "sessions") -> None:
+        """Publish the snapshot into a telemetry MetricsRegistry."""
+        stats = self.stats()
+        registry.gauge("session_table.occupancy",
+                       table=table).set(stats["occupancy"])
+        for key in ("evictions", "lookups", "mutations"):
+            counter = registry.counter(f"session_table.{key}", table=table)
+            counter.value = 0
+            counter.inc(stats[key])

@@ -74,12 +74,16 @@ class PcapReader:
     In *tolerant* mode, truncated or corrupt records are skipped and
     counted in :attr:`records_skipped` instead of raising ``PcapError`` —
     the fail-safe trace-reading mode of the robustness layer
-    (``docs/ROBUSTNESS.md``).
+    (``docs/ROBUSTNESS.md``).  Skips that recovered the record boundary
+    by reading past an over-long body are additionally counted in
+    :attr:`resyncs`; both counters feed the telemetry exporter
+    (``docs/OBSERVABILITY.md``).
     """
 
     def __init__(self, path: str, tolerant: bool = False):
         self.tolerant = tolerant
         self.records_skipped = 0
+        self.resyncs = 0
         self._stream = open(path, "rb")
         header = self._stream.read(24)
         if len(header) < 24:
@@ -133,6 +137,7 @@ class PcapReader:
                 body = self._stream.read(captured)
                 if len(body) < captured:
                     return None
+                self.resyncs += 1
                 continue
             data = self._stream.read(captured)
             if len(data) < captured:

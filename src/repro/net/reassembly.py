@@ -264,3 +264,20 @@ class ConnectionReassembler:
             self._closed = True
             if self._on_close is not None:
                 self._on_close()
+
+    def stats(self) -> dict:
+        """Both directions' accounting, summed (telemetry export)."""
+        out = {
+            "delivered_bytes": 0,
+            "pending_bytes": 0,
+            "gap_bytes": 0,
+            "overlap_bytes": 0,
+            "dropped_bytes": 0,
+        }
+        for stream in (self.originator, self.responder):
+            out["delivered_bytes"] += stream.delivered_bytes
+            out["pending_bytes"] += stream.pending_bytes()
+            out["gap_bytes"] += stream.gap_bytes
+            out["overlap_bytes"] += stream.overlap_bytes
+            out["dropped_bytes"] += stream.dropped_bytes
+        return out

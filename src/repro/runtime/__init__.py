@@ -26,5 +26,14 @@ from .overlay import OverlayInstance, unpack_value  # noqa: F401
 from .profiler import Profiler, ProfilerRegistry  # noqa: F401
 from .regexp import MATCH_FAIL, MATCH_NEED_MORE, MatchState, RegExp  # noqa: F401
 from .structs import Callable, StructInstance  # noqa: F401
+from .telemetry import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    Tracer,
+)
 from .threads import Job, Scheduler  # noqa: F401
 from .timers import Timer, TimerMgr  # noqa: F401

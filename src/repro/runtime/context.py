@@ -36,6 +36,8 @@ class ExecutionContext:
         "program",
         "fiber",
         "instr_count",
+        "blocks_dispatched",
+        "segments_dispatched",
         "instr_budget",
         "debug_stream",
         "print_stream",
@@ -62,6 +64,10 @@ class ExecutionContext:
         self.program = None
         self.fiber = None
         self.instr_count = 0
+        # Tier dispatch counters (telemetry): basic blocks entered by the
+        # interpreter, segments entered by the compiled-code trampoline.
+        self.blocks_dispatched = 0
+        self.segments_dispatched = 0
         # Watchdog: when set, execution raises Hilti::ProcessingTimeout as
         # soon as instr_count passes this value (one-shot; the engines
         # disarm it on firing so handlers can run).  Hosts arm it per unit

@@ -1,0 +1,642 @@
+"""End-to-end telemetry: metrics registry, span tracer, report emitters.
+
+The paper's evaluation rests on per-component CPU attribution (Figures 9
+and 10 split Bro-pipeline time into parsing / script / glue / other) and
+on compiler-inserted profiling sampled "at regular intervals" (section
+3.3).  This module is the measurement substrate that makes those numbers
+queryable and exportable instead of scattered across ad-hoc counters:
+
+* a **metrics registry** of labeled series — monotonic :class:`Counter`,
+  point-in-time :class:`Gauge`, and bucketed :class:`Histogram` — with a
+  JSON-lines exporter;
+* a lightweight **span tracer** (:class:`Tracer` / :class:`Span`) for
+  per-flow and per-packet span trees with attached point events;
+* a **reporting layer**: the human ``stats.log`` renderer, the
+  ``prof.log`` writer (delegating to :class:`~.profiler.ProfilerRegistry`),
+  the Figures 9/10 **CPU-breakdown** report builder, and hand-rolled
+  schema validators for both machine-readable formats (no third-party
+  jsonschema dependency);
+* a ``python -m repro.runtime.telemetry`` CLI exposing the validators so
+  CI can gate on report well-formedness.
+
+Disabled-path cost is near zero by construction: hosts hold one
+:class:`Telemetry` object and guard hot-path hooks on its ``enabled`` /
+``tracer.enabled`` booleans; nothing allocates when telemetry is off,
+and the null span/tracer singletons absorb stray calls.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "NULL_TRACER",
+    "Telemetry",
+    "cpu_breakdown_report",
+    "validate_cpu_breakdown",
+    "validate_metrics_lines",
+    "render_stats_log",
+    "CPU_BREAKDOWN_SCHEMA",
+    "METRICS_SCHEMA",
+]
+
+CPU_BREAKDOWN_SCHEMA = "bro-cpu-breakdown/1"
+METRICS_SCHEMA = "repro-metrics/1"
+
+_COMPONENTS = ("parsing", "script", "glue", "other")
+
+
+# --------------------------------------------------------------------------
+# Metric series
+# --------------------------------------------------------------------------
+
+
+class _Series:
+    """Common shape of one labeled series."""
+
+    kind = "abstract"
+    __slots__ = ("name", "labels", "help")
+
+    def __init__(self, name: str, labels: Dict[str, str], help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    def as_dict(self) -> Dict:
+        raise NotImplementedError
+
+    def _base(self) -> Dict:
+        out: Dict[str, object] = {"kind": self.kind, "name": self.name}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+    def __repr__(self) -> str:
+        labels = ",".join(f"{k}={v}" for k, v in self.labels.items())
+        return f"<{self.kind} {self.name}{{{labels}}}>"
+
+
+class Counter(_Series):
+    """A monotonically increasing count (packets seen, faults injected)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name, labels, help=""):
+        super().__init__(name, labels, help)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> Dict:
+        out = self._base()
+        out["value"] = self.value
+        return out
+
+
+class Gauge(_Series):
+    """A point-in-time value (table occupancy, pending bytes)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name, labels, help=""):
+        super().__init__(name, labels, help)
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def set_max(self, value) -> None:
+        """Retain the high-water mark."""
+        if value > self.value:
+            self.value = value
+
+    def as_dict(self) -> Dict:
+        out = self._base()
+        out["value"] = self.value
+        return out
+
+
+class Histogram(_Series):
+    """Bucketed observations (per-packet latency, payload sizes)."""
+
+    kind = "histogram"
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    #: Generic latency-ish default buckets (values are unit-free).
+    DEFAULT_BOUNDS = (
+        1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+    )
+
+    def __init__(self, name, labels, help="", bounds=None):
+        super().__init__(name, labels, help)
+        self.bounds: Tuple = tuple(bounds) if bounds else self.DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1  # +Inf bucket
+
+    def as_dict(self) -> Dict:
+        out = self._base()
+        buckets = {str(b): c for b, c in zip(self.bounds, self.bucket_counts)}
+        buckets["+Inf"] = self.bucket_counts[-1]
+        out["buckets"] = buckets
+        out["sum"] = self.sum
+        out["count"] = self.count
+        return out
+
+
+class MetricsRegistry:
+    """Process- or host-app-wide registry of labeled metric series.
+
+    Series are addressed by ``(name, labels)``; repeated calls with the
+    same address return the same series object, so hot paths can resolve
+    once and hold the series.
+    """
+
+    __slots__ = ("_series",)
+
+    def __init__(self):
+        self._series: Dict[Tuple, _Series] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, str], help: str,
+             **kwargs) -> _Series:
+        key = (name, tuple(sorted(labels.items())))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, labels, help=help, **kwargs)
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {series.kind}"
+            )
+        return series
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, labels, help)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(self, name: str, help: str = "", bounds=None,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, help, bounds=bounds)
+
+    def all_series(self) -> List[_Series]:
+        return [self._series[key] for key in sorted(self._series)]
+
+    def collect(self) -> List[Dict]:
+        """Every series as a plain dict, sorted by (name, labels)."""
+        return [series.as_dict() for series in self.all_series()]
+
+    def emit_jsonl(self, stream, meta: Optional[Dict] = None) -> int:
+        """Write the registry as JSON-lines; returns lines written.
+
+        The first line is a header record carrying the schema version
+        (plus caller-supplied *meta*); each following line is one series.
+        """
+        header = {"schema": METRICS_SCHEMA, "ts": time.time()}
+        if meta:
+            header.update(meta)
+        stream.write(json.dumps(header, sort_keys=True) + "\n")
+        lines = 1
+        for series in self.all_series():
+            stream.write(json.dumps(series.as_dict(), sort_keys=True) + "\n")
+            lines += 1
+        return lines
+
+
+# --------------------------------------------------------------------------
+# Span tracer
+# --------------------------------------------------------------------------
+
+
+class Span:
+    """One timed region with attributes, point events, and child spans."""
+
+    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children", "events")
+
+    def __init__(self, name: str, attrs: Optional[Dict] = None):
+        self.name = name
+        self.attrs = attrs or {}
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns: Optional[int] = None
+        self.children: List["Span"] = []
+        self.events: List[Tuple[int, str, Dict]] = []
+
+    def child(self, name: str, **attrs) -> "Span":
+        span = Span(name, attrs)
+        self.children.append(span)
+        return span
+
+    def event(self, name: str, **attrs) -> None:
+        self.events.append(
+            (time.perf_counter_ns() - self.start_ns, name, attrs)
+        )
+
+    def finish(self) -> None:
+        if self.end_ns is None:
+            self.end_ns = time.perf_counter_ns()
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None \
+            else time.perf_counter_ns()
+        return end - self.start_ns
+
+    def to_dict(self) -> Dict:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.events:
+            out["events"] = [
+                {"offset_ns": offset, "name": name,
+                 **({"attrs": attrs} if attrs else {})}
+                for offset, name, attrs in self.events
+            ]
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} {self.duration_ns / 1e6:.3f} ms>"
+
+
+class NullSpan:
+    """No-op span: absorbs tracing calls when the tracer is disabled."""
+
+    __slots__ = ()
+    name = "<null>"
+    attrs: Dict = {}
+    children: Tuple = ()
+    events: Tuple = ()
+    duration_ns = 0
+
+    def child(self, name: str, **attrs) -> "NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "duration_ns": 0}
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Root-span factory with a memory bound.
+
+    Hosts check :attr:`enabled` before touching the tracer on hot paths;
+    when disabled (or when the *max_spans* bound is hit) ``start_span``
+    hands back the shared :data:`NULL_SPAN` so callers never branch on
+    None.  ``spans_dropped`` makes the bound visible instead of silently
+    truncating a trace.
+    """
+
+    __slots__ = ("enabled", "roots", "max_spans", "spans_started",
+                 "spans_dropped")
+
+    def __init__(self, enabled: bool = False, max_spans: int = 100_000):
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self.max_spans = max_spans
+        self.spans_started = 0
+        self.spans_dropped = 0
+
+    def start_span(self, name: str, **attrs):
+        if not self.enabled:
+            return NULL_SPAN
+        if self.spans_started >= self.max_spans:
+            self.spans_dropped += 1
+            return NULL_SPAN
+        span = Span(name, attrs)
+        self.roots.append(span)
+        self.spans_started += 1
+        return span
+
+    def emit_jsonl(self, stream) -> int:
+        """One root span tree per line; returns lines written."""
+        lines = 0
+        for root in self.roots:
+            stream.write(json.dumps(root.to_dict(), sort_keys=True) + "\n")
+            lines += 1
+        return lines
+
+
+NULL_TRACER = Tracer(enabled=False)
+
+
+# --------------------------------------------------------------------------
+# The telemetry handle hosts carry around
+# --------------------------------------------------------------------------
+
+
+class Telemetry:
+    """One host application's telemetry switchboard.
+
+    ``enabled`` gates metrics collection; ``tracer.enabled`` gates span
+    recording independently (``--trace-flows`` without ``--metrics`` is
+    legal).  The default-constructed object is fully off and costs one
+    attribute read per guarded hook.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer")
+
+    def __init__(self, metrics: bool = False, trace: bool = False,
+                 max_spans: int = 100_000):
+        self.enabled = metrics
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=trace, max_spans=max_spans)
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.enabled or self.tracer.enabled
+
+
+#: Shared disabled instance for hosts that were not handed one.
+NULL_TELEMETRY = Telemetry()
+
+
+# --------------------------------------------------------------------------
+# CPU-breakdown report (Figures 9–10)
+# --------------------------------------------------------------------------
+
+
+def _shares(ns_by_component: Dict[str, int]) -> Dict[str, float]:
+    """Percentage shares rounded to 2 decimals that sum to exactly 100."""
+    total = sum(ns_by_component.values())
+    if total <= 0:
+        raise ValueError("cannot compute shares of a zero total")
+    shares = {
+        name: round(ns * 100.0 / total, 2)
+        for name, ns in ns_by_component.items()
+    }
+    # Absorb the rounding residue into the largest component so the
+    # shares sum to exactly 100.00 (the validator holds us to it).
+    residue = round(100.0 - sum(shares.values()), 2)
+    if residue:
+        largest = max(shares, key=lambda name: ns_by_component[name])
+        shares[largest] = round(shares[largest] + residue, 2)
+    return shares
+
+
+def cpu_breakdown_report(stats: Dict, config: Optional[Dict] = None) -> Dict:
+    """Build the machine-readable Figures 9/10 report from ``Bro.stats``.
+
+    *stats* is the dict ``Bro.run`` returns (``total_ns``,
+    ``parsing_ns``, ``script_ns``, ``glue_ns``, ``other_ns``,
+    ``packets``, ``events``); *config* records the run configuration
+    (parser tier, script engine, trace identity) for reproducibility.
+    """
+    ns = {name: int(stats[f"{name}_ns"]) for name in _COMPONENTS}
+    total_ns = int(stats["total_ns"])
+    shares = _shares(ns)
+    components = {
+        name: {"ns": ns[name], "share": shares[name]}
+        for name in _COMPONENTS
+    }
+    ranking = sorted(_COMPONENTS, key=lambda name: ns[name], reverse=True)
+    report = {
+        "schema": CPU_BREAKDOWN_SCHEMA,
+        "total_ns": total_ns,
+        "components": components,
+        "ranking": ranking,
+        "packets": int(stats.get("packets", 0)),
+        "events": int(stats.get("events", 0)),
+    }
+    if config:
+        report["config"] = dict(config)
+    return report
+
+
+def validate_cpu_breakdown(doc: Dict) -> List[str]:
+    """Schema check for :func:`cpu_breakdown_report` output.
+
+    Returns a list of human-readable problems (empty when valid).
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != CPU_BREAKDOWN_SCHEMA:
+        errors.append(
+            f"schema must be {CPU_BREAKDOWN_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    total = doc.get("total_ns")
+    if not isinstance(total, int) or total <= 0:
+        errors.append(f"total_ns must be a positive integer, got {total!r}")
+    components = doc.get("components")
+    if not isinstance(components, dict):
+        errors.append("components must be an object")
+        return errors
+    share_sum = 0.0
+    for name in _COMPONENTS:
+        entry = components.get(name)
+        if not isinstance(entry, dict):
+            errors.append(f"missing component {name!r}")
+            continue
+        ns = entry.get("ns")
+        share = entry.get("share")
+        if not isinstance(ns, int) or ns < 0:
+            errors.append(f"{name}.ns must be a non-negative integer")
+        if not isinstance(share, (int, float)) or share < 0 or share > 100:
+            errors.append(f"{name}.share must be a percentage in [0, 100]")
+        else:
+            share_sum += share
+    extra = set(components) - set(_COMPONENTS)
+    if extra:
+        errors.append(f"unknown components: {sorted(extra)}")
+    if not errors and abs(share_sum - 100.0) > 0.01:
+        errors.append(f"shares sum to {share_sum:.2f}, expected 100.00")
+    ranking = doc.get("ranking")
+    if ranking is not None and sorted(ranking) != sorted(_COMPONENTS):
+        errors.append(f"ranking must permute {list(_COMPONENTS)}")
+    for field in ("packets", "events"):
+        value = doc.get(field)
+        if value is not None and (not isinstance(value, int) or value < 0):
+            errors.append(f"{field} must be a non-negative integer")
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Metrics JSON-lines validation
+# --------------------------------------------------------------------------
+
+
+def validate_metrics_lines(lines: Iterable[str]) -> List[str]:
+    """Schema check for :meth:`MetricsRegistry.emit_jsonl` output."""
+    errors: List[str] = []
+    saw_header = False
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(doc, dict):
+            errors.append(f"line {number}: not an object")
+            continue
+        if not saw_header:
+            if doc.get("schema") != METRICS_SCHEMA:
+                errors.append(
+                    f"line {number}: header schema must be "
+                    f"{METRICS_SCHEMA!r}"
+                )
+            saw_header = True
+            continue
+        kind = doc.get("kind")
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"line {number}: missing series name")
+        if kind in ("counter", "gauge"):
+            if "value" not in doc or not isinstance(
+                    doc["value"], (int, float)):
+                errors.append(f"line {number}: {kind} needs a numeric value")
+            if kind == "counter" and isinstance(
+                    doc.get("value"), (int, float)) and doc["value"] < 0:
+                errors.append(f"line {number}: counter value negative")
+        elif kind == "histogram":
+            if not isinstance(doc.get("buckets"), dict):
+                errors.append(f"line {number}: histogram needs buckets")
+            if not isinstance(doc.get("count"), int):
+                errors.append(f"line {number}: histogram needs a count")
+        else:
+            errors.append(f"line {number}: unknown series kind {kind!r}")
+        labels = doc.get("labels")
+        if labels is not None and (
+            not isinstance(labels, dict)
+            or not all(isinstance(k, str) and isinstance(v, str)
+                       for k, v in labels.items())
+        ):
+            errors.append(f"line {number}: labels must map str -> str")
+    if not saw_header:
+        errors.append("no header line")
+    return errors
+
+
+# --------------------------------------------------------------------------
+# Human stats.log rendering
+# --------------------------------------------------------------------------
+
+
+def render_stats_log(stats: Dict, sections: Optional[Dict[str, Dict]] = None,
+                     ) -> str:
+    """The human-readable run summary (``stats.log``).
+
+    *stats* is ``Bro.stats``; *sections* adds named key/value blocks
+    (health, engine counters, occupancy...) below the breakdown.
+    """
+    out: List[str] = []
+    total = max(1, int(stats.get("total_ns", 0)))
+    out.append("# stats.log — one pipeline run")
+    out.append(f"total_ms {total / 1e6:.3f}")
+    for name in _COMPONENTS:
+        ns = int(stats.get(f"{name}_ns", 0))
+        out.append(
+            f"{name:>8} {ns / 1e6:12.3f} ms  {ns * 100.0 / total:6.2f}%"
+        )
+    for key in ("packets", "events", "parser_tier", "script_tier"):
+        if key in stats:
+            out.append(f"{key} {stats[key]}")
+    for title, entries in (sections or {}).items():
+        out.append("")
+        out.append(f"[{title}]")
+        for key in sorted(entries):
+            out.append(f"{key} {entries[key]}")
+    return "\n".join(out) + "\n"
+
+
+# --------------------------------------------------------------------------
+# CLI: report validation for CI
+# --------------------------------------------------------------------------
+
+
+def _main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.telemetry",
+        description="validate telemetry reports (CI gate)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    breakdown = sub.add_parser(
+        "validate-breakdown",
+        help="check a CPU-breakdown JSON report against its schema",
+    )
+    breakdown.add_argument("path")
+    breakdown.add_argument(
+        "--require-nonzero", action="store_true",
+        help="additionally require every component's share to be > 0",
+    )
+    metrics = sub.add_parser(
+        "validate-metrics", help="check a metrics JSON-lines file")
+    metrics.add_argument("path")
+    args = parser.parse_args(argv)
+
+    with open(args.path) as stream:
+        if args.command == "validate-breakdown":
+            try:
+                doc = json.load(stream)
+            except ValueError as exc:
+                print(f"{args.path}: not JSON ({exc})")
+                return 1
+            errors = validate_cpu_breakdown(doc)
+            if not errors and args.require_nonzero:
+                for name in _COMPONENTS:
+                    if doc["components"][name]["share"] <= 0:
+                        errors.append(f"{name}.share is zero")
+        else:
+            errors = validate_metrics_lines(stream)
+    for error in errors:
+        print(f"{args.path}: {error}")
+    if errors:
+        return 1
+    print(f"{args.path}: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(_main())

@@ -12,16 +12,24 @@ Robustness controls (docs/ROBUSTNESS.md): ``--tolerant-pcap`` skips
 corrupt trace records, ``--watchdog N`` bounds HILTI instructions per
 packet, ``--inject SITE=RATE`` arms the deterministic fault injector,
 and ``--health`` prints the recovery/health report after the run.
+
+Telemetry controls (docs/OBSERVABILITY.md): ``--metrics`` writes
+``metrics.jsonl``/``stats.log``/``prof.log`` into the log directory,
+``--cpu-breakdown`` writes the Figures 9/10 parsing/script/glue/other
+report as ``cpu_breakdown.json``, and ``--trace-flows`` records
+per-flow span trees into ``flows.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..apps.bro.main import Bro
 from ..apps.bro.scripts import TRACK_SCRIPT
 from ..runtime.faults import FaultInjector, registered_sites
+from ..runtime.telemetry import Telemetry
 
 _BUNDLED = {"track.bro": TRACK_SCRIPT}
 
@@ -92,6 +100,17 @@ def main(argv=None) -> int:
                         help="print the recovery/health report "
                              "(quarantines, skipped records, watchdog "
                              "trips, per-site error budget)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect the unified metrics registry and "
+                             "write metrics.jsonl, stats.log, and "
+                             "prof.log into the log directory")
+    parser.add_argument("--cpu-breakdown", action="store_true",
+                        help="write the Figures 9/10 per-component CPU "
+                             "report (cpu_breakdown.json) and print the "
+                             "shares")
+    parser.add_argument("--trace-flows", action="store_true",
+                        help="record per-flow span trees (with "
+                             "per-packet child spans) into flows.jsonl")
     args = parser.parse_args(argv)
 
     scripts = None
@@ -110,6 +129,7 @@ def main(argv=None) -> int:
         scripts_engine="hilti" if args.compile_scripts else "interp",
         fault_injector=_parse_injections(args.inject, args.fault_seed),
         watchdog_budget=args.watchdog,
+        telemetry=Telemetry(metrics=args.metrics, trace=args.trace_flows),
     )
     stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
     bro.core.logs.save(args.logdir)
@@ -125,6 +145,19 @@ def main(argv=None) -> int:
     if args.stats:
         for key in ("parsing_ns", "script_ns", "glue_ns", "other_ns"):
             print(f"  {key[:-3]:>8}: {stats[key] / 1e6:10.2f} ms")
+    if args.metrics or args.trace_flows:
+        for path in bro.write_telemetry(args.logdir):
+            print(f"  wrote {path}")
+    if args.cpu_breakdown:
+        path = os.path.join(args.logdir, "cpu_breakdown.json")
+        os.makedirs(args.logdir, exist_ok=True)
+        report = bro.write_cpu_breakdown(path)
+        print(f"  wrote {path}")
+        print("cpu breakdown:")
+        for name in ("parsing", "script", "glue", "other"):
+            entry = report["components"][name]
+            print(f"  {name:>8}: {entry['share']:6.2f}% "
+                  f"({entry['ns'] / 1e6:.2f} ms)")
     if args.health:
         health = stats["health"]
         print("health:")

@@ -37,6 +37,12 @@ def build_argparser() -> argparse.ArgumentParser:
     parser.set_defaults(opt_level=1)
     parser.add_argument("--profile", action="store_true",
                         help="insert function-granularity profiling")
+    parser.add_argument("--profile-snapshots", type=float, default=0,
+                        metavar="MS",
+                        help="with --profile, record interval snapshots "
+                             "of every profiler at least MS milliseconds "
+                             "apart (paper §3.3 'regular intervals'); "
+                             "dumped as #snapshot lines after the run")
     parser.add_argument("--print-ir", action="store_true",
                         help="print the linked program inventory")
     return parser
@@ -65,6 +71,10 @@ def main(argv=None) -> int:
         print(f"globals:   {len(linked.global_layout)}")
     if args.run:
         ctx = program.make_context()
+        if args.profile_snapshots:
+            ctx.profilers.default_snapshot_every_ns = int(
+                args.profile_snapshots * 1e6
+            )
         result = program.run(ctx=ctx)
         if result is not None:
             print(result)

@@ -67,3 +67,119 @@ class TestInstrumentation:
         out = io.StringIO()
         ctx.profilers.dump(out)
         assert "#profile func/Main::helper" in out.getvalue()
+
+
+_MULTI_RETURN = """module Main
+int<64> classify(int<64> x) {
+    local bool t
+    t = int.lt x 0
+    if.else t neg nonneg
+neg:
+    return -1
+nonneg:
+    t = int.eq x 0
+    if.else t zero pos
+zero:
+    return 0
+pos:
+    return 1
+}
+
+void run_all() {
+    local int<64> r
+    r = call classify(-7)
+    r = call classify(0)
+    r = call classify(7)
+}
+"""
+
+
+class TestMultiReturnFunctions:
+    def test_every_return_gets_a_stop(self):
+        from repro.core.parser import parse_module
+
+        module = parse_module(_MULTI_RETURN)
+        # classify has 3 returns; run_all falls off (1 implicit stop).
+        assert instrument_module(module) == 4
+
+    def test_one_update_per_call_regardless_of_exit(self):
+        for tier in ("compiled", "interpreted"):
+            program = hiltic([_MULTI_RETURN], profile=True, tier=tier)
+            ctx = program.make_context()
+            program.call(ctx, "Main::run_all")
+            profiler = ctx.profilers.get("func/Main::classify")
+            assert profiler.updates == 3
+            assert not profiler.unbalanced
+
+
+def _hook_module():
+    from repro.core import types as ht
+    from repro.core.builder import ModuleBuilder
+
+    mb = ModuleBuilder("Main")
+    for suffix, priority in (("early", 10), ("late", -10)):
+        fb = mb.hook("observe", [("x", ht.INT64)], body_suffix=suffix,
+                     priority=priority)
+        doubled = fb.temp(ht.INT64, "d")
+        fb.emit("int.mul", fb.var("x"), fb.const(ht.INT64, 2),
+                target=doubled)
+        fb.ret()
+    fb = mb.function("fire", [], ht.VOID)
+    fb.emit("hook.run", fb.field("Main::observe"),
+            fb.args(fb.const(ht.INT64, 1)))
+    fb.ret()
+    return mb.finish()
+
+
+class TestHookBodies:
+    def test_hook_bodies_are_instrumented(self):
+        module = _hook_module()
+        stops = instrument_module(module)
+        # Two hook bodies + fire, one stop each.
+        assert stops == 3
+
+    def test_hook_body_profilers_populated(self):
+        for tier in ("compiled", "interpreted"):
+            program = hiltic([_hook_module()], profile=True, tier=tier)
+            ctx = program.make_context()
+            program.call(ctx, "Main::fire")
+            for suffix in ("early", "late"):
+                profiler = ctx.profilers.get(f"func/Main::observe%{suffix}")
+                assert profiler.updates == 1, (tier, suffix)
+                assert profiler.wall_ns > 0
+
+
+_THROWS = """module Main
+int<64> boom(int<64> x) {
+    local int<64> y
+    y = int.div 10 x
+    return y
+}
+"""
+
+
+class TestExceptionalExit:
+    def test_open_profiler_drained_and_flagged(self):
+        """An exceptional exit bypasses the inserted profiler.stop; the
+        report must drain the open region and flag it unbalanced rather
+        than dropping the measurement."""
+        from repro.runtime.exceptions import HiltiError
+
+        for tier in ("compiled", "interpreted"):
+            program = hiltic([_THROWS], profile=True, tier=tier)
+            ctx = program.make_context()
+            try:
+                program.call(ctx, "Main::boom", [0])
+            except HiltiError:
+                pass
+            report = ctx.profilers.get("func/Main::boom").report()
+            assert report["unbalanced"] is True, tier
+            assert report["updates"] == 1
+            assert report["wall_ns"] > 0
+
+    def test_clean_exit_stays_balanced(self):
+        program = hiltic([_THROWS], profile=True)
+        ctx = program.make_context()
+        assert program.call(ctx, "Main::boom", [2]) == 5
+        report = ctx.profilers.get("func/Main::boom").report()
+        assert report["unbalanced"] is False

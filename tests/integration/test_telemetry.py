@@ -1,0 +1,212 @@
+"""End-to-end telemetry: the unified exporter over the Bro pipeline.
+
+Exercises the Figures 9/10 CPU-breakdown report, the metrics registry
+fed by every pipeline component, per-flow span trees, and the report
+files the ``--metrics`` / ``--cpu-breakdown`` / ``--trace-flows`` CLI
+flags produce.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.apps.bro import Bro
+from repro.net.tracegen import HttpTraceConfig, generate_http_trace
+from repro.runtime.telemetry import (
+    Telemetry,
+    validate_cpu_breakdown,
+    validate_metrics_lines,
+)
+
+
+@pytest.fixture(scope="module")
+def http_trace():
+    return generate_http_trace(HttpTraceConfig(sessions=20, seed=42))
+
+
+def _run(trace, metrics=True, trace_flows=False, **kwargs):
+    bro = Bro(
+        parsers="pac",
+        scripts_engine="hilti",
+        print_stream=io.StringIO(),
+        telemetry=Telemetry(metrics=metrics, trace=trace_flows),
+        **kwargs,
+    )
+    bro.run(trace)
+    return bro
+
+
+def _series(bro, name, **labels):
+    key = (name, tuple(sorted(labels.items())))
+    return bro.telemetry.metrics._series[key]
+
+
+class TestCpuBreakdownReport:
+    def test_schema_valid_all_components_nonzero(self, http_trace):
+        report = _run(http_trace).cpu_breakdown()
+        assert validate_cpu_breakdown(report) == []
+        for name in ("parsing", "script", "glue", "other"):
+            assert report["components"][name]["ns"] > 0
+            assert report["components"][name]["share"] > 0
+
+    def test_shares_sum_to_100(self, http_trace):
+        report = _run(http_trace).cpu_breakdown()
+        total = sum(c["share"] for c in report["components"].values())
+        assert round(total, 2) == 100.0
+
+    def test_reproducible_dominant_component(self, http_trace):
+        """Two runs over the same trace must agree on what dominates
+        (the paper's Figures 9/10 claim is about relative breakdowns)."""
+        first = _run(http_trace).cpu_breakdown()
+        second = _run(http_trace).cpu_breakdown()
+        assert first["ranking"][0] == second["ranking"][0]
+        assert first["config"] == second["config"]
+        assert first["packets"] == second["packets"]
+
+    def test_requires_a_completed_run(self):
+        bro = Bro(print_stream=io.StringIO(), telemetry=Telemetry(True))
+        with pytest.raises(RuntimeError):
+            bro.cpu_breakdown()
+
+
+class TestUnifiedMetrics:
+    def test_pipeline_counters_match_stats(self, http_trace):
+        bro = _run(http_trace)
+        assert _series(bro, "bro.packets_total").value == \
+            bro.stats["packets"]
+        assert _series(bro, "bro.events_dispatched").value == \
+            bro.stats["events"]
+        assert _series(
+            bro, "bro.cpu_ns", component="parsing",
+        ).value == bro.stats["parsing_ns"]
+
+    def test_per_event_counts_sum_to_dispatched(self, http_trace):
+        bro = _run(http_trace)
+        by_name = [
+            s for s in bro.telemetry.metrics.all_series()
+            if s.name == "bro.events_by_name"
+        ]
+        assert by_name  # http_request, connection_state_remove, ...
+        assert sum(s.value for s in by_name) == bro.stats["events"]
+
+    def test_both_execution_tiers_reported(self, http_trace):
+        bro = _run(http_trace)
+        # Compiled scripts dispatch segments; pac parsers run HILTI too.
+        assert _series(
+            bro, "engine.instructions", context="scripts").value > 0
+        assert _series(
+            bro, "engine.segments_dispatched", context="scripts").value > 0
+        assert _series(
+            bro, "engine.instructions", context="pac/http").value > 0
+
+    def test_glue_health_and_occupancy_present(self, http_trace):
+        bro = _run(http_trace)
+        assert _series(bro, "glue.to_hilti_calls").value > 0
+        assert _series(bro, "health.flows_quarantined").value == 0
+        assert _series(bro, "bro.flows_peak").value > 0
+        assert _series(bro, "bro.flows_open").value == 0  # all closed
+        assert _series(bro, "reassembly.delivered_bytes").value > 0
+
+    def test_emitted_jsonl_validates(self, http_trace):
+        bro = _run(http_trace)
+        out = io.StringIO()
+        bro.telemetry.metrics.emit_jsonl(out)
+        assert validate_metrics_lines(out.getvalue().splitlines()) == []
+
+    def test_disabled_telemetry_gathers_nothing(self, http_trace):
+        bro = _run(http_trace, metrics=False)
+        assert bro.telemetry.metrics.collect() == []
+        assert bro.core.event_counts == {}
+        assert bro.telemetry.tracer.roots == []
+        # ...but the run itself is unaffected.
+        assert bro.stats["packets"] == len(http_trace)
+
+
+class TestFlowTracing:
+    def test_span_trees_cover_flows_and_packets(self, http_trace):
+        bro = _run(http_trace, trace_flows=True)
+        roots = bro.telemetry.tracer.roots
+        assert len(roots) == bro.tracker.flows_opened["tcp"]
+        flow = roots[0]
+        assert flow.name == "flow"
+        assert flow.attrs["proto"] == "tcp"
+        packets = [c for c in flow.children if c.name == "packet"]
+        assert packets
+        parses = [c for p in packets for c in p.children
+                  if c.name == "parse"]
+        assert parses
+        assert all(p.end_ns is not None for p in packets)
+        assert any(e[1] == "close" for e in flow.events)
+
+    def test_trace_without_metrics(self, http_trace):
+        bro = _run(http_trace, metrics=False, trace_flows=True)
+        assert bro.telemetry.tracer.roots
+        assert bro.telemetry.metrics.collect() == []
+
+
+class TestReportFiles:
+    def test_write_telemetry_and_breakdown(self, tmp_path, http_trace):
+        from repro.net.pcap import write_pcap
+
+        pcap = str(tmp_path / "http.pcap")
+        write_pcap(pcap, http_trace)
+        bro = Bro(
+            parsers="pac",
+            scripts_engine="hilti",
+            print_stream=io.StringIO(),
+            telemetry=Telemetry(metrics=True, trace=True),
+        )
+        bro.run_pcap(pcap)
+
+        logdir = str(tmp_path / "logs")
+        written = {p.rsplit("/", 1)[-1] for p in bro.write_telemetry(logdir)}
+        assert written == {
+            "metrics.jsonl", "stats.log", "prof.log", "flows.jsonl",
+        }
+
+        with open(f"{logdir}/metrics.jsonl") as stream:
+            lines = stream.read().splitlines()
+        assert validate_metrics_lines(lines) == []
+        names = {json.loads(line).get("name") for line in lines[1:]}
+        assert "pcap.records_read" in names  # run_pcap fed the reader stats
+
+        report = bro.write_cpu_breakdown(str(tmp_path / "cpu.json"))
+        with open(tmp_path / "cpu.json") as stream:
+            on_disk = json.load(stream)
+        assert on_disk == report
+        assert validate_cpu_breakdown(on_disk) == []
+
+        stats_log = (tmp_path / "logs" / "stats.log").read_text()
+        assert "[health]" in stats_log and "[engine]" in stats_log
+        prof_log = (tmp_path / "logs" / "prof.log").read_text()
+        assert "# context scripts" in prof_log
+        assert "#profile func/" in prof_log  # compiled scripts instrumented
+
+        flows = [
+            json.loads(line)
+            for line in (tmp_path / "logs" / "flows.jsonl").read_text()
+            .splitlines()
+        ]
+        assert all(doc["name"] == "flow" for doc in flows)
+        assert any("children" in doc for doc in flows)
+
+    def test_cli_flags_end_to_end(self, tmp_path, http_trace, capsys):
+        from repro.net.pcap import write_pcap
+        from repro.tools.bro import main as bro_main
+
+        pcap = str(tmp_path / "http.pcap")
+        write_pcap(pcap, http_trace)
+        logdir = str(tmp_path / "logs")
+        rc = bro_main([
+            "-r", pcap, "--compile-scripts", "--parsers", "pac",
+            "--metrics", "--cpu-breakdown", "--trace-flows",
+            "--logdir", logdir,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cpu breakdown:" in out
+        with open(f"{logdir}/cpu_breakdown.json") as stream:
+            assert validate_cpu_breakdown(json.load(stream)) == []
+        with open(f"{logdir}/metrics.jsonl") as stream:
+            assert validate_metrics_lines(stream) == []

@@ -1,0 +1,238 @@
+"""The telemetry substrate: metrics registry, span tracer, reports."""
+
+import io
+import json
+
+import pytest
+
+from repro.runtime.telemetry import (
+    CPU_BREAKDOWN_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    Span,
+    Telemetry,
+    Tracer,
+    cpu_breakdown_report,
+    render_stats_log,
+    validate_cpu_breakdown,
+    validate_metrics_lines,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        registry = MetricsRegistry()
+        c = registry.counter("packets")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        tcp = registry.counter("flows", proto="tcp")
+        udp = registry.counter("flows", proto="udp")
+        assert tcp is not udp
+        tcp.inc(3)
+        assert registry.counter("flows", proto="tcp").value == 3
+        assert registry.counter("flows", proto="udp").value == 0
+
+    def test_same_address_returns_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", a="1", b="2")
+        b = registry.counter("x", b="2", a="1")  # label order irrelevant
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("occupancy")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_set_max_keeps_high_water_mark(self):
+        g = MetricsRegistry().gauge("peak")
+        g.set_max(7)
+        g.set_max(3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = MetricsRegistry().histogram("lat", bounds=(10, 100))
+        for value in (5, 50, 500):
+            h.observe(value)
+        d = h.as_dict()
+        assert d["buckets"] == {"10": 1, "100": 1, "+Inf": 1}
+        assert d["sum"] == 555
+        assert d["count"] == 3
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", bounds=(100, 10))
+
+
+class TestRegistryEmission:
+    def test_collect_sorted_and_emit_jsonl_valid(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1)
+        registry.histogram("c").observe(42)
+        names = [d["name"] for d in registry.collect()]
+        assert names == ["a", "b", "c"]
+        out = io.StringIO()
+        lines = registry.emit_jsonl(out, meta={"run": "test"})
+        assert lines == 4  # header + 3 series
+        text = out.getvalue().splitlines()
+        assert json.loads(text[0])["run"] == "test"
+        assert validate_metrics_lines(text) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_metrics_lines([]) == ["no header line"]
+        bad = [
+            json.dumps({"schema": "repro-metrics/1"}),
+            json.dumps({"kind": "counter", "name": "x", "value": -1}),
+            json.dumps({"kind": "wat", "name": "y"}),
+            "not json",
+        ]
+        errors = validate_metrics_lines(bad)
+        assert any("negative" in e for e in errors)
+        assert any("unknown series kind" in e for e in errors)
+        assert any("not JSON" in e for e in errors)
+
+
+class TestSpans:
+    def test_tree_and_events(self):
+        tracer = Tracer(enabled=True)
+        flow = tracer.start_span("flow", uid="c1")
+        pkt = flow.child("packet", len=64)
+        pkt.event("reassembly_fault", reason="gap")
+        pkt.finish()
+        flow.finish()
+        doc = flow.to_dict()
+        assert doc["name"] == "flow"
+        assert doc["attrs"] == {"uid": "c1"}
+        assert doc["children"][0]["events"][0]["name"] == "reassembly_fault"
+        assert doc["duration_ns"] >= doc["children"][0]["duration_ns"]
+
+    def test_finish_idempotent(self):
+        span = Span("x")
+        span.finish()
+        first = span.end_ns
+        span.finish()
+        assert span.end_ns == first
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start_span("flow")
+        assert span is NULL_SPAN
+        # The null span absorbs the whole protocol without allocating.
+        assert span.child("packet") is NULL_SPAN
+        span.event("anything")
+        span.finish()
+        assert tracer.roots == []
+        assert tracer.spans_started == 0
+
+    def test_max_spans_bound_counts_drops(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        spans = [tracer.start_span(f"s{i}") for i in range(4)]
+        assert spans[2] is NULL_SPAN and spans[3] is NULL_SPAN
+        assert tracer.spans_started == 2
+        assert tracer.spans_dropped == 2
+
+    def test_emit_jsonl_one_tree_per_line(self):
+        tracer = Tracer(enabled=True)
+        for i in range(3):
+            tracer.start_span("flow", n=i).finish()
+        out = io.StringIO()
+        assert tracer.emit_jsonl(out) == 3
+        docs = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [d["attrs"]["n"] for d in docs] == [0, 1, 2]
+
+
+class TestTelemetryHandle:
+    def test_default_fully_off(self):
+        t = Telemetry()
+        assert not t.enabled
+        assert not t.tracer.enabled
+        assert not t.any_enabled
+
+    def test_trace_without_metrics_is_legal(self):
+        t = Telemetry(trace=True)
+        assert not t.enabled
+        assert t.any_enabled
+
+    def test_null_telemetry_shared_and_off(self):
+        assert not NULL_TELEMETRY.any_enabled
+
+
+_STATS = {
+    "total_ns": 1_000,
+    "parsing_ns": 400,
+    "script_ns": 300,
+    "glue_ns": 200,
+    "other_ns": 100,
+    "packets": 10,
+    "events": 20,
+}
+
+
+class TestCpuBreakdown:
+    def test_report_shape(self):
+        report = cpu_breakdown_report(_STATS, config={"parsers": "pac"})
+        assert report["schema"] == CPU_BREAKDOWN_SCHEMA
+        assert report["ranking"] == ["parsing", "script", "glue", "other"]
+        assert report["components"]["parsing"]["share"] == 40.0
+        assert report["config"] == {"parsers": "pac"}
+        assert validate_cpu_breakdown(report) == []
+
+    def test_shares_sum_to_exactly_100(self):
+        # 1/3 splits round to 33.33 x3 = 99.99; the residue must be
+        # absorbed so the validator's sum check holds.
+        stats = dict(_STATS, parsing_ns=1, script_ns=1, glue_ns=1,
+                     other_ns=0, total_ns=3)
+        report = cpu_breakdown_report(stats)
+        shares = [c["share"] for c in report["components"].values()]
+        assert round(sum(shares), 2) == 100.0
+        assert validate_cpu_breakdown(report) == []
+
+    def test_zero_total_rejected(self):
+        stats = {f"{n}_ns": 0 for n in ("parsing", "script", "glue", "other")}
+        stats["total_ns"] = 0
+        with pytest.raises(ValueError):
+            cpu_breakdown_report(stats)
+
+    def test_validator_catches_corruption(self):
+        report = cpu_breakdown_report(_STATS)
+        report["components"]["parsing"]["share"] = 95.0
+        assert any("sum" in e for e in validate_cpu_breakdown(report))
+        del report["components"]["glue"]
+        assert any("glue" in e for e in validate_cpu_breakdown(report))
+        assert validate_cpu_breakdown({"schema": "nope"})
+        assert validate_cpu_breakdown("not a dict") == \
+            ["document is not an object"]
+
+
+class TestStatsLogRendering:
+    def test_breakdown_and_sections(self):
+        text = render_stats_log(
+            dict(_STATS, parser_tier="pac", script_tier="hilti"),
+            sections={"health": {"records_skipped": 2}},
+        )
+        assert "parsing" in text and "40.00%" in text
+        assert "parser_tier pac" in text
+        assert "[health]" in text
+        assert "records_skipped 2" in text
