@@ -16,6 +16,17 @@ Usage::
 non-zero if -O1 is slower than -O0 on any named kernel (the regression
 gate).  See docs/PERFORMANCE.md for the JSON schema.
 
+``--parallel-scaling`` switches to the flow-parallel harness
+(docs/PARALLELISM.md): a fixed-seed HTTP+DNS trace runs through the
+sequential pipeline and through ``ParallelBro`` (process backend) at
+1, 2, and 4 workers; each run's merged-log fingerprint must match the
+sequential one, and per-worker wall-clock/speedup land in
+``BENCH_parallel.json`` together with the host's usable CPU count
+(speedup >1 needs real cores).  ``--check-parallel FACTOR`` exits
+non-zero if the 1-worker parallel run costs more than FACTOR× the
+sequential run (the fan-out-overhead gate) or any fingerprint
+diverges.
+
 ``--telemetry-overhead`` switches to the observability cost harness
 (docs/OBSERVABILITY.md): each kernel runs three ways — *baseline* (no
 telemetry handle passed), *off* (an explicitly disabled
@@ -307,6 +318,114 @@ OVERHEAD_KERNELS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Flow-parallel scaling mode (--parallel-scaling)
+# ---------------------------------------------------------------------------
+
+_SCALING_WORKERS = (1, 2, 4)
+_SCALING_STREAMS = ("conn", "http", "dns", "files", "weird")
+
+
+def _usable_cpus():
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _log_fingerprint(pipeline):
+    """One hash over every log stream's deterministically sorted lines."""
+    digest = hashlib.sha256()
+    for name in _SCALING_STREAMS:
+        digest.update(name.encode())
+        for line in sorted(pipeline.log_lines(name)):
+            digest.update(line.encode())
+            digest.update(b"\n")
+    return "sha:" + digest.hexdigest()[:16]
+
+
+def run_parallel_scaling(args):
+    from repro.apps.bro import Bro, ParallelBro
+    from repro.net.tracegen import (
+        DnsTraceConfig,
+        HttpTraceConfig,
+        generate_mixed_trace,
+    )
+
+    trace = generate_mixed_trace(
+        HttpTraceConfig(sessions=15 if args.quick else 60, seed=101),
+        DnsTraceConfig(queries=60 if args.quick else 240, seed=101),
+    )
+    rounds = 2 if args.quick else 3
+    report = {
+        "schema": "bench-parallel/1",
+        "quick": args.quick,
+        "cpus": _usable_cpus(),
+        "backend": "process",
+        "packets": len(trace),
+        "workers": {},
+    }
+    print(f"[bench_regression] parallel-scaling: {len(trace)} packets on "
+          f"{report['cpus']} usable cpu(s)", flush=True)
+
+    def run_sequential():
+        bro = Bro(print_stream=io.StringIO())
+        bro.run(trace)
+        return _log_fingerprint(bro), bro.stats["events"]
+
+    seq_s, (seq_fp, seq_events) = _best_of(run_sequential, rounds)
+    report["sequential"] = {
+        "seconds": round(seq_s, 6),
+        "events": seq_events,
+        "fingerprint": seq_fp,
+    }
+    print(f"[bench_regression]   sequential={seq_s * 1e3:.2f}ms "
+          f"events={seq_events}", flush=True)
+
+    for workers in _SCALING_WORKERS:
+        def run_parallel(workers=workers):
+            parallel = ParallelBro(workers=workers, backend="process")
+            parallel.run(trace)
+            return _log_fingerprint(parallel), parallel.stats["events"]
+
+        par_s, (par_fp, par_events) = _best_of(run_parallel, rounds)
+        entry = {
+            "seconds": round(par_s, 6),
+            "speedup": round(seq_s / par_s, 3) if par_s else None,
+            "identical": par_fp == seq_fp and par_events == seq_events,
+            "fingerprint": par_fp,
+        }
+        report["workers"][str(workers)] = entry
+        print(f"[bench_regression]   workers={workers} "
+              f"{par_s * 1e3:.2f}ms speedup={entry['speedup']}x "
+              f"identical={entry['identical']}", flush=True)
+
+    out_path = Path(args.output or str(REPO / "BENCH_parallel.json"))
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_regression] wrote {out_path}")
+
+    failures = []
+    for workers, entry in report["workers"].items():
+        if not entry["identical"]:
+            failures.append(
+                f"workers={workers}: merged logs diverge from sequential")
+    if args.check_parallel is not None:
+        bound = seq_s * args.check_parallel
+        one_worker = report["workers"]["1"]["seconds"]
+        if one_worker > bound:
+            failures.append(
+                f"workers=1 costs {one_worker:.3f}s, over "
+                f"{args.check_parallel}x the sequential {seq_s:.3f}s"
+            )
+    if failures:
+        for failure in failures:
+            print(f"[bench_regression] FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _overhead_pct(seconds, baseline):
     return round((seconds - baseline) * 100.0 / baseline, 2) if baseline \
         else None
@@ -395,8 +514,18 @@ def main(argv=None):
                     metavar="PCT",
                     help="with --telemetry-overhead, fail if disabled "
                          "telemetry costs more than PCT%% over baseline")
+    ap.add_argument("--parallel-scaling", action="store_true",
+                    help="measure the flow-parallel pipeline (process "
+                         "backend) at 1/2/4 workers against sequential")
+    ap.add_argument("--check-parallel", type=float, default=None,
+                    metavar="FACTOR",
+                    help="with --parallel-scaling, fail if the 1-worker "
+                         "parallel run costs more than FACTOR x the "
+                         "sequential run")
     args = ap.parse_args(argv)
 
+    if args.parallel_scaling:
+        return run_parallel_scaling(args)
     if args.telemetry_overhead:
         return run_telemetry_overhead(args)
 

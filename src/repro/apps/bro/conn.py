@@ -24,6 +24,7 @@ from ...core.values import Port, Time
 from ...net.packet import (
     PROTO_TCP,
     PROTO_UDP,
+    SYN,
     PacketError,
     TCPSegment,
     UDPDatagram,
@@ -86,12 +87,25 @@ class ConnectionTracker:
     instance (or None to skip the connection).
     """
 
+    #: Bound on remembered torn-down flow keys (oldest half evicted).
+    TIMEWAIT_CAPACITY = 8192
+
     def __init__(self, core: BroCore, analyzer_factory: Callable,
-                 tracer=None):
+                 tracer=None, uid_map: Optional[Dict] = None):
         self.core = core
         self.analyzer_factory = analyzer_factory
+        # Pre-assigned connection uids, keyed by the canonical flow key.
+        # The flow-parallel driver computes these in global packet-arrival
+        # order before fan-out, so every lane labels its connections
+        # exactly as the sequential pipeline would (docs/PARALLELISM.md).
+        self._uid_map = uid_map
         self._tcp: Dict[Tuple, _TcpConnection] = {}
         self._udp: Dict[Tuple, _UdpFlow] = {}
+        # TIME_WAIT: keys of recently torn-down TCP connections.  The
+        # teardown's trailing bare ACK arrives after both FINs completed
+        # the reassembler, so the connection entry is already gone; it
+        # belongs to the dead connection, not to a new one.
+        self._timewait: Dict[Tuple, None] = {}
         self.packets = 0
         self.ignored = 0
         self.parsing_ns = 0
@@ -125,6 +139,15 @@ class ConnectionTracker:
                         "dropped_bytes", "pending_bytes"):
                 out[key] += live[key]
         return out
+
+    def _uid_for(self, key) -> str:
+        """The connection uid for a new flow: pre-assigned when running
+        under the parallel driver, freshly allocated otherwise."""
+        if self._uid_map is not None:
+            uid = self._uid_map.get(key)
+            if uid is not None:
+                return uid
+        return self.core.next_uid()
 
     def _note_flow_opened(self, proto: str) -> None:
         self.flows_opened[proto] += 1
@@ -236,10 +259,17 @@ class ConnectionTracker:
     def _tcp_packet(self, timestamp: Time, ip, segment: TCPSegment) -> None:
         key, sender_is_first = self._tcp_key(ip, segment)
         connection = self._tcp.get(key)
+        if connection is None and key in self._timewait:
+            if not (segment.flags & SYN) and not segment.payload:
+                # The teardown's trailing ACK (or a stray RST): part of
+                # the finished connection, not a new one.
+                return
+            # A genuine new connection reuses the 5-tuple.
+            del self._timewait[key]
         if connection is None:
             # New connection: the first packet's sender is the originator.
             conn_val = self.core.make_connection_val(
-                self.core.next_uid(),
+                self._uid_for(key),
                 ip.src, Port(segment.src_port, Port.TCP),
                 ip.dst, Port(segment.dst_port, Port.TCP),
                 timestamp, "tcp",
@@ -299,6 +329,11 @@ class ConnectionTracker:
         if reassembler.closed:
             self._close_tcp(connection)
             self._tcp.pop(key, None)
+            self._timewait[key] = None
+            if len(self._timewait) > self.TIMEWAIT_CAPACITY:
+                # Expire the oldest half (dicts keep insertion order).
+                for old in list(self._timewait)[:len(self._timewait) // 2]:
+                    del self._timewait[old]
 
     def _close_tcp(self, connection: _TcpConnection) -> None:
         self._finish_analyzer(connection)
@@ -344,7 +379,7 @@ class ConnectionTracker:
         flow = self._udp.get(key)
         if flow is None:
             conn_val = self.core.make_connection_val(
-                self.core.next_uid(),
+                self._uid_for(key),
                 ip.src, Port(datagram.src_port, Port.UDP),
                 ip.dst, Port(datagram.dst_port, Port.UDP),
                 timestamp, "udp",

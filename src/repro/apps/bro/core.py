@@ -29,7 +29,22 @@ from .logging import LogManager
 from .val import RecordType, RecordVal
 
 __all__ = ["BroCore", "CONN_ID_TYPE", "CONNECTION_TYPE", "WEIRD_TYPE",
-           "WEIRD_LOG_COLUMNS"]
+           "WEIRD_LOG_COLUMNS", "format_uid"]
+
+
+def format_uid(value: int) -> str:
+    """Bro-style connection uid for ordinal *value* (1-based).
+
+    A module-level function so the flow-parallel dispatcher can
+    pre-assign the exact uids the sequential pipeline's per-core counter
+    would produce (docs/PARALLELISM.md).
+    """
+    digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    out = []
+    while value:
+        value, rem = divmod(value, 62)
+        out.append(digits[rem])
+    return "C" + "".join(reversed(out)).rjust(8, "0")
 
 CONN_ID_TYPE = RecordType("conn_id", [
     ("orig_h", None), ("orig_p", None), ("resp_h", None), ("resp_p", None),
@@ -113,13 +128,7 @@ class BroCore:
 
     def next_uid(self) -> str:
         self._uid_counter += 1
-        value = self._uid_counter
-        digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
-        out = []
-        while value:
-            value, rem = divmod(value, 62)
-            out.append(digits[rem])
-        return "C" + "".join(reversed(out)).rjust(8, "0")
+        return format_uid(self._uid_counter)
 
     # -- events ------------------------------------------------------------------
 

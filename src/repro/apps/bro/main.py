@@ -76,6 +76,7 @@ class Bro:
         breaker_min_flows: int = 8,
         opt_level: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        uid_map=None,
     ):
         if parsers not in ("std", "pac"):
             raise ValueError(f"unknown parser tier {parsers!r}")
@@ -133,9 +134,11 @@ class Bro:
 
                 self._pac = pac_parsers or PacParsers(opt_level=opt_level)
         self.tracker = ConnectionTracker(self.core, self._make_analyzer,
-                                         tracer=self.telemetry.tracer)
+                                         tracer=self.telemetry.tracer,
+                                         uid_map=uid_map)
         self.stats: Dict[str, object] = {}
         self._pcap_stats: Dict[str, int] = {}
+        self._run_begin_ns: Optional[int] = None
 
     # -- analyzer wiring ----------------------------------------------------
 
@@ -171,17 +174,34 @@ class Bro:
 
     def run(self, packets: Iterable[Tuple[Time, bytes]]) -> Dict:
         """Process a trace; returns the per-component timing report."""
-        total_begin = _time.perf_counter_ns()
+        self.run_begin()
+        for timestamp, frame in packets:
+            self.feed_packet(timestamp, frame)
+        return self.run_end()
+
+    # The incremental drive API: the flow-parallel pipeline feeds one
+    # lane packet-by-packet from scheduled vthread jobs instead of an
+    # iterable it controls (docs/PARALLELISM.md).  ``run`` is exactly
+    # begin + feed* + end, so both drive styles share one code path.
+
+    def run_begin(self) -> None:
+        """Start a run: lifecycle event, timing origin."""
+        self._run_begin_ns = _time.perf_counter_ns()
         self.core.queue_event("bro_init", [])
         self.core.drain_events()
-        for timestamp, frame in packets:
-            self.tracker.packet(timestamp, frame)
-            self.core.drain_events()
+
+    def feed_packet(self, timestamp: Time, frame: bytes) -> None:
+        """Process one packet and drain the events it raised."""
+        self.tracker.packet(timestamp, frame)
+        self.core.drain_events()
+
+    def run_end(self) -> Dict:
+        """Finish a run: close flows, lifecycle event, assemble stats."""
         self.tracker.finish()
         self.core.drain_events()
         self.core.queue_event("bro_done", [])
         self.core.drain_events()
-        total_ns = _time.perf_counter_ns() - total_begin
+        total_ns = _time.perf_counter_ns() - self._run_begin_ns
 
         glue_ns = self.glue.ns_spent if self.glue is not None else 0
         if self._pac is not None:

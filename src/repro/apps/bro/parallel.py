@@ -1,0 +1,617 @@
+"""Flow-parallel drive of the Bro pipeline on the vthread scheduler.
+
+The paper's concurrency model (section 3.2) made executable end-to-end:
+every connection's 5-tuple hashes to a virtual thread, all analysis for
+that flow — connection state, stream reassembly, protocol parsing, event
+dispatch, log writes — runs serialized on that vthread's private lane,
+and no lane ever touches another lane's state, so the pipeline needs no
+program-level locks.  Three drive backends execute the same dispatch
+plan:
+
+* ``vthread`` — the deterministic differential oracle: packet jobs drain
+  through ``Scheduler.run_until_idle`` on one OS thread.
+* ``threaded`` — the same jobs on real ``threading`` workers
+  (``Scheduler.run_threaded``), exercising correctness under true
+  interleaving; Python's GIL caps speedup.
+* ``process`` — a ``multiprocessing`` fan-out: the trace is sharded by
+  flow hash, one subprocess per worker runs a full pipeline lane over
+  its shard, and per-worker logs/stats/metric registries are reduced at
+  join.  This is the backend where speedup is real despite the GIL.
+
+Output determinism is the load-bearing property (the P4Testgen-style
+differential oracle of ``tests/integration/test_parallel_pipeline.py``):
+connection uids are pre-assigned in global packet-arrival order before
+fan-out, per-flow log lines are byte-identical to the sequential
+pipeline's, and the ordered merge (lexicographic sort — every line
+carries ts+uid) makes the merged logs independent of worker
+interleaving.  See ``docs/PARALLELISM.md`` for the full design,
+including the small, documented divergences (per-lane lifecycle events,
+5-tuple reuse within one trace).
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import os as _os
+import time as _time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...core.values import Time
+from ...net.flows import FiveTuple, flow_of_frame, placement
+from ...runtime.telemetry import Telemetry, render_stats_log
+from ...runtime.threads import Scheduler
+from .core import format_uid
+from .main import Bro
+
+__all__ = ["ParallelBro", "dispatch_plan", "flow_key", "LIFECYCLE_EVENTS"]
+
+#: Events every lane raises once; the merge de-duplicates their counts so
+#: totals match the sequential pipeline's single bro_init/bro_done.
+LIFECYCLE_EVENTS = ("bro_init", "bro_done")
+
+_BACKENDS = ("vthread", "threaded", "process")
+
+#: High-water-mark gauges take the max across lanes; everything else sums.
+_GAUGE_MERGE = {"bro.flows_peak": "max", "bro.flows_open": "max"}
+
+
+def flow_key(flow: FiveTuple) -> Tuple:
+    """The canonical per-connection key, exactly as ``ConnectionTracker``
+    builds it — the dispatcher and the lanes must agree byte-for-byte so
+    pre-assigned uids resolve."""
+    canonical = flow.canonical()
+    return (
+        (canonical.src.value, canonical.src_port),
+        (canonical.dst.value, canonical.dst_port),
+        canonical.protocol,
+    )
+
+
+def dispatch_plan(
+    packets: Iterable[Tuple[Time, bytes]], vthreads: int, workers: int,
+) -> Tuple[List[Tuple[int, int, bytes]], Dict[Tuple, str]]:
+    """One pass over the trace: per-packet vthread placement plus the
+    global uid pre-assignment.
+
+    Returns ``(jobs, uid_map)`` where *jobs* is ``(vid, nanos, frame)``
+    per packet (frames that parse to no 5-tuple ride on vthread 0, where
+    the lane counts them as ignored exactly like the sequential
+    tracker), and *uid_map* assigns each flow key the uid the sequential
+    pipeline's counter would have produced — allocated in first-packet
+    arrival order, which is precisely when ``BroCore.next_uid`` fires.
+    """
+    jobs: List[Tuple[int, int, bytes]] = []
+    uid_map: Dict[Tuple, str] = {}
+    vids: Dict[Tuple, int] = {}
+    serial = 0
+    for timestamp, frame in packets:
+        flow = flow_of_frame(frame)
+        if flow is None:
+            jobs.append((0, timestamp.nanos, frame))
+            continue
+        key = flow_key(flow)
+        vid = vids.get(key)
+        if vid is None:
+            vid, __ = placement(flow, vthreads, workers)
+            vids[key] = vid
+            serial += 1
+            uid_map[key] = format_uid(serial)
+        jobs.append((vid, timestamp.nanos, frame))
+    return jobs, uid_map
+
+
+# --------------------------------------------------------------------------
+# Lanes: one isolated pipeline instance per vthread (or per process worker)
+# --------------------------------------------------------------------------
+
+
+def _make_lane(config: Dict, uid_map: Dict) -> Bro:
+    """One isolated pipeline lane from the picklable *config*."""
+    return Bro(
+        scripts=config["scripts"],
+        parsers=config["parsers"],
+        scripts_engine=config["scripts_engine"],
+        log_enabled=config["log_enabled"],
+        print_stream=io.StringIO(),
+        watchdog_budget=config["watchdog_budget"],
+        opt_level=config["opt_level"],
+        telemetry=Telemetry(metrics=config["metrics"],
+                            trace=config["trace"]),
+        uid_map=uid_map,
+    )
+
+
+def _lane_result(bro: Bro) -> Dict:
+    """Everything the merge needs from one finished lane, as plain data
+    (the process backend sends this through a pipe)."""
+    logs = {}
+    headers = {}
+    writes = {}
+    for name, stream in bro.core.logs.streams.items():
+        logs[name] = list(stream.lines)
+        headers[name] = stream.header()
+        writes[name] = stream.writes
+    tracer = bro.telemetry.tracer
+    return {
+        "logs": logs,
+        "headers": headers,
+        "writes": writes,
+        "stats": dict(bro.stats),
+        "events_queued": bro.core.events_queued,
+        "events_dispatched": bro.core.events_dispatched,
+        "event_counts": dict(bro.core.event_counts),
+        "metrics": (bro.telemetry.metrics.collect()
+                    if bro.telemetry.enabled else None),
+        "trace_roots": ([root.to_dict() for root in tracer.roots]
+                        if tracer.enabled else None),
+        "prints": bro.core.print_stream.getvalue(),
+    }
+
+
+class _LaneProgram:
+    """Adapts per-flow packet analysis to the scheduler's program
+    interface: contexts are pipeline lanes, jobs are packets."""
+
+    def __init__(self, config: Dict, uid_map: Dict):
+        self._config = config
+        self._uid_map = uid_map
+
+    def make_context(self, vthread_id: int) -> Bro:
+        lane = _make_lane(self._config, self._uid_map)
+        lane.run_begin()
+        return lane
+
+    def init_context(self, lane: Bro) -> None:
+        pass
+
+    def call(self, lane: Bro, function: str, args: List) -> None:
+        if function != "packet":
+            raise ValueError(f"unknown lane job {function!r}")
+        nanos, frame = args
+        lane.feed_packet(Time.from_nanos(nanos), frame)
+
+
+def _process_worker(conn, config: Dict, shard, uid_map: Dict) -> None:
+    """Subprocess body: run one lane over one flow shard, ship the
+    result back through the pipe.  *shard* is either an in-memory list
+    of ``(nanos, frame)`` or a path to a pcap shard file."""
+    try:
+        bro = _make_lane(config, uid_map)
+        bro.run_begin()
+        if isinstance(shard, str):
+            from ...net.pcap import PcapReader
+
+            with PcapReader(shard) as reader:
+                for timestamp, frame in reader:
+                    bro.feed_packet(timestamp, frame)
+        else:
+            for nanos, frame in shard:
+                bro.feed_packet(Time.from_nanos(nanos), frame)
+        bro.run_end()
+        conn.send(_lane_result(bro))
+    except BaseException as error:  # surface the failure to the parent
+        try:
+            conn.send({"error": repr(error)})
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------
+# The parallel driver
+# --------------------------------------------------------------------------
+
+
+class ParallelBro:
+    """A flow-parallel Bro run: same analysis, N isolated lanes.
+
+    Constructor mirrors :class:`Bro` for the picklable subset of its
+    configuration, plus the parallel knobs: *workers* (hardware
+    parallelism), *vthreads* (virtual-thread supply; defaults to
+    ``4 * workers``), *backend* (one of ``vthread``, ``threaded``,
+    ``process``).  The deterministic fault injector is intentionally not
+    plumbed through — its per-site random streams are sequential by
+    construction and would diverge per lane.
+    """
+
+    def __init__(
+        self,
+        scripts: Optional[List[str]] = None,
+        parsers: str = "std",
+        scripts_engine: str = "interp",
+        workers: int = 4,
+        vthreads: Optional[int] = None,
+        backend: str = "process",
+        log_enabled: bool = True,
+        watchdog_budget: Optional[int] = None,
+        opt_level: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        if workers < 1:
+            raise ValueError("parallel pipeline needs at least one worker")
+        self.workers = workers
+        self.vthreads = vthreads if vthreads is not None else 4 * workers
+        if self.vthreads < workers:
+            raise ValueError("vthreads must be >= workers")
+        self.backend = backend
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._config = {
+            "scripts": scripts,
+            "parsers": parsers,
+            "scripts_engine": scripts_engine,
+            "log_enabled": log_enabled,
+            "watchdog_budget": watchdog_budget,
+            "opt_level": opt_level,
+            "metrics": self.telemetry.enabled,
+            "trace": self.telemetry.tracer.enabled,
+        }
+        self.stats: Dict[str, object] = {}
+        self.scheduler: Optional[Scheduler] = None
+        self._results: List[Dict] = []
+        self._logs: Dict[str, List[str]] = {}
+        self._headers: Dict[str, str] = {}
+        self._writes: Dict[str, int] = {}
+        self._trace_roots: List[Dict] = []
+        self._pcap_stats: Dict[str, int] = {}
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, packets: Iterable[Tuple[Time, bytes]]) -> Dict:
+        """Process a trace across all lanes; returns the merged stats."""
+        begin = _time.perf_counter_ns()
+        jobs, uid_map = dispatch_plan(packets, self.vthreads, self.workers)
+        if self.backend == "process":
+            self._run_process(jobs, uid_map)
+        else:
+            self._run_scheduler(jobs, uid_map,
+                                threaded=self.backend == "threaded")
+        self._merge(_time.perf_counter_ns() - begin)
+        return self.stats
+
+    def run_pcap(self, path: str, tolerant: bool = False,
+                 shard_dir: Optional[str] = None) -> Dict:
+        """Drive the lanes from a pcap trace.
+
+        With *shard_dir* (process backend only) the trace is fanned out
+        into per-worker pcap shard files which the workers read
+        themselves — the scalable route for traces that should not live
+        in the parent's memory twice.
+        """
+        from ...net.pcap import PcapReader
+
+        if shard_dir is not None and self.backend != "process":
+            raise ValueError("pcap sharding requires the process backend")
+        begin = _time.perf_counter_ns()
+        with PcapReader(path, tolerant=tolerant) as reader:
+            jobs, uid_map = dispatch_plan(reader, self.vthreads,
+                                          self.workers)
+            self._pcap_stats = {
+                "records_read": reader.packets_read,
+                "records_skipped": reader.records_skipped,
+                "resyncs": reader.resyncs,
+            }
+        if shard_dir is not None:
+            shards = self._write_shards(jobs, shard_dir)
+            self._run_process(jobs, uid_map, shard_paths=shards)
+        elif self.backend == "process":
+            self._run_process(jobs, uid_map)
+        else:
+            self._run_scheduler(jobs, uid_map,
+                                threaded=self.backend == "threaded")
+        self._merge(_time.perf_counter_ns() - begin)
+        skipped = self._pcap_stats["records_skipped"]
+        if skipped:
+            self.stats["health"]["records_skipped"] += skipped
+        return self.stats
+
+    def _write_shards(self, jobs, shard_dir: str) -> List[str]:
+        """Fan the dispatch plan out into per-worker pcap shard files."""
+        from ...net.pcap import PcapWriter
+
+        _os.makedirs(shard_dir, exist_ok=True)
+        paths = [_os.path.join(shard_dir, f"shard-{i:03d}.pcap")
+                 for i in range(self.workers)]
+        writers = [PcapWriter(p, nanos=True) for p in paths]
+        try:
+            for vid, nanos, frame in jobs:
+                writers[vid % self.workers].write(
+                    Time.from_nanos(nanos), frame)
+        finally:
+            for writer in writers:
+                writer.close()
+        return paths
+
+    def _run_scheduler(self, jobs, uid_map, threaded: bool) -> None:
+        """In-process backends: packet jobs on the vthread scheduler."""
+        program = _LaneProgram(self._config, uid_map)
+        scheduler = Scheduler(program, workers=self.workers)
+        # Lane 0 always exists: it owns stray frames and guarantees the
+        # lifecycle events run at least once even on an empty trace.
+        scheduler.context_for(0)
+        for vid, nanos, frame in jobs:
+            scheduler.schedule(vid, "packet", (nanos, frame))
+        if threaded:
+            scheduler.run_threaded()
+        else:
+            scheduler.run_until_idle()
+        self.scheduler = scheduler
+        contexts = scheduler.contexts()
+        results = []
+        for vid in sorted(contexts):
+            lane = contexts[vid]
+            lane.run_end()
+            results.append(_lane_result(lane))
+        self._results = results
+
+    def _run_process(self, jobs, uid_map,
+                     shard_paths: Optional[List[str]] = None) -> None:
+        """The multiprocessing backend: one subprocess per worker."""
+        if shard_paths is None:
+            shards: List[List[Tuple[int, bytes]]] = [
+                [] for __ in range(self.workers)
+            ]
+            for vid, nanos, frame in jobs:
+                shards[vid % self.workers].append((nanos, frame))
+        else:
+            shards = shard_paths  # type: ignore[assignment]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        procs = []
+        pipes = []
+        for index in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_process_worker,
+                args=(child_conn, self._config, shards[index], uid_map),
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            pipes.append(parent_conn)
+        results = []
+        failures = []
+        for index, (proc, conn) in enumerate(zip(procs, pipes)):
+            try:
+                result = conn.recv()
+            except EOFError:
+                result = {"error": "worker died before reporting"}
+            finally:
+                conn.close()
+            if "error" in result:
+                failures.append(f"worker {index}: {result['error']}")
+            else:
+                results.append(result)
+        for proc in procs:
+            proc.join()
+        if failures:
+            raise RuntimeError(
+                "parallel workers failed: " + "; ".join(failures))
+        self._results = results
+
+    # -- the ordered merge --------------------------------------------------
+
+    def _merge(self, total_ns: int) -> None:
+        """Reduce per-lane results into one deterministic report.
+
+        Logs merge by lexicographic sort (every line leads with ts and
+        carries the pre-assigned uid, so the order is a pure function of
+        content, never of worker interleaving).  Counter-like stats sum;
+        the per-lane lifecycle events are de-duplicated down to the
+        single bro_init/bro_done a sequential run dispatches.
+        """
+        results = self._results
+        lanes = len(results)
+        dup = lanes - 1
+
+        self._logs = {}
+        self._headers = dict(results[0]["headers"]) if results else {}
+        self._writes = {}
+        for result in results:
+            for name, lines in result["logs"].items():
+                self._logs.setdefault(name, []).extend(lines)
+            for name, count in result["writes"].items():
+                self._writes[name] = self._writes.get(name, 0) + count
+        for lines in self._logs.values():
+            lines.sort()
+
+        def stat_sum(key):
+            return sum(r["stats"][key] for r in results)
+
+        parsing_ns = stat_sum("parsing_ns")
+        script_ns = stat_sum("script_ns")
+        glue_ns = stat_sum("glue_ns")
+        events_dispatched = (
+            sum(r["events_dispatched"] for r in results)
+            - len(LIFECYCLE_EVENTS) * dup
+        )
+        events_queued = (
+            sum(r["events_queued"] for r in results)
+            - len(LIFECYCLE_EVENTS) * dup
+        )
+        event_counts: Dict[str, int] = {}
+        for result in results:
+            for name, count in result["event_counts"].items():
+                event_counts[name] = event_counts.get(name, 0) + count
+        for name in LIFECYCLE_EVENTS:
+            if name in event_counts:
+                event_counts[name] -= dup
+
+        self.stats = {
+            "total_ns": total_ns,
+            "parsing_ns": parsing_ns,
+            "script_ns": script_ns,
+            "glue_ns": glue_ns,
+            "other_ns": max(
+                0, total_ns - parsing_ns - script_ns - glue_ns),
+            "packets": stat_sum("packets"),
+            "events": events_dispatched,
+            "events_queued": events_queued,
+            "event_counts": event_counts,
+            "parser_tier": self._config["parsers"],
+            "script_tier": self._config["scripts_engine"],
+            "health": self._merge_health(
+                [r["stats"]["health"] for r in results]),
+            "backend": self.backend,
+            "workers": self.workers,
+            "vthreads": self.vthreads,
+            "lanes": lanes,
+            "scheduler_errors": (
+                len(self.scheduler.errors) if self.scheduler else 0
+            ),
+        }
+
+        if self.telemetry.enabled:
+            self._merge_metrics(results, lanes)
+        self._trace_roots = []
+        for result in results:
+            if result["trace_roots"]:
+                self._trace_roots.extend(result["trace_roots"])
+
+    @staticmethod
+    def _merge_health(reports: List[Dict]) -> Dict:
+        merged = {
+            "flows_quarantined": 0,
+            "records_skipped": 0,
+            "watchdog_trips": 0,
+            "injected_faults": 0,
+            "tier_fallback": False,
+            "breaker": {"flows": 0, "violations": 0,
+                        "threshold": None, "tripped": False},
+            "site_errors": {},
+        }
+        for report in reports:
+            for key in ("flows_quarantined", "records_skipped",
+                        "watchdog_trips", "injected_faults"):
+                merged[key] += report[key]
+            merged["tier_fallback"] = (
+                merged["tier_fallback"] or report["tier_fallback"])
+            breaker = report["breaker"]
+            merged["breaker"]["flows"] += breaker["flows"]
+            merged["breaker"]["violations"] += breaker["violations"]
+            if merged["breaker"]["threshold"] is None:
+                merged["breaker"]["threshold"] = breaker["threshold"]
+            merged["breaker"]["tripped"] = (
+                merged["breaker"]["tripped"] or breaker["tripped"])
+            for site, count in report["site_errors"].items():
+                merged["site_errors"][site] = (
+                    merged["site_errors"].get(site, 0) + count)
+        return merged
+
+    def _merge_metrics(self, results: List[Dict], lanes: int) -> None:
+        """Reduce per-lane registries, then repair the handful of series
+        whose lane-sum is not the sequential semantic."""
+        metrics = self.telemetry.metrics
+        for result in results:
+            if result["metrics"]:
+                metrics.merge_series(result["metrics"],
+                                     gauge_merge=_GAUGE_MERGE)
+        dup = lanes - 1
+        # Lifecycle events ran once per lane; the sequential pipeline
+        # dispatches them once.
+        for name in LIFECYCLE_EVENTS:
+            key = ("bro.events_by_name", (("event", name),))
+            series = metrics._series.get(key)
+            if series is not None:
+                series.value -= dup
+        for name in ("bro.events_queued", "bro.events_dispatched"):
+            key = (name, ())
+            series = metrics._series.get(key)
+            if series is not None:
+                series.value -= len(LIFECYCLE_EVENTS) * dup
+        # CPU attribution: components keep the summed per-lane CPU, but
+        # total is this run's wall clock, and "other" its remainder.
+        for component in ("parsing", "script", "glue", "other", "total"):
+            metrics.gauge("bro.cpu_ns", component=component).set(
+                int(self.stats[f"{component}_ns"]))
+        for name, value in self._pcap_stats.items():
+            metrics.counter(f"pcap.{name}").inc(value)
+
+    # -- results ------------------------------------------------------------
+
+    def log_lines(self, stream: str) -> List[str]:
+        """The deterministically merged lines of one log stream."""
+        return list(self._logs.get(stream, []))
+
+    def print_lines(self) -> List[str]:
+        """Merged per-lane script ``print`` output (sorted)."""
+        lines: List[str] = []
+        for result in self._results:
+            text = result.get("prints", "")
+            if text:
+                lines.extend(text.splitlines())
+        return sorted(lines)
+
+    def save_logs(self, directory: str) -> None:
+        """Write the merged logs in the sequential pipeline's format."""
+        _os.makedirs(directory, exist_ok=True)
+        for name, header in self._headers.items():
+            path = _os.path.join(directory, f"{name}.log")
+            with open(path, "w") as out:
+                out.write("\n".join([header, *self._logs.get(name, [])]))
+                out.write("\n")
+
+    def log_writes(self) -> Dict[str, int]:
+        return dict(self._writes)
+
+    def cpu_breakdown(self) -> Dict:
+        from ...runtime.telemetry import cpu_breakdown_report
+
+        if not self.stats:
+            raise RuntimeError("cpu_breakdown() requires a completed run")
+        return cpu_breakdown_report(self.stats, config={
+            "parsers": self._config["parsers"],
+            "scripts_engine": self._config["scripts_engine"],
+            "backend": self.backend,
+            "workers": self.workers,
+        })
+
+    def write_telemetry(self, logdir: str) -> List[str]:
+        """Emit the merged reporting files (``metrics.jsonl``,
+        ``stats.log``, and ``flows.jsonl`` when tracing is armed).
+        Per-function profiler dumps stay per-lane and are not merged."""
+        import json as _json
+
+        _os.makedirs(logdir, exist_ok=True)
+        written: List[str] = []
+
+        path = _os.path.join(logdir, "metrics.jsonl")
+        with open(path, "w") as stream:
+            self.telemetry.metrics.emit_jsonl(stream, meta={
+                "parsers": self._config["parsers"],
+                "scripts_engine": self._config["scripts_engine"],
+                "backend": self.backend,
+                "workers": self.workers,
+                "vthreads": self.vthreads,
+            })
+        written.append(path)
+
+        path = _os.path.join(logdir, "stats.log")
+        sections = {
+            "parallel": {
+                "backend": self.backend,
+                "workers": self.workers,
+                "vthreads": self.vthreads,
+                "lanes": self.stats.get("lanes", 0),
+            },
+        }
+        with open(path, "w") as stream:
+            stream.write(render_stats_log(self.stats, sections))
+        written.append(path)
+
+        if self._trace_roots:
+            path = _os.path.join(logdir, "flows.jsonl")
+            lines = sorted(
+                _json.dumps(root, sort_keys=True)
+                for root in self._trace_roots
+            )
+            with open(path, "w") as stream:
+                for line in lines:
+                    stream.write(line + "\n")
+            written.append(path)
+        return written

@@ -22,7 +22,8 @@ from .packet import (
     parse_ethernet,
 )
 
-__all__ = ["FiveTuple", "flow_hash", "flow_of_frame"]
+__all__ = ["FiveTuple", "flow_hash", "flow_of_frame", "vthread_of",
+           "placement"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -98,6 +99,26 @@ def flow_hash(flow: FiveTuple) -> int:
         + canonical.protocol.to_bytes(1, "big")
     )
     return _fnv1a(material)
+
+
+def vthread_of(flow: FiveTuple, vthreads: int) -> int:
+    """The virtual thread a flow's analysis runs on (§3.2): the
+    symmetric flow hash modulo the vthread supply."""
+    return flow_hash(flow) % vthreads
+
+
+def placement(flow: FiveTuple, vthreads: int, workers: int) -> Tuple[int, int]:
+    """``(vthread_id, worker)`` for a flow — the two-level mapping the
+    parallel pipeline uses everywhere.
+
+    The worker half mirrors ``Scheduler.worker_of`` (``vid % workers``),
+    so the multiprocessing backend's pcap shards land exactly where the
+    in-process scheduler would run the same flow's jobs.  The mapping is
+    a pure function of the 5-tuple: both directions of a connection, in
+    any run, on any backend, always land on the same vthread and worker.
+    """
+    vid = vthread_of(flow, vthreads)
+    return vid, vid % workers
 
 
 def flow_of_frame(frame: bytes) -> Optional[FiveTuple]:

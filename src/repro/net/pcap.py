@@ -15,7 +15,8 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..core.values import Time
 
-__all__ = ["PcapReader", "PcapWriter", "PcapError", "LINKTYPE_ETHERNET"]
+__all__ = ["PcapReader", "PcapWriter", "PcapError", "LINKTYPE_ETHERNET",
+           "split_pcap"]
 
 MAGIC_MICROS = 0xA1B2C3D4
 MAGIC_NANOS = 0xA1B23C4D
@@ -181,3 +182,33 @@ def read_pcap(path: str) -> List[Tuple[Time, bytes]]:
     """All packets of the trace at *path*."""
     with PcapReader(path) as reader:
         return list(reader)
+
+
+def split_pcap(path: str, out_dir: str, shards: int, shard_of,
+               tolerant: bool = False) -> List[str]:
+    """Fan a trace out into *shards* per-worker pcap files.
+
+    *shard_of* maps one ``(Time, frame)`` record to a shard index in
+    ``[0, shards)`` — the flow-parallel pipeline passes the flow-hash
+    placement function so every packet of a connection lands in the same
+    shard (``docs/PARALLELISM.md``).  Relative packet order within each
+    shard is preserved.  Returns the shard file paths (every file is
+    created, even when empty, so worker *i* can always open shard *i*).
+    """
+    import os
+
+    if shards < 1:
+        raise ValueError("split_pcap needs at least one shard")
+    os.makedirs(out_dir, exist_ok=True)
+    paths = [os.path.join(out_dir, f"shard-{i:03d}.pcap")
+             for i in range(shards)]
+    writers = [PcapWriter(p) for p in paths]
+    try:
+        with PcapReader(path, tolerant=tolerant) as reader:
+            for timestamp, frame in reader:
+                index = shard_of((timestamp, frame)) % shards
+                writers[index].write(timestamp, frame)
+    finally:
+        for writer in writers:
+            writer.close()
+    return paths

@@ -38,6 +38,7 @@ __all__ = [
     "DnsTraceConfig",
     "generate_http_trace",
     "generate_dns_trace",
+    "generate_mixed_trace",
     "write_http_trace",
     "write_dns_trace",
 ]
@@ -488,6 +489,21 @@ def generate_dns_trace(config: Optional[DnsTraceConfig] = None
 # ==========================================================================
 # Persistence helpers
 # ==========================================================================
+
+
+def generate_mixed_trace(
+    http: Optional[HttpTraceConfig] = None,
+    dns: Optional[DnsTraceConfig] = None,
+) -> List[Tuple[Time, bytes]]:
+    """HTTP and DNS sessions interleaved on one timeline.
+
+    The workload the parallel-pipeline oracle runs on: both protocols,
+    many independent flows, fully deterministic given the two seeds.
+    Packets are merged in timestamp order (stable: HTTP first on ties).
+    """
+    merged = generate_http_trace(http) + generate_dns_trace(dns)
+    merged.sort(key=lambda record: record[0].nanos)
+    return merged
 
 
 def write_http_trace(path: str,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from collections import deque
 from typing import Optional
 
@@ -64,11 +65,22 @@ class Channel(Managed):
         return self._capacity
 
     def write(self, value, timeout: Optional[float] = None) -> None:
-        """Blocking write (deep-copies *value* first)."""
+        """Blocking write (deep-copies *value* first).
+
+        *timeout* bounds the total blocking time: the deadline is
+        computed once, and every wait in the retry loop only waits for
+        the remainder — spurious wakeups (or repeated full/empty
+        transitions) cannot extend the wait past the requested timeout.
+        """
         item = deep_copy_value(value)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
             while self._capacity and len(self._queue) >= self._capacity:
-                if not self._not_full.wait(timeout):
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise HiltiError(CHANNEL_FULL, "channel write timed out")
+                if not self._not_full.wait(remaining):
                     raise HiltiError(CHANNEL_FULL, "channel write timed out")
             self._queue.append(item)
             self._not_empty.notify()
@@ -83,10 +95,16 @@ class Channel(Managed):
             self._not_empty.notify()
 
     def read(self, timeout: Optional[float] = None):
-        """Blocking read."""
+        """Blocking read; *timeout* bounds total time (deadline-based,
+        like :meth:`write`)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
             while not self._queue:
-                if not self._not_empty.wait(timeout):
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise HiltiError(CHANNEL_EMPTY, "channel read timed out")
+                if not self._not_empty.wait(remaining):
                     raise HiltiError(CHANNEL_EMPTY, "channel read timed out")
             value = self._queue.popleft()
             self._not_full.notify()

@@ -235,6 +235,54 @@ class MetricsRegistry:
             lines += 1
         return lines
 
+    def merge_series(self, series_dicts: Iterable[Dict],
+                     gauge_merge: Optional[Dict[str, str]] = None) -> int:
+        """Fold ``collect()``-shaped series dicts into this registry.
+
+        The reduction step of the flow-parallel pipeline: each worker
+        (thread lane or subprocess) collects into its own registry, and
+        the driver merges them at join (``docs/PARALLELISM.md``).
+        Counters and histograms are additive; gauges sum by default, or
+        take the maximum for names mapped to ``"max"`` in *gauge_merge*
+        (high-water marks like peak occupancy).  Returns the number of
+        series merged.
+        """
+        gauge_merge = gauge_merge or {}
+        merged = 0
+        for entry in series_dicts:
+            kind = entry["kind"]
+            name = entry["name"]
+            labels = entry.get("labels", {})
+            if kind == "counter":
+                self.counter(name, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, **labels)
+                if gauge_merge.get(name) == "max":
+                    gauge.set_max(entry["value"])
+                else:
+                    gauge.inc(entry["value"])
+            elif kind == "histogram":
+                buckets = entry["buckets"]
+                bounds = tuple(
+                    int(b) if float(b).is_integer() else float(b)
+                    for b in buckets if b != "+Inf"
+                )
+                histogram = self.histogram(name, bounds=bounds, **labels)
+                if tuple(histogram.bounds) != bounds:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket bounds differ "
+                        "between merged registries"
+                    )
+                for index, bound in enumerate(histogram.bounds):
+                    histogram.bucket_counts[index] += buckets[str(bound)]
+                histogram.bucket_counts[-1] += buckets["+Inf"]
+                histogram.sum += entry["sum"]
+                histogram.count += entry["count"]
+            else:
+                raise ValueError(f"unknown series kind {kind!r}")
+            merged += 1
+        return merged
+
 
 # --------------------------------------------------------------------------
 # Span tracer

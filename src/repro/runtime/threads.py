@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .channels import deep_copy_value
 from .context import ExecutionContext
-from .exceptions import HiltiError, VALUE_ERROR
+from .exceptions import HiltiError, INTERNAL_ERROR, VALUE_ERROR
 
 __all__ = ["Scheduler", "Job"]
 
@@ -63,6 +63,9 @@ class Scheduler:
         self._contexts: Dict[int, ExecutionContext] = {}
         self._base = base_context
         self._lock = threading.Lock()
+        # Context creation must not hold the queue lock: initializing a
+        # context may itself schedule jobs, which takes ``_lock``.
+        self._ctx_lock = threading.Lock()
         self.jobs_run = 0
         self.errors: List[HiltiError] = []
 
@@ -72,21 +75,36 @@ class Scheduler:
         return vthread_id % self.workers
 
     def context_for(self, vthread_id: int) -> ExecutionContext:
-        """The private context of a virtual thread (created on demand)."""
-        ctx = self._contexts.get(vthread_id)
-        if ctx is None:
-            if self._base is not None:
-                ctx = self._base.clone_for_vthread(vthread_id)
-                self.program.init_context(ctx)
-            else:
-                ctx = self.program.make_context(vthread_id=vthread_id)
-            ctx.scheduler = self
+        """The private context of a virtual thread (created on demand).
+
+        Although only the owning worker ever *uses* a vthread's context,
+        concurrent workers create contexts for different vthreads at the
+        same time under ``run_threaded``; the dict mutation is guarded.
+        """
+        with self._ctx_lock:
+            ctx = self._contexts.get(vthread_id)
+            if ctx is not None:
+                return ctx
+        if self._base is not None:
+            ctx = self._base.clone_for_vthread(vthread_id)
+            self.program.init_context(ctx)
+        else:
+            ctx = self.program.make_context(vthread_id=vthread_id)
+        ctx.scheduler = self
+        with self._ctx_lock:
+            # Lost the race: another creation for the same vid won.  Can
+            # only happen if a foreign worker probes the context early;
+            # the owner's jobs still see exactly one context.
+            existing = self._contexts.get(vthread_id)
+            if existing is not None:
+                return existing
             self._contexts[vthread_id] = ctx
         return ctx
 
     @property
     def vthread_count(self) -> int:
-        return len(self._contexts)
+        with self._ctx_lock:
+            return len(self._contexts)
 
     # -- scheduling -------------------------------------------------------------
 
@@ -112,8 +130,15 @@ class Scheduler:
         except HiltiError as error:
             # Uncaught HILTI exceptions terminate the job, not the
             # scheduler; they are reported to the host application.
-            self.errors.append(error)
-        self.jobs_run += 1
+            with self._lock:
+                self.errors.append(error)
+        finally:
+            # Counts attempts, including jobs whose non-HILTI escape
+            # propagates to the caller.  The increment is a read-modify-
+            # write; under run_threaded two workers interleaving here
+            # lose updates without the lock.
+            with self._lock:
+                self.jobs_run += 1
 
     # -- drive modes -----------------------------------------------------------
 
@@ -137,7 +162,15 @@ class Scheduler:
                 return executed
 
     def run_threaded(self, idle_timeout: float = 0.02) -> int:
-        """Drain queues with one OS thread per worker."""
+        """Drain queues with one OS thread per worker.
+
+        A non-HILTI exception escaping a job is recorded (wrapped as
+        ``Hilti::InternalError``) and the worker keeps draining — a dead
+        worker whose queue still held jobs would otherwise leave sibling
+        workers spinning forever waiting for the drained condition.  The
+        first worker to observe the fully-drained state sets ``stop`` so
+        every other worker exits promptly instead of re-deriving it.
+        """
         executed = [0] * self.workers
         stop = threading.Event()
         in_flight = [0]
@@ -158,11 +191,27 @@ class Scheduler:
                             and in_flight[0] == 0
                         )
                     if drained:
+                        stop.set()
                         return
                     stop.wait(idle_timeout / 10)
                     continue
                 try:
-                    self._run_job(job)
+                    try:
+                        self._run_job(job)
+                    except Exception as error:
+                        # Keep draining: record the escape, don't die.
+                        wrapped = HiltiError(
+                            INTERNAL_ERROR,
+                            f"worker {worker_index}: {job.function} "
+                            f"raised {error!r}",
+                        )
+                        with self._lock:
+                            self.errors.append(wrapped)
+                    except BaseException:
+                        # Worker is going down hard (KeyboardInterrupt
+                        # etc.): release the siblings before propagating.
+                        stop.set()
+                        raise
                 finally:
                     with self._lock:
                         in_flight[0] -= 1
@@ -183,7 +232,8 @@ class Scheduler:
             return all(not q for q in self._queues)
 
     def contexts(self) -> Dict[int, ExecutionContext]:
-        return dict(self._contexts)
+        with self._ctx_lock:
+            return dict(self._contexts)
 
     def __repr__(self) -> str:
         pending = sum(len(q) for q in self._queues)

@@ -18,6 +18,11 @@ Telemetry controls (docs/OBSERVABILITY.md): ``--metrics`` writes
 ``--cpu-breakdown`` writes the Figures 9/10 parsing/script/glue/other
 report as ``cpu_breakdown.json``, and ``--trace-flows`` records
 per-flow span trees into ``flows.jsonl``.
+
+Parallel controls (docs/PARALLELISM.md): ``--parallel`` drives the
+flow-parallel pipeline — connections hash to vthreads, lanes analyze
+independently, logs merge deterministically — with ``--workers N``,
+``--vthreads M``, and ``--backend {vthread,threaded,process}``.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import os
 import sys
 
 from ..apps.bro.main import Bro
+from ..apps.bro.parallel import ParallelBro
 from ..apps.bro.scripts import TRACK_SCRIPT
 from ..runtime.faults import FaultInjector, registered_sites
 from ..runtime.telemetry import Telemetry
@@ -111,6 +117,20 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-flows", action="store_true",
                         help="record per-flow span trees (with "
                              "per-packet child spans) into flows.jsonl")
+    parser.add_argument("--parallel", action="store_true",
+                        help="flow-parallel pipeline: hash connections "
+                             "to vthreads, analyze on worker lanes, "
+                             "merge the logs deterministically")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="parallel worker count (default 4)")
+    parser.add_argument("--vthreads", type=int, default=None, metavar="M",
+                        help="virtual thread supply (default 4*workers)")
+    parser.add_argument("--backend",
+                        choices=["vthread", "threaded", "process"],
+                        default="process",
+                        help="parallel drive mode: deterministic vthread "
+                             "scheduler, real threads, or one process "
+                             "per worker (default process)")
     args = parser.parse_args(argv)
 
     scripts = None
@@ -123,23 +143,52 @@ def main(argv=None) -> int:
                 with open(name) as stream:
                     scripts.append(stream.read())
 
-    bro = Bro(
-        scripts=scripts,
-        parsers=args.parsers,
-        scripts_engine="hilti" if args.compile_scripts else "interp",
-        fault_injector=_parse_injections(args.inject, args.fault_seed),
-        watchdog_budget=args.watchdog,
-        telemetry=Telemetry(metrics=args.metrics, trace=args.trace_flows),
-    )
-    stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
-    bro.core.logs.save(args.logdir)
-    written = {
-        name: stream.writes
-        for name, stream in bro.core.logs.streams.items()
-        if stream.writes
-    }
+    if args.parallel:
+        if args.inject:
+            raise SystemExit(
+                "bro: --inject is sequential-only (the injector's "
+                "per-site random streams diverge across lanes)")
+        bro = ParallelBro(
+            scripts=scripts,
+            parsers=args.parsers,
+            scripts_engine="hilti" if args.compile_scripts else "interp",
+            workers=args.workers,
+            vthreads=args.vthreads,
+            backend=args.backend,
+            watchdog_budget=args.watchdog,
+            telemetry=Telemetry(metrics=args.metrics,
+                                trace=args.trace_flows),
+        )
+        stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
+        bro.save_logs(args.logdir)
+        written = {
+            name: count
+            for name, count in bro.log_writes().items()
+            if count
+        }
+    else:
+        bro = Bro(
+            scripts=scripts,
+            parsers=args.parsers,
+            scripts_engine="hilti" if args.compile_scripts else "interp",
+            fault_injector=_parse_injections(args.inject, args.fault_seed),
+            watchdog_budget=args.watchdog,
+            telemetry=Telemetry(metrics=args.metrics,
+                                trace=args.trace_flows),
+        )
+        stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
+        bro.core.logs.save(args.logdir)
+        written = {
+            name: stream.writes
+            for name, stream in bro.core.logs.streams.items()
+            if stream.writes
+        }
     print(f"processed {stats['packets']} packets, "
           f"{stats['events']} events")
+    if args.parallel:
+        print(f"  parallel: {stats['lanes']} lanes on "
+              f"{stats['workers']} {stats['backend']} workers "
+              f"({stats['vthreads']} vthreads)")
     for name, count in sorted(written.items()):
         print(f"  {args.logdir}/{name}.log: {count} entries")
     if args.stats:
@@ -151,7 +200,15 @@ def main(argv=None) -> int:
     if args.cpu_breakdown:
         path = os.path.join(args.logdir, "cpu_breakdown.json")
         os.makedirs(args.logdir, exist_ok=True)
-        report = bro.write_cpu_breakdown(path)
+        if args.parallel:
+            import json
+
+            report = bro.cpu_breakdown()
+            with open(path, "w") as stream:
+                json.dump(report, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+        else:
+            report = bro.write_cpu_breakdown(path)
         print(f"  wrote {path}")
         print("cpu breakdown:")
         for name in ("parsing", "script", "glue", "other"):

@@ -1,0 +1,175 @@
+"""Regression tests for the concurrency bugfix sweep.
+
+Three bugs, each with a test that fails on the pre-fix code:
+
+* ``Scheduler._run_job`` mutated ``jobs_run``/``errors`` unlocked — two
+  ``run_threaded`` workers interleaving the read-modify-write lost
+  updates.
+* A non-HILTI exception escaping a job killed its ``run_threaded``
+  worker thread; the drained-detection then never fired and ``join()``
+  hung the caller forever.
+* ``Channel.write``/``read`` passed the caller's full timeout to every
+  ``Condition.wait`` in the retry loop, so each wakeup restarted the
+  clock and a contended channel could block far past the timeout.
+"""
+
+import sys
+import threading
+import time
+import types
+
+import pytest
+
+from repro.runtime.channels import Channel
+from repro.runtime.exceptions import HiltiError, INTERNAL_ERROR
+from repro.runtime.threads import Scheduler
+
+
+class _CountingProgram:
+    """Minimal scheduler program: contexts count their calls."""
+
+    def make_context(self, vthread_id):
+        return types.SimpleNamespace(vthread_id=vthread_id, count=0)
+
+    def init_context(self, ctx):
+        pass
+
+    def call(self, ctx, function, args):
+        if function == "boom":
+            raise ValueError("kaboom")
+        ctx.count += 1
+
+
+class TestSchedulerCounterRaces:
+    def test_jobs_run_survives_thread_stress(self):
+        """Lost-update check: with a tiny switch interval the GIL hands
+        off mid-increment constantly; the counter must still be exact."""
+        jobs = 3000
+        scheduler = Scheduler(_CountingProgram(), workers=4)
+        for i in range(jobs):
+            scheduler.schedule(i % 32, "tick", ())
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            executed = scheduler.run_threaded()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert executed == jobs
+        assert scheduler.jobs_run == jobs
+        assert scheduler.errors == []
+        assert sum(ctx.count for ctx in
+                   scheduler.contexts().values()) == jobs
+
+    def test_concurrent_context_creation_is_single(self):
+        """Every vthread ends up with exactly one context even when all
+        workers create contexts simultaneously."""
+        scheduler = Scheduler(_CountingProgram(), workers=4)
+        for vid in range(64):
+            scheduler.schedule(vid, "tick", ())
+        scheduler.run_threaded()
+        contexts = scheduler.contexts()
+        assert len(contexts) == 64
+        assert all(ctx.count == 1 for ctx in contexts.values())
+        assert all(contexts[vid].vthread_id == vid for vid in contexts)
+
+
+class TestThreadedWorkerSurvival:
+    def test_escaping_exception_does_not_hang_join(self):
+        """Pre-fix: the ValueError killed worker 0, its queued jobs never
+        drained, and the sibling workers waited forever."""
+        jobs = 200
+        scheduler = Scheduler(_CountingProgram(), workers=2)
+        for i in range(jobs):
+            scheduler.schedule(i % 8, "boom" if i % 10 == 0 else "tick", ())
+        done = []
+
+        def drive():
+            done.append(scheduler.run_threaded())
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        driver.join(timeout=30)
+        assert not driver.is_alive(), "run_threaded hung after worker death"
+        assert done and done[0] == jobs
+        assert scheduler.jobs_run == jobs
+
+    def test_escapes_recorded_as_internal_errors(self):
+        scheduler = Scheduler(_CountingProgram(), workers=2)
+        for i in range(40):
+            scheduler.schedule(i % 4, "boom" if i % 4 == 0 else "tick", ())
+        scheduler.run_threaded()
+        assert len(scheduler.errors) == 10
+        assert all(e.matches(INTERNAL_ERROR) for e in scheduler.errors)
+        assert all("kaboom" in str(e) for e in scheduler.errors)
+
+    def test_deterministic_mode_still_propagates(self):
+        """run_until_idle keeps its debugging contract: a non-HILTI
+        escape is a host bug and surfaces to the caller."""
+        scheduler = Scheduler(_CountingProgram(), workers=1)
+        scheduler.schedule(0, "boom", ())
+        with pytest.raises(ValueError):
+            scheduler.run_until_idle()
+
+
+class TestChannelDeadlines:
+    def test_write_timeout_is_a_deadline(self):
+        """Repeated wakeups on a still-full channel must not restart the
+        timeout clock (the notifier pokes the condition directly to
+        simulate full→full transitions / spurious wakeups)."""
+        channel = Channel(capacity=1)
+        channel.write_try("occupant")
+        stop = threading.Event()
+
+        def pinger():
+            while not stop.is_set():
+                with channel._not_full:
+                    channel._not_full.notify()
+                time.sleep(0.01)
+
+        poker = threading.Thread(target=pinger, daemon=True)
+        poker.start()
+        begin = time.monotonic()
+        try:
+            with pytest.raises(HiltiError):
+                channel.write("blocked", timeout=0.3)
+        finally:
+            stop.set()
+            poker.join()
+        elapsed = time.monotonic() - begin
+        assert 0.25 <= elapsed < 2.0
+
+    def test_read_timeout_is_a_deadline(self):
+        channel = Channel()
+        stop = threading.Event()
+
+        def pinger():
+            while not stop.is_set():
+                with channel._not_empty:
+                    channel._not_empty.notify()
+                time.sleep(0.01)
+
+        poker = threading.Thread(target=pinger, daemon=True)
+        poker.start()
+        begin = time.monotonic()
+        try:
+            with pytest.raises(HiltiError):
+                channel.read(timeout=0.3)
+        finally:
+            stop.set()
+            poker.join()
+        elapsed = time.monotonic() - begin
+        assert 0.25 <= elapsed < 2.0
+
+    def test_write_succeeds_when_space_appears_before_deadline(self):
+        channel = Channel(capacity=1)
+        channel.write_try("occupant")
+
+        def consume_later():
+            time.sleep(0.1)
+            channel.read_try()
+
+        helper = threading.Thread(target=consume_later)
+        helper.start()
+        channel.write("second", timeout=5.0)  # must not raise
+        helper.join()
+        assert channel.read_try() == "second"
