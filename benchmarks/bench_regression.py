@@ -426,6 +426,158 @@ def run_parallel_scaling(args):
     return 0
 
 
+def _mixed_trace(quick):
+    from repro.net.tracegen import (
+        DnsTraceConfig,
+        HttpTraceConfig,
+        SshTraceConfig,
+        TftpTraceConfig,
+        generate_mixed_trace,
+    )
+
+    scale = 1 if quick else 4
+    return generate_mixed_trace(
+        http=HttpTraceConfig(sessions=15 * scale, seed=101),
+        dns=DnsTraceConfig(queries=40 * scale, seed=101),
+        ssh=SshTraceConfig(sessions=10 * scale, seed=101),
+        tftp=TftpTraceConfig(transfers=10 * scale, seed=101),
+    )
+
+
+_APP_RULES = """
+10.0.0.0/8   172.16.0.0/12  deny
+10.0.0.0/8   *              allow
+*            *              deny
+"""
+
+
+def _host_apps():
+    """app name -> (make sequential app, make parallel pipeline)."""
+    from repro.apps.binpac.app import PacApp, PacLaneSpec
+    from repro.apps.bpf.app import BpfApp, BpfLaneSpec
+    from repro.apps.firewall.app import FirewallApp, FirewallLaneSpec
+    from repro.apps.firewall.rules import RuleSet
+    from repro.host import ParallelPipeline
+
+    config = {"watchdog_budget": None, "metrics": False, "trace": False}
+
+    def parallel(spec, workers):
+        return ParallelPipeline(spec, workers=workers, backend="process")
+
+    return {
+        "bpf": (
+            lambda: BpfApp("tcp and port 80"),
+            lambda workers: parallel(BpfLaneSpec(dict(
+                config, filter="tcp and port 80", engine="compiled",
+                opt_level=None)), workers),
+        ),
+        "firewall": (
+            lambda: FirewallApp(
+                RuleSet.parse(_APP_RULES, timeout_seconds=5.0)),
+            lambda workers: parallel(FirewallLaneSpec(dict(
+                config, rules=_APP_RULES, timeout_seconds=5.0,
+                engine="compiled", opt_level=None)), workers),
+        ),
+        "pac": (
+            lambda: PacApp(),
+            lambda workers: parallel(PacLaneSpec(dict(
+                config, protocols=("http", "dns", "ssh", "tftp"),
+                opt_level=None)), workers),
+        ),
+    }
+
+
+def run_apps(args):
+    """The four-exemplar harness: every host application over one
+    fixed-seed mixed trace, sequential and flow-parallel, with the
+    byte-identity gate on each app's merged result stream."""
+    from repro.apps.bro import Bro, ParallelBro
+    from repro.host import Pipeline
+    from repro.host.cli import fingerprint
+
+    trace = _mixed_trace(args.quick)
+    rounds = 2 if args.quick else 3
+    workers = 2 if args.quick else 4
+    report = {
+        "schema": "bench-apps/1",
+        "quick": args.quick,
+        "cpus": _usable_cpus(),
+        "backend": "process",
+        "workers": workers,
+        "packets": len(trace),
+        "apps": {},
+    }
+    print(f"[bench_regression] apps: {len(trace)} packets, "
+          f"{workers} process workers", flush=True)
+
+    for name, (make_app, make_parallel) in _host_apps().items():
+        def run_sequential(app):
+            Pipeline(app).run(trace)
+            return fingerprint(app.result_lines()), len(app.result_lines())
+
+        seq_s, (seq_fp, seq_lines) = _best_of(
+            run_sequential, rounds, setup=make_app)
+
+        def run_parallel(pipe):
+            pipe.run(trace)
+            return fingerprint(pipe.result_lines())
+
+        par_s, par_fp = _best_of(
+            run_parallel, rounds, setup=lambda: make_parallel(workers))
+        report["apps"][name] = {
+            "sequential_seconds": round(seq_s, 6),
+            "parallel_seconds": round(par_s, 6),
+            "speedup": round(seq_s / par_s, 3) if par_s else None,
+            "lines": seq_lines,
+            "fingerprint": seq_fp,
+            "identical": par_fp == seq_fp,
+        }
+        print(f"[bench_regression]   {name}: seq={seq_s * 1e3:.2f}ms "
+              f"par={par_s * 1e3:.2f}ms lines={seq_lines} "
+              f"identical={par_fp == seq_fp}", flush=True)
+
+    # Bro keeps its own pipeline classes but the same oracle shape.
+    def run_bro():
+        bro = Bro(print_stream=io.StringIO())
+        bro.run(trace)
+        return _log_fingerprint(bro), bro.stats["events"]
+
+    seq_s, (seq_fp, seq_events) = _best_of(run_bro, rounds)
+
+    def run_bro_parallel():
+        parallel = ParallelBro(workers=workers, backend="process")
+        parallel.run(trace)
+        return _log_fingerprint(parallel)
+
+    par_s, par_fp = _best_of(run_bro_parallel, rounds)
+    report["apps"]["bro"] = {
+        "sequential_seconds": round(seq_s, 6),
+        "parallel_seconds": round(par_s, 6),
+        "speedup": round(seq_s / par_s, 3) if par_s else None,
+        "events": seq_events,
+        "fingerprint": seq_fp,
+        "identical": par_fp == seq_fp,
+    }
+    print(f"[bench_regression]   bro: seq={seq_s * 1e3:.2f}ms "
+          f"par={par_s * 1e3:.2f}ms events={seq_events} "
+          f"identical={par_fp == seq_fp}", flush=True)
+
+    out_path = Path(args.output or str(REPO / "BENCH_apps.json"))
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_regression] wrote {out_path}")
+
+    failures = [
+        f"{name}: parallel results diverge from sequential"
+        for name, entry in report["apps"].items()
+        if not entry["identical"]
+    ]
+    if failures:
+        for failure in failures:
+            print(f"[bench_regression] FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _overhead_pct(seconds, baseline):
     return round((seconds - baseline) * 100.0 / baseline, 2) if baseline \
         else None
@@ -522,8 +674,16 @@ def main(argv=None):
                     help="with --parallel-scaling, fail if the 1-worker "
                          "parallel run costs more than FACTOR x the "
                          "sequential run")
+    ap.add_argument("--apps", action="store_true",
+                    help="run all four host applications (bpf, firewall, "
+                         "pac, bro) over one fixed-seed mixed trace, "
+                         "sequential and flow-parallel, into "
+                         "BENCH_apps.json; fails on any fingerprint "
+                         "divergence")
     args = ap.parse_args(argv)
 
+    if args.apps:
+        return run_apps(args)
     if args.parallel_scaling:
         return run_parallel_scaling(args)
     if args.telemetry_overhead:

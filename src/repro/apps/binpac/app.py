@@ -1,0 +1,375 @@
+"""The standalone BinPAC++ driver: generated parsers as a host app.
+
+The paper's BinPAC++ exemplar (section 5) run directly over the shared
+pipeline, without the Bro event engine on top: raw frames demultiplex
+into flows (:class:`repro.host.demux.FlowDemux`), TCP payload arrives
+stream-ordered, and each flow feeds the generated HILTI parser for its
+service port — HTTP on tcp/80, DNS on udp/53, SSH on tcp/22, TFTP on
+udp/69.  Every finished unit (forwarded by the generated
+``unit_done_glue`` hooks through ``Bro::raise_event``) becomes one
+result line of ``timestamp  uid  event  fields...``.
+
+Flow uids are assigned in first-packet arrival order — pre-computed by
+the parallel dispatcher (``uid_map``) or counted locally in a
+sequential run, which is the same order by construction — so the sorted
+line stream is byte-identical across sequential and all parallel
+backends.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional, Tuple
+
+from ...host.app import HostApp, PipelineServices
+from ...host.demux import FlowDemux
+from ...host.parallel import LaneSpec, flow_key
+from ...net.packet import PROTO_TCP, PROTO_UDP
+from ...runtime.bytes_buffer import Bytes
+from ...runtime.exceptions import (
+    HiltiError,
+    INJECTED_FAULT,
+    PROCESSING_TIMEOUT,
+)
+from ...runtime.faults import SITE_BINPAC_PARSE
+from ...runtime.telemetry import Telemetry
+from .codegen import Parser
+from .glue import unit_done_glue
+from .grammars import dns_grammar, http_grammar
+from .grammars.ssh import ssh_grammar
+from .grammars.tftp import tftp_grammar
+
+__all__ = ["PacApp", "PacLaneSpec", "PROTOCOLS", "format_flow_uid"]
+
+#: protocol -> (grammar factory, glue units, (transport, port))
+PROTOCOLS = {
+    "http": (http_grammar, ("Request", "Reply"), (PROTO_TCP, 80)),
+    "dns": (dns_grammar, ("Message",), (PROTO_UDP, 53)),
+    "ssh": (ssh_grammar, ("Banner",), (PROTO_TCP, 22)),
+    "tftp": (tftp_grammar, ("Packet",), (PROTO_UDP, 69)),
+}
+
+_TFTP_OPCODES = {1: "rrq", 2: "wrq", 3: "data", 4: "ack", 5: "error"}
+
+
+def format_flow_uid(serial: int) -> str:
+    """The driver's flow uid: dense serials in global arrival order."""
+    return f"F{serial:06d}"
+
+
+def _containable(error: HiltiError) -> bool:
+    """Parse errors are contained per flow; injected faults and watchdog
+    timeouts escalate to quarantining the flow."""
+    return not (error.matches(INJECTED_FAULT)
+                or error.matches(PROCESSING_TIMEOUT))
+
+
+def _field(struct, name, default=None):
+    try:
+        return struct.get(name)
+    except HiltiError:
+        return default
+
+
+def _text(value, default: str = "") -> str:
+    if value is None:
+        return default
+    if isinstance(value, Bytes):
+        return value.to_bytes().decode("latin-1")
+    if isinstance(value, bytes):
+        return value.decode("latin-1")
+    return str(value)
+
+
+def _render_unit(event: str, obj) -> str:
+    """One finished unit as a stable, content-determined field string."""
+    if event == "HTTP::Request":
+        line = _field(obj, "request_line")
+        return " ".join((
+            _text(_field(line, "method")),
+            _text(_field(line, "uri")),
+            _text(_field(_field(line, "version"), "number")),
+        ))
+    if event == "HTTP::Reply":
+        line = _field(obj, "status_line")
+        return " ".join((
+            _text(_field(line, "status"), "0"),
+            _text(_field(line, "reason")).strip(),
+        ))
+    if event == "DNS::Message":
+        kind = "response" if _field(obj, "is_response", False) else "query"
+        qname = ""
+        qtype = 0
+        questions = _field(obj, "questions")
+        if questions is not None:
+            for question in questions:
+                qname = _text(_field(question, "qname"))
+                qtype = _field(question, "qtype", 0)
+        return f"{kind} {qname} {qtype} rcode={_field(obj, 'rcode', 0)}"
+    if event == "SSH::Banner":
+        return " ".join((
+            _text(_field(obj, "version")),
+            _text(_field(obj, "software")),
+        ))
+    if event == "TFTP::Packet":
+        opcode = _field(obj, "opcode", 0)
+        kind = _TFTP_OPCODES.get(opcode, str(opcode))
+        if opcode in (1, 2):
+            return (f"{kind} {_text(_field(obj, 'filename'))} "
+                    f"{_text(_field(obj, 'mode'))}")
+        if opcode == 3:
+            data = _field(obj, "data")
+            size = len(data.to_bytes()) if isinstance(data, Bytes) else 0
+            return f"{kind} block={_field(obj, 'block', 0)} len={size}"
+        if opcode == 4:
+            return f"{kind} block={_field(obj, 'block', 0)}"
+        if opcode == 5:
+            return (f"{kind} code={_field(obj, 'error_code', 0)} "
+                    f"{_text(_field(obj, 'error_msg'))}")
+        return kind
+    return ""
+
+
+# --------------------------------------------------------------------------
+# Per-flow handlers (the FlowDemux protocol)
+# --------------------------------------------------------------------------
+
+
+class _StreamFlow:
+    """A TCP flow: one incremental parse session per direction."""
+
+    #: protocol -> top-level unit per direction (True = originator).
+    UNITS = {
+        "http": {True: "Requests", False: "Replies"},
+        "ssh": {True: "Banner", False: "Banner"},
+    }
+
+    def __init__(self, app: "PacApp", protocol: str, uid: str):
+        self.app = app
+        self.protocol = protocol
+        self.uid = uid
+        self.last_ts = None
+        parser = app.parsers[protocol]
+        self.sessions = {
+            is_orig: parser.start(unit)
+            for is_orig, unit in self.UNITS[protocol].items()
+        }
+
+    def data(self, is_orig: bool, payload: bytes) -> None:
+        self.last_ts = self.app.now
+        session = self.sessions.get(is_orig)
+        if session is None or session.finished:
+            return
+        if not self.app.guarded_parse(
+                self, lambda: session.feed(payload)):
+            self.sessions[is_orig] = None
+
+    def end(self) -> None:
+        for is_orig, session in list(self.sessions.items()):
+            if session is None or session.finished:
+                continue
+            self.app.guarded_parse(self, session.done)
+            self.sessions[is_orig] = None
+
+    def kill(self) -> None:
+        self.sessions = {is_orig: None for is_orig in self.sessions}
+
+
+class _DatagramFlow:
+    """A UDP flow: one one-shot parse per datagram."""
+
+    UNITS = {"dns": "Message", "tftp": "Packet"}
+
+    def __init__(self, app: "PacApp", protocol: str, uid: str):
+        self.app = app
+        self.protocol = protocol
+        self.uid = uid
+        self.last_ts = None
+        self._unit = self.UNITS[protocol]
+        self._dead = False
+
+    def datagram(self, is_orig: bool, payload: bytes) -> None:
+        self.last_ts = self.app.now
+        if self._dead:
+            return
+        parser = self.app.parsers[self.protocol]
+
+        def parse():
+            session = parser.start(self._unit)
+            session.feed(payload)
+            if not session.finished:
+                session.done()
+
+        self.app.guarded_parse(self, parse)
+
+    def end(self) -> None:
+        pass
+
+    def kill(self) -> None:
+        self._dead = True
+
+
+# --------------------------------------------------------------------------
+# The application
+# --------------------------------------------------------------------------
+
+
+class PacApp(HostApp):
+    """Generated BinPAC++ parsers over demultiplexed flows."""
+
+    name = "pac"
+
+    def __init__(self, protocols=("http", "dns", "ssh", "tftp"),
+                 opt_level: Optional[int] = None,
+                 services: Optional[PipelineServices] = None,
+                 uid_map: Optional[Dict] = None):
+        super().__init__(services)
+        unknown = [p for p in protocols if p not in PROTOCOLS]
+        if unknown:
+            raise ValueError(f"unknown protocols {unknown!r}")
+        self.protocols = tuple(protocols)
+        self._uid_map = uid_map
+        self._serial = 0
+        self.now = None
+        self.events = 0
+        self.parse_errors = 0
+        self._lines: List[str] = []
+        self._parse_ns = 0
+        self._current_flow = None
+        self.parsers: Dict[str, Parser] = {}
+        self._ports: Dict[Tuple[int, int], str] = {}
+        for protocol in self.protocols:
+            factory, units, port = PROTOCOLS[protocol]
+            grammar = factory()
+            self.parsers[protocol] = Parser(
+                grammar,
+                extra_modules=[unit_done_glue(grammar.name, list(units))],
+                opt_level=opt_level,
+                on_event=self._on_event,
+            )
+            self._ports[port] = protocol
+        self.demux = FlowDemux(self._flow_factory)
+
+    # -- flow plumbing -----------------------------------------------------
+
+    def _service_of(self, flow) -> Optional[str]:
+        return (self._ports.get((flow.protocol, flow.dst_port))
+                or self._ports.get((flow.protocol, flow.src_port)))
+
+    def _flow_factory(self, flow):
+        # Serials count every flow (handled or not) so they line up with
+        # the parallel dispatcher's global uid pre-assignment.
+        self._serial += 1
+        protocol = self._service_of(flow)
+        if protocol is None:
+            return None
+        if self._uid_map is not None:
+            uid = self._uid_map.get(flow_key(flow))
+        else:
+            uid = format_flow_uid(self._serial)
+        if flow.protocol == PROTO_TCP:
+            return _StreamFlow(self, protocol, uid)
+        return _DatagramFlow(self, protocol, uid)
+
+    def _on_event(self, event: str, args) -> None:
+        flow = self._current_flow
+        if flow is None:
+            return
+        self.events += 1
+        detail = _render_unit(event, args[0])
+        line = f"{flow.last_ts.seconds:.6f} {flow.uid} {event}"
+        if detail:
+            line += f" {detail}"
+        self._lines.append(line)
+
+    def guarded_parse(self, flow, parse) -> bool:
+        """Run one parse step for *flow* with the shared containment
+        policy; returns False when the flow's session must stop."""
+        services = self.services
+        ctx = self.parsers[flow.protocol].ctx
+        if services.watchdog_budget:
+            ctx.arm_watchdog(services.watchdog_budget)
+        previous = self._current_flow
+        self._current_flow = flow
+        try:
+            services.faults.check(SITE_BINPAC_PARSE)
+            parse()
+            return True
+        except HiltiError as error:
+            services.health.record_error(SITE_BINPAC_PARSE)
+            if error.matches(PROCESSING_TIMEOUT):
+                services.health.watchdog_trips += 1
+            if not _containable(error):
+                services.health.flows_quarantined += 1
+                flow.kill()
+            self.parse_errors += 1
+            return False
+        finally:
+            ctx.disarm_watchdog()
+            self._current_flow = previous
+
+    # -- the HostApp hooks -------------------------------------------------
+
+    def packet(self, timestamp, frame: bytes) -> None:
+        self.now = timestamp
+        begin = _time.perf_counter_ns()
+        try:
+            self.demux.feed(frame)
+        finally:
+            self._parse_ns += _time.perf_counter_ns() - begin
+
+    def finish(self) -> None:
+        begin = _time.perf_counter_ns()
+        try:
+            self.demux.finish()
+        finally:
+            self._parse_ns += _time.perf_counter_ns() - begin
+
+    def cpu_ns(self) -> Dict[str, int]:
+        return {"parsing": self._parse_ns}
+
+    def app_stats(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "parse_errors": self.parse_errors,
+            "flows_opened": self.demux.flows_opened,
+            "flows_ignored": self.demux.flows_ignored,
+        }
+
+    def engine_contexts(self) -> List[Tuple[str, object]]:
+        return [(f"pac/{protocol}", parser.ctx)
+                for protocol, parser in sorted(self.parsers.items())]
+
+    def metric_sources(self) -> List[Tuple[str, object]]:
+        return [("pac", self.demux)]
+
+    def gather_metrics(self, metrics) -> None:
+        metrics.counter("pac.events").inc(self.events)
+        metrics.counter("pac.parse_errors").inc(self.parse_errors)
+
+    def result_lines(self) -> List[str]:
+        return sorted(self._lines)
+
+
+class PacLaneSpec(LaneSpec):
+    """Parallel lanes for the driver: default 5-tuple sharding, flow
+    uids pre-assigned in global arrival order."""
+
+    app_name = "pac"
+    uid_format = staticmethod(format_flow_uid)
+
+    def __init__(self, config: Optional[Dict] = None):
+        self.config = config
+
+    def make_lane(self, uid_map: Dict) -> PacApp:
+        config = self.config
+        return PacApp(
+            protocols=config["protocols"],
+            opt_level=config["opt_level"],
+            services=PipelineServices(
+                watchdog_budget=config["watchdog_budget"],
+                telemetry=Telemetry(metrics=config["metrics"],
+                                    trace=config["trace"]),
+            ),
+            uid_map=uid_map,
+        )

@@ -1,0 +1,34 @@
+"""Generated host glue shared by every BinPAC++ host application.
+
+The paper's generated-glue layer (section 5): a hook module whose
+``%done`` bodies forward each finished unit to the host through
+``Bro::raise_event``.  Originally private to the Bro analyzers; the
+standalone BinPAC++ driver (``repro.apps.binpac.app``) raises the same
+events for SSH and TFTP units, so the builder lives here.
+"""
+
+from __future__ import annotations
+
+from ...core import types as ht
+from ...core.builder import ModuleBuilder
+from ...core.ir import TupleOp
+
+__all__ = ["unit_done_glue"]
+
+
+def unit_done_glue(grammar_name: str, unit_names) -> object:
+    """A module whose hook bodies forward finished units to the host.
+
+    For each *unit* in *unit_names*, the ``{grammar}::{unit}::%done``
+    hook raises a ``{grammar}::{unit}`` event carrying the unit struct.
+    """
+    mb = ModuleBuilder(f"{grammar_name}Glue")
+    for index, unit in enumerate(unit_names):
+        fb = mb.hook(f"{grammar_name}::{unit}::%done", [("obj", ht.ANY)],
+                     body_suffix=str(index))
+        fb.call("Bro::raise_event", [
+            fb.const(ht.STRING, f"{grammar_name}::{unit}"),
+            TupleOp((fb.var("obj"),)),
+        ])
+        fb.ret()
+    return mb.finish()

@@ -17,9 +17,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ....core import types as ht
-from ....core.builder import ModuleBuilder
-from ....core.ir import TupleOp
 from ....core.values import Interval
 from ....runtime.bytes_buffer import Bytes
 from ....runtime.exceptions import (
@@ -29,6 +26,7 @@ from ....runtime.exceptions import (
 )
 from ....runtime.faults import SITE_BINPAC_PARSE
 from ...binpac.codegen import Parser
+from ...binpac.glue import unit_done_glue as _unit_done_glue
 from ...binpac.grammars import dns_grammar, http_grammar
 from ..files import FileInfo
 from ..val import VectorVal
@@ -39,20 +37,6 @@ _QTYPE_NAMES = {
     1: "A", 2: "NS", 5: "CNAME", 6: "SOA", 12: "PTR", 15: "MX",
     16: "TXT", 28: "AAAA", 33: "SRV",
 }
-
-
-def _unit_done_glue(grammar_name: str, unit_names) -> object:
-    """A module whose hook bodies forward finished units to the host."""
-    mb = ModuleBuilder(f"{grammar_name}Glue")
-    for index, unit in enumerate(unit_names):
-        fb = mb.hook(f"{grammar_name}::{unit}::%done", [("obj", ht.ANY)],
-                     body_suffix=str(index))
-        fb.call("Bro::raise_event", [
-            fb.const(ht.STRING, f"{grammar_name}::{unit}"),
-            TupleOp((fb.var("obj"),)),
-        ])
-        fb.ret()
-    return mb.finish()
 
 
 class PacParsers:

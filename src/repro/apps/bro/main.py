@@ -18,16 +18,21 @@ import time as _time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...core.values import Time
-from ...runtime.exceptions import HiltiError
+from ...host.app import HostApp, PipelineServices, export_health
+from ...host.pipeline import (
+    Pipeline,
+    write_flows_jsonl,
+    write_metrics_jsonl,
+    write_prof_log,
+    write_stats_log,
+)
 from ...runtime.faults import (
-    SITE_PCAP_RECORD,
     CircuitBreaker,
     HealthReport,
 )
 from ...runtime.telemetry import (
     Telemetry,
     cpu_breakdown_report,
-    render_stats_log,
 )
 from .compiler import ScriptCompiler
 from .conn import ConnectionTracker
@@ -53,14 +58,24 @@ def default_scripts() -> List[str]:
     return [CONN_SCRIPT, HTTP_SCRIPT, DNS_SCRIPT]
 
 
-class Bro:
-    """One configured Bro run.
+class Bro(HostApp):
+    """One configured Bro run — the fourth exemplar on the shared
+    host-application substrate (``repro.host``).
 
     *parsers*: ``"std"`` (manually written analyzers) or ``"pac"``
     (BinPAC++-generated HILTI parsers).
     *scripts_engine*: ``"interp"`` (tree-walking) or ``"hilti"``
     (compiled; the paper's ``compile_scripts=T``).
+
+    Implements the :class:`~repro.host.app.HostApp` drive API
+    (``on_begin``/``on_packet``/``on_end``) on top of its historical
+    ``run_begin``/``feed_packet``/``run_end`` so the shared
+    :class:`~repro.host.pipeline.Pipeline` and the flow-parallel lanes
+    drive it like any other app; it keeps its own stats assembly and
+    exporter so its reports stay byte-identical.
     """
+
+    name = "bro"
 
     def __init__(
         self,
@@ -170,6 +185,38 @@ class Bro:
             return DnsPacAnalyzer(conn_val, self.core, self._pac)
         return None
 
+    # -- the shared-substrate surface ---------------------------------------
+
+    @property
+    def services(self) -> PipelineServices:
+        """The cross-cutting services view the shared pipeline drives
+        through — backed by this instance's core state, so the pcap
+        ingest and exporters see exactly what the analyzers see."""
+        return PipelineServices(
+            faults=self.core.faults,
+            health=self.core.health,
+            watchdog_budget=self.core.watchdog_budget,
+            telemetry=self.telemetry,
+            pcap_stats=self._pcap_stats,
+        )
+
+    def on_begin(self) -> None:
+        self.run_begin()
+
+    def on_packet(self, timestamp: Time, frame: bytes) -> None:
+        self.feed_packet(timestamp, frame)
+
+    def on_end(self) -> Dict:
+        return self.run_end()
+
+    def result_lines(self) -> List[str]:
+        """Every log line of the run, sorted — the byte-identity
+        fingerprint stream the differential oracles compare."""
+        lines: List[str] = []
+        for name in self.core.logs.streams:
+            lines.extend(self.core.logs.lines(name))
+        return sorted(lines)
+
     # -- running ---------------------------------------------------------------
 
     def run(self, packets: Iterable[Tuple[Time, bytes]]) -> Dict:
@@ -240,6 +287,9 @@ class Bro:
             contexts.append(("pac/http", self._pac.http.ctx))
             contexts.append(("pac/dns", self._pac.dns.ctx))
         return contexts
+
+    # The HostApp spelling of the same hook (prof.log, engine.* series).
+    engine_contexts = _engine_contexts
 
     def _opt_stats(self) -> List[Tuple[str, object]]:
         """OptStats of every compiled program in the pipeline, labeled."""
@@ -312,15 +362,9 @@ class Bro:
             metrics.counter("glue.from_hilti_calls").inc(
                 glue["from_hilti_calls"])
 
-        # Fault layer (HealthReport) and circuit breaker.
-        health = stats["health"]
-        for name in ("flows_quarantined", "records_skipped",
-                     "watchdog_trips", "injected_faults"):
-            metrics.counter(f"health.{name}").inc(health[name])
-        for site, count in health["site_errors"].items():
-            metrics.counter("health.site_errors", site=site).inc(count)
-        metrics.gauge("health.breaker_tripped").set(
-            int(health["breaker"]["tripped"]))
+        # Fault layer (HealthReport) and circuit breaker — the uniform
+        # shape every host app publishes.
+        export_health(metrics, stats["health"])
 
         # Optimizer pass statistics.
         for label, opt_stats in self._opt_stats():
@@ -383,15 +427,13 @@ class Bro:
         _os.makedirs(logdir, exist_ok=True)
         written: List[str] = []
 
-        path = _os.path.join(logdir, "metrics.jsonl")
-        with open(path, "w") as stream:
-            self.telemetry.metrics.emit_jsonl(stream, meta={
+        written.append(write_metrics_jsonl(
+            _os.path.join(logdir, "metrics.jsonl"),
+            self.telemetry.metrics, meta={
                 "parsers": self.parser_tier,
                 "scripts_engine": self.script_tier,
-            })
-        written.append(path)
+            }))
 
-        path = _os.path.join(logdir, "stats.log")
         sections: Dict[str, Dict] = {}
         if self.stats:
             health = self.stats.get("health", {})
@@ -412,22 +454,19 @@ class Bro:
             engines[f"{label}.instructions"] = ctx.instr_count
         if engines:
             sections["engine"] = engines
-        with open(path, "w") as stream:
-            stream.write(render_stats_log(self.stats, sections))
-        written.append(path)
+        written.append(write_stats_log(
+            _os.path.join(logdir, "stats.log"), self.stats, sections))
 
-        path = _os.path.join(logdir, "prof.log")
-        with open(path, "w") as stream:
-            for label, ctx in self._engine_contexts():
-                stream.write(f"# context {label}\n")
-                ctx.profilers.dump(stream)
-        written.append(path)
+        # Bro always emits prof.log, even with an interpreted-only
+        # pipeline that drove no contexts (the file stays informative:
+        # empty means "no HILTI execution this run").
+        written.append(write_prof_log(
+            _os.path.join(logdir, "prof.log"), self._engine_contexts()))
 
         if self.telemetry.tracer.enabled:
-            path = _os.path.join(logdir, "flows.jsonl")
-            with open(path, "w") as stream:
-                self.telemetry.tracer.emit_jsonl(stream)
-            written.append(path)
+            written.append(write_flows_jsonl(
+                _os.path.join(logdir, "flows.jsonl"),
+                self.telemetry.tracer))
         return written
 
     def write_cpu_breakdown(self, path: str) -> Dict:
@@ -438,36 +477,11 @@ class Bro:
             stream.write("\n")
         return report
 
-    def _pcap_records(self, reader):
-        """Iterate trace records through the pcap.record injection point;
-        a fault there skips the record like a corrupt one in tolerant
-        mode."""
-        for record in reader:
-            try:
-                self.core.faults.check(SITE_PCAP_RECORD)
-            except HiltiError:
-                self.core.health.record_error(SITE_PCAP_RECORD)
-                self.core.health.records_skipped += 1
-                continue
-            yield record
-        # The generator is exhausted before run() takes its totals, so
-        # the reader's final counters are visible to _gather_metrics.
-        self._pcap_stats = {
-            "records_read": reader.packets_read,
-            "records_skipped": reader.records_skipped,
-            "resyncs": reader.resyncs,
-        }
-
     def run_pcap(self, path: str, tolerant: bool = False) -> Dict:
-        from ...net.pcap import PcapReader
-
-        with PcapReader(path, tolerant=tolerant) as reader:
-            stats = self.run(self._pcap_records(reader))
-            skipped = reader.records_skipped
-        if skipped:
-            self.core.health.records_skipped += skipped
-        stats["health"] = self.core.health.as_dict(self.core.faults)
-        return stats
+        """Drive the run from a pcap trace through the shared pipeline
+        (tolerant reader, ``pcap.record`` injection point, robustness
+        counters into ``self._pcap_stats``)."""
+        return Pipeline(self).run_pcap(path, tolerant=tolerant)
 
     # -- results ------------------------------------------------------------------
 

@@ -5,18 +5,12 @@ every connection's 5-tuple hashes to a virtual thread, all analysis for
 that flow — connection state, stream reassembly, protocol parsing, event
 dispatch, log writes — runs serialized on that vthread's private lane,
 and no lane ever touches another lane's state, so the pipeline needs no
-program-level locks.  Three drive backends execute the same dispatch
-plan:
-
-* ``vthread`` — the deterministic differential oracle: packet jobs drain
-  through ``Scheduler.run_until_idle`` on one OS thread.
-* ``threaded`` — the same jobs on real ``threading`` workers
-  (``Scheduler.run_threaded``), exercising correctness under true
-  interleaving; Python's GIL caps speedup.
-* ``process`` — a ``multiprocessing`` fan-out: the trace is sharded by
-  flow hash, one subprocess per worker runs a full pipeline lane over
-  its shard, and per-worker logs/stats/metric registries are reduced at
-  join.  This is the backend where speedup is real despite the GIL.
+program-level locks.  The generic machinery (dispatch plan, the three
+drive backends ``vthread``/``threaded``/``process``, lane program,
+process fan-out) lives in :mod:`repro.host.parallel`; this module keeps
+what is Bro-specific — the lane factory, the multi-stream log harvest,
+and the merge that de-duplicates per-lane lifecycle events so totals
+match the sequential pipeline's single bro_init/bro_done.
 
 Output determinism is the load-bearing property (the P4Testgen-style
 differential oracle of ``tests/integration/test_parallel_pipeline.py``):
@@ -32,78 +26,30 @@ including the small, documented divergences (per-lane lifecycle events,
 from __future__ import annotations
 
 import io
-import multiprocessing
 import os as _os
-import time as _time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...core.values import Time
-from ...net.flows import FiveTuple, flow_of_frame, placement
-from ...runtime.telemetry import Telemetry, render_stats_log
-from ...runtime.threads import Scheduler
+from ...host.parallel import (
+    LaneSpec,
+    ParallelPipeline,
+    dispatch_plan as _host_dispatch_plan,
+    flow_key,
+    merge_health,
+)
+from ...runtime.telemetry import Telemetry
 from .core import format_uid
 from .main import Bro
 
-__all__ = ["ParallelBro", "dispatch_plan", "flow_key", "LIFECYCLE_EVENTS"]
+__all__ = ["BroLaneSpec", "ParallelBro", "dispatch_plan", "flow_key",
+           "LIFECYCLE_EVENTS"]
 
 #: Events every lane raises once; the merge de-duplicates their counts so
 #: totals match the sequential pipeline's single bro_init/bro_done.
 LIFECYCLE_EVENTS = ("bro_init", "bro_done")
 
-_BACKENDS = ("vthread", "threaded", "process")
-
 #: High-water-mark gauges take the max across lanes; everything else sums.
 _GAUGE_MERGE = {"bro.flows_peak": "max", "bro.flows_open": "max"}
-
-
-def flow_key(flow: FiveTuple) -> Tuple:
-    """The canonical per-connection key, exactly as ``ConnectionTracker``
-    builds it — the dispatcher and the lanes must agree byte-for-byte so
-    pre-assigned uids resolve."""
-    canonical = flow.canonical()
-    return (
-        (canonical.src.value, canonical.src_port),
-        (canonical.dst.value, canonical.dst_port),
-        canonical.protocol,
-    )
-
-
-def dispatch_plan(
-    packets: Iterable[Tuple[Time, bytes]], vthreads: int, workers: int,
-) -> Tuple[List[Tuple[int, int, bytes]], Dict[Tuple, str]]:
-    """One pass over the trace: per-packet vthread placement plus the
-    global uid pre-assignment.
-
-    Returns ``(jobs, uid_map)`` where *jobs* is ``(vid, nanos, frame)``
-    per packet (frames that parse to no 5-tuple ride on vthread 0, where
-    the lane counts them as ignored exactly like the sequential
-    tracker), and *uid_map* assigns each flow key the uid the sequential
-    pipeline's counter would have produced — allocated in first-packet
-    arrival order, which is precisely when ``BroCore.next_uid`` fires.
-    """
-    jobs: List[Tuple[int, int, bytes]] = []
-    uid_map: Dict[Tuple, str] = {}
-    vids: Dict[Tuple, int] = {}
-    serial = 0
-    for timestamp, frame in packets:
-        flow = flow_of_frame(frame)
-        if flow is None:
-            jobs.append((0, timestamp.nanos, frame))
-            continue
-        key = flow_key(flow)
-        vid = vids.get(key)
-        if vid is None:
-            vid, __ = placement(flow, vthreads, workers)
-            vids[key] = vid
-            serial += 1
-            uid_map[key] = format_uid(serial)
-        jobs.append((vid, timestamp.nanos, frame))
-    return jobs, uid_map
-
-
-# --------------------------------------------------------------------------
-# Lanes: one isolated pipeline instance per vthread (or per process worker)
-# --------------------------------------------------------------------------
 
 
 def _make_lane(config: Dict, uid_map: Dict) -> Bro:
@@ -149,55 +95,32 @@ def _lane_result(bro: Bro) -> Dict:
     }
 
 
-class _LaneProgram:
-    """Adapts per-flow packet analysis to the scheduler's program
-    interface: contexts are pipeline lanes, jobs are packets."""
+class BroLaneSpec(LaneSpec):
+    """Bro's lane description: 5-tuple sharding (the generic default),
+    uids pre-assigned exactly as ``BroCore.next_uid`` would, lanes built
+    from the picklable constructor config."""
 
-    def __init__(self, config: Dict, uid_map: Dict):
-        self._config = config
-        self._uid_map = uid_map
+    app_name = "bro"
+    uid_format = staticmethod(format_uid)
 
-    def make_context(self, vthread_id: int) -> Bro:
-        lane = _make_lane(self._config, self._uid_map)
-        lane.run_begin()
-        return lane
+    def __init__(self, config: Optional[Dict] = None):
+        self.config = config
 
-    def init_context(self, lane: Bro) -> None:
-        pass
+    def make_lane(self, uid_map: Dict) -> Bro:
+        return _make_lane(self.config, uid_map)
 
-    def call(self, lane: Bro, function: str, args: List) -> None:
-        if function != "packet":
-            raise ValueError(f"unknown lane job {function!r}")
-        nanos, frame = args
-        lane.feed_packet(Time.from_nanos(nanos), frame)
+    def lane_result(self, app: Bro) -> Dict:
+        return _lane_result(app)
 
 
-def _process_worker(conn, config: Dict, shard, uid_map: Dict) -> None:
-    """Subprocess body: run one lane over one flow shard, ship the
-    result back through the pipe.  *shard* is either an in-memory list
-    of ``(nanos, frame)`` or a path to a pcap shard file."""
-    try:
-        bro = _make_lane(config, uid_map)
-        bro.run_begin()
-        if isinstance(shard, str):
-            from ...net.pcap import PcapReader
-
-            with PcapReader(shard) as reader:
-                for timestamp, frame in reader:
-                    bro.feed_packet(timestamp, frame)
-        else:
-            for nanos, frame in shard:
-                bro.feed_packet(Time.from_nanos(nanos), frame)
-        bro.run_end()
-        conn.send(_lane_result(bro))
-    except BaseException as error:  # surface the failure to the parent
-        try:
-            conn.send({"error": repr(error)})
-        except Exception:
-            pass
-        raise
-    finally:
-        conn.close()
+def dispatch_plan(
+    packets: Iterable[Tuple[Time, bytes]], vthreads: int, workers: int,
+) -> Tuple[List[Tuple[int, int, bytes]], Dict[Tuple, str]]:
+    """One pass over the trace: per-packet vthread placement plus the
+    global uid pre-assignment (the generic plan with Bro's uid format).
+    """
+    return _host_dispatch_plan(packets, vthreads, workers,
+                               spec=BroLaneSpec())
 
 
 # --------------------------------------------------------------------------
@@ -205,7 +128,7 @@ def _process_worker(conn, config: Dict, shard, uid_map: Dict) -> None:
 # --------------------------------------------------------------------------
 
 
-class ParallelBro:
+class ParallelBro(ParallelPipeline):
     """A flow-parallel Bro run: same analysis, N isolated lanes.
 
     Constructor mirrors :class:`Bro` for the picklable subset of its
@@ -216,6 +139,8 @@ class ParallelBro:
     plumbed through — its per-site random streams are sequential by
     construction and would diverge per lane.
     """
+
+    GAUGE_MERGE = _GAUGE_MERGE
 
     def __init__(
         self,
@@ -230,169 +155,24 @@ class ParallelBro:
         opt_level: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
     ):
-        if backend not in _BACKENDS:
-            raise ValueError(f"unknown parallel backend {backend!r}")
-        if workers < 1:
-            raise ValueError("parallel pipeline needs at least one worker")
-        self.workers = workers
-        self.vthreads = vthreads if vthreads is not None else 4 * workers
-        if self.vthreads < workers:
-            raise ValueError("vthreads must be >= workers")
-        self.backend = backend
-        self.telemetry = telemetry if telemetry is not None else Telemetry()
-        self._config = {
+        telemetry = telemetry if telemetry is not None else Telemetry()
+        config = {
             "scripts": scripts,
             "parsers": parsers,
             "scripts_engine": scripts_engine,
             "log_enabled": log_enabled,
             "watchdog_budget": watchdog_budget,
             "opt_level": opt_level,
-            "metrics": self.telemetry.enabled,
-            "trace": self.telemetry.tracer.enabled,
+            "metrics": telemetry.enabled,
+            "trace": telemetry.tracer.enabled,
         }
-        self.stats: Dict[str, object] = {}
-        self.scheduler: Optional[Scheduler] = None
-        self._results: List[Dict] = []
+        super().__init__(BroLaneSpec(config), workers=workers,
+                         vthreads=vthreads, backend=backend,
+                         telemetry=telemetry)
+        self._config = config
         self._logs: Dict[str, List[str]] = {}
         self._headers: Dict[str, str] = {}
         self._writes: Dict[str, int] = {}
-        self._trace_roots: List[Dict] = []
-        self._pcap_stats: Dict[str, int] = {}
-
-    # -- running ------------------------------------------------------------
-
-    def run(self, packets: Iterable[Tuple[Time, bytes]]) -> Dict:
-        """Process a trace across all lanes; returns the merged stats."""
-        begin = _time.perf_counter_ns()
-        jobs, uid_map = dispatch_plan(packets, self.vthreads, self.workers)
-        if self.backend == "process":
-            self._run_process(jobs, uid_map)
-        else:
-            self._run_scheduler(jobs, uid_map,
-                                threaded=self.backend == "threaded")
-        self._merge(_time.perf_counter_ns() - begin)
-        return self.stats
-
-    def run_pcap(self, path: str, tolerant: bool = False,
-                 shard_dir: Optional[str] = None) -> Dict:
-        """Drive the lanes from a pcap trace.
-
-        With *shard_dir* (process backend only) the trace is fanned out
-        into per-worker pcap shard files which the workers read
-        themselves — the scalable route for traces that should not live
-        in the parent's memory twice.
-        """
-        from ...net.pcap import PcapReader
-
-        if shard_dir is not None and self.backend != "process":
-            raise ValueError("pcap sharding requires the process backend")
-        begin = _time.perf_counter_ns()
-        with PcapReader(path, tolerant=tolerant) as reader:
-            jobs, uid_map = dispatch_plan(reader, self.vthreads,
-                                          self.workers)
-            self._pcap_stats = {
-                "records_read": reader.packets_read,
-                "records_skipped": reader.records_skipped,
-                "resyncs": reader.resyncs,
-            }
-        if shard_dir is not None:
-            shards = self._write_shards(jobs, shard_dir)
-            self._run_process(jobs, uid_map, shard_paths=shards)
-        elif self.backend == "process":
-            self._run_process(jobs, uid_map)
-        else:
-            self._run_scheduler(jobs, uid_map,
-                                threaded=self.backend == "threaded")
-        self._merge(_time.perf_counter_ns() - begin)
-        skipped = self._pcap_stats["records_skipped"]
-        if skipped:
-            self.stats["health"]["records_skipped"] += skipped
-        return self.stats
-
-    def _write_shards(self, jobs, shard_dir: str) -> List[str]:
-        """Fan the dispatch plan out into per-worker pcap shard files."""
-        from ...net.pcap import PcapWriter
-
-        _os.makedirs(shard_dir, exist_ok=True)
-        paths = [_os.path.join(shard_dir, f"shard-{i:03d}.pcap")
-                 for i in range(self.workers)]
-        writers = [PcapWriter(p, nanos=True) for p in paths]
-        try:
-            for vid, nanos, frame in jobs:
-                writers[vid % self.workers].write(
-                    Time.from_nanos(nanos), frame)
-        finally:
-            for writer in writers:
-                writer.close()
-        return paths
-
-    def _run_scheduler(self, jobs, uid_map, threaded: bool) -> None:
-        """In-process backends: packet jobs on the vthread scheduler."""
-        program = _LaneProgram(self._config, uid_map)
-        scheduler = Scheduler(program, workers=self.workers)
-        # Lane 0 always exists: it owns stray frames and guarantees the
-        # lifecycle events run at least once even on an empty trace.
-        scheduler.context_for(0)
-        for vid, nanos, frame in jobs:
-            scheduler.schedule(vid, "packet", (nanos, frame))
-        if threaded:
-            scheduler.run_threaded()
-        else:
-            scheduler.run_until_idle()
-        self.scheduler = scheduler
-        contexts = scheduler.contexts()
-        results = []
-        for vid in sorted(contexts):
-            lane = contexts[vid]
-            lane.run_end()
-            results.append(_lane_result(lane))
-        self._results = results
-
-    def _run_process(self, jobs, uid_map,
-                     shard_paths: Optional[List[str]] = None) -> None:
-        """The multiprocessing backend: one subprocess per worker."""
-        if shard_paths is None:
-            shards: List[List[Tuple[int, bytes]]] = [
-                [] for __ in range(self.workers)
-            ]
-            for vid, nanos, frame in jobs:
-                shards[vid % self.workers].append((nanos, frame))
-        else:
-            shards = shard_paths  # type: ignore[assignment]
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        procs = []
-        pipes = []
-        for index in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_process_worker,
-                args=(child_conn, self._config, shards[index], uid_map),
-            )
-            proc.start()
-            child_conn.close()
-            procs.append(proc)
-            pipes.append(parent_conn)
-        results = []
-        failures = []
-        for index, (proc, conn) in enumerate(zip(procs, pipes)):
-            try:
-                result = conn.recv()
-            except EOFError:
-                result = {"error": "worker died before reporting"}
-            finally:
-                conn.close()
-            if "error" in result:
-                failures.append(f"worker {index}: {result['error']}")
-            else:
-                results.append(result)
-        for proc in procs:
-            proc.join()
-        if failures:
-            raise RuntimeError(
-                "parallel workers failed: " + "; ".join(failures))
-        self._results = results
 
     # -- the ordered merge --------------------------------------------------
 
@@ -475,33 +255,7 @@ class ParallelBro:
 
     @staticmethod
     def _merge_health(reports: List[Dict]) -> Dict:
-        merged = {
-            "flows_quarantined": 0,
-            "records_skipped": 0,
-            "watchdog_trips": 0,
-            "injected_faults": 0,
-            "tier_fallback": False,
-            "breaker": {"flows": 0, "violations": 0,
-                        "threshold": None, "tripped": False},
-            "site_errors": {},
-        }
-        for report in reports:
-            for key in ("flows_quarantined", "records_skipped",
-                        "watchdog_trips", "injected_faults"):
-                merged[key] += report[key]
-            merged["tier_fallback"] = (
-                merged["tier_fallback"] or report["tier_fallback"])
-            breaker = report["breaker"]
-            merged["breaker"]["flows"] += breaker["flows"]
-            merged["breaker"]["violations"] += breaker["violations"]
-            if merged["breaker"]["threshold"] is None:
-                merged["breaker"]["threshold"] = breaker["threshold"]
-            merged["breaker"]["tripped"] = (
-                merged["breaker"]["tripped"] or breaker["tripped"])
-            for site, count in report["site_errors"].items():
-                merged["site_errors"][site] = (
-                    merged["site_errors"].get(site, 0) + count)
-        return merged
+        return merge_health(reports)
 
     def _merge_metrics(self, results: List[Dict], lanes: int) -> None:
         """Reduce per-lane registries, then repair the handful of series
@@ -538,6 +292,14 @@ class ParallelBro:
         """The deterministically merged lines of one log stream."""
         return list(self._logs.get(stream, []))
 
+    def result_lines(self) -> List[str]:
+        """Every merged log line, sorted — the byte-identity fingerprint
+        stream (mirrors ``Bro.result_lines``)."""
+        lines: List[str] = []
+        for stream_lines in self._logs.values():
+            lines.extend(stream_lines)
+        return sorted(lines)
+
     def print_lines(self) -> List[str]:
         """Merged per-lane script ``print`` output (sorted)."""
         lines: List[str] = []
@@ -559,39 +321,43 @@ class ParallelBro:
     def log_writes(self) -> Dict[str, int]:
         return dict(self._writes)
 
-    def cpu_breakdown(self) -> Dict:
+    def cpu_breakdown(self, config: Optional[Dict] = None) -> Dict:
         from ...runtime.telemetry import cpu_breakdown_report
 
         if not self.stats:
             raise RuntimeError("cpu_breakdown() requires a completed run")
-        return cpu_breakdown_report(self.stats, config={
-            "parsers": self._config["parsers"],
-            "scripts_engine": self._config["scripts_engine"],
-            "backend": self.backend,
-            "workers": self.workers,
-        })
+        if config is None:
+            config = {
+                "parsers": self._config["parsers"],
+                "scripts_engine": self._config["scripts_engine"],
+                "backend": self.backend,
+                "workers": self.workers,
+            }
+        return cpu_breakdown_report(self.stats, config=config)
 
-    def write_telemetry(self, logdir: str) -> List[str]:
+    def write_telemetry(self, logdir: str,
+                        meta: Optional[Dict] = None) -> List[str]:
         """Emit the merged reporting files (``metrics.jsonl``,
         ``stats.log``, and ``flows.jsonl`` when tracing is armed).
         Per-function profiler dumps stay per-lane and are not merged."""
         import json as _json
 
+        from ...host.pipeline import write_metrics_jsonl, write_stats_log
+
         _os.makedirs(logdir, exist_ok=True)
         written: List[str] = []
-
-        path = _os.path.join(logdir, "metrics.jsonl")
-        with open(path, "w") as stream:
-            self.telemetry.metrics.emit_jsonl(stream, meta={
+        if meta is None:
+            meta = {
                 "parsers": self._config["parsers"],
                 "scripts_engine": self._config["scripts_engine"],
                 "backend": self.backend,
                 "workers": self.workers,
                 "vthreads": self.vthreads,
-            })
-        written.append(path)
+            }
+        written.append(write_metrics_jsonl(
+            _os.path.join(logdir, "metrics.jsonl"),
+            self.telemetry.metrics, meta=meta))
 
-        path = _os.path.join(logdir, "stats.log")
         sections = {
             "parallel": {
                 "backend": self.backend,
@@ -600,9 +366,8 @@ class ParallelBro:
                 "lanes": self.stats.get("lanes", 0),
             },
         }
-        with open(path, "w") as stream:
-            stream.write(render_stats_log(self.stats, sections))
-        written.append(path)
+        written.append(write_stats_log(
+            _os.path.join(logdir, "stats.log"), self.stats, sections))
 
         if self._trace_roots:
             path = _os.path.join(logdir, "flows.jsonl")

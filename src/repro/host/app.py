@@ -1,0 +1,207 @@
+"""The host-application interface.
+
+A :class:`HostApp` is one workload over the shared pipeline substrate:
+the BPF filter, the stateful firewall, the BinPAC++ parser driver, and
+the Bro-style script pipeline all implement this interface, and
+:class:`repro.host.pipeline.Pipeline` / :class:`repro.host.parallel.
+ParallelPipeline` drive any of them identically — same pcap ingest, same
+fault-injection and health accounting, same telemetry exporter, same
+parallel dispatch and merge.
+
+The drive API is three calls — ``on_begin()``, ``on_packet(ts, frame)``
+per record, ``on_end()`` — mirroring the incremental API the
+flow-parallel lanes already used for Bro.  Apps implement the overridable
+hooks below (``packet`` is the only mandatory one).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..runtime.faults import NULL_INJECTOR, HealthReport
+from ..runtime.telemetry import Telemetry
+
+__all__ = ["HostApp", "PipelineServices", "export_health"]
+
+
+class PipelineServices:
+    """The cross-cutting services a pipeline run threads through an app:
+    the (deterministic, off-by-default) fault injector, the recovery and
+    health accounting, the per-packet instruction watchdog budget, the
+    telemetry switchboard, and the pcap reader's robustness counters.
+    """
+
+    __slots__ = ("faults", "health", "watchdog_budget", "telemetry",
+                 "pcap_stats")
+
+    def __init__(self, faults=None, health=None,
+                 watchdog_budget: Optional[int] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 pcap_stats: Optional[Dict[str, int]] = None):
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        self.health = health if health is not None else HealthReport()
+        self.watchdog_budget = watchdog_budget
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # Filled in place by Pipeline's pcap ingest (records_read /
+        # records_skipped / resyncs) so the exporter sees final counters.
+        self.pcap_stats = pcap_stats if pcap_stats is not None else {}
+
+
+def export_health(metrics, health: Dict) -> None:
+    """Publish one HealthReport dict into a MetricsRegistry — the shape
+    every host app shares (``health.*`` counters plus the breaker gauge).
+    """
+    for name in ("flows_quarantined", "records_skipped",
+                 "watchdog_trips", "injected_faults"):
+        metrics.counter(f"health.{name}").inc(health[name])
+    for site, count in health["site_errors"].items():
+        metrics.counter("health.site_errors", site=site).inc(count)
+    metrics.gauge("health.breaker_tripped").set(
+        int(health["breaker"]["tripped"]))
+
+
+class HostApp:
+    """Base class for workloads driven by the shared pipeline.
+
+    Subclasses set :attr:`name` (the metrics namespace) and implement
+    :meth:`packet`; the remaining hooks — :meth:`begin`, :meth:`finish`,
+    :meth:`cpu_ns`, :meth:`app_stats`, :meth:`gather_metrics`,
+    :meth:`engine_contexts`, :meth:`metric_sources`,
+    :meth:`result_lines` — have working defaults.
+    """
+
+    #: Metrics namespace and the ``app`` field of the stats report.
+    name = "app"
+
+    def __init__(self, services: Optional[PipelineServices] = None):
+        self.services = (services if services is not None
+                         else PipelineServices())
+        self.telemetry = self.services.telemetry
+        self.stats: Dict[str, object] = {}
+        self.packets = 0
+        self._begin_ns: Optional[int] = None
+
+    # -- the drive API (what Pipeline / the parallel lanes call) ----------
+
+    def on_begin(self) -> None:
+        """Start a run: timing origin, app-specific setup."""
+        self._begin_ns = _time.perf_counter_ns()
+        self.packets = 0
+        self.begin()
+
+    def on_packet(self, timestamp, frame: bytes) -> None:
+        """Process one trace record."""
+        self.packets += 1
+        self.packet(timestamp, frame)
+
+    def on_end(self) -> Dict:
+        """Finish a run: flush app state, assemble the stats report."""
+        self.finish()
+        total_ns = _time.perf_counter_ns() - (self._begin_ns or 0)
+        cpu = self.cpu_ns()
+        parsing_ns = int(cpu.get("parsing", 0))
+        script_ns = int(cpu.get("script", 0))
+        glue_ns = int(cpu.get("glue", 0))
+        self.stats = {
+            "app": self.name,
+            "total_ns": total_ns,
+            "parsing_ns": parsing_ns,
+            "script_ns": script_ns,
+            "glue_ns": glue_ns,
+            "other_ns": max(0, total_ns - parsing_ns - script_ns - glue_ns),
+            "packets": self.packets,
+            "health": self.services.health.as_dict(self.services.faults),
+        }
+        self.stats.update(self.app_stats())
+        if self.telemetry.enabled:
+            self.export_metrics()
+        return self.stats
+
+    def run(self, packets: Iterable[Tuple[object, bytes]]) -> Dict:
+        """Convenience sequential drive: begin + packet* + end."""
+        self.on_begin()
+        for timestamp, frame in packets:
+            self.on_packet(timestamp, frame)
+        return self.on_end()
+
+    # -- overridable hooks -------------------------------------------------
+
+    def begin(self) -> None:
+        """App-specific run setup (lifecycle events, ...)."""
+
+    def packet(self, timestamp, frame: bytes) -> None:
+        """Process one packet (mandatory)."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """App-specific teardown (close flows, flush parsers, ...)."""
+
+    def cpu_ns(self) -> Dict[str, int]:
+        """Per-component CPU attribution: any of ``parsing`` /
+        ``script`` / ``glue`` (ns); the remainder becomes ``other``."""
+        return {}
+
+    def app_stats(self) -> Dict[str, object]:
+        """Extra entries merged into the stats report.  Integer values
+        are treated as counters by the parallel merge (they sum across
+        lanes)."""
+        return {}
+
+    def engine_contexts(self) -> List[Tuple[str, object]]:
+        """Every HILTI ExecutionContext the app drove, labeled — feeds
+        the ``engine.*`` series and the ``prof.log`` dump."""
+        return []
+
+    def metric_sources(self) -> List[Tuple[str, object]]:
+        """Labeled components with the uniform ``export_metrics``
+        shape (session tables, reassemblers, I/O sources...)."""
+        return []
+
+    def gather_metrics(self, metrics) -> None:
+        """App-specific series beyond the uniform exporter's."""
+
+    def result_lines(self) -> List[str]:
+        """The run's result stream as sortable text lines — the byte
+        fingerprint the differential oracles (sequential vs parallel,
+        compiled vs interpreted) compare."""
+        return []
+
+    # -- the uniform exporter ---------------------------------------------
+
+    def export_metrics(self) -> None:
+        """Publish the shared series every host app reports: packet
+        throughput, per-component CPU, engine dispatch counters, the
+        health report, pcap robustness counters, uniform component
+        sources, tracer self-accounting — then the app's own extras."""
+        metrics = self.telemetry.metrics
+        stats = self.stats
+        metrics.counter(f"{self.name}.packets_total").inc(
+            int(stats["packets"]))
+        for component in ("parsing", "script", "glue", "other", "total"):
+            metrics.gauge(
+                f"{self.name}.cpu_ns", component=component,
+            ).set(int(stats[f"{component}_ns"]))
+        for label, ctx in self.engine_contexts():
+            metrics.counter(
+                "engine.instructions", context=label,
+            ).inc(ctx.instr_count)
+            metrics.counter(
+                "engine.blocks_dispatched", context=label,
+            ).inc(ctx.blocks_dispatched)
+            metrics.counter(
+                "engine.segments_dispatched", context=label,
+            ).inc(ctx.segments_dispatched)
+            metrics.counter(
+                "engine.allocations", context=label,
+            ).inc(ctx.alloc_stats.allocations)
+        export_health(metrics, stats["health"])
+        for name, value in self.services.pcap_stats.items():
+            metrics.counter(f"pcap.{name}").inc(value)
+        for label, source in self.metric_sources():
+            source.export_metrics(metrics, label)
+        self.gather_metrics(metrics)
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            metrics.counter("trace.spans_started").inc(tracer.spans_started)
+            metrics.counter("trace.spans_dropped").inc(tracer.spans_dropped)

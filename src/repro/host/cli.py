@@ -1,0 +1,219 @@
+"""The shared driver surface of every host-application tool.
+
+``repro.tools.{bro,bpf_filter,firewall,pac_driver}`` all expose the same
+controls — robustness (``--tolerant-pcap``, ``--watchdog``,
+``--inject``, ``--fault-seed``, ``--health``), telemetry (``--metrics``,
+``--cpu-breakdown``, ``--trace-flows``), and parallelism
+(``--parallel``, ``--workers``, ``--vthreads``, ``--backend``) — built
+from this module's argparse helpers and driven by :func:`run_host_app`,
+the generic main loop over :class:`~repro.host.pipeline.Pipeline` /
+:class:`~repro.host.parallel.ParallelPipeline`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os as _os
+from typing import Callable, Dict, List, Optional
+
+from ..runtime.faults import FaultInjector, registered_sites
+from ..runtime.telemetry import Telemetry
+from .app import HostApp, PipelineServices
+from .parallel import LaneSpec, ParallelPipeline
+from .pipeline import Pipeline
+
+__all__ = [
+    "add_pipeline_args",
+    "fingerprint",
+    "parse_injections",
+    "print_health",
+    "run_host_app",
+]
+
+
+def parse_injections(specs, seed, prog: str = "bro"):
+    """``SITE=RATE`` pairs -> FaultInjector (None when no specs)."""
+    if not specs:
+        return None
+    sites = registered_sites()
+    rates = {}
+    for spec in specs:
+        site, sep, rate = spec.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"{prog}: --inject expects SITE=RATE, got {spec!r}")
+        if site != "all" and site not in sites:
+            known = ", ".join(sorted(sites))
+            raise SystemExit(
+                f"{prog}: unknown injection site {site!r} (known: {known})")
+        try:
+            value = float(rate)
+        except ValueError:
+            raise SystemExit(f"{prog}: bad injection rate in {spec!r}")
+        if site == "all":
+            for name in sites:
+                rates.setdefault(name, value)
+        else:
+            rates[site] = value
+    return FaultInjector(seed=seed, rates=rates)
+
+
+def add_pipeline_args(parser: argparse.ArgumentParser,
+                      default_workers: int = 4) -> None:
+    """The flag surface every pipeline driver shares."""
+    sites = ", ".join(sorted(registered_sites()))
+    parser.add_argument("-r", "--read", required=True, metavar="TRACE",
+                        help="pcap file to read")
+    parser.add_argument("--logdir", default="logs",
+                        help="directory for result and report files")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the per-component timing breakdown")
+    parser.add_argument("--tolerant-pcap", action="store_true",
+                        help="skip truncated/corrupt trace records "
+                             "instead of aborting (counted in the "
+                             "health report)")
+    parser.add_argument("--watchdog", type=int, default=None, metavar="N",
+                        help="per-packet HILTI instruction budget; "
+                             "exceeding it raises a catchable "
+                             "Hilti::ProcessingTimeout")
+    parser.add_argument("--inject", action="append", metavar="SITE=RATE",
+                        help="arm the deterministic fault injector at "
+                             "SITE with probability RATE per pass "
+                             f"(SITE is 'all' or one of: {sites}); "
+                             "repeatable")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault injector's per-site "
+                             "random streams (default 0)")
+    parser.add_argument("--health", action="store_true",
+                        help="print the recovery/health report "
+                             "(quarantines, skipped records, watchdog "
+                             "trips, per-site error budget)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect the unified metrics registry and "
+                             "write metrics.jsonl and stats.log into "
+                             "the log directory")
+    parser.add_argument("--cpu-breakdown", action="store_true",
+                        help="write the Figures 9/10 per-component CPU "
+                             "report (cpu_breakdown.json) and print the "
+                             "shares")
+    parser.add_argument("--trace-flows", action="store_true",
+                        help="record per-flow span trees into "
+                             "flows.jsonl")
+    parser.add_argument("--parallel", action="store_true",
+                        help="flow-parallel pipeline: hash flows to "
+                             "vthreads, analyze on worker lanes, merge "
+                             "the results deterministically")
+    parser.add_argument("--workers", type=int, default=default_workers,
+                        metavar="N",
+                        help=f"parallel worker count "
+                             f"(default {default_workers})")
+    parser.add_argument("--vthreads", type=int, default=None, metavar="M",
+                        help="virtual thread supply (default 4*workers)")
+    parser.add_argument("--backend",
+                        choices=["vthread", "threaded", "process"],
+                        default="process",
+                        help="parallel drive mode: deterministic vthread "
+                             "scheduler, real threads, or one process "
+                             "per worker (default process)")
+
+
+def print_health(health: Dict) -> None:
+    """The shared ``--health`` report block."""
+    print("health:")
+    for key in ("flows_quarantined", "records_skipped",
+                "watchdog_trips", "injected_faults", "tier_fallback"):
+        print(f"  {key}: {health[key]}")
+    breaker = health["breaker"]
+    print(f"  breaker: {breaker['violations']}/{breaker['flows']} "
+          f"flows violated (threshold {breaker['threshold']}, "
+          f"tripped={breaker['tripped']})")
+    for site, count in sorted(health["site_errors"].items()):
+        print(f"  errors[{site}]: {count}")
+
+
+def fingerprint(lines: List[str]) -> str:
+    """The byte-identity fingerprint of a result-line stream."""
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.encode("utf-8", "surrogateescape"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def run_host_app(
+    args: argparse.Namespace,
+    prog: str,
+    make_app: Callable[[argparse.Namespace, PipelineServices], HostApp],
+    make_spec: Callable[[argparse.Namespace], LaneSpec],
+    results_name: str = "results.log",
+    summarize: Optional[Callable[[Dict], str]] = None,
+) -> int:
+    """The generic driver main: run *make_app*'s application over the
+    trace (sequentially or flow-parallel), write the sorted result lines
+    and any armed telemetry reports into ``--logdir``, print the shared
+    summary.  Returns the process exit code."""
+    telemetry = Telemetry(metrics=args.metrics, trace=args.trace_flows)
+    if args.parallel:
+        if args.inject:
+            raise SystemExit(
+                f"{prog}: --inject is sequential-only (the injector's "
+                "per-site random streams diverge across lanes)")
+        pipe = ParallelPipeline(
+            make_spec(args),
+            workers=args.workers,
+            vthreads=args.vthreads,
+            backend=args.backend,
+            telemetry=telemetry,
+        )
+        stats = pipe.run_pcap(args.read, tolerant=args.tolerant_pcap)
+        lines = pipe.result_lines()
+        writers = pipe
+    else:
+        services = PipelineServices(
+            faults=parse_injections(args.inject, args.fault_seed, prog),
+            watchdog_budget=args.watchdog,
+            telemetry=telemetry,
+        )
+        app = make_app(args, services)
+        writers = Pipeline(app)
+        stats = writers.run_pcap(args.read, tolerant=args.tolerant_pcap)
+        lines = sorted(app.result_lines())
+
+    _os.makedirs(args.logdir, exist_ok=True)
+    results_path = _os.path.join(args.logdir, results_name)
+    with open(results_path, "w") as stream:
+        for line in lines:
+            stream.write(line + "\n")
+
+    extra = summarize(stats) if summarize is not None else ""
+    print(f"processed {stats['packets']} packets{extra}")
+    if args.parallel:
+        print(f"  parallel: {stats['lanes']} lanes on "
+              f"{stats['workers']} {stats['backend']} workers "
+              f"({stats['vthreads']} vthreads)")
+    print(f"  {results_path}: {len(lines)} lines")
+    print(f"  fingerprint: sha256:{fingerprint(lines)}")
+    if args.stats:
+        for key in ("parsing_ns", "script_ns", "glue_ns", "other_ns"):
+            print(f"  {key[:-3]:>8}: {stats[key] / 1e6:10.2f} ms")
+    if args.metrics or args.trace_flows:
+        for path in writers.write_telemetry(args.logdir):
+            print(f"  wrote {path}")
+    if args.cpu_breakdown:
+        import json as _json
+
+        path = _os.path.join(args.logdir, "cpu_breakdown.json")
+        report = writers.cpu_breakdown()
+        with open(path, "w") as stream:
+            _json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"  wrote {path}")
+        print("cpu breakdown:")
+        for name in ("parsing", "script", "glue", "other"):
+            entry = report["components"][name]
+            print(f"  {name:>8}: {entry['share']:6.2f}% "
+                  f"({entry['ns'] / 1e6:.2f} ms)")
+    if args.health:
+        print_health(stats["health"])
+    return 0

@@ -1,0 +1,167 @@
+"""Generic flow demultiplexing + TCP reassembly for host applications.
+
+The slice of Bro's connection tracker every other host app needs: frames
+parse to 5-tuples, each flow gets one handler from an app-provided
+factory, TCP payload arrives in stream order through a
+:class:`~repro.net.reassembly.ConnectionReassembler`, UDP payload is
+delivered per datagram.  The BinPAC++ driver (``repro.apps.binpac.app``)
+runs its per-flow parse sessions on top of this.
+
+Handler protocol (all optional but ``data``/``datagram``):
+
+* ``data(is_originator, payload)`` — contiguous TCP stream bytes;
+* ``datagram(is_originator, payload)`` — one UDP datagram's payload;
+* ``end()`` — flow closed (TCP teardown or end of trace).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..net.flows import FiveTuple, flow_of_frame
+from ..net.packet import PROTO_TCP, PacketError, parse_ethernet
+from ..net.reassembly import ConnectionReassembler, StreamReassembler
+
+__all__ = ["FlowDemux"]
+
+
+class _Flow:
+    __slots__ = ("handler", "originator", "reassembler", "closed")
+
+    def __init__(self, handler, originator: Tuple):
+        self.handler = handler
+        self.originator = originator
+        self.reassembler: Optional[ConnectionReassembler] = None
+        self.closed = False
+
+
+class FlowDemux:
+    """A per-flow handler table over raw Ethernet frames.
+
+    *factory* is called once per new flow as ``factory(flow)`` with the
+    first packet's :class:`FiveTuple` (src = originator); returning
+    ``None`` ignores the flow.  ``feed(frame)`` routes one frame;
+    ``finish()`` closes every open flow.
+    """
+
+    def __init__(self, factory,
+                 max_pending_bytes: int =
+                 StreamReassembler.DEFAULT_MAX_PENDING):
+        self._factory = factory
+        self._max_pending = max_pending_bytes
+        self._flows: Dict[Tuple, _Flow] = {}
+        self.flows_opened = 0
+        self.flows_closed = 0
+        self.flows_ignored = 0
+        self.packets_ignored = 0
+        self._reassembly = {
+            "delivered_bytes": 0,
+            "gap_bytes": 0,
+            "overlap_bytes": 0,
+            "dropped_bytes": 0,
+        }
+
+    def open_flows(self) -> int:
+        return sum(1 for flow in self._flows.values() if not flow.closed)
+
+    # -- feeding -----------------------------------------------------------
+
+    def feed(self, frame: bytes) -> None:
+        """Route one Ethernet frame to its flow's handler."""
+        flow = flow_of_frame(frame)
+        if flow is None:
+            self.packets_ignored += 1
+            return
+        key = self._key(flow)
+        state = self._flows.get(key)
+        if state is None:
+            handler = self._factory(flow)
+            if handler is None:
+                self.flows_ignored += 1
+                self._flows[key] = state = _Flow(None, None)
+                state.closed = True
+            else:
+                self.flows_opened += 1
+                state = _Flow(handler, (flow.src.value, flow.src_port))
+                if flow.protocol == PROTO_TCP:
+                    state.reassembler = ConnectionReassembler(
+                        on_data=handler.data,
+                        on_close=lambda s=state: self._close(s),
+                        max_pending_bytes=self._max_pending,
+                    )
+                self._flows[key] = state
+        if state.handler is None or state.closed:
+            return
+        is_orig = (flow.src.value, flow.src_port) == state.originator
+        try:
+            __, transport = parse_ethernet(frame)
+        except PacketError:
+            self.packets_ignored += 1
+            return
+        if state.reassembler is not None:
+            state.reassembler.feed_segment(is_orig, transport)
+        elif transport is not None and transport.payload:
+            state.handler.datagram(is_orig, transport.payload)
+
+    def finish(self) -> None:
+        """End of trace: close every flow still open."""
+        for state in self._flows.values():
+            self._close(state)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _key(flow: FiveTuple) -> Tuple:
+        canonical = flow.canonical()
+        return (
+            (canonical.src.value, canonical.src_port),
+            (canonical.dst.value, canonical.dst_port),
+            canonical.protocol,
+        )
+
+    def _close(self, state: _Flow) -> None:
+        if state.closed:
+            return
+        state.closed = True
+        if state.reassembler is not None:
+            stats = state.reassembler.stats()
+            for name in self._reassembly:
+                self._reassembly[name] += stats[name]
+        if state.handler is not None:
+            end = getattr(state.handler, "end", None)
+            if end is not None:
+                end()
+        self.flows_closed += 1
+
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Occupancy and reassembly accounting (telemetry export)."""
+        out = {
+            "flows_opened": self.flows_opened,
+            "flows_closed": self.flows_closed,
+            "flows_ignored": self.flows_ignored,
+            "packets_ignored": self.packets_ignored,
+            "flows_open": self.open_flows(),
+            "pending_bytes": sum(
+                state.reassembler.stats()["pending_bytes"]
+                for state in self._flows.values()
+                if state.reassembler is not None and not state.closed
+            ),
+        }
+        out.update(self._reassembly)
+        return out
+
+    def export_metrics(self, registry, label: str = "demux") -> None:
+        """Publish the snapshot into a telemetry MetricsRegistry."""
+        stats = self.stats()
+        for name in ("flows_opened", "flows_closed", "flows_ignored",
+                     "packets_ignored"):
+            registry.counter(f"demux.{name}", table=label).inc(stats[name])
+        registry.gauge("demux.flows_open", table=label).set(
+            stats["flows_open"])
+        registry.gauge("reassembly.pending_bytes").set(
+            stats["pending_bytes"])
+        for name in ("delivered_bytes", "gap_bytes", "overlap_bytes",
+                     "dropped_bytes"):
+            registry.counter(f"reassembly.{name}").inc(stats[name])

@@ -1,0 +1,545 @@
+"""Flow-parallel drive of any :class:`HostApp` on the vthread scheduler.
+
+The paper's concurrency model (section 3.2), generalized from the Bro
+exemplar to the whole substrate: packets hash to virtual threads, each
+vthread's lane runs one isolated app instance, and no lane touches
+another lane's state.  Three drive backends execute the same dispatch
+plan:
+
+* ``vthread`` — the deterministic differential oracle
+  (``Scheduler.run_until_idle`` on one OS thread);
+* ``threaded`` — the same jobs on real ``threading`` workers;
+* ``process`` — a ``multiprocessing`` fan-out, one subprocess per
+  worker, results reduced at join.
+
+What varies per application lives in a picklable :class:`LaneSpec`: how
+to build a lane (``make_lane``), how to harvest it (``lane_result``),
+how packets map to flows and vthreads (``flow_of`` / ``key_of`` /
+``place`` — the firewall shards by host *pair* instead of 5-tuple so its
+dynamic-rule state stays lane-local), and how per-flow uids are
+pre-assigned in global arrival order (``uid_format``).
+
+Output determinism is the load-bearing property: merged result lines are
+sorted lexicographically, so the merge is a pure function of content,
+never of worker interleaving — byte-identical to the sequential
+pipeline.  See ``docs/PARALLELISM.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os as _os
+import time as _time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.values import Time
+from ..net.flows import FiveTuple, flow_of_frame, placement
+from ..runtime.telemetry import Telemetry
+from ..runtime.threads import Scheduler
+
+__all__ = [
+    "LaneSpec",
+    "ParallelPipeline",
+    "dispatch_plan",
+    "flow_key",
+    "merge_health",
+]
+
+_BACKENDS = ("vthread", "threaded", "process")
+
+
+def flow_key(flow: FiveTuple) -> Tuple:
+    """The canonical per-connection key, exactly as Bro's
+    ``ConnectionTracker`` builds it — the dispatcher and the lanes must
+    agree byte-for-byte so pre-assigned uids resolve."""
+    canonical = flow.canonical()
+    return (
+        (canonical.src.value, canonical.src_port),
+        (canonical.dst.value, canonical.dst_port),
+        canonical.protocol,
+    )
+
+
+class LaneSpec:
+    """Picklable description of one application's parallel lanes."""
+
+    #: Metrics namespace of the app (used by the generic merge to repair
+    #: the per-component CPU gauges after summing lanes).
+    app_name = "app"
+
+    #: ``None`` (no uid pre-assignment) or a callable ``serial -> str``.
+    uid_format = None
+
+    # -- flow placement (the Bro defaults; apps may reshard) --------------
+
+    def flow_of(self, frame: bytes):
+        """The frame's flow, or ``None`` for stray frames (lane 0)."""
+        return flow_of_frame(frame)
+
+    def key_of(self, flow) -> Tuple:
+        """The state-locality key lanes shard by."""
+        return flow_key(flow)
+
+    def place(self, flow, vthreads: int, workers: int) -> int:
+        """First-sight placement: the flow's vthread id."""
+        vid, __ = placement(flow, vthreads, workers)
+        return vid
+
+    # -- lane lifecycle ---------------------------------------------------
+
+    def make_lane(self, uid_map: Dict):
+        """Build one isolated app instance (a :class:`HostApp`)."""
+        raise NotImplementedError
+
+    def lane_result(self, app) -> Dict:
+        """Everything the merge needs from one finished lane, as plain
+        data (the process backend sends this through a pipe)."""
+        tracer = app.telemetry.tracer
+        return {
+            "lines": app.result_lines(),
+            "stats": dict(app.stats),
+            "metrics": (app.telemetry.metrics.collect()
+                        if app.telemetry.enabled else None),
+            "trace_roots": ([root.to_dict() for root in tracer.roots]
+                            if tracer.enabled else None),
+        }
+
+
+def dispatch_plan(
+    packets: Iterable[Tuple[Time, bytes]], vthreads: int, workers: int,
+    spec: Optional[LaneSpec] = None,
+) -> Tuple[List[Tuple[int, int, bytes]], Dict[Tuple, str]]:
+    """One pass over the trace: per-packet vthread placement plus the
+    global uid pre-assignment.
+
+    Returns ``(jobs, uid_map)`` where *jobs* is ``(vid, nanos, frame)``
+    per packet (frames with no flow ride on vthread 0, where the lane
+    counts them exactly like the sequential pipeline) and *uid_map*
+    assigns each flow key the uid the sequential run's counter would
+    have produced — allocated in first-packet arrival order.
+    """
+    spec = spec if spec is not None else LaneSpec()
+    jobs: List[Tuple[int, int, bytes]] = []
+    uid_map: Dict[Tuple, str] = {}
+    vids: Dict[Tuple, int] = {}
+    serial = 0
+    for timestamp, frame in packets:
+        flow = spec.flow_of(frame)
+        if flow is None:
+            jobs.append((0, timestamp.nanos, frame))
+            continue
+        key = spec.key_of(flow)
+        vid = vids.get(key)
+        if vid is None:
+            vid = spec.place(flow, vthreads, workers)
+            vids[key] = vid
+            serial += 1
+            if spec.uid_format is not None:
+                uid_map[key] = spec.uid_format(serial)
+        jobs.append((vid, timestamp.nanos, frame))
+    return jobs, uid_map
+
+
+def merge_health(reports: List[Dict]) -> Dict:
+    """Reduce per-lane HealthReport dicts into one."""
+    merged = {
+        "flows_quarantined": 0,
+        "records_skipped": 0,
+        "watchdog_trips": 0,
+        "injected_faults": 0,
+        "tier_fallback": False,
+        "breaker": {"flows": 0, "violations": 0,
+                    "threshold": None, "tripped": False},
+        "site_errors": {},
+    }
+    for report in reports:
+        for key in ("flows_quarantined", "records_skipped",
+                    "watchdog_trips", "injected_faults"):
+            merged[key] += report[key]
+        merged["tier_fallback"] = (
+            merged["tier_fallback"] or report["tier_fallback"])
+        breaker = report["breaker"]
+        merged["breaker"]["flows"] += breaker["flows"]
+        merged["breaker"]["violations"] += breaker["violations"]
+        if merged["breaker"]["threshold"] is None:
+            merged["breaker"]["threshold"] = breaker["threshold"]
+        merged["breaker"]["tripped"] = (
+            merged["breaker"]["tripped"] or breaker["tripped"])
+        for site, count in report["site_errors"].items():
+            merged["site_errors"][site] = (
+                merged["site_errors"].get(site, 0) + count)
+    return merged
+
+
+# --------------------------------------------------------------------------
+# Lanes: one isolated app instance per vthread (or per process worker)
+# --------------------------------------------------------------------------
+
+
+class _LaneProgram:
+    """Adapts per-flow packet analysis to the scheduler's program
+    interface: contexts are app lanes, jobs are packets."""
+
+    def __init__(self, spec: LaneSpec, uid_map: Dict):
+        self._spec = spec
+        self._uid_map = uid_map
+
+    def make_context(self, vthread_id: int):
+        lane = self._spec.make_lane(self._uid_map)
+        lane.on_begin()
+        return lane
+
+    def init_context(self, lane) -> None:
+        pass
+
+    def call(self, lane, function: str, args: List) -> None:
+        if function != "packet":
+            raise ValueError(f"unknown lane job {function!r}")
+        nanos, frame = args
+        lane.on_packet(Time.from_nanos(nanos), frame)
+
+
+def _process_worker(conn, spec: LaneSpec, shard, uid_map: Dict) -> None:
+    """Subprocess body: run one lane over one flow shard, ship the
+    result back through the pipe.  *shard* is either an in-memory list
+    of ``(nanos, frame)`` or a path to a pcap shard file."""
+    try:
+        lane = spec.make_lane(uid_map)
+        lane.on_begin()
+        if isinstance(shard, str):
+            from ..net.pcap import PcapReader
+
+            with PcapReader(shard) as reader:
+                for timestamp, frame in reader:
+                    lane.on_packet(timestamp, frame)
+        else:
+            for nanos, frame in shard:
+                lane.on_packet(Time.from_nanos(nanos), frame)
+        lane.on_end()
+        conn.send(spec.lane_result(lane))
+    except BaseException as error:  # surface the failure to the parent
+        try:
+            conn.send({"error": repr(error)})
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------
+# The parallel driver
+# --------------------------------------------------------------------------
+
+
+class ParallelPipeline:
+    """A flow-parallel run of one app: same analysis, N isolated lanes.
+
+    *workers* is the hardware parallelism, *vthreads* the virtual-thread
+    supply (defaults to ``4 * workers``), *backend* one of ``vthread``,
+    ``threaded``, ``process``.  The deterministic fault injector is
+    intentionally not plumbed through — its per-site random streams are
+    sequential by construction and would diverge per lane.
+    """
+
+    #: Gauge series whose lane-merge takes the max instead of the sum.
+    GAUGE_MERGE: Dict[str, str] = {"health.breaker_tripped": "max"}
+
+    def __init__(
+        self,
+        spec: LaneSpec,
+        workers: int = 4,
+        vthreads: Optional[int] = None,
+        backend: str = "process",
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        if workers < 1:
+            raise ValueError("parallel pipeline needs at least one worker")
+        self.spec = spec
+        self.workers = workers
+        self.vthreads = vthreads if vthreads is not None else 4 * workers
+        if self.vthreads < workers:
+            raise ValueError("vthreads must be >= workers")
+        self.backend = backend
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.stats: Dict[str, object] = {}
+        self.scheduler: Optional[Scheduler] = None
+        self._results: List[Dict] = []
+        self._lines: List[str] = []
+        self._trace_roots: List[Dict] = []
+        self._pcap_stats: Dict[str, int] = {}
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, packets: Iterable[Tuple[Time, bytes]]) -> Dict:
+        """Process a trace across all lanes; returns the merged stats."""
+        begin = _time.perf_counter_ns()
+        jobs, uid_map = dispatch_plan(packets, self.vthreads, self.workers,
+                                      spec=self.spec)
+        if self.backend == "process":
+            self._run_process(jobs, uid_map)
+        else:
+            self._run_scheduler(jobs, uid_map,
+                                threaded=self.backend == "threaded")
+        self._merge(_time.perf_counter_ns() - begin)
+        return self.stats
+
+    def run_pcap(self, path: str, tolerant: bool = False,
+                 shard_dir: Optional[str] = None) -> Dict:
+        """Drive the lanes from a pcap trace.
+
+        With *shard_dir* (process backend only) the trace is fanned out
+        into per-worker pcap shard files which the workers read
+        themselves — the scalable route for traces that should not live
+        in the parent's memory twice.
+        """
+        from ..net.pcap import PcapReader
+
+        if shard_dir is not None and self.backend != "process":
+            raise ValueError("pcap sharding requires the process backend")
+        begin = _time.perf_counter_ns()
+        with PcapReader(path, tolerant=tolerant) as reader:
+            jobs, uid_map = dispatch_plan(reader, self.vthreads,
+                                          self.workers, spec=self.spec)
+            self._pcap_stats = {
+                "records_read": reader.packets_read,
+                "records_skipped": reader.records_skipped,
+                "resyncs": reader.resyncs,
+            }
+        if shard_dir is not None:
+            shards = self._write_shards(jobs, shard_dir)
+            self._run_process(jobs, uid_map, shard_paths=shards)
+        elif self.backend == "process":
+            self._run_process(jobs, uid_map)
+        else:
+            self._run_scheduler(jobs, uid_map,
+                                threaded=self.backend == "threaded")
+        self._merge(_time.perf_counter_ns() - begin)
+        skipped = self._pcap_stats["records_skipped"]
+        if skipped:
+            self.stats["health"]["records_skipped"] += skipped
+        return self.stats
+
+    def _write_shards(self, jobs, shard_dir: str) -> List[str]:
+        """Fan the dispatch plan out into per-worker pcap shard files."""
+        from ..net.pcap import PcapWriter
+
+        _os.makedirs(shard_dir, exist_ok=True)
+        paths = [_os.path.join(shard_dir, f"shard-{i:03d}.pcap")
+                 for i in range(self.workers)]
+        writers = [PcapWriter(p, nanos=True) for p in paths]
+        try:
+            for vid, nanos, frame in jobs:
+                writers[vid % self.workers].write(
+                    Time.from_nanos(nanos), frame)
+        finally:
+            for writer in writers:
+                writer.close()
+        return paths
+
+    def _run_scheduler(self, jobs, uid_map, threaded: bool) -> None:
+        """In-process backends: packet jobs on the vthread scheduler."""
+        program = _LaneProgram(self.spec, uid_map)
+        scheduler = Scheduler(program, workers=self.workers)
+        # Lane 0 always exists: it owns stray frames and guarantees any
+        # per-lane lifecycle work runs at least once on an empty trace.
+        scheduler.context_for(0)
+        for vid, nanos, frame in jobs:
+            scheduler.schedule(vid, "packet", (nanos, frame))
+        if threaded:
+            scheduler.run_threaded()
+        else:
+            scheduler.run_until_idle()
+        self.scheduler = scheduler
+        contexts = scheduler.contexts()
+        results = []
+        for vid in sorted(contexts):
+            lane = contexts[vid]
+            lane.on_end()
+            results.append(self.spec.lane_result(lane))
+        self._results = results
+
+    def _run_process(self, jobs, uid_map,
+                     shard_paths: Optional[List[str]] = None) -> None:
+        """The multiprocessing backend: one subprocess per worker."""
+        if shard_paths is None:
+            shards: List[List[Tuple[int, bytes]]] = [
+                [] for __ in range(self.workers)
+            ]
+            for vid, nanos, frame in jobs:
+                shards[vid % self.workers].append((nanos, frame))
+        else:
+            shards = shard_paths  # type: ignore[assignment]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        procs = []
+        pipes = []
+        for index in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_process_worker,
+                args=(child_conn, self.spec, shards[index], uid_map),
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            pipes.append(parent_conn)
+        results = []
+        failures = []
+        for index, (proc, conn) in enumerate(zip(procs, pipes)):
+            try:
+                result = conn.recv()
+            except EOFError:
+                result = {"error": "worker died before reporting"}
+            finally:
+                conn.close()
+            if "error" in result:
+                failures.append(f"worker {index}: {result['error']}")
+            else:
+                results.append(result)
+        for proc in procs:
+            proc.join()
+        if failures:
+            raise RuntimeError(
+                "parallel workers failed: " + "; ".join(failures))
+        self._results = results
+
+    # -- the ordered merge --------------------------------------------------
+
+    def _merge(self, total_ns: int) -> None:
+        """Reduce per-lane results into one deterministic report: result
+        lines merge by lexicographic sort, integer stats sum, the health
+        reports reduce, per-lane metric registries merge."""
+        results = self._results
+        lanes = len(results)
+
+        lines: List[str] = []
+        for result in results:
+            lines.extend(result["lines"])
+        lines.sort()
+        self._lines = lines
+
+        def stat_sum(key):
+            return sum(int(r["stats"].get(key, 0)) for r in results)
+
+        parsing_ns = stat_sum("parsing_ns")
+        script_ns = stat_sum("script_ns")
+        glue_ns = stat_sum("glue_ns")
+        self.stats = {
+            "app": self.spec.app_name,
+            "total_ns": total_ns,
+            "parsing_ns": parsing_ns,
+            "script_ns": script_ns,
+            "glue_ns": glue_ns,
+            "other_ns": max(
+                0, total_ns - parsing_ns - script_ns - glue_ns),
+            "packets": stat_sum("packets"),
+            "health": merge_health(
+                [r["stats"]["health"] for r in results]),
+            "backend": self.backend,
+            "workers": self.workers,
+            "vthreads": self.vthreads,
+            "lanes": lanes,
+            "scheduler_errors": (
+                len(self.scheduler.errors) if self.scheduler else 0
+            ),
+        }
+        # Application counters (integer-valued app_stats entries) sum
+        # across lanes; non-numeric entries pass through from lane 0.
+        fixed = set(self.stats) | {"total_ns", "other_ns"}
+        for result in results:
+            for key, value in result["stats"].items():
+                if key in fixed:
+                    continue
+                if isinstance(value, bool) or not isinstance(value, int):
+                    self.stats.setdefault(key, value)
+                else:
+                    self.stats[key] = int(self.stats.get(key, 0)) + value
+        if self.telemetry.enabled:
+            self._merge_metrics(results, lanes)
+        self._trace_roots = []
+        for result in results:
+            if result.get("trace_roots"):
+                self._trace_roots.extend(result["trace_roots"])
+
+    def _merge_metrics(self, results: List[Dict], lanes: int) -> None:
+        """Reduce per-lane registries, then repair the series whose
+        lane-sum is not the sequential semantic: the per-component CPU
+        gauges (total is this run's wall clock, other its remainder) and
+        the parent-side pcap counters."""
+        metrics = self.telemetry.metrics
+        for result in results:
+            if result["metrics"]:
+                metrics.merge_series(result["metrics"],
+                                     gauge_merge=self.GAUGE_MERGE)
+        name = self.spec.app_name
+        for component in ("parsing", "script", "glue", "other", "total"):
+            metrics.gauge(f"{name}.cpu_ns", component=component).set(
+                int(self.stats[f"{component}_ns"]))
+        for key, value in self._pcap_stats.items():
+            metrics.counter(f"pcap.{key}").inc(value)
+
+    # -- results ------------------------------------------------------------
+
+    def result_lines(self) -> List[str]:
+        """The deterministically merged result lines."""
+        return list(self._lines)
+
+    def cpu_breakdown(self, config: Optional[Dict] = None) -> Dict:
+        from ..runtime.telemetry import cpu_breakdown_report
+
+        if not self.stats:
+            raise RuntimeError("cpu_breakdown() requires a completed run")
+        if config is None:
+            config = {
+                "app": self.spec.app_name,
+                "backend": self.backend,
+                "workers": self.workers,
+            }
+        return cpu_breakdown_report(self.stats, config=config)
+
+    def write_telemetry(self, logdir: str,
+                        meta: Optional[Dict] = None) -> List[str]:
+        """Emit the merged reporting files (``metrics.jsonl``,
+        ``stats.log``, and ``flows.jsonl`` when tracing was armed).
+        Per-function profiler dumps stay per-lane and are not merged."""
+        import json as _json
+
+        from .pipeline import write_metrics_jsonl, write_stats_log
+
+        _os.makedirs(logdir, exist_ok=True)
+        written: List[str] = []
+        if meta is None:
+            meta = {
+                "app": self.spec.app_name,
+                "backend": self.backend,
+                "workers": self.workers,
+                "vthreads": self.vthreads,
+            }
+        written.append(write_metrics_jsonl(
+            _os.path.join(logdir, "metrics.jsonl"),
+            self.telemetry.metrics, meta=meta))
+        sections = {
+            "parallel": {
+                "backend": self.backend,
+                "workers": self.workers,
+                "vthreads": self.vthreads,
+                "lanes": self.stats.get("lanes", 0),
+            },
+        }
+        written.append(write_stats_log(
+            _os.path.join(logdir, "stats.log"), self.stats, sections))
+        if self._trace_roots:
+            path = _os.path.join(logdir, "flows.jsonl")
+            lines = sorted(
+                _json.dumps(root, sort_keys=True)
+                for root in self._trace_roots
+            )
+            with open(path, "w") as stream:
+                for line in lines:
+                    stream.write(line + "\n")
+            written.append(path)
+        return written

@@ -1,0 +1,184 @@
+"""The sequential pipeline: pcap ingest driving one :class:`HostApp`.
+
+Owns everything between the trace file and the app callbacks — the
+tolerant pcap reader with skip/resync accounting, the ``pcap.record``
+fault-injection point, the robustness counters the exporter publishes —
+plus the unified telemetry file emitters (``metrics.jsonl``,
+``stats.log``, ``prof.log``, ``flows.jsonl``, ``cpu_breakdown.json``)
+that every host application shares.
+
+Extracted from ``repro.apps.bro.main`` (which now delegates here); the
+BPF filter, firewall, and BinPAC++ drivers get the identical ingest and
+reporting for free.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import os as _os
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.exceptions import HiltiError
+from ..runtime.faults import SITE_PCAP_RECORD
+from ..runtime.telemetry import cpu_breakdown_report, render_stats_log
+from .app import HostApp
+
+__all__ = [
+    "Pipeline",
+    "write_flows_jsonl",
+    "write_metrics_jsonl",
+    "write_prof_log",
+    "write_stats_log",
+]
+
+
+# --------------------------------------------------------------------------
+# Shared telemetry file emitters
+# --------------------------------------------------------------------------
+
+
+def write_metrics_jsonl(path: str, registry, meta: Optional[Dict] = None,
+                        ) -> str:
+    """Dump a MetricsRegistry as schema-tagged JSON lines."""
+    with open(path, "w") as stream:
+        registry.emit_jsonl(stream, meta=meta)
+    return path
+
+
+def write_stats_log(path: str, stats: Dict,
+                    sections: Optional[Dict[str, Dict]] = None) -> str:
+    """Render the human-readable run summary."""
+    with open(path, "w") as stream:
+        stream.write(render_stats_log(stats, sections))
+    return path
+
+
+def write_prof_log(path: str, contexts: List[Tuple[str, object]]) -> str:
+    """Dump every execution context's profilers, labeled."""
+    with open(path, "w") as stream:
+        for label, ctx in contexts:
+            stream.write(f"# context {label}\n")
+            ctx.profilers.dump(stream)
+    return path
+
+
+def write_flows_jsonl(path: str, tracer) -> str:
+    """Dump the tracer's per-flow span trees as JSON lines."""
+    with open(path, "w") as stream:
+        tracer.emit_jsonl(stream)
+    return path
+
+
+# --------------------------------------------------------------------------
+# The sequential pipeline
+# --------------------------------------------------------------------------
+
+
+class Pipeline:
+    """Drive one :class:`HostApp` over a packet source."""
+
+    def __init__(self, app: HostApp):
+        self.app = app
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, packets) -> Dict:
+        """Process an iterable of ``(Time, frame)``; returns app stats."""
+        return self.app.run(packets)
+
+    def _pcap_records(self, reader):
+        """Iterate trace records through the ``pcap.record`` injection
+        point; a fault there skips the record like a corrupt one in
+        tolerant mode.  The reader's final counters land in
+        ``services.pcap_stats`` (in place — the exporter and any aliases
+        keep seeing them) once the generator is exhausted, which happens
+        before the run takes its totals."""
+        services = self.app.services
+        for record in reader:
+            try:
+                services.faults.check(SITE_PCAP_RECORD)
+            except HiltiError:
+                services.health.record_error(SITE_PCAP_RECORD)
+                services.health.records_skipped += 1
+                continue
+            yield record
+        services.pcap_stats.clear()
+        services.pcap_stats.update({
+            "records_read": reader.packets_read,
+            "records_skipped": reader.records_skipped,
+            "resyncs": reader.resyncs,
+        })
+
+    def run_pcap(self, path: str, tolerant: bool = False) -> Dict:
+        """Drive the app from a pcap trace file."""
+        from ..net.pcap import PcapReader
+
+        services = self.app.services
+        with PcapReader(path, tolerant=tolerant) as reader:
+            stats = self.run(self._pcap_records(reader))
+            skipped = reader.records_skipped
+        if skipped:
+            services.health.records_skipped += skipped
+        stats["health"] = services.health.as_dict(services.faults)
+        return stats
+
+    # -- reporting ---------------------------------------------------------
+
+    def cpu_breakdown(self, config: Optional[Dict] = None) -> Dict:
+        """The Figures 9/10 machine-readable report for the last run."""
+        if not self.app.stats:
+            raise RuntimeError("cpu_breakdown() requires a completed run")
+        if config is None:
+            config = {"app": self.app.name}
+        return cpu_breakdown_report(self.app.stats, config=config)
+
+    def write_cpu_breakdown(self, path: str,
+                            config: Optional[Dict] = None) -> Dict:
+        report = self.cpu_breakdown(config)
+        with open(path, "w") as stream:
+            _json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return report
+
+    def write_telemetry(self, logdir: str,
+                        meta: Optional[Dict] = None,
+                        sections: Optional[Dict[str, Dict]] = None,
+                        ) -> List[str]:
+        """Emit the reporting layer's files into *logdir*; returns the
+        paths written.  ``prof.log`` appears when the app drove HILTI
+        execution contexts, ``flows.jsonl`` when tracing was armed."""
+        app = self.app
+        _os.makedirs(logdir, exist_ok=True)
+        written: List[str] = []
+        if meta is None:
+            meta = {"app": app.name}
+        written.append(write_metrics_jsonl(
+            _os.path.join(logdir, "metrics.jsonl"),
+            app.telemetry.metrics, meta=meta))
+        if sections is None:
+            sections = {}
+            health = app.stats.get("health") if app.stats else None
+            if health:
+                sections["health"] = {
+                    key: health[key]
+                    for key in ("flows_quarantined", "records_skipped",
+                                "watchdog_trips", "injected_faults")
+                    if key in health
+                }
+            engines = {
+                f"{label}.instructions": ctx.instr_count
+                for label, ctx in app.engine_contexts()
+            }
+            if engines:
+                sections["engine"] = engines
+        written.append(write_stats_log(
+            _os.path.join(logdir, "stats.log"), app.stats, sections))
+        contexts = list(app.engine_contexts())
+        if contexts:
+            written.append(write_prof_log(
+                _os.path.join(logdir, "prof.log"), contexts))
+        if app.telemetry.tracer.enabled:
+            written.append(write_flows_jsonl(
+                _os.path.join(logdir, "flows.jsonl"),
+                app.telemetry.tracer))
+        return written

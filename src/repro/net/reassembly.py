@@ -185,6 +185,23 @@ class StreamReassembler:
             self._next_seq = (self._next_seq + len(chunk)) % _SEQ_MOD
         return b"".join(chunks)
 
+    # -- telemetry ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One direction's accounting — the uniform telemetry shape
+        (same keys as :meth:`ConnectionReassembler.stats`)."""
+        return {
+            "delivered_bytes": self.delivered_bytes,
+            "pending_bytes": self._pending_bytes,
+            "gap_bytes": self.gap_bytes,
+            "overlap_bytes": self.overlap_bytes,
+            "dropped_bytes": self.dropped_bytes,
+        }
+
+    def export_metrics(self, registry, label: str = "stream") -> None:
+        """Publish the snapshot into a telemetry MetricsRegistry."""
+        _export_reassembly(registry, self.stats(), label)
+
 
 class ConnectionReassembler:
     """Both directions of a TCP connection with event callbacks.
@@ -281,3 +298,18 @@ class ConnectionReassembler:
             out["overlap_bytes"] += stream.overlap_bytes
             out["dropped_bytes"] += stream.dropped_bytes
         return out
+
+    def export_metrics(self, registry, label: str = "connection") -> None:
+        """Publish the snapshot into a telemetry MetricsRegistry."""
+        _export_reassembly(registry, self.stats(), label)
+
+
+def _export_reassembly(registry, stats: dict, label: str) -> None:
+    """The uniform reassembly series shape (shared with the host-layer
+    demux): ``pending_bytes`` is a gauge, the rest are counters."""
+    registry.gauge("reassembly.pending_bytes", stream=label).set(
+        stats["pending_bytes"])
+    for name in ("delivered_bytes", "gap_bytes", "overlap_bytes",
+                 "dropped_bytes"):
+        registry.counter(f"reassembly.{name}", stream=label).inc(
+            stats[name])

@@ -36,11 +36,17 @@ from .pcap import write_pcap
 __all__ = [
     "HttpTraceConfig",
     "DnsTraceConfig",
+    "SshTraceConfig",
+    "TftpTraceConfig",
     "generate_http_trace",
     "generate_dns_trace",
+    "generate_ssh_trace",
+    "generate_tftp_trace",
     "generate_mixed_trace",
     "write_http_trace",
     "write_dns_trace",
+    "write_ssh_trace",
+    "write_tftp_trace",
 ]
 
 _MSS = 1460
@@ -487,6 +493,234 @@ def generate_dns_trace(config: Optional[DnsTraceConfig] = None
 
 
 # ==========================================================================
+# SSH
+# ==========================================================================
+
+
+class SshTraceConfig:
+    """Knobs for the synthetic SSH (TCP/22) banner workload."""
+
+    def __init__(
+        self,
+        seed: int = 3,
+        sessions: int = 80,
+        start_time: float = 1_400_200_000.0,
+        clients: int = 25,
+        servers: int = 6,
+        max_binary_packets: int = 6,
+        crud_fraction: float = 0.02,
+        packet_rate: float = 400.0,
+    ):
+        self.seed = seed
+        self.sessions = sessions
+        self.start_time = start_time
+        self.clients = clients
+        self.servers = servers
+        # Opaque (encrypted-looking) packets exchanged after the banner;
+        # the Figure 7(a) grammar only parses the banner line, the rest
+        # exercises the "parser is done, bytes keep flowing" path.
+        self.max_binary_packets = max_binary_packets
+        self.crud_fraction = crud_fraction
+        self.packet_rate = packet_rate
+
+
+_SSH_SOFTWARE = [
+    "OpenSSH_6.2", "OpenSSH_6.6.1p1", "OpenSSH_5.9p1",
+    "dropbear_2013.62", "libssh-0.6.3", "PuTTY_Release_0.63",
+]
+
+
+def generate_ssh_trace(config: Optional[SshTraceConfig] = None
+                       ) -> List[Tuple[Time, bytes]]:
+    """Synthesize an SSH banner-exchange trace; returns timestamped
+    frames.  Each session: handshake, server banner, client banner, a
+    few opaque binary packets, teardown.  Crud sessions send a line
+    without the ``SSH-`` magic — the Figure 7(a) grammar's error path.
+    """
+    config = config or SshTraceConfig()
+    rng = random.Random(config.seed)
+    clients = [Addr(f"10.30.{i // 250}.{i % 250 + 1}")
+               for i in range(config.clients)]
+    servers = [Addr(f"172.31.{i // 250}.{i % 250 + 1}")
+               for i in range(config.servers)]
+    timeline = _Timeline(rng, config.start_time, config.packet_rate)
+    frames: List[Tuple[Time, bytes]] = []
+    ident = [1]
+
+    def emit(src, dst, sport, dport, seq, ack, flags, payload=b""):
+        ident[0] += 1
+        frames.append((
+            timeline.next(),
+            build_tcp_packet(src, dst, sport, dport, seq, ack, flags,
+                             payload, identification=ident[0] & 0xFFFF),
+        ))
+
+    for __ in range(config.sessions):
+        client = rng.choice(clients)
+        server = rng.choice(servers)
+        sport = rng.randrange(1024, 65000)
+        state = _SessionState(rng, client, server, sport)
+
+        emit(client, server, sport, 22, state.client_seq, 0, SYN)
+        state.client_seq = (state.client_seq + 1) % (1 << 32)
+        emit(server, client, 22, sport, state.server_seq,
+             state.client_seq, SYN | ACK)
+        state.server_seq = (state.server_seq + 1) % (1 << 32)
+        emit(client, server, sport, 22, state.client_seq,
+             state.server_seq, ACK)
+
+        crud = rng.random() < config.crud_fraction
+        if crud:
+            server_banner = b"NOT-AN-SSH-SERVER\r\n"
+        else:
+            server_banner = (
+                f"SSH-2.0-{rng.choice(_SSH_SOFTWARE)}\r\n".encode("ascii"))
+        emit(server, client, 22, sport, state.server_seq,
+             state.client_seq, ACK | PSH, server_banner)
+        state.server_seq = (state.server_seq + len(server_banner)) % (1 << 32)
+
+        version = rng.choice(["2.0", "2.0", "2.0", "1.99"])
+        client_banner = (
+            f"SSH-{version}-{rng.choice(_SSH_SOFTWARE)}\r\n".encode("ascii"))
+        emit(client, server, sport, 22, state.client_seq,
+             state.server_seq, ACK | PSH, client_banner)
+        state.client_seq = (state.client_seq + len(client_banner)) % (1 << 32)
+
+        for packet_index in range(rng.randint(1, config.max_binary_packets)):
+            payload = _body_bytes(rng, rng.randint(32, 512))
+            if packet_index % 2 == 0:
+                emit(client, server, sport, 22, state.client_seq,
+                     state.server_seq, ACK | PSH, payload)
+                state.client_seq = (
+                    state.client_seq + len(payload)) % (1 << 32)
+            else:
+                emit(server, client, 22, sport, state.server_seq,
+                     state.client_seq, ACK | PSH, payload)
+                state.server_seq = (
+                    state.server_seq + len(payload)) % (1 << 32)
+
+        emit(client, server, sport, 22, state.client_seq,
+             state.server_seq, FIN | ACK)
+        state.client_seq = (state.client_seq + 1) % (1 << 32)
+        emit(server, client, 22, sport, state.server_seq,
+             state.client_seq, FIN | ACK)
+        state.server_seq = (state.server_seq + 1) % (1 << 32)
+        emit(client, server, sport, 22, state.client_seq,
+             state.server_seq, ACK)
+
+    return frames
+
+
+# ==========================================================================
+# TFTP
+# ==========================================================================
+
+
+class TftpTraceConfig:
+    """Knobs for the synthetic TFTP (UDP/69) workload."""
+
+    def __init__(
+        self,
+        seed: int = 4,
+        transfers: int = 120,
+        start_time: float = 1_400_300_000.0,
+        clients: int = 30,
+        servers: int = 3,
+        max_blocks: int = 5,
+        write_fraction: float = 0.2,
+        error_fraction: float = 0.06,
+        crud_fraction: float = 0.01,
+        packet_rate: float = 800.0,
+    ):
+        self.seed = seed
+        self.transfers = transfers
+        self.start_time = start_time
+        self.clients = clients
+        self.servers = servers
+        self.max_blocks = max_blocks
+        self.write_fraction = write_fraction
+        self.error_fraction = error_fraction
+        self.crud_fraction = crud_fraction
+        self.packet_rate = packet_rate
+
+
+_TFTP_FILES = [
+    "pxelinux.0", "boot/kernel.img", "config/sw1.cfg", "firmware.bin",
+    "initrd.gz", "backup/router.conf", "images/stage2",
+]
+_TFTP_BLOCK = 512
+
+
+def generate_tftp_trace(config: Optional[TftpTraceConfig] = None
+                        ) -> List[Tuple[Time, bytes]]:
+    """Synthesize a TFTP transfer trace; returns timestamped frames.
+
+    Each transfer: RRQ (or WRQ) to port 69, then the DATA/ACK lockstep
+    — the final DATA block runs short of 512 bytes, per RFC 1350.  The
+    server answers from port 69 rather than a fresh TID so the whole
+    transfer stays one 5-tuple flow for the demultiplexer (the
+    simplification is deliberate; the parser is TID-agnostic).  Error
+    transfers get ``ERROR(1, "File not found")``; crud transfers send
+    bytes that are not TFTP at all.
+    """
+    config = config or TftpTraceConfig()
+    rng = random.Random(config.seed)
+    clients = [Addr(f"10.40.{i // 250}.{i % 250 + 1}")
+               for i in range(config.clients)]
+    servers = [Addr(f"192.0.2.{i + 101}") for i in range(config.servers)]
+    timeline = _Timeline(rng, config.start_time, config.packet_rate)
+    frames: List[Tuple[Time, bytes]] = []
+    ident = [1]
+
+    def emit(src, dst, sport, dport, payload):
+        ident[0] += 1
+        frames.append((
+            timeline.next(),
+            build_udp_packet(src, dst, sport, dport, payload,
+                             identification=ident[0] & 0xFFFF),
+        ))
+
+    for __ in range(config.transfers):
+        client = rng.choice(clients)
+        server = rng.choice(servers)
+        sport = rng.randrange(1024, 65000)
+
+        if rng.random() < config.crud_fraction:
+            emit(client, server, sport, 69,
+                 bytes(rng.getrandbits(8)
+                       for _ in range(rng.randint(3, 30))))
+            continue
+
+        filename = rng.choice(_TFTP_FILES)
+        mode = rng.choice(["octet", "octet", "netascii", "OCTET"])
+        writing = rng.random() < config.write_fraction
+        opcode = 2 if writing else 1
+        request = struct.pack(">H", opcode) + filename.encode("ascii") + \
+            b"\x00" + mode.encode("ascii") + b"\x00"
+        emit(client, server, sport, 69, request)
+
+        if rng.random() < config.error_fraction:
+            error = struct.pack(">HH", 5, 1) + b"File not found\x00"
+            emit(server, client, 69, sport, error)
+            continue
+
+        blocks = rng.randint(1, config.max_blocks)
+        sender, receiver = ((client, server) if writing
+                            else (server, client))
+        sender_port, receiver_port = ((sport, 69) if writing
+                                      else (69, sport))
+        for block in range(1, blocks + 1):
+            size = (_TFTP_BLOCK if block < blocks
+                    else rng.randint(0, _TFTP_BLOCK - 1))
+            data = struct.pack(">HH", 3, block) + _body_bytes(rng, size)
+            emit(sender, receiver, sender_port, receiver_port, data)
+            ack = struct.pack(">HH", 4, block)
+            emit(receiver, sender, receiver_port, sender_port, ack)
+
+    return frames
+
+
+# ==========================================================================
 # Persistence helpers
 # ==========================================================================
 
@@ -494,14 +728,23 @@ def generate_dns_trace(config: Optional[DnsTraceConfig] = None
 def generate_mixed_trace(
     http: Optional[HttpTraceConfig] = None,
     dns: Optional[DnsTraceConfig] = None,
+    ssh: Optional[SshTraceConfig] = None,
+    tftp: Optional[TftpTraceConfig] = None,
 ) -> List[Tuple[Time, bytes]]:
-    """HTTP and DNS sessions interleaved on one timeline.
+    """HTTP and DNS sessions interleaved on one timeline — plus SSH and
+    TFTP when their configs are passed explicitly.
 
-    The workload the parallel-pipeline oracle runs on: both protocols,
-    many independent flows, fully deterministic given the two seeds.
-    Packets are merged in timestamp order (stable: HTTP first on ties).
+    The workload the parallel-pipeline oracle runs on: several
+    protocols, many independent flows, fully deterministic given the
+    seeds.  Packets are merged in timestamp order (stable: HTTP first
+    on ties).  SSH/TFTP default to absent so pre-existing two-protocol
+    traces stay byte-identical.
     """
     merged = generate_http_trace(http) + generate_dns_trace(dns)
+    if ssh is not None:
+        merged.extend(generate_ssh_trace(ssh))
+    if tftp is not None:
+        merged.extend(generate_tftp_trace(tftp))
     merged.sort(key=lambda record: record[0].nanos)
     return merged
 
@@ -516,3 +759,15 @@ def write_dns_trace(path: str,
                     config: Optional[DnsTraceConfig] = None) -> int:
     """Generate and write a DNS pcap; returns the packet count."""
     return write_pcap(path, generate_dns_trace(config))
+
+
+def write_ssh_trace(path: str,
+                    config: Optional[SshTraceConfig] = None) -> int:
+    """Generate and write an SSH pcap; returns the packet count."""
+    return write_pcap(path, generate_ssh_trace(config))
+
+
+def write_tftp_trace(path: str,
+                     config: Optional[TftpTraceConfig] = None) -> int:
+    """Generate and write a TFTP pcap; returns the packet count."""
+    return write_pcap(path, generate_tftp_trace(config))

@@ -93,5 +93,25 @@ class IOSource(Managed):
                 return
             yield item
 
+    # -- telemetry ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Ingest accounting — the uniform telemetry shape shared with
+        the session table, the reassembler, and the host-layer demux."""
+        return {
+            "records_read": getattr(self.reader, "packets_read", 0),
+            "records_skipped": self.records_skipped,
+            "resyncs": getattr(self.reader, "resyncs", 0),
+            "exhausted": int(self._exhausted),
+        }
+
+    def export_metrics(self, registry, label: str = "iosrc") -> None:
+        """Publish the snapshot into a telemetry MetricsRegistry."""
+        stats = self.stats()
+        for name in ("records_read", "records_skipped", "resyncs"):
+            registry.counter(f"pcap.{name}", source=label).inc(stats[name])
+        registry.gauge("iosrc.exhausted", source=label).set(
+            stats["exhausted"])
+
     def __repr__(self) -> str:
         return f"<IOSource {self.name!r}>"

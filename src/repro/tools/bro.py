@@ -34,37 +34,11 @@ import sys
 from ..apps.bro.main import Bro
 from ..apps.bro.parallel import ParallelBro
 from ..apps.bro.scripts import TRACK_SCRIPT
-from ..runtime.faults import FaultInjector, registered_sites
+from ..host.cli import parse_injections, print_health
+from ..runtime.faults import registered_sites
 from ..runtime.telemetry import Telemetry
 
 _BUNDLED = {"track.bro": TRACK_SCRIPT}
-
-
-def _parse_injections(specs, seed):
-    """``SITE=RATE`` pairs -> FaultInjector (None when no specs)."""
-    if not specs:
-        return None
-    sites = registered_sites()
-    rates = {}
-    for spec in specs:
-        site, sep, rate = spec.partition("=")
-        if not sep:
-            raise SystemExit(
-                f"bro: --inject expects SITE=RATE, got {spec!r}")
-        if site != "all" and site not in sites:
-            known = ", ".join(sorted(sites))
-            raise SystemExit(
-                f"bro: unknown injection site {site!r} (known: {known})")
-        try:
-            value = float(rate)
-        except ValueError:
-            raise SystemExit(f"bro: bad injection rate in {spec!r}")
-        if site == "all":
-            for name in sites:
-                rates.setdefault(name, value)
-        else:
-            rates[site] = value
-    return FaultInjector(seed=seed, rates=rates)
 
 
 def main(argv=None) -> int:
@@ -171,7 +145,8 @@ def main(argv=None) -> int:
             scripts=scripts,
             parsers=args.parsers,
             scripts_engine="hilti" if args.compile_scripts else "interp",
-            fault_injector=_parse_injections(args.inject, args.fault_seed),
+            fault_injector=parse_injections(args.inject, args.fault_seed,
+                                            prog="bro"),
             watchdog_budget=args.watchdog,
             telemetry=Telemetry(metrics=args.metrics,
                                 trace=args.trace_flows),
@@ -216,17 +191,7 @@ def main(argv=None) -> int:
             print(f"  {name:>8}: {entry['share']:6.2f}% "
                   f"({entry['ns'] / 1e6:.2f} ms)")
     if args.health:
-        health = stats["health"]
-        print("health:")
-        for key in ("flows_quarantined", "records_skipped",
-                    "watchdog_trips", "injected_faults", "tier_fallback"):
-            print(f"  {key}: {health[key]}")
-        breaker = health["breaker"]
-        print(f"  breaker: {breaker['violations']}/{breaker['flows']} "
-              f"flows violated (threshold {breaker['threshold']}, "
-              f"tripped={breaker['tripped']})")
-        for site, count in sorted(health["site_errors"].items()):
-            print(f"  errors[{site}]: {count}")
+        print_health(stats["health"])
     return 0
 
 

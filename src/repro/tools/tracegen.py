@@ -1,7 +1,9 @@
-"""trace-gen — write synthetic HTTP/DNS pcap traces.
+"""trace-gen — write synthetic HTTP/DNS/SSH/TFTP pcap traces.
 
     python -m repro.tools.tracegen http --sessions 200 -o http.pcap
     python -m repro.tools.tracegen dns  --queries 5000 -o dns.pcap
+    python -m repro.tools.tracegen ssh  --sessions 80  -o ssh.pcap
+    python -m repro.tools.tracegen tftp --transfers 120 -o tftp.pcap
 
 Malformation is controlled and reproducible: ``--crud-fraction`` sets
 the share of non-conforming sessions/messages, ``--reorder-fraction``
@@ -16,11 +18,17 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..net.pcap import write_pcap
 from ..net.tracegen import (
     DnsTraceConfig,
     HttpTraceConfig,
+    SshTraceConfig,
+    TftpTraceConfig,
+    generate_mixed_trace,
     write_dns_trace,
     write_http_trace,
+    write_ssh_trace,
+    write_tftp_trace,
 )
 
 
@@ -57,6 +65,47 @@ def main(argv=None) -> int:
                           f"(default {DnsTraceConfig().crud_fraction})")
     dns.add_argument("-o", "--output", default="dns.pcap")
 
+    ssh = sub.add_parser("ssh", help="SSH/TCP-22 banner trace")
+    ssh.add_argument("--sessions", type=int, default=80)
+    ssh.add_argument("--seed", type=int, default=3,
+                     help="deterministic generation seed: same seed and "
+                          "knobs -> byte-identical trace (default 3)")
+    ssh.add_argument("--crud-fraction", type=float, default=None,
+                     metavar="F",
+                     help="fraction of sessions whose banner lacks the "
+                          "SSH- magic, 0..1 (default "
+                          f"{SshTraceConfig().crud_fraction})")
+    ssh.add_argument("-o", "--output", default="ssh.pcap")
+
+    tftp = sub.add_parser("tftp", help="TFTP/UDP-69 transfer trace")
+    tftp.add_argument("--transfers", type=int, default=120)
+    tftp.add_argument("--seed", type=int, default=4,
+                      help="deterministic generation seed: same seed and "
+                           "knobs -> byte-identical trace (default 4)")
+    tftp.add_argument("--crud-fraction", type=float, default=None,
+                      metavar="F",
+                      help="fraction of transfers sending non-TFTP bytes "
+                           "on port 69, 0..1 (default "
+                           f"{TftpTraceConfig().crud_fraction})")
+    tftp.add_argument("-o", "--output", default="tftp.pcap")
+
+    mixed = sub.add_parser(
+        "mixed",
+        help="time-merged HTTP+DNS+SSH+TFTP trace — the four-app "
+             "smoke fixture")
+    mixed.add_argument("--sessions", type=int, default=30,
+                       help="HTTP sessions (default 30)")
+    mixed.add_argument("--queries", type=int, default=60,
+                       help="DNS queries (default 60)")
+    mixed.add_argument("--ssh-sessions", type=int, default=15,
+                       help="SSH sessions (default 15)")
+    mixed.add_argument("--transfers", type=int, default=20,
+                       help="TFTP transfers (default 20)")
+    mixed.add_argument("--seed", type=int, default=1,
+                       help="deterministic generation seed applied to "
+                            "all four sub-traces (default 1)")
+    mixed.add_argument("-o", "--output", default="mixed.pcap")
+
     args = parser.parse_args(argv)
     if args.kind == "http":
         config = HttpTraceConfig(seed=args.seed, sessions=args.sessions)
@@ -65,11 +114,33 @@ def main(argv=None) -> int:
         if args.reorder_fraction is not None:
             config.reorder_fraction = args.reorder_fraction
         count = write_http_trace(args.output, config)
-    else:
+    elif args.kind == "dns":
         config = DnsTraceConfig(seed=args.seed, queries=args.queries)
         if args.crud_fraction is not None:
             config.crud_fraction = args.crud_fraction
         count = write_dns_trace(args.output, config)
+    elif args.kind == "ssh":
+        config = SshTraceConfig(seed=args.seed, sessions=args.sessions)
+        if args.crud_fraction is not None:
+            config.crud_fraction = args.crud_fraction
+        count = write_ssh_trace(args.output, config)
+    elif args.kind == "tftp":
+        config = TftpTraceConfig(seed=args.seed,
+                                 transfers=args.transfers)
+        if args.crud_fraction is not None:
+            config.crud_fraction = args.crud_fraction
+        count = write_tftp_trace(args.output, config)
+    else:
+        packets = generate_mixed_trace(
+            http=HttpTraceConfig(seed=args.seed,
+                                 sessions=args.sessions),
+            dns=DnsTraceConfig(seed=args.seed, queries=args.queries),
+            ssh=SshTraceConfig(seed=args.seed,
+                               sessions=args.ssh_sessions),
+            tftp=TftpTraceConfig(seed=args.seed,
+                                 transfers=args.transfers),
+        )
+        count = write_pcap(args.output, packets)
     print(f"wrote {count} packets to {args.output}")
     return 0
 

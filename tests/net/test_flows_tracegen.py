@@ -10,8 +10,13 @@ from repro.net.packet import PROTO_TCP, PROTO_UDP, parse_ethernet
 from repro.net.tracegen import (
     DnsTraceConfig,
     HttpTraceConfig,
+    SshTraceConfig,
+    TftpTraceConfig,
     generate_dns_trace,
     generate_http_trace,
+    generate_mixed_trace,
+    generate_ssh_trace,
+    generate_tftp_trace,
 )
 
 
@@ -108,6 +113,92 @@ class TestDnsTrace:
         frames = generate_dns_trace(config)
         # All crud: one packet per "query", no responses.
         assert len(frames) == 200
+
+
+class TestSshTrace:
+    def test_deterministic(self):
+        a = generate_ssh_trace(SshTraceConfig(seed=9, sessions=15))
+        b = generate_ssh_trace(SshTraceConfig(seed=9, sessions=15))
+        assert [f for __, f in a] == [f for __, f in b]
+
+    def test_all_port_22_tcp(self):
+        frames = generate_ssh_trace(SshTraceConfig(sessions=10))
+        for __, frame in frames:
+            ip, tcp = parse_ethernet(frame)
+            assert ip.protocol == PROTO_TCP
+            assert 22 in (tcp.src_port, tcp.dst_port)
+
+    def test_banners_present(self):
+        frames = generate_ssh_trace(
+            SshTraceConfig(sessions=20, crud_fraction=0.0))
+        payloads = b"".join(f for __, f in frames)
+        assert b"SSH-" in payloads
+
+    def test_crud_sessions_lack_banner(self):
+        frames = generate_ssh_trace(
+            SshTraceConfig(sessions=20, crud_fraction=1.0))
+        payloads = b"".join(f for __, f in frames)
+        assert b"NOT-AN-SSH-SERVER" in payloads
+
+    def test_timestamps_monotonic(self):
+        frames = generate_ssh_trace(SshTraceConfig(sessions=10))
+        times = [t for t, __ in frames]
+        assert times == sorted(times)
+
+
+class TestTftpTrace:
+    def test_deterministic(self):
+        a = generate_tftp_trace(TftpTraceConfig(seed=9, transfers=15))
+        b = generate_tftp_trace(TftpTraceConfig(seed=9, transfers=15))
+        assert [f for __, f in a] == [f for __, f in b]
+
+    def test_all_port_69_udp(self):
+        frames = generate_tftp_trace(TftpTraceConfig(transfers=10))
+        for __, frame in frames:
+            ip, udp = parse_ethernet(frame)
+            assert ip.protocol == PROTO_UDP
+            assert 69 in (udp.src_port, udp.dst_port)
+
+    def test_requests_and_data(self):
+        frames = generate_tftp_trace(
+            TftpTraceConfig(transfers=30, error_fraction=0.0,
+                            crud_fraction=0.0))
+        opcodes = set()
+        for __, frame in frames:
+            __, udp = parse_ethernet(frame)
+            opcodes.add(int.from_bytes(udp.payload[:2], "big"))
+        assert {1, 3, 4} <= opcodes  # RRQ, DATA, ACK
+
+    def test_error_fraction(self):
+        frames = generate_tftp_trace(
+            TftpTraceConfig(transfers=40, error_fraction=1.0,
+                            crud_fraction=0.0))
+        # All transfers answered with ERROR: request + error only.
+        for __, frame in frames:
+            __, udp = parse_ethernet(frame)
+            assert int.from_bytes(udp.payload[:2], "big") in (1, 2, 5)
+
+
+class TestMixedTrace:
+    def test_backwards_compatible_without_new_kinds(self):
+        old = generate_mixed_trace(HttpTraceConfig(sessions=5),
+                                   DnsTraceConfig(queries=5))
+        assert all(len(item) == 2 for item in old)
+
+    def test_four_way_merge_sorted(self):
+        frames = generate_mixed_trace(
+            http=HttpTraceConfig(sessions=5),
+            dns=DnsTraceConfig(queries=5),
+            ssh=SshTraceConfig(sessions=5),
+            tftp=TftpTraceConfig(transfers=5))
+        times = [t for t, __ in frames]
+        assert times == sorted(times)
+        ports = set()
+        for __, frame in frames:
+            __, transport = parse_ethernet(frame)
+            ports.add(transport.src_port)
+            ports.add(transport.dst_port)
+        assert {80, 53, 22, 69} <= ports
 
 
 class TestIpsumdump:
