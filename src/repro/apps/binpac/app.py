@@ -222,7 +222,8 @@ class PacApp(HostApp):
     def __init__(self, protocols=("http", "dns", "ssh", "tftp"),
                  opt_level: Optional[int] = None,
                  services: Optional[PipelineServices] = None,
-                 uid_map: Optional[Dict] = None):
+                 uid_map: Optional[Dict] = None,
+                 flow_budget_ns: Optional[int] = None):
         super().__init__(services)
         unknown = [p for p in protocols if p not in PROTOCOLS]
         if unknown:
@@ -248,7 +249,14 @@ class PacApp(HostApp):
                 on_event=self._on_event,
             )
             self._ports[port] = protocol
-        self.demux = FlowDemux(self._flow_factory)
+        self.demux = FlowDemux(
+            self._flow_factory,
+            max_sessions=self.services.max_sessions,
+            session_ttl=self.services.session_ttl,
+            memory_budget_bytes=self.services.memory_budget_bytes,
+            flow_budget_ns=flow_budget_ns,
+            on_slow_flow=self._on_slow_flow,
+        )
 
     # -- flow plumbing -----------------------------------------------------
 
@@ -308,13 +316,21 @@ class PacApp(HostApp):
             ctx.disarm_watchdog()
             self._current_flow = previous
 
+    def _on_slow_flow(self, handler) -> None:
+        """A flow handler overran the per-flow dispatch budget: the
+        demux quarantined it; account it like a watchdog trip."""
+        health = self.services.health
+        health.flows_quarantined += 1
+        health.watchdog_trips += 1
+        health.record_error(SITE_BINPAC_PARSE)
+
     # -- the HostApp hooks -------------------------------------------------
 
     def packet(self, timestamp, frame: bytes) -> None:
         self.now = timestamp
         begin = _time.perf_counter_ns()
         try:
-            self.demux.feed(frame)
+            self.demux.feed(frame, now=timestamp.seconds)
         finally:
             self._parse_ns += _time.perf_counter_ns() - begin
 
@@ -334,7 +350,19 @@ class PacApp(HostApp):
             "parse_errors": self.parse_errors,
             "flows_opened": self.demux.flows_opened,
             "flows_ignored": self.demux.flows_ignored,
+            "sessions_evicted": self.demux.sessions_evicted,
+            "sessions_expired": self.demux.sessions_expired,
         }
+
+    def session_stats(self) -> Dict[str, int]:
+        return {
+            "open": self.demux.open_flows(),
+            "evicted": self.demux.sessions_evicted,
+            "expired": self.demux.sessions_expired,
+        }
+
+    def flow_snapshot(self, limit: int = 256) -> List[Dict]:
+        return self.demux.flow_snapshot(limit)
 
     def engine_contexts(self) -> List[Tuple[str, object]]:
         return [(f"pac/{protocol}", parser.ctx)

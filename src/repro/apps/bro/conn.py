@@ -30,6 +30,7 @@ from ...net.packet import (
     UDPDatagram,
     parse_ethernet,
 )
+from ...host.eviction import SessionLRU
 from ...net.reassembly import ConnectionReassembler
 from ...runtime.exceptions import HiltiError, PROCESSING_TIMEOUT
 from ...runtime.faults import (
@@ -91,9 +92,21 @@ class ConnectionTracker:
     TIMEWAIT_CAPACITY = 8192
 
     def __init__(self, core: BroCore, analyzer_factory: Callable,
-                 tracer=None, uid_map: Optional[Dict] = None):
+                 tracer=None, uid_map: Optional[Dict] = None,
+                 max_sessions: Optional[int] = None,
+                 session_ttl: Optional[float] = None):
         self.core = core
         self.analyzer_factory = analyzer_factory
+        # Session-state bounds (docs/SERVICE.md): entry cap and
+        # inactivity TTL over network time, enforced by LRU eviction;
+        # with neither armed the tracker is byte-identical to the
+        # unbounded original.
+        self.max_sessions = max_sessions
+        self.session_ttl = session_ttl
+        self._evicting = max_sessions is not None or session_ttl is not None
+        self._lru = SessionLRU()
+        self.sessions_evicted = 0
+        self.sessions_expired = 0
         # Pre-assigned connection uids, keyed by the canonical flow key.
         # The flow-parallel driver computes these in global packet-arrival
         # order before fan-out, so every lane labels its connections
@@ -178,6 +191,8 @@ class ConnectionTracker:
             self._udp_packet(timestamp, ip, transport)
         else:
             self.ignored += 1
+        if self._evicting:
+            self._run_eviction(timestamp.seconds)
 
     def finish(self) -> None:
         """End of trace: close every connection still open."""
@@ -194,6 +209,59 @@ class ConnectionTracker:
                 "connection_state_remove", [flow.conn_val]
             )
         self._udp.clear()
+
+    # -- eviction ----------------------------------------------------------------
+
+    def _evict_entry(self, key: Tuple, reason: str) -> None:
+        """Close one session by key with full final-flush semantics:
+        the analyzer finishes, the conn_val is finalized, and
+        ``connection_state_remove`` fires — an evicted connection still
+        gets its conn.log line."""
+        if key[2] == PROTO_TCP:
+            connection = self._tcp.pop(key, None)
+            if connection is None:
+                return
+            self._close_tcp(connection)
+        else:
+            flow = self._udp.pop(key, None)
+            if flow is None:
+                return
+            self._finish_analyzer(flow)
+            self._finalize_conn_val(flow)
+            self.flows_closed += 1
+            flow.span.event("close")
+            flow.span.finish()
+            self.core.queue_event(
+                "connection_state_remove", [flow.conn_val]
+            )
+        if reason == "expired":
+            self.sessions_expired += 1
+        else:
+            self.sessions_evicted += 1
+
+    def _run_eviction(self, now: float) -> None:
+        if self.session_ttl is not None:
+            for key in self._lru.expired(now - self.session_ttl):
+                self._evict_entry(key, "expired")
+        if self.max_sessions is not None:
+            for key in self._lru.overflow(self.max_sessions):
+                self._evict_entry(key, "evicted")
+
+    def flow_snapshot(self, limit: int = 256) -> list:
+        """The open connections as plain dicts (service ``/flows``)."""
+        out = []
+        for table, proto in ((self._tcp, "tcp"), (self._udp, "udp")):
+            for entry in table.values():
+                out.append({
+                    "uid": entry.conn_val.get_or("uid"),
+                    "protocol": proto,
+                    "last_active": (entry.last_time.seconds
+                                    if entry.last_time is not None
+                                    else None),
+                })
+                if len(out) >= limit:
+                    return out
+        return out
 
     # -- fault isolation ---------------------------------------------------------
 
@@ -297,6 +365,8 @@ class ConnectionTracker:
             self.core.queue_event("new_connection", [conn_val])
         is_orig = sender_is_first == connection.orig_is_first
         connection.last_time = timestamp
+        if self._evicting:
+            self._lru.touch(key, timestamp.seconds)
         if is_orig:
             connection.orig_pkts += 1
             connection.orig_bytes += len(segment.payload)
@@ -329,6 +399,7 @@ class ConnectionTracker:
         if reassembler.closed:
             self._close_tcp(connection)
             self._tcp.pop(key, None)
+            self._lru.remove(key)
             self._timewait[key] = None
             if len(self._timewait) > self.TIMEWAIT_CAPACITY:
                 # Expire the oldest half (dicts keep insertion order).
@@ -401,6 +472,8 @@ class ConnectionTracker:
             self.core.queue_event("new_connection", [conn_val])
         is_orig = sender_is_first == flow.orig_is_first
         flow.last_time = timestamp
+        if self._evicting:
+            self._lru.touch(key, timestamp.seconds)
         if is_orig:
             flow.orig_pkts += 1
             flow.orig_bytes += len(datagram.payload)

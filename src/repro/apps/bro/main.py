@@ -92,6 +92,8 @@ class Bro(HostApp):
         opt_level: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         uid_map=None,
+        max_sessions: Optional[int] = None,
+        session_ttl: Optional[float] = None,
     ):
         if parsers not in ("std", "pac"):
             raise ValueError(f"unknown parser tier {parsers!r}")
@@ -150,7 +152,9 @@ class Bro(HostApp):
                 self._pac = pac_parsers or PacParsers(opt_level=opt_level)
         self.tracker = ConnectionTracker(self.core, self._make_analyzer,
                                          tracer=self.telemetry.tracer,
-                                         uid_map=uid_map)
+                                         uid_map=uid_map,
+                                         max_sessions=max_sessions,
+                                         session_ttl=session_ttl)
         self.stats: Dict[str, object] = {}
         self._pcap_stats: Dict[str, int] = {}
         self._run_begin_ns: Optional[int] = None
@@ -198,6 +202,8 @@ class Bro(HostApp):
             watchdog_budget=self.core.watchdog_budget,
             telemetry=self.telemetry,
             pcap_stats=self._pcap_stats,
+            max_sessions=self.tracker.max_sessions,
+            session_ttl=self.tracker.session_ttl,
         )
 
     def on_begin(self) -> None:
@@ -216,6 +222,16 @@ class Bro(HostApp):
         for name in self.core.logs.streams:
             lines.extend(self.core.logs.lines(name))
         return sorted(lines)
+
+    def session_stats(self) -> Dict[str, int]:
+        return {
+            "open": self.tracker.open_flows(),
+            "evicted": self.tracker.sessions_evicted,
+            "expired": self.tracker.sessions_expired,
+        }
+
+    def flow_snapshot(self, limit: int = 256) -> List[Dict]:
+        return self.tracker.flow_snapshot(limit)
 
     # -- running ---------------------------------------------------------------
 
@@ -325,6 +341,8 @@ class Bro(HostApp):
             "events_queued": self.core.events_queued,
             "events_dispatched": self.core.events_dispatched,
             "flows_closed": self.tracker.flows_closed,
+            "sessions_evicted": self.tracker.sessions_evicted,
+            "sessions_expired": self.tracker.sessions_expired,
         }
         for name, value in pipeline.items():
             metrics.counter(f"bro.{name}").inc(value)

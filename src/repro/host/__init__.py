@@ -20,16 +20,23 @@ Layering (docs/ARCHITECTURE.md)::
 
 from .app import HostApp, PipelineServices, export_health
 from .demux import FlowDemux
+from .eviction import SessionLRU
 from .parallel import LaneSpec, ParallelPipeline, dispatch_plan, flow_key
 from .pipeline import Pipeline
+from .service import BoundedQueue, HostService, RollingWindows, ServiceConfig
 
 __all__ = [
+    "BoundedQueue",
     "FlowDemux",
     "HostApp",
+    "HostService",
     "LaneSpec",
     "ParallelPipeline",
     "Pipeline",
     "PipelineServices",
+    "RollingWindows",
+    "ServiceConfig",
+    "SessionLRU",
     "dispatch_plan",
     "export_health",
     "flow_key",

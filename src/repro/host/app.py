@@ -29,16 +29,22 @@ class PipelineServices:
     """The cross-cutting services a pipeline run threads through an app:
     the (deterministic, off-by-default) fault injector, the recovery and
     health accounting, the per-packet instruction watchdog budget, the
-    telemetry switchboard, and the pcap reader's robustness counters.
+    telemetry switchboard, the pcap reader's robustness counters, and
+    the session-state bounds (entry cap / inactivity TTL / reassembly
+    memory budget) stateful apps enforce via LRU eviction.
     """
 
     __slots__ = ("faults", "health", "watchdog_budget", "telemetry",
-                 "pcap_stats")
+                 "pcap_stats", "max_sessions", "session_ttl",
+                 "memory_budget_bytes")
 
     def __init__(self, faults=None, health=None,
                  watchdog_budget: Optional[int] = None,
                  telemetry: Optional[Telemetry] = None,
-                 pcap_stats: Optional[Dict[str, int]] = None):
+                 pcap_stats: Optional[Dict[str, int]] = None,
+                 max_sessions: Optional[int] = None,
+                 session_ttl: Optional[float] = None,
+                 memory_budget_bytes: Optional[int] = None):
         self.faults = faults if faults is not None else NULL_INJECTOR
         self.health = health if health is not None else HealthReport()
         self.watchdog_budget = watchdog_budget
@@ -46,6 +52,9 @@ class PipelineServices:
         # Filled in place by Pipeline's pcap ingest (records_read /
         # records_skipped / resyncs) so the exporter sees final counters.
         self.pcap_stats = pcap_stats if pcap_stats is not None else {}
+        self.max_sessions = max_sessions
+        self.session_ttl = session_ttl
+        self.memory_budget_bytes = memory_budget_bytes
 
 
 def export_health(metrics, health: Dict) -> None:
@@ -167,6 +176,18 @@ class HostApp:
         compiled vs interpreted) compare."""
         return []
 
+    def session_stats(self) -> Dict[str, int]:
+        """Session-table occupancy and eviction counters.  Stateful
+        apps override; the default (no per-session state, or state
+        HILTI-internal) reports zeros so every app exports the same
+        ``sessions_evicted``/``sessions_expired`` series."""
+        return {"open": 0, "evicted": 0, "expired": 0}
+
+    def flow_snapshot(self, limit: int = 256) -> List[Dict]:
+        """The open sessions as plain dicts (the service's ``/flows``
+        endpoint); stateless apps report an empty list."""
+        return []
+
     # -- the uniform exporter ---------------------------------------------
 
     def export_metrics(self) -> None:
@@ -196,6 +217,11 @@ class HostApp:
                 "engine.allocations", context=label,
             ).inc(ctx.alloc_stats.allocations)
         export_health(metrics, stats["health"])
+        sessions = self.session_stats()
+        metrics.counter(f"{self.name}.sessions_evicted").inc(
+            int(sessions["evicted"]))
+        metrics.counter(f"{self.name}.sessions_expired").inc(
+            int(sessions["expired"]))
         for name, value in self.services.pcap_stats.items():
             metrics.counter(f"pcap.{name}").inc(value)
         for label, source in self.metric_sources():

@@ -11,24 +11,44 @@ Handler protocol (all optional but ``data``/``datagram``):
 
 * ``data(is_originator, payload)`` — contiguous TCP stream bytes;
 * ``datagram(is_originator, payload)`` — one UDP datagram's payload;
-* ``end()`` — flow closed (TCP teardown or end of trace).
+* ``end()`` — flow closed (TCP teardown, end of trace, or eviction);
+* ``kill()`` — flow quarantined (slow-flow budget exceeded).
+
+Long-running robustness (docs/SERVICE.md): when *max_sessions*,
+*session_ttl*, or *memory_budget_bytes* is set, the table runs LRU/TTL
+eviction over network time so occupancy stays flat across millions of
+flows — idle flows expire (``sessions_expired``), capacity overflows
+sacrifice the least-recently-active flow (``sessions_evicted``), and
+every removal still delivers the handler's ``end()``.  A per-flow
+*flow_budget_ns* extends the watchdog idea to handler dispatch: one
+pathological flow whose handler overruns the wall-clock budget is
+quarantined (``kill()``, no further payload) instead of stalling the
+pipeline.  With none of these armed, behavior is byte-identical to the
+original unbounded table.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import time as _time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.flows import FiveTuple, flow_of_frame
 from ..net.packet import PROTO_TCP, PacketError, parse_ethernet
 from ..net.reassembly import ConnectionReassembler, StreamReassembler
+from .eviction import SessionLRU
 
 __all__ = ["FlowDemux"]
 
+#: Memory-budget enforcement samples the (O(open flows)) pending-bytes
+#: sum once per this many fed packets, not per packet.
+_BUDGET_CHECK_INTERVAL = 64
+
 
 class _Flow:
-    __slots__ = ("handler", "originator", "reassembler", "closed")
+    __slots__ = ("key", "handler", "originator", "reassembler", "closed")
 
-    def __init__(self, handler, originator: Tuple):
+    def __init__(self, key: Tuple, handler, originator: Optional[Tuple]):
+        self.key = key
         self.handler = handler
         self.originator = originator
         self.reassembler: Optional[ConnectionReassembler] = None
@@ -42,18 +62,43 @@ class FlowDemux:
     first packet's :class:`FiveTuple` (src = originator); returning
     ``None`` ignores the flow.  ``feed(frame)`` routes one frame;
     ``finish()`` closes every open flow.
+
+    ``feed``'s optional *now* is the packet's network time in seconds;
+    it drives TTL eviction when *session_ttl* is armed.
     """
 
     def __init__(self, factory,
                  max_pending_bytes: int =
-                 StreamReassembler.DEFAULT_MAX_PENDING):
+                 StreamReassembler.DEFAULT_MAX_PENDING,
+                 max_sessions: Optional[int] = None,
+                 session_ttl: Optional[float] = None,
+                 memory_budget_bytes: Optional[int] = None,
+                 flow_budget_ns: Optional[int] = None,
+                 on_slow_flow: Optional[Callable] = None):
         self._factory = factory
         self._max_pending = max_pending_bytes
         self._flows: Dict[Tuple, _Flow] = {}
+        self.max_sessions = max_sessions
+        self.session_ttl = session_ttl
+        self.memory_budget_bytes = memory_budget_bytes
+        self.flow_budget_ns = flow_budget_ns
+        self._on_slow_flow = on_slow_flow
+        # Recency order over *every* table entry (ignored-flow and
+        # torn-down tombstones included: they absorb trailing packets
+        # like TIME_WAIT, and eviction is what finally reaps them).
+        self._lru = SessionLRU()
+        self._evicting = (max_sessions is not None
+                          or session_ttl is not None
+                          or memory_budget_bytes is not None)
+        self._clock: Optional[float] = None
+        self._fed = 0
         self.flows_opened = 0
         self.flows_closed = 0
         self.flows_ignored = 0
         self.packets_ignored = 0
+        self.sessions_evicted = 0
+        self.sessions_expired = 0
+        self.flows_quarantined_slow = 0
         self._reassembly = {
             "delivered_bytes": 0,
             "gap_bytes": 0,
@@ -66,7 +111,7 @@ class FlowDemux:
 
     # -- feeding -----------------------------------------------------------
 
-    def feed(self, frame: bytes) -> None:
+    def feed(self, frame: bytes, now: Optional[float] = None) -> None:
         """Route one Ethernet frame to its flow's handler."""
         flow = flow_of_frame(frame)
         if flow is None:
@@ -78,11 +123,12 @@ class FlowDemux:
             handler = self._factory(flow)
             if handler is None:
                 self.flows_ignored += 1
-                self._flows[key] = state = _Flow(None, None)
+                self._flows[key] = state = _Flow(key, None, None)
                 state.closed = True
             else:
                 self.flows_opened += 1
-                state = _Flow(handler, (flow.src.value, flow.src_port))
+                state = _Flow(key, handler,
+                              (flow.src.value, flow.src_port))
                 if flow.protocol == PROTO_TCP:
                     state.reassembler = ConnectionReassembler(
                         on_data=handler.data,
@@ -90,6 +136,13 @@ class FlowDemux:
                         max_pending_bytes=self._max_pending,
                     )
                 self._flows[key] = state
+        if self._evicting:
+            if now is not None:
+                self._clock = now
+            self._fed += 1
+            if self._clock is not None:
+                self._lru.touch(key, self._clock)
+            self._run_eviction()
         if state.handler is None or state.closed:
             return
         is_orig = (flow.src.value, flow.src_port) == state.originator
@@ -98,14 +151,19 @@ class FlowDemux:
         except PacketError:
             self.packets_ignored += 1
             return
+        budget = self.flow_budget_ns
+        begin = _time.perf_counter_ns() if budget is not None else 0
         if state.reassembler is not None:
             state.reassembler.feed_segment(is_orig, transport)
         elif transport is not None and transport.payload:
             state.handler.datagram(is_orig, transport.payload)
+        if budget is not None and not state.closed \
+                and _time.perf_counter_ns() - begin > budget:
+            self._quarantine_slow(state)
 
     def finish(self) -> None:
         """End of trace: close every flow still open."""
-        for state in self._flows.values():
+        for state in list(self._flows.values()):
             self._close(state)
 
     # -- internals ---------------------------------------------------------
@@ -133,7 +191,76 @@ class FlowDemux:
                 end()
         self.flows_closed += 1
 
+    def _quarantine_slow(self, state: _Flow) -> None:
+        """One handler dispatch overran the flow budget: no further
+        payload reaches this flow (Python can't preempt the call that
+        already ran, so the cost is one slow dispatch, not a stall)."""
+        state.closed = True
+        if state.reassembler is not None:
+            stats = state.reassembler.stats()
+            for name in self._reassembly:
+                self._reassembly[name] += stats[name]
+        kill = getattr(state.handler, "kill", None)
+        if kill is not None:
+            kill()
+        self.flows_quarantined_slow += 1
+        if self._on_slow_flow is not None:
+            self._on_slow_flow(state.handler)
+
+    # -- eviction ----------------------------------------------------------
+
+    def _evict_key(self, key: Tuple, counter: Optional[str]) -> None:
+        state = self._flows.pop(key, None)
+        if state is None:
+            return
+        if not state.closed:
+            self._close(state)
+            if counter == "expired":
+                self.sessions_expired += 1
+            elif counter == "evicted":
+                self.sessions_evicted += 1
+
+    def _run_eviction(self) -> None:
+        if self.session_ttl is not None and self._clock is not None:
+            deadline = self._clock - self.session_ttl
+            for key in self._lru.expired(deadline):
+                self._evict_key(key, "expired")
+        if self.max_sessions is not None:
+            for key in self._lru.overflow(self.max_sessions):
+                self._evict_key(key, "evicted")
+        budget = self.memory_budget_bytes
+        if budget is not None and self._fed % _BUDGET_CHECK_INTERVAL == 0:
+            pending = sum(
+                state.reassembler.stats()["pending_bytes"]
+                for state in self._flows.values()
+                if state.reassembler is not None and not state.closed
+            )
+            while pending > budget and len(self._lru):
+                key = self._lru.oldest()
+                self._lru.remove(key)
+                state = self._flows.get(key)
+                if state is not None and state.reassembler is not None \
+                        and not state.closed:
+                    pending -= state.reassembler.stats()["pending_bytes"]
+                self._evict_key(key, "evicted")
+
     # -- telemetry ---------------------------------------------------------
+
+    def flow_snapshot(self, limit: int = 256) -> List[Dict]:
+        """The open flows, most recent last (service ``/flows``)."""
+        out: List[Dict] = []
+        for key, state in self._flows.items():
+            if state.closed:
+                continue
+            out.append({
+                "key": [list(key[0]), list(key[1]), key[2]],
+                "uid": getattr(state.handler, "uid", None),
+                "protocol": getattr(state.handler, "protocol", None),
+                "last_active": self._lru.last_active(key),
+            })
+            if len(out) >= limit:
+                break
+        return out
 
     def stats(self) -> dict:
         """Occupancy and reassembly accounting (telemetry export)."""
@@ -143,6 +270,9 @@ class FlowDemux:
             "flows_ignored": self.flows_ignored,
             "packets_ignored": self.packets_ignored,
             "flows_open": self.open_flows(),
+            "sessions_evicted": self.sessions_evicted,
+            "sessions_expired": self.sessions_expired,
+            "flows_quarantined_slow": self.flows_quarantined_slow,
             "pending_bytes": sum(
                 state.reassembler.stats()["pending_bytes"]
                 for state in self._flows.values()
@@ -156,7 +286,8 @@ class FlowDemux:
         """Publish the snapshot into a telemetry MetricsRegistry."""
         stats = self.stats()
         for name in ("flows_opened", "flows_closed", "flows_ignored",
-                     "packets_ignored"):
+                     "packets_ignored", "sessions_evicted",
+                     "sessions_expired", "flows_quarantined_slow"):
             registry.counter(f"demux.{name}", table=label).inc(stats[name])
         registry.gauge("demux.flows_open", table=label).set(
             stats["flows_open"])

@@ -20,6 +20,7 @@ component is equally usable from pure HILTI code — see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 SESSION_TABLE = """module SessionTable
@@ -112,7 +113,8 @@ class SessionTable:
     """
 
     def __init__(self, timeout_seconds: float, factory=None, on_evict=None,
-                 access_refreshes: bool = True):
+                 access_refreshes: bool = True,
+                 max_entries: Optional[int] = None):
         from ..core.toolchain import hiltic
         from ..core.values import Interval
 
@@ -120,11 +122,20 @@ class SessionTable:
         # (docs/OBSERVABILITY.md): evictions counted by wrapping the
         # eviction native, lookups/mutations by the wrapper methods.
         self.evictions = 0
+        self.capacity_evictions = 0
         self.lookups = 0
         self.mutations = 0
+        # Host-side LRU entry cap (docs/SERVICE.md): the HILTI timer
+        # manager owns timeout expiry; the hard occupancy bound lives in
+        # the wrapper, evicting least-recently-touched keys through the
+        # same on_evict final-flush callback.
+        self.max_entries = max_entries
+        self._on_evict_cb = on_evict
+        self._recency: "OrderedDict" = OrderedDict()
 
         def _evicted(ctx, key):
             self.evictions += 1
+            self._recency.pop(key, None)
             if on_evict is not None:
                 on_evict(key)
 
@@ -192,9 +203,23 @@ void advance(time now) {
             [Interval(timeout_seconds), access_refreshes],
         )
 
+    def _touch(self, key) -> None:
+        if self.max_entries is None:
+            return
+        self._recency[key] = None
+        self._recency.move_to_end(key)
+        while len(self._recency) > self.max_entries:
+            victim, __ = self._recency.popitem(last=False)
+            self.program.call(self.ctx, "Driver::drop", [victim])
+            self.capacity_evictions += 1
+            if self._on_evict_cb is not None:
+                self._on_evict_cb(victim)
+
     def get_or_create(self, key):
         self.lookups += 1
-        return self.program.call(self.ctx, "Driver::get_or_create", [key])
+        value = self.program.call(self.ctx, "Driver::get_or_create", [key])
+        self._touch(key)
+        return value
 
     def __contains__(self, key) -> bool:
         self.lookups += 1
@@ -203,9 +228,11 @@ void advance(time now) {
     def put(self, key, value) -> None:
         self.mutations += 1
         self.program.call(self.ctx, "Driver::put", [key, value])
+        self._touch(key)
 
     def drop(self, key) -> None:
         self.mutations += 1
+        self._recency.pop(key, None)
         self.program.call(self.ctx, "Driver::drop", [key])
 
     def __len__(self) -> int:
@@ -225,6 +252,7 @@ void advance(time now) {
         return {
             "occupancy": len(self),
             "evictions": self.evictions,
+            "capacity_evictions": self.capacity_evictions,
             "lookups": self.lookups,
             "mutations": self.mutations,
             "instructions": self.ctx.instr_count,
@@ -235,7 +263,8 @@ void advance(time now) {
         stats = self.stats()
         registry.gauge("session_table.occupancy",
                        table=table).set(stats["occupancy"])
-        for key in ("evictions", "lookups", "mutations"):
+        for key in ("evictions", "capacity_evictions", "lookups",
+                    "mutations"):
             counter = registry.counter(f"session_table.{key}", table=table)
             counter.value = 0
             counter.inc(stats[key])

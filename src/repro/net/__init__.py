@@ -16,6 +16,11 @@ from .packet import (  # noqa: F401
 )
 from .pcap import PcapReader, PcapWriter, read_pcap, write_pcap  # noqa: F401
 from .reassembly import ConnectionReassembler, StreamReassembler  # noqa: F401
+from .replay import (  # noqa: F401
+    LiveCaptureSource,
+    RateLimiter,
+    TraceReplayer,
+)
 from .tracegen import (  # noqa: F401
     DnsTraceConfig,
     HttpTraceConfig,

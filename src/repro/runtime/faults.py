@@ -48,6 +48,7 @@ __all__ = [
     "SITE_BINPAC_PARSE",
     "SITE_ANALYZER_DISPATCH",
     "SITE_SCRIPT_CALL",
+    "SITE_SERVICE_LANE",
 ]
 
 
@@ -61,6 +62,7 @@ SITE_TCP_REASSEMBLY = "tcp.reassembly"
 SITE_BINPAC_PARSE = "binpac.parse"
 SITE_ANALYZER_DISPATCH = "analyzer.dispatch"
 SITE_SCRIPT_CALL = "script.call"
+SITE_SERVICE_LANE = "service.lane"
 
 # name -> human description; every error-budget report zero-fills from here.
 _SITES: Dict[str, str] = {}
@@ -83,6 +85,7 @@ register_site(SITE_TCP_REASSEMBLY, "TCP stream reassembly step")
 register_site(SITE_BINPAC_PARSE, "BinPAC++ generated-parser step")
 register_site(SITE_ANALYZER_DISPATCH, "per-flow analyzer data dispatch")
 register_site(SITE_SCRIPT_CALL, "script-engine event dispatch")
+register_site(SITE_SERVICE_LANE, "service-mode lane worker loop")
 
 
 # --------------------------------------------------------------------------

@@ -19,7 +19,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..apps.bpf.app import ENGINES, BpfApp, BpfLaneSpec
-from ..host.cli import add_pipeline_args, run_host_app
+from ..host.cli import add_pipeline_args, add_service_args, run_host_app
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -39,6 +39,7 @@ def _parser() -> argparse.ArgumentParser:
                         help="HILTI optimization level for the compiled "
                              "tier")
     add_pipeline_args(parser)
+    add_service_args(parser)
     return parser
 
 

@@ -32,9 +32,17 @@ import os
 import sys
 
 from ..apps.bro.main import Bro
-from ..apps.bro.parallel import ParallelBro
+from ..apps.bro.parallel import BroLaneSpec, ParallelBro
 from ..apps.bro.scripts import TRACK_SCRIPT
-from ..host.cli import parse_injections, print_health
+from ..host.cli import (
+    EXIT_INTERRUPTED,
+    _install_interrupt_handler,
+    _restore_interrupt_handler,
+    add_service_args,
+    parse_injections,
+    print_health,
+    run_host_service,
+)
 from ..runtime.faults import registered_sites
 from ..runtime.telemetry import Telemetry
 
@@ -91,6 +99,17 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-flows", action="store_true",
                         help="record per-flow span trees (with "
                              "per-packet child spans) into flows.jsonl")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        metavar="N",
+                        help="hard cap on tracked connections; the "
+                             "least-recently-active one is evicted "
+                             "(its connection_state_remove still fires) "
+                             "to stay under it")
+    parser.add_argument("--session-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="expire connections idle for SECONDS of "
+                             "network time (final-flush events still "
+                             "delivered)")
     parser.add_argument("--parallel", action="store_true",
                         help="flow-parallel pipeline: hash connections "
                              "to vthreads, analyze on worker lanes, "
@@ -105,6 +124,10 @@ def main(argv=None) -> int:
                         help="parallel drive mode: deterministic vthread "
                              "scheduler, real threads, or one process "
                              "per worker (default process)")
+    add_service_args(parser)
+    # run_host_service reads the full shared namespace; bro has no
+    # reassembly memory budget, so pin its slot to None.
+    parser.set_defaults(memory_budget=None)
     args = parser.parse_args(argv)
 
     scripts = None
@@ -117,11 +140,38 @@ def main(argv=None) -> int:
                 with open(name) as stream:
                     scripts.append(stream.read())
 
+    if args.serve:
+        def make_app(ns, services):
+            return Bro(
+                scripts=scripts,
+                parsers=ns.parsers,
+                scripts_engine="hilti" if ns.compile_scripts else "interp",
+                fault_injector=services.faults,
+                watchdog_budget=services.watchdog_budget,
+                telemetry=services.telemetry,
+                max_sessions=services.max_sessions,
+                session_ttl=services.session_ttl,
+            )
+
+        def make_spec(ns):
+            return BroLaneSpec({
+                "scripts": scripts,
+                "parsers": ns.parsers,
+                "scripts_engine": ("hilti" if ns.compile_scripts
+                                   else "interp"),
+            })
+
+        return run_host_service(args, "bro", make_app, make_spec)
+
     if args.parallel:
         if args.inject:
             raise SystemExit(
                 "bro: --inject is sequential-only (the injector's "
                 "per-site random streams diverge across lanes)")
+        if args.max_sessions is not None or args.session_ttl is not None:
+            raise SystemExit(
+                "bro: session bounds (--max-sessions/--session-ttl) are "
+                "sequential-only (a global LRU diverges across lanes)")
         bro = ParallelBro(
             scripts=scripts,
             parsers=args.parsers,
@@ -150,14 +200,46 @@ def main(argv=None) -> int:
             watchdog_budget=args.watchdog,
             telemetry=Telemetry(metrics=args.metrics,
                                 trace=args.trace_flows),
+            max_sessions=args.max_sessions,
+            session_ttl=args.session_ttl,
         )
-        stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
+        interrupted = False
+        previous = _install_interrupt_handler()
+        try:
+            stats = bro.run_pcap(args.read, tolerant=args.tolerant_pcap)
+        except KeyboardInterrupt:
+            # Drain instead of discarding the partial run: finalize the
+            # open connections, then fall through to the normal log and
+            # telemetry writers below.
+            interrupted = True
+            try:
+                stats = bro.on_end()
+            except Exception:
+                stats = dict(bro.stats) if bro.stats else {
+                    "packets": bro.packets, "events": 0,
+                }
+        finally:
+            _restore_interrupt_handler(previous)
         bro.core.logs.save(args.logdir)
         written = {
             name: stream.writes
             for name, stream in bro.core.logs.streams.items()
             if stream.writes
         }
+        if interrupted:
+            print(f"bro: interrupted — partial run drained "
+                  f"({stats.get('packets', 0)} packets)")
+            print(f"processed {stats.get('packets', 0)} packets, "
+                  f"{stats.get('events', 0)} events")
+            for name, count in sorted(written.items()):
+                print(f"  {args.logdir}/{name}.log: {count} entries")
+            if args.metrics or args.trace_flows:
+                try:
+                    for path in bro.write_telemetry(args.logdir):
+                        print(f"  wrote {path}")
+                except Exception as error:
+                    print(f"  telemetry flush incomplete: {error}")
+            return EXIT_INTERRUPTED
     print(f"processed {stats['packets']} packets, "
           f"{stats['events']} events")
     if args.parallel:

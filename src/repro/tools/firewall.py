@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from ..apps.firewall.app import ENGINES, FirewallApp, FirewallLaneSpec
 from ..apps.firewall.rules import RuleSet
-from ..host.cli import add_pipeline_args, run_host_app
+from ..host.cli import add_pipeline_args, add_service_args, run_host_app
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -46,6 +46,7 @@ def _parser() -> argparse.ArgumentParser:
                         help="HILTI optimization level for the compiled "
                              "tier")
     add_pipeline_args(parser)
+    add_service_args(parser)
     return parser
 
 

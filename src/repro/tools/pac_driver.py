@@ -19,7 +19,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..apps.binpac.app import PROTOCOLS, PacApp, PacLaneSpec
-from ..host.cli import add_pipeline_args, run_host_app
+from ..host.cli import add_pipeline_args, add_service_args, run_host_app
 
 _DEFAULT = "http,dns,ssh,tftp"
 
@@ -37,7 +37,14 @@ def _parser() -> argparse.ArgumentParser:
                         default=None,
                         help="HILTI optimization level for the "
                              "generated parsers")
+    parser.add_argument("--flow-budget-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-dispatch wall-clock budget for one "
+                             "flow's parser; a flow exceeding it is "
+                             "quarantined (counted in the health "
+                             "report) instead of stalling the pipeline")
     add_pipeline_args(parser)
+    add_service_args(parser)
     return parser
 
 
@@ -54,9 +61,16 @@ def _protocols(args: argparse.Namespace) -> tuple:
     return names
 
 
+def _flow_budget_ns(args: argparse.Namespace):
+    if args.flow_budget_ms is None:
+        return None
+    return int(args.flow_budget_ms * 1e6)
+
+
 def _make_app(args: argparse.Namespace, services) -> PacApp:
     return PacApp(protocols=_protocols(args),
-                  opt_level=args.opt_level, services=services)
+                  opt_level=args.opt_level, services=services,
+                  flow_budget_ns=_flow_budget_ns(args))
 
 
 def _make_spec(args: argparse.Namespace) -> PacLaneSpec:
