@@ -112,6 +112,16 @@ class BroLaneSpec(LaneSpec):
     def lane_result(self, app: Bro) -> Dict:
         return _lane_result(app)
 
+    def result_lines_of(self, result: Dict) -> List[str]:
+        """Flatten the per-stream logs into one mergeable line stream
+        (the service's generic harvest of a pool lane) — the same
+        shape ``Bro.result_lines`` gives the thread transport, so the
+        two transports' results.log stay byte-identical."""
+        lines: List[str] = []
+        for stream_lines in result["logs"].values():
+            lines.extend(stream_lines)
+        return lines
+
 
 def dispatch_plan(
     packets: Iterable[Tuple[Time, bytes]], vthreads: int, workers: int,
@@ -135,7 +145,8 @@ class ParallelBro(ParallelPipeline):
     configuration, plus the parallel knobs: *workers* (hardware
     parallelism), *vthreads* (virtual-thread supply; defaults to
     ``4 * workers``), *backend* (one of ``vthread``, ``threaded``,
-    ``process``).  The deterministic fault injector is intentionally not
+    ``process``, ``pool``; ``None`` resolves to the multi-core default).
+    The deterministic fault injector is intentionally not
     plumbed through — its per-site random streams are sequential by
     construction and would diverge per lane.
     """
@@ -149,11 +160,12 @@ class ParallelBro(ParallelPipeline):
         scripts_engine: str = "interp",
         workers: int = 4,
         vthreads: Optional[int] = None,
-        backend: str = "process",
+        backend: Optional[str] = "process",
         log_enabled: bool = True,
         watchdog_budget: Optional[int] = None,
         opt_level: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        start_method: Optional[str] = None,
     ):
         telemetry = telemetry if telemetry is not None else Telemetry()
         config = {
@@ -168,7 +180,7 @@ class ParallelBro(ParallelPipeline):
         }
         super().__init__(BroLaneSpec(config), workers=workers,
                          vthreads=vthreads, backend=backend,
-                         telemetry=telemetry)
+                         telemetry=telemetry, start_method=start_method)
         self._config = config
         self._logs: Dict[str, List[str]] = {}
         self._headers: Dict[str, str] = {}

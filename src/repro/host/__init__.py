@@ -21,8 +21,16 @@ Layering (docs/ARCHITECTURE.md)::
 from .app import HostApp, PipelineServices, export_health
 from .demux import FlowDemux
 from .eviction import SessionLRU
-from .parallel import LaneSpec, ParallelPipeline, dispatch_plan, flow_key
+from .parallel import (
+    LaneSpec,
+    ParallelPipeline,
+    default_backend,
+    dispatch_plan,
+    flow_key,
+)
 from .pipeline import Pipeline
+from .pool import PoolError, WorkerPool
+from .ring import MessageChannel, RingFull, ShmRing
 from .service import BoundedQueue, HostService, RollingWindows, ServiceConfig
 
 __all__ = [
@@ -31,12 +39,18 @@ __all__ = [
     "HostApp",
     "HostService",
     "LaneSpec",
+    "MessageChannel",
     "ParallelPipeline",
     "Pipeline",
     "PipelineServices",
+    "PoolError",
+    "RingFull",
     "RollingWindows",
     "ServiceConfig",
     "SessionLRU",
+    "ShmRing",
+    "WorkerPool",
+    "default_backend",
     "dispatch_plan",
     "export_health",
     "flow_key",

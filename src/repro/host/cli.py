@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional
 from ..runtime.faults import FaultInjector, registered_sites
 from ..runtime.telemetry import Telemetry
 from .app import HostApp, PipelineServices
-from .parallel import LaneSpec, ParallelPipeline
+from .parallel import LaneSpec, ParallelPipeline, default_backend
 from .pipeline import Pipeline
 
 __all__ = [
@@ -152,11 +152,18 @@ def add_pipeline_args(parser: argparse.ArgumentParser,
     parser.add_argument("--vthreads", type=int, default=None, metavar="M",
                         help="virtual thread supply (default 4*workers)")
     parser.add_argument("--backend",
-                        choices=["vthread", "threaded", "process"],
-                        default="process",
+                        choices=["vthread", "threaded", "process", "pool"],
+                        default=None,
                         help="parallel drive mode: deterministic vthread "
-                             "scheduler, real threads, or one process "
-                             "per worker (default process)")
+                             "scheduler, real threads, one process per "
+                             "worker, or the persistent shared-memory "
+                             "worker pool (default: pool on multi-core "
+                             "hosts, else process)")
+    parser.add_argument("--start-method",
+                        choices=["fork", "spawn"], default=None,
+                        help="multiprocessing start method for the "
+                             "process/pool backends (default: fork "
+                             "where available, else spawn)")
 
 
 def add_service_args(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +190,12 @@ def add_service_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--queue-cap", type=int, default=512, metavar="N",
                        help="bounded per-lane queue capacity "
                             "(default 512)")
+    group.add_argument("--lane-transport", choices=["thread", "pool"],
+                       default="thread",
+                       help="lane execution substrate: in-process "
+                            "threads fed by object queues, or the "
+                            "persistent worker pool fed by shared-"
+                            "memory packet rings (default thread)")
     group.add_argument("--overload", choices=["block", "shed"],
                        default="block",
                        help="full-queue policy: 'block' applies "
@@ -292,8 +305,10 @@ def run_host_app(
             make_spec(args),
             workers=args.workers,
             vthreads=args.vthreads,
-            backend=args.backend,
+            backend=(args.backend if args.backend is not None
+                     else default_backend()),
             telemetry=telemetry,
+            start_method=getattr(args, "start_method", None),
         )
         previous = _install_interrupt_handler()
         try:
@@ -408,9 +423,16 @@ def run_host_service(
         raise SystemExit(
             f"{prog}: --serve and --parallel are exclusive — service "
             "mode has its own lane parallelism (--lanes)")
+    lane_transport = getattr(args, "lane_transport", "thread")
+    if lane_transport == "pool" and args.inject:
+        raise SystemExit(
+            f"{prog}: --inject requires thread lanes — pool lanes run "
+            "in worker processes where the injector's deterministic "
+            "per-site streams cannot be threaded through")
 
     config = ServiceConfig(
         lanes=args.lanes,
+        lane_transport=lane_transport,
         queue_capacity=args.queue_cap,
         overload=args.overload,
         tick_seconds=args.tick,
@@ -443,8 +465,8 @@ def run_host_service(
     service.install_signal_handlers()
 
     loops = "forever" if args.loops <= 0 else f"{args.loops}x"
-    print(f"{prog}: service mode — {config.lanes} lanes, "
-          f"overload={config.overload}, replay {loops}"
+    print(f"{prog}: service mode — {config.lanes} {config.lane_transport} "
+          f"lanes, overload={config.overload}, replay {loops}"
           + (f", {args.rate_pps:g} pps" if args.rate_pps else ""))
     code = service.serve()
     totals = service.totals()

@@ -3,14 +3,18 @@
 The paper's concurrency model (section 3.2), generalized from the Bro
 exemplar to the whole substrate: packets hash to virtual threads, each
 vthread's lane runs one isolated app instance, and no lane touches
-another lane's state.  Three drive backends execute the same dispatch
+another lane's state.  Four drive backends execute the same dispatch
 plan:
 
 * ``vthread`` — the deterministic differential oracle
   (``Scheduler.run_until_idle`` on one OS thread);
 * ``threaded`` — the same jobs on real ``threading`` workers;
 * ``process`` — a ``multiprocessing`` fan-out, one subprocess per
-  worker, results reduced at join.
+  worker, results reduced at join;
+* ``pool`` — the persistent shared-memory worker pool
+  (:mod:`repro.host.pool`): workers spawn once and stay hot across
+  runs, packets travel as length-prefixed batches through SPSC rings.
+  The default on multi-core hosts (:func:`default_backend`).
 
 What varies per application lives in a picklable :class:`LaneSpec`: how
 to build a lane (``make_lane``), how to harvest it (``lane_result``),
@@ -36,16 +40,35 @@ from ..core.values import Time
 from ..net.flows import FiveTuple, flow_of_frame, placement
 from ..runtime.telemetry import Telemetry
 from ..runtime.threads import Scheduler
+from .worker import process_worker as _process_worker  # noqa: F401 (re-export)
 
 __all__ = [
     "LaneSpec",
     "ParallelPipeline",
+    "default_backend",
     "dispatch_plan",
     "flow_key",
     "merge_health",
+    "usable_cpus",
 ]
 
-_BACKENDS = ("vthread", "threaded", "process")
+_BACKENDS = ("vthread", "threaded", "process", "pool")
+
+
+def usable_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(_os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return _os.cpu_count() or 1
+
+
+def default_backend() -> str:
+    """The backend ``--parallel`` picks when none is named: the
+    persistent pool wherever real parallelism exists, the classic
+    one-shot process fan-out on a single-CPU box (where hot workers
+    buy nothing and the pool's resident processes are pure cost)."""
+    return "pool" if usable_cpus() > 1 else "process"
 
 
 def flow_key(flow: FiveTuple) -> Tuple:
@@ -103,6 +126,14 @@ class LaneSpec:
             "trace_roots": ([root.to_dict() for root in tracer.roots]
                             if tracer.enabled else None),
         }
+
+    def result_lines_of(self, result: Dict) -> List[str]:
+        """The mergeable output lines inside one :meth:`lane_result`
+        payload.  The default reads the generic ``lines`` key; apps
+        with richer payloads (Bro's per-stream logs) override this so
+        generic harvesters — the service's pool lanes — need no
+        app-specific knowledge."""
+        return list(result["lines"])
 
 
 def dispatch_plan(
@@ -199,32 +230,11 @@ class _LaneProgram:
         lane.on_packet(Time.from_nanos(nanos), frame)
 
 
-def _process_worker(conn, spec: LaneSpec, shard, uid_map: Dict) -> None:
-    """Subprocess body: run one lane over one flow shard, ship the
-    result back through the pipe.  *shard* is either an in-memory list
-    of ``(nanos, frame)`` or a path to a pcap shard file."""
-    try:
-        lane = spec.make_lane(uid_map)
-        lane.on_begin()
-        if isinstance(shard, str):
-            from ..net.pcap import PcapReader
-
-            with PcapReader(shard) as reader:
-                for timestamp, frame in reader:
-                    lane.on_packet(timestamp, frame)
-        else:
-            for nanos, frame in shard:
-                lane.on_packet(Time.from_nanos(nanos), frame)
-        lane.on_end()
-        conn.send(spec.lane_result(lane))
-    except BaseException as error:  # surface the failure to the parent
-        try:
-            conn.send({"error": repr(error)})
-        except Exception:
-            pass
-        raise
-    finally:
-        conn.close()
+# The subprocess entry bodies live in :mod:`repro.host.worker`, which
+# is import-side-effect-free — the property that makes the ``spawn``
+# start method safe (the child imports the entry's module before the
+# target runs; importing *this* module would drag the whole substrate
+# in).  ``_process_worker`` above is re-exported for compatibility.
 
 
 # --------------------------------------------------------------------------
@@ -237,9 +247,18 @@ class ParallelPipeline:
 
     *workers* is the hardware parallelism, *vthreads* the virtual-thread
     supply (defaults to ``4 * workers``), *backend* one of ``vthread``,
-    ``threaded``, ``process``.  The deterministic fault injector is
+    ``threaded``, ``process``, ``pool`` (``None`` resolves via
+    :func:`default_backend`).  The deterministic fault injector is
     intentionally not plumbed through — its per-site random streams are
     sequential by construction and would diverge per lane.
+
+    *start_method* overrides the multiprocessing start method for the
+    ``process`` and ``pool`` backends (default: ``fork`` where the
+    platform has it, else ``spawn``); *join_timeout* bounds how long a
+    run waits for any worker's result before declaring it lost — a
+    worker killed mid-run is reaped, its unretired jobs are counted in
+    :attr:`jobs_lost`, and the run fails with a diagnostic instead of
+    hanging the join.
     """
 
     #: Gauge series whose lane-merge takes the max instead of the sum.
@@ -250,9 +269,13 @@ class ParallelPipeline:
         spec: LaneSpec,
         workers: int = 4,
         vthreads: Optional[int] = None,
-        backend: str = "process",
+        backend: Optional[str] = "process",
         telemetry: Optional[Telemetry] = None,
+        start_method: Optional[str] = None,
+        join_timeout: float = 60.0,
     ):
+        if backend is None:
+            backend = default_backend()
         if backend not in _BACKENDS:
             raise ValueError(f"unknown parallel backend {backend!r}")
         if workers < 1:
@@ -264,8 +287,13 @@ class ParallelPipeline:
             raise ValueError("vthreads must be >= workers")
         self.backend = backend
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.start_method = start_method
+        self.join_timeout = join_timeout
         self.stats: Dict[str, object] = {}
         self.scheduler: Optional[Scheduler] = None
+        #: Packets handed to workers that died before retiring them
+        #: (conservation diagnostic populated when a run fails).
+        self.jobs_lost = 0
         self._results: List[Dict] = []
         self._lines: List[str] = []
         self._trace_roots: List[Dict] = []
@@ -278,7 +306,9 @@ class ParallelPipeline:
         begin = _time.perf_counter_ns()
         jobs, uid_map = dispatch_plan(packets, self.vthreads, self.workers,
                                       spec=self.spec)
-        if self.backend == "process":
+        if self.backend == "pool":
+            self._run_pool(jobs, uid_map)
+        elif self.backend == "process":
             self._run_process(jobs, uid_map)
         else:
             self._run_scheduler(jobs, uid_map,
@@ -311,6 +341,8 @@ class ParallelPipeline:
         if shard_dir is not None:
             shards = self._write_shards(jobs, shard_dir)
             self._run_process(jobs, uid_map, shard_paths=shards)
+        elif self.backend == "pool":
+            self._run_pool(jobs, uid_map)
         elif self.backend == "process":
             self._run_process(jobs, uid_map)
         else:
@@ -361,20 +393,59 @@ class ParallelPipeline:
             results.append(self.spec.lane_result(lane))
         self._results = results
 
+    def _shard_jobs(self, jobs) -> List[List[Tuple[int, bytes]]]:
+        """Fan the dispatch plan out into per-worker in-memory shards
+        (the scheduler rule: ``vid % workers``)."""
+        shards: List[List[Tuple[int, bytes]]] = [
+            [] for __ in range(self.workers)
+        ]
+        for vid, nanos, frame in jobs:
+            shards[vid % self.workers].append((nanos, frame))
+        return shards
+
+    def _resolve_context(self):
+        method = self.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        return multiprocessing.get_context(method)
+
+    def _run_pool(self, jobs, uid_map) -> None:
+        """The persistent shared-memory pool backend: batched packet
+        slices through SPSC rings into workers that outlive the run."""
+        from .pool import PoolError, WorkerPool
+
+        pool = WorkerPool.shared(self.workers,
+                                 start_method=self.start_method)
+        try:
+            self._results = pool.run(self.spec, uid_map,
+                                     self._shard_jobs(jobs),
+                                     timeout=self.join_timeout)
+        except PoolError as error:
+            self.jobs_lost = error.jobs_lost
+            raise
+
     def _run_process(self, jobs, uid_map,
                      shard_paths: Optional[List[str]] = None) -> None:
-        """The multiprocessing backend: one subprocess per worker."""
+        """The one-shot multiprocessing backend: one subprocess per
+        worker per run.
+
+        The join polls every pipe with a deadline instead of blocking
+        on ``recv()``: a worker killed mid-job (OOM, signal) is
+        detected by liveness, reaped, and its shard's jobs accounted
+        as lost — the run fails with the conservation diagnostic
+        instead of hanging forever on a pipe no one will ever write.
+        """
         if shard_paths is None:
-            shards: List[List[Tuple[int, bytes]]] = [
-                [] for __ in range(self.workers)
-            ]
-            for vid, nanos, frame in jobs:
-                shards[vid % self.workers].append((nanos, frame))
+            shards = self._shard_jobs(jobs)
         else:
             shards = shard_paths  # type: ignore[assignment]
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
+        # Lost-job accounting needs per-worker job counts even when
+        # workers read their shards from pcap files themselves.
+        shard_counts = [0] * self.workers
+        for vid, __, __unused in jobs:
+            shard_counts[vid % self.workers] += 1
+        ctx = self._resolve_context()
         procs = []
         pipes = []
         for index in range(self.workers):
@@ -387,25 +458,70 @@ class ParallelPipeline:
             child_conn.close()
             procs.append(proc)
             pipes.append(parent_conn)
-        results = []
-        failures = []
-        for index, (proc, conn) in enumerate(zip(procs, pipes)):
-            try:
-                result = conn.recv()
-            except EOFError:
-                result = {"error": "worker died before reporting"}
-            finally:
+        results: List[Optional[Dict]] = [None] * self.workers
+        failures: List[str] = []
+        jobs_lost = 0
+        deadline = _time.monotonic() + self.join_timeout
+        pending = set(range(self.workers))
+        while pending:
+            reaped = False
+            for index in sorted(pending):
+                proc, conn = procs[index], pipes[index]
+                result: Optional[Dict] = None
+                if conn.poll(0.01):
+                    try:
+                        result = conn.recv()
+                    except EOFError:
+                        result = {"error": "worker died before reporting"}
+                elif not proc.is_alive():
+                    # Dead with an empty pipe — but a worker can exit
+                    # between writing its result and our poll, so give
+                    # the pipe one more look before declaring a crash.
+                    if conn.poll(0.01):
+                        try:
+                            result = conn.recv()
+                        except EOFError:
+                            result = {
+                                "error": "worker died before reporting"}
+                    else:
+                        proc.join(timeout=1.0)
+                        result = {"error": (
+                            f"worker died (exitcode {proc.exitcode}) "
+                            "before reporting")}
+                else:
+                    continue
                 conn.close()
-            if "error" in result:
-                failures.append(f"worker {index}: {result['error']}")
-            else:
-                results.append(result)
+                pending.discard(index)
+                reaped = True
+                if "error" in result:
+                    lost = shard_counts[index]
+                    jobs_lost += lost
+                    failures.append(
+                        f"worker {index}: {result['error']} "
+                        f"({lost} jobs lost)")
+                else:
+                    results[index] = result
+            if pending and not reaped and _time.monotonic() >= deadline:
+                for index in sorted(pending):
+                    procs[index].terminate()
+                    procs[index].join(timeout=1.0)
+                    pipes[index].close()
+                    lost = shard_counts[index]
+                    jobs_lost += lost
+                    failures.append(
+                        f"worker {index}: no result within "
+                        f"{self.join_timeout:.1f}s, terminated "
+                        f"({lost} jobs lost)")
+                pending.clear()
         for proc in procs:
-            proc.join()
+            proc.join(timeout=5.0)
+        self.jobs_lost = jobs_lost
         if failures:
             raise RuntimeError(
-                "parallel workers failed: " + "; ".join(failures))
-        self._results = results
+                "parallel workers failed: " + "; ".join(failures)
+                + (f" — {jobs_lost} jobs lost (conservation broken)"
+                   if jobs_lost else ""))
+        self._results = [r for r in results if r is not None]
 
     # -- the ordered merge --------------------------------------------------
 

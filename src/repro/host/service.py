@@ -241,6 +241,7 @@ class ServiceConfig:
 
     def __init__(self,
                  lanes: int = 1,
+                 lane_transport: str = "thread",
                  queue_capacity: int = 512,
                  overload: str = "block",
                  tick_seconds: float = 1.0,
@@ -265,9 +266,17 @@ class ServiceConfig:
                  app_name: str = "app"):
         if overload not in ("block", "shed"):
             raise ValueError(f"overload must be block|shed, got {overload!r}")
+        if lane_transport not in ("thread", "pool"):
+            raise ValueError(
+                f"lane_transport must be thread|pool, got {lane_transport!r}")
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes!r}")
+        if lane_transport == "pool" and inject_rates:
+            raise ValueError(
+                "fault injection requires thread lanes — pool lanes run "
+                "in worker processes")
         self.lanes = lanes
+        self.lane_transport = lane_transport
         self.queue_capacity = queue_capacity
         self.overload = overload
         self.tick_seconds = tick_seconds
@@ -294,6 +303,7 @@ class ServiceConfig:
     def as_dict(self) -> Dict[str, object]:
         return {
             "lanes": self.lanes,
+            "lane_transport": self.lane_transport,
             "queue_capacity": self.queue_capacity,
             "overload": self.overload,
             "tick_seconds": self.tick_seconds,
@@ -349,6 +359,12 @@ class _Lane:
         self.pending_restart_at: Optional[float] = None
         self.archived_lines: List[str] = []
         self.end_stats: Optional[Dict] = None
+        # Pool-transport state: the ring replaces the object queue, so
+        # shed and in-flight accounting live on the lane itself.
+        self.pool_lock = threading.Lock()
+        self.pool_down = False       # worker dead/poisoned, respawn due
+        self.pool_shed = 0           # shed at a full ring (shed policy)
+        self.pool_base = 0           # processed by prior incarnations
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -361,7 +377,7 @@ class _Lane:
             "failed": self.failed,
             "queue_depth": self.queue.depth(),
             "queue_high_water": self.queue.high_water,
-            "queue_shed": self.queue.shed,
+            "queue_shed": self.queue.shed + self.pool_shed,
             "last_error": self.last_error,
             "breaker": self.breaker.as_dict(),
         }
@@ -397,6 +413,14 @@ class HostService:
         self.spec = spec if spec is not None else LaneSpec()
         self.lanes = [_Lane(i, self.config)
                       for i in range(self.config.lanes)]
+        self._transport = self.config.lane_transport
+        self._pool = None
+        if self._transport == "pool":
+            # The shared pool outlives this service instance: a restart
+            # reattaches to the same hot workers instead of respawning.
+            from .pool import WorkerPool
+
+            self._pool = WorkerPool.shared(self.config.lanes)
         self.metrics = MetricsRegistry()
         self.windows = RollingWindows(self.config.windows)
         self._stop = threading.Event()
@@ -542,6 +566,77 @@ class HostService:
                 self._archive_lane_app(lane)
                 self._start_lane(lane)
 
+    def _crash_pool_lane(self, lane: _Lane, now: float,
+                         error: str) -> None:
+        """Shared crash bookkeeping for a pool lane: conservation
+        accounting, breaker escalation, restart scheduling."""
+        config = self.config
+        pool = self._pool
+        lane.pool_down = True
+        lane.crashes += 1
+        lane.crashed = True
+        lane.last_error = error
+        # Everything handed to the worker but not retired — including
+        # the parent-side batch that never flushed — is lost with it.
+        lost = max(0, pool.pushed(lane.index) + pool.buffered(lane.index)
+                   - pool.progressed(lane.index))
+        lane.packets_lost += lost
+        lane.processed = lane.pool_base + pool.progressed(lane.index)
+        lane.pool_base = lane.processed
+        if lane.processed_since_start >= config.healthy_packets:
+            lane.breaker = CircuitBreaker(
+                threshold=config.breaker_threshold,
+                min_flows=config.breaker_min_starts)
+            lane.breaker.record_flow()
+        lane.breaker.record_violation()
+        if lane.breaker.tripped:
+            lane.failed = True
+            # Respawn anyway: the shared pool must stay healthy for
+            # sibling lanes now and for future runs.
+            with lane.pool_lock:
+                pool.respawn(lane.index)
+            return
+        consecutive = max(1, lane.breaker.violations)
+        delay = min(config.backoff_cap,
+                    config.backoff_base * (2 ** (consecutive - 1)))
+        lane.backoff_seconds += delay
+        lane.pending_restart_at = now + delay
+
+    def _supervise_pool_lanes(self, now: float) -> None:
+        """Pool-transport supervision: liveness and in-run errors come
+        from the pool's progress protocol instead of thread state."""
+        pool = self._pool
+        for lane in self.lanes:
+            if lane.failed:
+                continue
+            index = lane.index
+            if lane.pending_restart_at is not None:
+                if now >= lane.pending_restart_at:
+                    lane.pending_restart_at = None
+                    lane.restarts += 1
+                    with lane.pool_lock:
+                        pool.respawn(index)
+                        pool.begin_worker(index)
+                        lane.pool_down = False
+                    lane.crashed = False
+                    lane.processed_since_start = 0
+                    lane.breaker.record_flow()
+                continue
+            if lane.pool_down:
+                continue
+            pool.poll(index)
+            failure = pool.failure(index)
+            if failure is not None:
+                self._crash_pool_lane(lane, now, failure)
+            elif not pool.alive(index):
+                self._crash_pool_lane(
+                    lane, now, "worker process died "
+                    f"(exitcode {pool.exitcode(index)})")
+            else:
+                progressed = pool.progressed(index)
+                lane.processed = lane.pool_base + progressed
+                lane.processed_since_start = progressed
+
     # -- ingest ------------------------------------------------------------
 
     def _place(self, frame: bytes) -> _Lane:
@@ -581,11 +676,64 @@ class HostService:
         finally:
             self.ingest_done = True
 
+    def _ingest_pool_body(self) -> None:
+        """Pool-transport ingest: frames go straight into the placed
+        lane's shared-memory ring as batches.  Overload semantics
+        mirror the queue path — ``block`` waits for ring space
+        (re-checking stop/crash), ``shed`` drops at a full ring — and
+        packets placed to a lane inside its crash/backoff window are
+        counted lost (the ring is reset on respawn, so nothing buffers
+        across the gap)."""
+        shed_policy = self.config.overload == "shed"
+        pool = self._pool
+        last_flush = _time.monotonic()
+        try:
+            for timestamp, frame in self.source:
+                if self._stop.is_set():
+                    break
+                self.ingested += 1
+                lane = self._place(frame)
+                if lane.failed:
+                    self.dropped_to_failed += 1
+                    continue
+                if lane.pool_down:
+                    lane.packets_lost += 1
+                    continue
+                with lane.pool_lock:
+                    fed = pool.feed(
+                        lane.index, timestamp.nanos, frame,
+                        wait=(0.0 if shed_policy else None),
+                        should_stop=lambda lane=lane: (
+                            self._stop.is_set() or lane.failed
+                            or lane.pool_down))
+                if not fed:
+                    if shed_policy:
+                        lane.pool_shed += 1
+                    elif lane.pool_down and not self._stop.is_set():
+                        lane.packets_lost += 1
+                    elif lane.failed and not self._stop.is_set():
+                        self.dropped_to_failed += 1
+                    else:
+                        self.dropped_on_stop += 1
+                # Paced sources can leave a partial batch sitting in the
+                # parent buffer indefinitely; a periodic flush bounds
+                # that latency (all batch state stays on this thread).
+                now = _time.monotonic()
+                if now - last_flush >= 0.05:
+                    last_flush = now
+                    for other in self.lanes:
+                        if not (other.failed or other.pool_down):
+                            with other.pool_lock:
+                                pool.flush(other.index, wait=0.0)
+        finally:
+            self.ingest_done = True
+
     # -- aggregation -------------------------------------------------------
 
     def totals(self) -> Dict[str, float]:
         processed = sum(lane.processed for lane in self.lanes)
-        shed = sum(lane.queue.shed for lane in self.lanes)
+        shed = sum(lane.queue.shed + lane.pool_shed
+                   for lane in self.lanes)
         lost = sum(lane.packets_lost for lane in self.lanes)
         return {
             "packets_ingested": self.ingested,
@@ -804,10 +952,19 @@ class HostService:
         self._started_at = _time.monotonic()
         self._start_http()
         self._write_service_json("running")
-        for lane in self.lanes:
-            self._start_lane(lane)
+        if self._transport == "pool":
+            # One shared begin: every pool worker arms a fresh lane
+            # (dead workers are respawned inside begin_run).
+            self._pool.begin_run(self.spec, {})
+            for lane in self.lanes:
+                lane.breaker.record_flow()
+        else:
+            for lane in self.lanes:
+                self._start_lane(lane)
         self._ingest_thread = threading.Thread(
-            target=self._ingest_body, name="service-ingest", daemon=True)
+            target=(self._ingest_pool_body if self._transport == "pool"
+                    else self._ingest_body),
+            name="service-ingest", daemon=True)
         self._ingest_thread.start()
 
         next_tick = self._started_at + config.tick_seconds
@@ -821,13 +978,19 @@ class HostService:
                     break
                 # Failed lanes are excluded: nothing consumes their
                 # queues (a put() racing the escalation drain can still
-                # land an item there; _drain re-counts it).
-                if self.ingest_done and all(
-                        lane.queue.depth() == 0 for lane in self.lanes
-                        if not lane.failed):
+                # land an item there; _drain re-counts it).  Pool lanes
+                # have no parent-side queue — the drain collects what
+                # is still in flight in the rings.
+                if self.ingest_done and (
+                        self._transport == "pool" or all(
+                            lane.queue.depth() == 0 for lane in self.lanes
+                            if not lane.failed)):
                     self.request_stop("source exhausted")
                     break
-                self._supervise_lanes(now)
+                if self._transport == "pool":
+                    self._supervise_pool_lanes(now)
+                else:
+                    self._supervise_lanes(now)
                 if now >= next_tick:
                     self._sample()
                     next_tick += config.tick_seconds
@@ -839,8 +1002,8 @@ class HostService:
         return self.exit_code
 
     def _drain(self) -> int:
-        """Stop ingest, let lanes finish their queues, finalize every
-        app, flush telemetry, write artifacts."""
+        """Stop ingest, let lanes finish their queues/rings, finalize
+        every app, flush telemetry, write artifacts."""
         config = self.config
         self._stop.set()
         if self.stop_reason is None:
@@ -848,6 +1011,27 @@ class HostService:
         if self._ingest_thread is not None:
             self._ingest_thread.join(timeout=config.drain_timeout)
 
+        if self._transport == "pool":
+            lines, hung = self._drain_pool_lanes()
+        else:
+            lines, hung = self._drain_thread_lanes()
+        lines.sort()
+
+        self._sample()
+        self.artifacts = self._write_artifacts(lines)
+        self._stop_http()
+        exit_code = 1 if hung else 0
+        self._write_service_json("drained", {
+            "exit_code": exit_code,
+            "stop_reason": self.stop_reason,
+            "totals": self.totals(),
+            "sessions": self.session_totals(),
+            "artifacts": self.artifacts,
+        })
+        return exit_code
+
+    def _drain_thread_lanes(self) -> Tuple[List[str], bool]:
+        config = self.config
         # Crashed-but-not-restarted lanes can't consume their queues.
         for lane in self.lanes:
             alive = lane.thread is not None and lane.thread.is_alive()
@@ -878,20 +1062,42 @@ class HostService:
                 lines.extend(lane.app.result_lines())
             except Exception as error:
                 lane.last_error = f"{type(error).__name__}: {error}"
-        lines.sort()
+        return lines, hung
 
-        self._sample()
-        self.artifacts = self._write_artifacts(lines)
-        self._stop_http()
-        exit_code = 1 if hung else 0
-        self._write_service_json("drained", {
-            "exit_code": exit_code,
-            "stop_reason": self.stop_reason,
-            "totals": self.totals(),
-            "sessions": self.session_totals(),
-            "artifacts": self.artifacts,
-        })
-        return exit_code
+    def _drain_pool_lanes(self) -> Tuple[List[str], bool]:
+        """Finish every live pool worker's run and harvest its result;
+        lanes inside a crash window (or failed) have nothing left to
+        collect — their losses were counted when they went down."""
+        from .pool import PoolError
+
+        config = self.config
+        pool = self._pool
+        lines: List[str] = []
+        hung = False
+        for lane in self.lanes:
+            lines.extend(lane.archived_lines)
+            index = lane.index
+            if lane.failed or lane.pool_down:
+                continue
+            try:
+                with lane.pool_lock:
+                    pool.finish(index, timeout=config.drain_timeout)
+                result = pool.collect(index, config.drain_timeout)
+                lane.processed = lane.pool_base + pool.pushed(index)
+                lane.end_stats = result.get("stats")
+                lines.extend(self.spec.result_lines_of(result))
+            except PoolError as error:
+                lane.crashes += 1
+                lane.crashed = True
+                lane.pool_down = True
+                lane.last_error = str(error)
+                lane.packets_lost += max(
+                    0, pool.pushed(index) + pool.buffered(index)
+                    - pool.progressed(index))
+                lane.processed = lane.pool_base + pool.progressed(index)
+                with lane.pool_lock:
+                    pool.respawn(index)
+        return lines, hung
 
     def _write_artifacts(self, lines: List[str]) -> List[str]:
         from .pipeline import write_metrics_jsonl

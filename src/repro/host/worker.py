@@ -1,0 +1,230 @@
+"""Subprocess entry points for the parallel backends.
+
+This module is deliberately **side-effect-free at import time**: it
+pulls in only the standard library and :mod:`repro.host.ring`, and
+imports the runtime pieces it needs (``Time``, ``PcapReader``) lazily
+inside the functions.  That is what makes the ``spawn`` start method
+safe — a spawned child imports the module named by the process target
+before anything runs, and the original home of the worker body
+(:mod:`repro.host.parallel`) drags in the whole host substrate, which
+under ``spawn`` re-executed driver-module import work in every worker.
+Keeping the entry here means a worker boots with no application code
+at all until a pickled :class:`~repro.host.parallel.LaneSpec` arrives
+and names what to build.
+
+Two entry points live here:
+
+* :func:`process_worker` — the classic one-shot pipe backend body
+  (one subprocess per run, results pickled back through a ``Pipe``);
+* :func:`pool_worker_main` — the persistent pool worker: a loop over
+  a shared-memory ring that serves many runs without respawning,
+  parsing length-prefixed packet batches straight off the ring.
+
+The pool protocol is tagged messages (:class:`~repro.host.ring.
+MessageChannel`) with a per-run epoch so late batches of a failed run
+are discarded instead of corrupting the next one::
+
+    parent -> worker:  BEGIN(run, spec+uid_map)  DATA(run, batch)*
+                       END(run)            ...next run...   SHUTDOWN
+    worker -> parent:  PROGRESS(run, count)*  then RESULT(run, result)
+                       or ERROR(run, diagnostic)
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import traceback
+from typing import Iterator, List, Tuple
+
+from .ring import MessageChannel, ShmRing
+
+__all__ = [
+    "MSG_BEGIN",
+    "MSG_DATA",
+    "MSG_END",
+    "MSG_ERROR",
+    "MSG_PROGRESS",
+    "MSG_RESULT",
+    "MSG_SHUTDOWN",
+    "decode_batch",
+    "encode_packet",
+    "pool_worker_main",
+    "process_worker",
+]
+
+# Message tags (one byte each; see module docstring for the protocol).
+MSG_BEGIN = 1
+MSG_DATA = 2
+MSG_END = 3
+MSG_RESULT = 4
+MSG_ERROR = 5
+MSG_PROGRESS = 6
+MSG_SHUTDOWN = 7
+
+_RUN = struct.Struct("<I")      # run epoch prefix on run-scoped messages
+_PKT = struct.Struct("<QI")     # per-packet batch header: nanos, length
+_PROGRESS = struct.Struct("<IQ")  # run epoch, packets processed
+
+
+def encode_packet(buf: bytearray, nanos: int, frame: bytes) -> None:
+    """Append one ``(nanos, frame)`` record to a batch buffer."""
+    buf += _PKT.pack(nanos, len(frame))
+    buf += frame
+
+
+def decode_batch(payload: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(nanos, frame)`` records from one batch payload."""
+    offset = 0
+    end = len(payload)
+    size = _PKT.size
+    while offset < end:
+        nanos, length = _PKT.unpack_from(payload, offset)
+        offset += size
+        yield nanos, payload[offset:offset + length]
+        offset += length
+
+
+# --------------------------------------------------------------------------
+# The one-shot pipe backend (``--backend process``)
+# --------------------------------------------------------------------------
+
+
+def process_worker(conn, spec, shard, uid_map) -> None:
+    """Subprocess body: run one lane over one flow shard, ship the
+    result back through the pipe.  *shard* is either an in-memory list
+    of ``(nanos, frame)`` or a path to a pcap shard file."""
+    try:
+        from ..core.values import Time
+
+        lane = spec.make_lane(uid_map)
+        lane.on_begin()
+        if isinstance(shard, str):
+            from ..net.pcap import PcapReader
+
+            with PcapReader(shard) as reader:
+                for timestamp, frame in reader:
+                    lane.on_packet(timestamp, frame)
+        else:
+            for nanos, frame in shard:
+                lane.on_packet(Time.from_nanos(nanos), frame)
+        lane.on_end()
+        conn.send(spec.lane_result(lane))
+    except BaseException as error:  # surface the failure to the parent
+        try:
+            conn.send({"error": repr(error)})
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------
+# The persistent pool worker (``--backend pool``)
+# --------------------------------------------------------------------------
+
+
+def pool_worker_main(in_name: str, out_name: str) -> None:
+    """The pool worker loop: attach both rings, then serve runs until
+    a ``SHUTDOWN`` message (or a closed parent) ends the process.
+
+    A failure inside one run (lane construction, a packet, the final
+    harvest) is reported as ``ERROR`` and poisons only that run: the
+    worker stays alive, discards the failed run's remaining traffic by
+    epoch, and serves the next ``BEGIN`` normally.
+    """
+    in_ring = ShmRing.attach(in_name)
+    out_ring = ShmRing.attach(out_name)
+    inbox = MessageChannel(in_ring)
+    outbox = MessageChannel(out_ring)
+
+    lane = None
+    spec = None
+    run_id = -1
+    processed = 0
+
+    def fail(error: BaseException) -> None:
+        nonlocal lane, spec
+        lane = None
+        spec = None
+        diagnostic = {
+            "error": repr(error),
+            "traceback": traceback.format_exc(),
+            "processed": processed,
+        }
+        outbox.send(MSG_ERROR,
+                    _RUN.pack(run_id) + pickle.dumps(diagnostic),
+                    timeout=5.0)
+
+    try:
+        from ..core.values import Time
+
+        while True:
+            # A long timeout keeps an idle worker in one deep-backoff
+            # pop instead of restarting the backoff ladder twice a
+            # second; shutdown and BEGIN latency are bounded by the
+            # ring's 50ms backoff cap, not by this value.
+            message = inbox.recv(timeout=30.0)
+            if message is None:
+                continue
+            tag, payload = message
+            if tag == MSG_SHUTDOWN:
+                return
+            msg_run = _RUN.unpack_from(payload, 0)[0]
+            body = payload[_RUN.size:]
+            if tag == MSG_BEGIN:
+                run_id = msg_run
+                processed = 0
+                try:
+                    spec, uid_map = pickle.loads(body)
+                    lane = spec.make_lane(uid_map)
+                    lane.on_begin()
+                except BaseException as error:  # noqa: BLE001
+                    fail(error)
+                continue
+            if msg_run != run_id or lane is None:
+                # A stale message from a run that already failed (or
+                # that a respawned sibling never saw): drop it.
+                continue
+            if tag == MSG_DATA:
+                try:
+                    for nanos, frame in decode_batch(body):
+                        lane.on_packet(Time.from_nanos(nanos), frame)
+                        processed += 1
+                except BaseException as error:  # noqa: BLE001
+                    fail(error)
+                    continue
+                outbox.send(MSG_PROGRESS,
+                            _PROGRESS.pack(run_id, processed),
+                            timeout=5.0)
+            elif tag == MSG_END:
+                try:
+                    lane.on_end()
+                    result = pickle.dumps(
+                        spec.lane_result(lane),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+                except BaseException as error:  # noqa: BLE001
+                    fail(error)
+                    continue
+                outbox.send(MSG_RESULT, _RUN.pack(run_id) + result)
+                lane = None
+                spec = None
+    finally:
+        in_ring.close()
+        out_ring.close()
+
+
+def parse_progress(payload: bytes) -> Tuple[int, int]:
+    """Decode a ``PROGRESS`` payload into ``(run_id, processed)``."""
+    return _PROGRESS.unpack(payload)
+
+
+def parse_run_prefix(payload: bytes) -> Tuple[int, bytes]:
+    """Split a run-scoped payload into ``(run_id, body)``."""
+    return _RUN.unpack_from(payload, 0)[0], payload[_RUN.size:]
+
+
+def pack_run_prefix(run_id: int) -> bytes:
+    """The run-epoch prefix parents prepend to run-scoped messages."""
+    return _RUN.pack(run_id)

@@ -22,7 +22,7 @@ per-flow span trees into ``flows.jsonl``.
 Parallel controls (docs/PARALLELISM.md): ``--parallel`` drives the
 flow-parallel pipeline — connections hash to vthreads, lanes analyze
 independently, logs merge deterministically — with ``--workers N``,
-``--vthreads M``, and ``--backend {vthread,threaded,process}``.
+``--vthreads M``, and ``--backend {vthread,threaded,process,pool}``.
 """
 
 from __future__ import annotations
@@ -119,11 +119,18 @@ def main(argv=None) -> int:
     parser.add_argument("--vthreads", type=int, default=None, metavar="M",
                         help="virtual thread supply (default 4*workers)")
     parser.add_argument("--backend",
-                        choices=["vthread", "threaded", "process"],
-                        default="process",
+                        choices=["vthread", "threaded", "process", "pool"],
+                        default=None,
                         help="parallel drive mode: deterministic vthread "
-                             "scheduler, real threads, or one process "
-                             "per worker (default process)")
+                             "scheduler, real threads, one process per "
+                             "worker, or the persistent shared-memory "
+                             "worker pool (default: pool on multi-core, "
+                             "else process)")
+    parser.add_argument("--start-method", choices=["fork", "spawn"],
+                        default=None,
+                        help="multiprocessing start method for the "
+                             "process/pool backends (default: fork "
+                             "where available)")
     add_service_args(parser)
     # run_host_service reads the full shared namespace; bro has no
     # reassembly memory budget, so pin its slot to None.
@@ -179,6 +186,7 @@ def main(argv=None) -> int:
             workers=args.workers,
             vthreads=args.vthreads,
             backend=args.backend,
+            start_method=args.start_method,
             watchdog_budget=args.watchdog,
             telemetry=Telemetry(metrics=args.metrics,
                                 trace=args.trace_flows),

@@ -5,9 +5,10 @@ thread yields the same analysis as a sequential run, with no
 program-level locking.  We check the strongest observable form of that:
 the merged logs of the parallel pipeline are **byte-identical** to the
 sequential pipeline's on a fixed-seed HTTP+DNS trace, for every backend
-(deterministic vthread scheduler, real threads, one process per worker)
-at 1, 2, and 4 workers — and the event totals, per-event-name counts,
-and counter-style metric series agree exactly.
+(deterministic vthread scheduler, real threads, one process per worker,
+the persistent shared-memory worker pool) at 1, 2, and 4 workers — and
+the event totals, per-event-name counts, and counter-style metric
+series agree exactly.
 """
 
 import pytest
@@ -18,12 +19,22 @@ from repro.apps.bro.core import format_uid
 from repro.core.values import Addr
 from repro.net.flows import FiveTuple, flow_of_frame, placement, vthread_of
 from repro.net.packet import PROTO_TCP
+from repro.host.pool import shutdown_shared_pools
 from repro.net.tracegen import (
     DnsTraceConfig,
     HttpTraceConfig,
     generate_mixed_trace,
 )
 from repro.runtime.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools():
+    """Close the cached shared pools after this module so their idle
+    workers cannot add CPU noise to timing-sensitive suites that run
+    later in the same pytest process."""
+    yield
+    shutdown_shared_pools()
 
 LOG_STREAMS = ("conn", "http", "dns", "files", "weird")
 
@@ -74,7 +85,8 @@ def _comparable_series(registry):
 
 
 class TestDifferentialOracle:
-    @pytest.mark.parametrize("backend", ["vthread", "threaded", "process"])
+    @pytest.mark.parametrize("backend",
+                             ["vthread", "threaded", "process", "pool"])
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_logs_byte_identical(self, mixed_trace, sequential,
                                  backend, workers):

@@ -1,0 +1,485 @@
+"""The persistent shared-memory worker pool and its ring transport.
+
+Covers the tentpole of the pool backend (byte-identity with the
+sequential oracle, worker reuse across runs, spawn-mode safety) and
+the failure semantics of both multiprocessing backends: a worker
+killed mid-run is detected by a deadline poll, reaped, its unretired
+packets accounted as lost, and the run fails loudly instead of
+hanging; the pool additionally survives — the dead worker is
+respawned and the next run proceeds normally.
+
+Ring coverage (the satellite checklist): wraparound, full-ring
+backpressure, oversized-record rejection, concurrent
+producer/consumer stress, and pool reuse across two consecutive runs
+with differing traces.
+"""
+
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.apps.bpf.app import BpfLaneSpec
+from repro.host.parallel import ParallelPipeline, default_backend
+from repro.host.pool import PoolError, WorkerPool, shutdown_shared_pools
+from repro.host.ring import MessageChannel, ShmRing
+from repro.net.tracegen import (
+    DnsTraceConfig,
+    HttpTraceConfig,
+    generate_mixed_trace,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools():
+    """Close the cached shared pools after this module so their idle
+    workers cannot add CPU noise to timing-sensitive suites that run
+    later in the same pytest process."""
+    yield
+    shutdown_shared_pools()
+
+BPF_CONFIG = {"filter": "tcp", "engine": "vm", "opt_level": 2,
+              "watchdog_budget": None, "metrics": False, "trace": False}
+
+
+def _trace(sessions=12, queries=30, seed=5):
+    return generate_mixed_trace(HttpTraceConfig(sessions=sessions, seed=seed),
+                                DnsTraceConfig(queries=queries, seed=seed))
+
+
+def _record(i: int) -> bytes:
+    # Deterministic pseudo-content with varying record sizes so pushes
+    # land on every possible wraparound phase.
+    return bytes((i * 7 + j) & 0xFF for j in range(1 + (i * 13) % 97))
+
+
+class KillerSpec(BpfLaneSpec):
+    """A lane spec whose worker dies the moment it builds a lane —
+    the OOM-kill stand-in for the death-detection tests."""
+
+    def make_lane(self, uid_map):
+        os.kill(os.getpid(), 9)
+
+
+class BrokenSpec(BpfLaneSpec):
+    """A lane spec that raises during lane construction (a survivable
+    in-run error: the worker reports it and stays alive)."""
+
+    def make_lane(self, uid_map):
+        raise RuntimeError("lane construction exploded")
+
+
+# --------------------------------------------------------------------------
+# The SPSC ring
+# --------------------------------------------------------------------------
+
+
+class TestShmRing:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            ShmRing(1000)
+
+    def test_roundtrip(self):
+        ring = ShmRing(1 << 12)
+        try:
+            assert ring.push(b"hello")
+            assert ring.push(b"")
+            assert ring.pop() == b"hello"
+            assert ring.pop() == b""
+            assert ring.pop() is None
+        finally:
+            ring.close()
+
+    def test_wraparound(self):
+        """Thousands of variable-size records through a tiny ring hit
+        every wraparound phase; every payload must survive intact."""
+        ring = ShmRing(1 << 10)
+        try:
+            expect = []
+            sent = 0
+            for i in range(4000):
+                record = _record(i)
+                while not ring.push(record):
+                    got = ring.pop()
+                    assert got == expect.pop(0)
+                expect.append(record)
+                sent += 1
+            while expect:
+                assert ring.pop() == expect.pop(0)
+            assert ring.pop() is None
+            assert sent == 4000
+        finally:
+            ring.close()
+
+    def test_full_ring_backpressure(self):
+        ring = ShmRing(1 << 10)
+        try:
+            payload = b"x" * 200
+            pushed = 0
+            while ring.push(payload):
+                pushed += 1
+            assert pushed > 0
+            assert not ring.push(payload)          # full: refused
+            assert not ring.push_wait(payload, timeout=0.05)
+            assert ring.pop() == payload           # free one slot
+            assert ring.push(payload)              # accepted again
+        finally:
+            ring.close()
+
+    def test_oversized_record_rejected(self):
+        ring = ShmRing(1 << 10)
+        try:
+            with pytest.raises(ValueError):
+                ring.push(b"y" * (1 << 10))  # can never fit (len prefix)
+        finally:
+            ring.close()
+
+    def test_attach_sees_owner_capacity(self):
+        ring = ShmRing(1 << 12)
+        try:
+            other = ShmRing.attach(ring.name)
+            try:
+                # shm segments round up to page size; the header keeps
+                # the logical capacity authoritative.
+                assert other.capacity == 1 << 12
+                assert ring.push(b"cross-process")
+                assert other.pop() == b"cross-process"
+            finally:
+                other.close()
+        finally:
+            ring.close()
+
+    def test_concurrent_producer_consumer_stress(self):
+        """One producer thread races one consumer over a small ring;
+        FIFO order and payload integrity must hold throughout."""
+        ring = ShmRing(1 << 12)
+        count = 20000
+        errors = []
+
+        def produce():
+            for i in range(count):
+                if not ring.push_wait(_record(i), timeout=10.0):
+                    errors.append(f"push {i} timed out")
+                    return
+
+        try:
+            producer = threading.Thread(target=produce)
+            producer.start()
+            for i in range(count):
+                got = ring.pop(timeout=10.0)
+                if got != _record(i):
+                    errors.append(f"record {i} corrupted")
+                    break
+            producer.join(timeout=30.0)
+            assert not errors
+            assert ring.pop() is None
+        finally:
+            ring.close()
+
+
+class TestMessageChannel:
+    def test_message_larger_than_ring_streams_through(self):
+        ring = ShmRing(1 << 12)
+        channel = MessageChannel(ring)
+        payload = bytes((i * 31) & 0xFF for i in range(3 * ring.capacity))
+        received = []
+
+        def consume():
+            received.append(MessageChannel(ring).recv(timeout=10.0))
+
+        try:
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            assert channel.send(7, payload, timeout=10.0)
+            consumer.join(timeout=30.0)
+            assert received == [(7, payload)]
+        finally:
+            ring.close()
+
+    def test_tagged_messages_in_order(self):
+        ring = ShmRing(1 << 12)
+        channel = MessageChannel(ring)
+        try:
+            assert channel.send(1, b"alpha")
+            assert channel.send(2, b"beta")
+            assert channel.recv() == (1, b"alpha")
+            assert channel.recv() == (2, b"beta")
+            assert channel.recv() is None
+        finally:
+            ring.close()
+
+
+# --------------------------------------------------------------------------
+# The worker pool
+# --------------------------------------------------------------------------
+
+
+def _reference_lines(spec, trace, workers):
+    pipe = ParallelPipeline(spec, workers=workers, backend="vthread")
+    pipe.run(trace)
+    return pipe.result_lines()
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestWorkerPool:
+    def test_identity_and_reuse_across_differing_traces(self):
+        """Two consecutive runs with different traces through the SAME
+        pool (no respawn) must each match the vthread oracle — run
+        state fully resets between runs."""
+        spec = BpfLaneSpec(dict(BPF_CONFIG))
+        pool = WorkerPool(2, start_method="fork")
+        try:
+            first_pids = pool.pids()
+            for seed in (5, 11):
+                trace = _trace(seed=seed)
+                jobs = [(timestamp.nanos, frame)
+                        for timestamp, frame in trace]
+                shards = [jobs[0::2], jobs[1::2]]
+                results = pool.run(spec, {}, shards)
+                lines = sorted(
+                    line for result in results for line in result["lines"])
+                # Oracle: one sequential lane per shard.
+                expect = []
+                for shard in shards:
+                    expect.extend(self._drive_lines(spec, shard))
+                assert lines == sorted(expect)
+            assert pool.pids() == first_pids  # nobody was respawned
+            assert pool.runs_served == 2
+        finally:
+            pool.close()
+
+    @staticmethod
+    def _drive(spec, shard):
+        from repro.core.values import Time
+
+        lane = spec.make_lane({})
+        lane.on_begin()
+        for nanos, frame in shard:
+            lane.on_packet(Time.from_nanos(nanos), frame)
+        lane.on_end()
+        return lane
+
+    @classmethod
+    def _drive_lines(cls, spec, shard):
+        return spec.lane_result(cls._drive(spec, shard))["lines"]
+
+    def test_pool_backend_matches_vthread_oracle(self):
+        spec = BpfLaneSpec(dict(BPF_CONFIG))
+        trace = _trace()
+        pipe = ParallelPipeline(spec, workers=2, backend="pool")
+        pipe.run(trace)
+        assert pipe.result_lines() == _reference_lines(spec, trace, 2)
+
+    def test_worker_error_poisons_only_that_run(self):
+        """An in-run failure is reported, the run raises, and the SAME
+        workers serve the next run — errors don't leak across epochs."""
+        trace = _trace(sessions=4, queries=8)
+        jobs = [(t.nanos, f) for t, f in trace]
+        pool = WorkerPool(1, start_method="fork")
+        try:
+            with pytest.raises(PoolError, match="exploded"):
+                pool.run(BrokenSpec(dict(BPF_CONFIG)), {}, [jobs])
+            pids = pool.pids()
+            spec = BpfLaneSpec(dict(BPF_CONFIG))
+            results = pool.run(spec, {}, [jobs])
+            assert pool.pids() == pids  # alive worker was NOT respawned
+            assert sorted(results[0]["lines"]) == \
+                sorted(self._drive_lines(spec, jobs))
+        finally:
+            pool.close()
+
+    def test_worker_death_detected_and_respawned(self):
+        """A SIGKILLed worker is detected by liveness (not a hang), the
+        lost packets are accounted, and the pool replaces the corpse so
+        the next run succeeds."""
+        trace = _trace(sessions=4, queries=8)
+        jobs = [(t.nanos, f) for t, f in trace]
+        pool = WorkerPool(1, start_method="fork")
+        try:
+            with pytest.raises(PoolError) as excinfo:
+                pool.run(KillerSpec(dict(BPF_CONFIG)), {}, [jobs],
+                         timeout=20.0)
+            assert "died" in str(excinfo.value)
+            spec = BpfLaneSpec(dict(BPF_CONFIG))
+            results = pool.run(spec, {}, [jobs])
+            assert sorted(results[0]["lines"]) == \
+                sorted(self._drive_lines(spec, jobs))
+        finally:
+            pool.close()
+
+
+# --------------------------------------------------------------------------
+# Spawn-mode regression (worker entry must be side-effect-free)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable")
+class TestSpawnStartMethod:
+    """The worker entries live in :mod:`repro.host.worker`, which a
+    ``spawn`` child imports cold — these would hang or crash if the
+    entry module dragged in import-time side effects (the original
+    bug: worker bodies lived in ``repro.host.parallel``)."""
+
+    def test_pool_backend_under_spawn(self):
+        spec = BpfLaneSpec(dict(BPF_CONFIG))
+        trace = _trace(sessions=6, queries=12)
+        pipe = ParallelPipeline(spec, workers=2, backend="pool",
+                                start_method="spawn")
+        pipe.run(trace)
+        assert pipe.result_lines() == _reference_lines(spec, trace, 2)
+
+    def test_process_backend_under_spawn(self):
+        spec = BpfLaneSpec(dict(BPF_CONFIG))
+        trace = _trace(sessions=6, queries=12)
+        pipe = ParallelPipeline(spec, workers=2, backend="process",
+                                start_method="spawn")
+        pipe.run(trace)
+        assert pipe.result_lines() == _reference_lines(spec, trace, 2)
+
+    def test_worker_module_own_imports_are_clean(self):
+        """The entry module's own top-level imports must stay stdlib +
+        the ring — the runtime substrate (``Time``, ``PcapReader``) is
+        imported lazily inside the worker bodies.  This is the property
+        that keeps a spawned child from re-importing application code
+        before a run's pickled spec names what to build."""
+        import ast
+        import inspect
+
+        import repro.host.worker as worker
+
+        tree = ast.parse(inspect.getsource(worker))
+        bad = []
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                bad.extend(a.name for a in node.names
+                           if a.name.startswith("repro"))
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports of anything but the ring transport
+                # (level 2 reaches out of repro.host entirely).
+                if node.level >= 2 or (node.level == 1
+                                       and node.module != "ring"):
+                    bad.append("." * node.level + (node.module or ""))
+                elif (node.level == 0 and node.module
+                        and node.module.startswith("repro")):
+                    bad.append(node.module)
+        assert not bad, f"worker entry imports the substrate: {bad}"
+
+
+# --------------------------------------------------------------------------
+# Process-backend death handling (the recv() hang bugfix)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestProcessBackendDeath:
+    def test_dead_worker_fails_run_instead_of_hanging(self):
+        trace = _trace(sessions=4, queries=8)
+        pipe = ParallelPipeline(KillerSpec(dict(BPF_CONFIG)), workers=2,
+                                backend="process", join_timeout=15.0)
+        with pytest.raises(RuntimeError, match="jobs lost"):
+            pipe.run(trace)
+        assert pipe.jobs_lost > 0
+
+    def test_lost_jobs_cover_the_whole_trace(self):
+        trace = _trace(sessions=4, queries=8)
+        pipe = ParallelPipeline(KillerSpec(dict(BPF_CONFIG)), workers=2,
+                                backend="process", join_timeout=15.0)
+        with pytest.raises(RuntimeError):
+            pipe.run(trace)
+        assert pipe.jobs_lost == len(trace)
+
+
+# --------------------------------------------------------------------------
+# Backend selection
+# --------------------------------------------------------------------------
+
+
+class TestDefaultBackend:
+    def test_default_matches_core_count(self, monkeypatch):
+        import repro.host.parallel as parallel
+
+        monkeypatch.setattr(parallel, "usable_cpus", lambda: 1)
+        assert parallel.default_backend() == "process"
+        monkeypatch.setattr(parallel, "usable_cpus", lambda: 8)
+        assert parallel.default_backend() == "pool"
+        assert default_backend() in ("pool", "process")
+
+    def test_pipeline_resolves_none_backend(self):
+        spec = BpfLaneSpec(dict(BPF_CONFIG))
+        pipe = ParallelPipeline(spec, workers=1, backend=None)
+        assert pipe.backend in ("pool", "process")
+
+
+# --------------------------------------------------------------------------
+# Service pool transport
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestServicePoolTransport:
+    def test_pool_lanes_match_thread_lanes(self, tmp_path):
+        from repro.apps.bro import Bro
+        from repro.apps.bro.parallel import BroLaneSpec
+        from repro.host.service import HostService, ServiceConfig
+
+        trace = list(_trace(sessions=8, queries=20, seed=3))
+        spec = BroLaneSpec({"scripts": None, "parsers": "std",
+                            "scripts_engine": "interp", "log_enabled": True,
+                            "watchdog_budget": None, "opt_level": None,
+                            "metrics": False, "trace": False})
+
+        def make_app(services):
+            return Bro(telemetry=services.telemetry)
+
+        outputs = {}
+        for transport in ("thread", "pool"):
+            logdir = tmp_path / transport
+            config = ServiceConfig(
+                lanes=2, lane_transport=transport, http_host=None,
+                http_port=None, logdir=str(logdir))
+            service = HostService(make_app, list(trace), config, spec=spec)
+            assert service.serve() == 0
+            totals = service.totals()
+            assert totals["packets_ingested"] == len(trace)
+            assert totals["packets_processed"] == len(trace)
+            assert totals["packets_lost"] == 0
+            assert totals["packets_dropped"] == 0
+            outputs[transport] = (logdir / "results.log").read_text()
+        assert outputs["pool"] == outputs["thread"]
+
+    def test_conservation_in_pool_service_json(self, tmp_path):
+        import json
+
+        from repro.apps.bro import Bro
+        from repro.apps.bro.parallel import BroLaneSpec
+        from repro.host.service import HostService, ServiceConfig
+
+        trace = list(_trace(sessions=4, queries=10, seed=9))
+        spec = BroLaneSpec({"scripts": None, "parsers": "std",
+                            "scripts_engine": "interp", "log_enabled": True,
+                            "watchdog_budget": None, "opt_level": None,
+                            "metrics": False, "trace": False})
+        config = ServiceConfig(lanes=2, lane_transport="pool",
+                               http_host=None, http_port=None,
+                               logdir=str(tmp_path))
+        service = HostService(lambda services: Bro(), list(trace),
+                              config, spec=spec)
+        assert service.serve() == 0
+        doc = json.loads((tmp_path / "service.json").read_text())
+        totals = doc["totals"]
+        assert totals["packets_ingested"] == (
+            totals["packets_processed"] + totals["packets_shed"]
+            + totals["packets_lost"] + totals["packets_dropped"])
+        assert doc["config"]["lane_transport"] == "pool"
+
+    def test_injection_refused_on_pool_transport(self):
+        from repro.host.service import ServiceConfig
+
+        with pytest.raises(ValueError, match="thread lanes"):
+            ServiceConfig(lanes=1, lane_transport="pool",
+                          inject_rates={"service.lane": 0.5})
