@@ -34,6 +34,9 @@ logged reason — time-slicing one core can never show >1x.
 telemetry handle passed), *off* (an explicitly disabled
 ``Telemetry``), and *on* (metrics collection plus compiler-inserted
 profiling) — and the deltas land in ``BENCH_observability.json``.
+The ``pool`` kernel prices the cross-process worker telemetry plane
+itself: a pool-backend parallel run whose lanes ship per-worker
+registries back over the rings for the parent to merge.
 ``--check-overhead PCT`` exits non-zero if the disabled path costs
 more than PCT percent over baseline on any kernel (the "near-zero
 when off" gate; baseline and off execute the same guarded code, so
@@ -312,11 +315,62 @@ def overhead_script(quick):
     return results
 
 
+def overhead_pool(quick):
+    """The cross-process worker telemetry plane: pool-backend lanes
+    with 'on' collect per-worker registries, ship them back over the
+    rings (periodic TELEM snapshots plus the final flush), and merge
+    them in the parent — aggregate plus worker-labeled copies.  The
+    kernel prices that whole path against the same pool run with
+    telemetry disabled and with no telemetry handle at all."""
+    from repro.apps.bpf.app import BpfLaneSpec
+    from repro.host.parallel import ParallelPipeline
+    from repro.host.pool import shutdown_shared_pools
+
+    trace = _http_trace(40 if quick else 120)
+    rounds = 2 if quick else 3
+    results = {}
+    try:
+        # One untimed run first: the shared pool's worker spawn is a
+        # one-time cost that would otherwise land entirely on whichever
+        # mode happens to run first.
+        warm = ParallelPipeline(BpfLaneSpec({
+            "filter": "tcp and port 80", "engine": "compiled",
+            "opt_level": None, "watchdog_budget": None,
+            "metrics": False, "trace": False,
+        }), workers=2, backend="pool")
+        warm.run(trace)
+        for mode in _MODES:
+            spec = BpfLaneSpec({
+                "filter": "tcp and port 80", "engine": "compiled",
+                "opt_level": None, "watchdog_budget": None,
+                "metrics": mode == "on", "trace": False,
+            })
+
+            def setup(spec=spec, mode=mode):
+                return ParallelPipeline(spec, workers=2, backend="pool",
+                                        **_telemetry(mode))
+
+            def run(pipe):
+                pipe.run(trace)
+                return "\n".join(pipe.result_lines())
+
+            seconds, lines = _best_of(run, rounds, setup=setup)
+            results[mode] = (
+                seconds,
+                f"lines={len(lines.splitlines())} results=sha:"
+                f"{hashlib.sha256(lines.encode()).hexdigest()[:12]}",
+            )
+    finally:
+        shutdown_shared_pools()
+    return results
+
+
 OVERHEAD_KERNELS = {
     "fib": overhead_fib,
     "bpf": overhead_bpf,
     "parser": overhead_parser,
     "script": overhead_script,
+    "pool": overhead_pool,
 }
 
 
@@ -620,7 +674,8 @@ def run_telemetry_overhead(args):
         "quick": args.quick,
         "kernels": {},
     }
-    for name in args.kernels.split(","):
+    kernels = args.kernels or ",".join(OVERHEAD_KERNELS)
+    for name in kernels.split(","):
         name = name.strip()
         if name not in OVERHEAD_KERNELS:
             raise SystemExit(
@@ -663,6 +718,18 @@ def run_telemetry_overhead(args):
     for name, entry in report["kernels"].items():
         if not entry["identical"]:
             failures.append(f"{name}: telemetry changed the kernel output")
+        if name == "pool":
+            # The pool kernel's baseline and off modes run identical
+            # guarded code, but the measurement crosses process
+            # boundaries and worker scheduling jitter dwarfs the guard
+            # cost, so the near-zero gate would flake.  Output identity
+            # above still holds it to "observe, never change".
+            if args.check_overhead is not None:
+                print("[bench_regression] SKIP overhead gate for pool: "
+                      "cross-process scheduling noise dominates the "
+                      "baseline/off delta (identity still asserted)",
+                      flush=True)
+            continue
         if args.check_overhead is not None and \
                 entry["disabled_overhead_pct"] > args.check_overhead:
             failures.append(
@@ -688,8 +755,10 @@ def main(argv=None):
     ap.add_argument("--check", default=None, metavar="KERNELS",
                     help="comma-separated kernels that must not regress "
                          "(exit 1 if -O1 is slower than -O0)")
-    ap.add_argument("--kernels", default=",".join(KERNELS),
-                    metavar="KERNELS", help="which kernels to run")
+    ap.add_argument("--kernels", default=None,
+                    metavar="KERNELS",
+                    help="which kernels to run (default: all for the "
+                         "selected mode)")
     ap.add_argument("--telemetry-overhead", action="store_true",
                     help="measure telemetry cost (baseline/off/on) "
                          "instead of -O0 vs -O1")
@@ -728,7 +797,7 @@ def main(argv=None):
         "quick": args.quick,
         "kernels": {},
     }
-    for name in args.kernels.split(","):
+    for name in (args.kernels or ",".join(KERNELS)).split(","):
         name = name.strip()
         if name not in KERNELS:
             ap.error(f"unknown kernel {name!r}")

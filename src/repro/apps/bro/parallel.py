@@ -36,6 +36,7 @@ from ...host.parallel import (
     dispatch_plan as _host_dispatch_plan,
     flow_key,
     merge_health,
+    prof_snapshots,
 )
 from ...runtime.telemetry import Telemetry
 from .core import format_uid
@@ -89,6 +90,8 @@ def _lane_result(bro: Bro) -> Dict:
         "event_counts": dict(bro.core.event_counts),
         "metrics": (bro.telemetry.metrics.collect()
                     if bro.telemetry.enabled else None),
+        "prof": (prof_snapshots(bro)
+                 if bro.telemetry.enabled else None),
         "trace_roots": ([root.to_dict() for root in tracer.roots]
                         if tracer.enabled else None),
         "prints": bro.core.print_stream.getvalue(),
@@ -273,10 +276,18 @@ class ParallelBro(ParallelPipeline):
         """Reduce per-lane registries, then repair the handful of series
         whose lane-sum is not the sequential semantic."""
         metrics = self.telemetry.metrics
-        for result in results:
+        for index, result in enumerate(results):
             if result["metrics"]:
+                # Twice: once unlabeled (the aggregate the differential
+                # oracle compares to the sequential run) and once under
+                # a ``worker`` label for per-lane attribution.  The
+                # lifecycle de-dup below repairs only the aggregate —
+                # the labeled series keep each lane's raw counts.
                 metrics.merge_series(result["metrics"],
                                      gauge_merge=_GAUGE_MERGE)
+                metrics.merge_series(result["metrics"],
+                                     gauge_merge=_GAUGE_MERGE,
+                                     extra_labels={"worker": str(index)})
         dup = lanes - 1
         # Lifecycle events ran once per lane; the sequential pipeline
         # dispatches them once.
@@ -350,11 +361,15 @@ class ParallelBro(ParallelPipeline):
     def write_telemetry(self, logdir: str,
                         meta: Optional[Dict] = None) -> List[str]:
         """Emit the merged reporting files (``metrics.jsonl``,
-        ``stats.log``, and ``flows.jsonl`` when tracing is armed).
-        Per-function profiler dumps stay per-lane and are not merged."""
+        ``stats.log``, ``prof.log`` when lanes carried profiler dumps,
+        and ``flows.jsonl`` when tracing is armed).  The profiler dump
+        is sectioned per worker (``# worker N context L``), not
+        merged."""
         import json as _json
 
-        from ...host.pipeline import write_metrics_jsonl, write_stats_log
+        from ...host.pipeline import (write_metrics_jsonl,
+                                      write_parallel_prof_log,
+                                      write_stats_log)
 
         _os.makedirs(logdir, exist_ok=True)
         written: List[str] = []
@@ -380,6 +395,10 @@ class ParallelBro(ParallelPipeline):
         }
         written.append(write_stats_log(
             _os.path.join(logdir, "stats.log"), self.stats, sections))
+
+        if any(result.get("prof") for result in self._results):
+            written.append(write_parallel_prof_log(
+                _os.path.join(logdir, "prof.log"), self._results))
 
         if self._trace_roots:
             path = _os.path.join(logdir, "flows.jsonl")

@@ -188,6 +188,19 @@ class HostApp:
         endpoint); stateless apps report an empty list."""
         return []
 
+    def live_metrics(self) -> Dict[str, float]:
+        """Cheap point-in-time counters for the cross-process telemetry
+        plane's periodic ``TELEM`` snapshots (pool workers ship these
+        mid-run, before ``export_metrics`` has populated the registry
+        at ``on_end``).  Must stay O(1): it runs on the worker's packet
+        path cadence."""
+        out = {"packets": float(self.packets)}
+        try:
+            out["sessions_open"] = float(self.session_stats()["open"])
+        except Exception:
+            pass
+        return out
+
     # -- the uniform exporter ---------------------------------------------
 
     def export_metrics(self) -> None:

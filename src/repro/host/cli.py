@@ -451,6 +451,7 @@ def run_host_service(
         logdir=args.logdir,
         results_name=results_name,
         app_name=prog,
+        lane_metrics=args.metrics,
     )
     replayer = TraceReplayer(
         args.read,

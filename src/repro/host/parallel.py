@@ -49,6 +49,7 @@ __all__ = [
     "dispatch_plan",
     "flow_key",
     "merge_health",
+    "prof_snapshots",
     "usable_cpus",
 ]
 
@@ -123,6 +124,8 @@ class LaneSpec:
             "stats": dict(app.stats),
             "metrics": (app.telemetry.metrics.collect()
                         if app.telemetry.enabled else None),
+            "prof": (prof_snapshots(app)
+                     if app.telemetry.enabled else None),
             "trace_roots": ([root.to_dict() for root in tracer.roots]
                             if tracer.enabled else None),
         }
@@ -169,6 +172,21 @@ def dispatch_plan(
                 uid_map[key] = spec.uid_format(serial)
         jobs.append((vid, timestamp.nanos, frame))
     return jobs, uid_map
+
+
+def prof_snapshots(app) -> List[Tuple[str, str]]:
+    """Render every engine context's profiler dump to text, labeled —
+    the picklable form a lane result carries so parents can assemble a
+    per-worker ``prof.log`` without shipping live contexts across the
+    process boundary."""
+    import io as _io
+
+    out: List[Tuple[str, str]] = []
+    for label, ctx in app.engine_contexts():
+        buf = _io.StringIO()
+        ctx.profilers.dump(buf)
+        out.append((label, buf.getvalue()))
+    return out
 
 
 def merge_health(reports: List[Dict]) -> Dict:
@@ -587,10 +605,16 @@ class ParallelPipeline:
         gauges (total is this run's wall clock, other its remainder) and
         the parent-side pcap counters."""
         metrics = self.telemetry.metrics
-        for result in results:
+        for index, result in enumerate(results):
             if result["metrics"]:
+                # Twice: once unlabeled (the aggregate the differential
+                # oracle compares to the sequential run) and once under
+                # a ``worker`` label for per-lane attribution.
                 metrics.merge_series(result["metrics"],
                                      gauge_merge=self.GAUGE_MERGE)
+                metrics.merge_series(result["metrics"],
+                                     gauge_merge=self.GAUGE_MERGE,
+                                     extra_labels={"worker": str(index)})
         name = self.spec.app_name
         for component in ("parsing", "script", "glue", "other", "total"):
             metrics.gauge(f"{name}.cpu_ns", component=component).set(
@@ -620,11 +644,15 @@ class ParallelPipeline:
     def write_telemetry(self, logdir: str,
                         meta: Optional[Dict] = None) -> List[str]:
         """Emit the merged reporting files (``metrics.jsonl``,
-        ``stats.log``, and ``flows.jsonl`` when tracing was armed).
-        Per-function profiler dumps stay per-lane and are not merged."""
+        ``stats.log``, ``prof.log`` when lanes carried profiler dumps,
+        and ``flows.jsonl`` when tracing was armed).  The profiler dump
+        is sectioned per worker (``# worker N context L``) rather than
+        merged — per-function timings from different lanes are distinct
+        measurements, not shards of one."""
         import json as _json
 
-        from .pipeline import write_metrics_jsonl, write_stats_log
+        from .pipeline import (write_metrics_jsonl,
+                               write_parallel_prof_log, write_stats_log)
 
         _os.makedirs(logdir, exist_ok=True)
         written: List[str] = []
@@ -648,6 +676,9 @@ class ParallelPipeline:
         }
         written.append(write_stats_log(
             _os.path.join(logdir, "stats.log"), self.stats, sections))
+        if any(result.get("prof") for result in self._results):
+            written.append(write_parallel_prof_log(
+                _os.path.join(logdir, "prof.log"), self._results))
         if self._trace_roots:
             path = _os.path.join(logdir, "flows.jsonl")
             lines = sorted(

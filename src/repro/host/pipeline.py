@@ -27,6 +27,7 @@ __all__ = [
     "Pipeline",
     "write_flows_jsonl",
     "write_metrics_jsonl",
+    "write_parallel_prof_log",
     "write_prof_log",
     "write_stats_log",
 ]
@@ -59,6 +60,19 @@ def write_prof_log(path: str, contexts: List[Tuple[str, object]]) -> str:
         for label, ctx in contexts:
             stream.write(f"# context {label}\n")
             ctx.profilers.dump(stream)
+    return path
+
+
+def write_parallel_prof_log(path: str, results: List[Dict]) -> str:
+    """Assemble the per-worker profiler dump a parallel run harvested:
+    each lane result's ``prof`` entry (``(label, text)`` pairs rendered
+    worker-side by :func:`repro.host.parallel.prof_snapshots`) lands
+    under a ``# worker N context L`` section header."""
+    with open(path, "w") as stream:
+        for index, result in enumerate(results):
+            for label, text in result.get("prof") or []:
+                stream.write(f"# worker {index} context {label}\n")
+                stream.write(text)
     return path
 
 

@@ -47,6 +47,7 @@ from .worker import (
     MSG_PROGRESS,
     MSG_RESULT,
     MSG_SHUTDOWN,
+    MSG_TELEM,
     encode_packet,
     pack_run_prefix,
     parse_progress,
@@ -93,6 +94,7 @@ class _WorkerState:
         self.ended = False
         self.result: Optional[Dict] = None
         self.failure: Optional[str] = None
+        self.telem: Optional[Dict] = None
 
     def reset_run(self) -> None:
         self.batch = bytearray()
@@ -102,6 +104,7 @@ class _WorkerState:
         self.ended = False
         self.result = None
         self.failure = None
+        self.telem = None
 
 
 class WorkerPool:
@@ -305,6 +308,13 @@ class WorkerPool:
                     state.result = pickle.loads(body)
                     state.progressed = state.result.get(
                         "stats", {}).get("packets", state.progressed)
+            elif tag == MSG_TELEM:
+                run_id, body = parse_run_prefix(payload)
+                if run_id == state.run_id:
+                    try:
+                        state.telem = pickle.loads(body)
+                    except Exception:
+                        pass  # a torn snapshot never poisons the run
             elif tag == MSG_ERROR:
                 run_id, body = parse_run_prefix(payload)
                 if run_id == state.run_id:
@@ -326,6 +336,11 @@ class WorkerPool:
 
     def failure(self, index: int) -> Optional[str]:
         return self._states[index].failure
+
+    def telemetry(self, index: int) -> Optional[Dict]:
+        """The worker's most recent ``TELEM`` snapshot this run (None
+        until one arrives or when the lane's telemetry is off)."""
+        return self._states[index].telem
 
     def result(self, index: int) -> Optional[Dict]:
         return self._states[index].result

@@ -13,9 +13,19 @@ module wraps any :class:`~repro.host.app.HostApp` in that shape::
        \\                     /
         supervisor  --------+   restarts crashed lanes w/ exp. backoff,
             |                   escalates to a CircuitBreaker
-        aggregator              1s/10s/60s rolling windows -> registry
-            |
+        aggregator              1s/10s/60s rolling windows -> registry,
+            |                   time-series history ring
         HTTP control surface    /healthz /metrics /stats /flows
+                                /metrics/history
+
+``/metrics`` speaks JSON-lines (``repro-metrics/1``) by default and the
+Prometheus text exposition (version 0.0.4) under content negotiation
+(``Accept: text/plain`` or ``?format=prometheus``);
+``/metrics/history?window=60`` serves the aggregator's bounded
+time-series ring (``repro-timeseries/1``).  Pool-transport lanes ship
+periodic ``TELEM`` snapshots back over their rings, which the
+aggregator publishes as ``worker.*`` gauges labeled ``worker=N`` —
+the live per-worker view ``repro.tools.servicetop`` renders.
 
 Overload never deadlocks: ``block`` applies backpressure to ingest with
 a bounded timed wait that re-checks the stop request; ``shed`` drops at
@@ -50,7 +60,13 @@ from ..runtime.faults import (
     NULL_INJECTOR,
     SITE_SERVICE_LANE,
 )
-from ..runtime.telemetry import MetricsRegistry, Telemetry
+from ..runtime import promtext as _promtext
+from ..runtime.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    TimeSeriesStore,
+    TIMESERIES_SCHEMA,
+)
 from .app import HostApp, PipelineServices
 from .parallel import LaneSpec
 
@@ -58,8 +74,12 @@ __all__ = [
     "BoundedQueue",
     "HostService",
     "RollingWindows",
+    "SERVICE_SCHEMA",
     "ServiceConfig",
 ]
+
+#: Schema tag of the ``service.json`` discovery file.
+SERVICE_SCHEMA = "repro-service/1"
 
 
 _SENTINEL = object()  # end-of-stream marker, force-put past capacity
@@ -263,7 +283,9 @@ class ServiceConfig:
                  http_port: Optional[int] = 0,
                  logdir: str = "logs",
                  results_name: str = "results.log",
-                 app_name: str = "app"):
+                 app_name: str = "app",
+                 lane_metrics: bool = False,
+                 history_samples: int = 600):
         if overload not in ("block", "shed"):
             raise ValueError(f"overload must be block|shed, got {overload!r}")
         if lane_transport not in ("thread", "pool"):
@@ -299,6 +321,11 @@ class ServiceConfig:
         self.logdir = logdir
         self.results_name = results_name
         self.app_name = app_name
+        self.lane_metrics = bool(lane_metrics)
+        if history_samples < 1:
+            raise ValueError(
+                f"history_samples must be >= 1, got {history_samples!r}")
+        self.history_samples = history_samples
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -316,6 +343,8 @@ class ServiceConfig:
             "session_ttl": self.session_ttl,
             "memory_budget_bytes": self.memory_budget_bytes,
             "app": self.app_name,
+            "lane_metrics": self.lane_metrics,
+            "history_samples": self.history_samples,
         }
 
 
@@ -366,9 +395,18 @@ class _Lane:
         self.pool_shed = 0           # shed at a full ring (shed policy)
         self.pool_base = 0           # processed by prior incarnations
 
+    def alive(self) -> bool:
+        """Is the lane's executor currently able to consume packets?
+        Thread transport: the lane thread is running.  Pool transport
+        (no parent-side thread): not failed, not in a crash window."""
+        if self.thread is not None:
+            return self.thread.is_alive()
+        return not (self.failed or self.pool_down)
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "lane": self.index,
+            "alive": self.alive(),
             "processed": self.processed,
             "crashes": self.crashes,
             "restarts": self.restarts,
@@ -423,6 +461,8 @@ class HostService:
             self._pool = WorkerPool.shared(self.config.lanes)
         self.metrics = MetricsRegistry()
         self.windows = RollingWindows(self.config.windows)
+        self.history = TimeSeriesStore(
+            max_samples=self.config.history_samples)
         self._stop = threading.Event()
         self.stop_reason: Optional[str] = None
         self._lock = threading.Lock()  # metrics + windows + snapshots
@@ -431,6 +471,7 @@ class HostService:
         self._http_thread: Optional[threading.Thread] = None
         self.http_address: Optional[Tuple[str, int]] = None
         self._started_at: Optional[float] = None
+        self._started_ts: Optional[float] = None  # wall clock, discovery
         self.ingested = 0
         self.ingest_done = False
         self.dropped_on_stop = 0
@@ -471,7 +512,7 @@ class HostService:
         return PipelineServices(
             faults=lane.injector,
             watchdog_budget=config.watchdog_budget,
-            telemetry=Telemetry(),
+            telemetry=Telemetry(metrics=config.lane_metrics),
             max_sessions=config.max_sessions,
             session_ttl=config.session_ttl,
             memory_budget_bytes=config.memory_budget_bytes,
@@ -764,10 +805,18 @@ class HostService:
 
     def _sample(self) -> None:
         """One aggregator tick: snapshot totals into the rolling
-        windows and refresh the registry (the /metrics surface)."""
+        windows, refresh the registry (the /metrics surface), publish
+        the pool workers' latest TELEM snapshots, and append the whole
+        registry to the time-series history ring."""
         now = _time.monotonic()
         totals = self.totals()
         sessions = self.session_totals()
+        telem = {}
+        if self._transport == "pool":
+            for lane in self.lanes:
+                snapshot = self._pool.telemetry(lane.index)
+                if snapshot:
+                    telem[lane.index] = snapshot
         with self._lock:
             self.windows.sample(now, totals)
             rates = self.windows.rates()
@@ -805,6 +854,38 @@ class HostService:
                     metrics.gauge("service.packets_per_second",
                                   window=window).set(
                         round(pps["per_second"], 3))
+            for lane in self.lanes:
+                metrics.gauge("service.worker_alive",
+                              worker=str(lane.index)).set(
+                    int(lane.alive()))
+            for index, snapshot in telem.items():
+                self._apply_worker_snapshot(str(index), snapshot)
+            self.history.sample(_time.time(), metrics.collect())
+
+    def _apply_worker_snapshot(self, label: str, snapshot: Dict) -> None:
+        """Publish one worker's latest ``TELEM`` snapshot into the
+        service registry under a ``worker`` label.  The worker ships
+        cumulative totals, so every value is *set* absolutely — a
+        re-applied snapshot overwrites, never accumulates.  Caller
+        holds ``self._lock``."""
+        metrics = self.metrics
+        for name, value in (snapshot.get("live") or {}).items():
+            metrics.gauge(f"worker.{name}", worker=label).set(value)
+        for name in ("spans_started", "spans_dropped"):
+            if name in snapshot:
+                metrics.gauge(f"worker.{name}", worker=label).set(
+                    snapshot[name])
+        for entry in snapshot.get("series") or []:
+            labels = dict(entry.get("labels", {}))
+            labels["worker"] = label
+            kind = entry["kind"]
+            if kind == "counter":
+                counter = metrics.counter(entry["name"], **labels)
+                counter.value = entry["value"]
+            elif kind == "gauge":
+                metrics.gauge(entry["name"], **labels).set(entry["value"])
+            # Histograms are skipped live: their buckets merge exactly
+            # once, from the final lane result at drain.
 
     # -- the HTTP control surface ------------------------------------------
 
@@ -827,6 +908,7 @@ class HostService:
             "app": self.config.app_name,
             "uptime_seconds": round(self.uptime(), 3),
             "overload": self.config.overload,
+            "transport": self.config.lane_transport,
             "totals": self.totals(),
             "sessions": self.session_totals(),
             "windows": rates,
@@ -862,6 +944,26 @@ class HostService:
             })
             return buffer.getvalue()
 
+    def metrics_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        with self._lock:
+            return _promtext.render(self.metrics.collect())
+
+    def history_report(self,
+                       window: Optional[float] = None) -> Dict[str, object]:
+        """The time-series ring as one JSON document (the
+        ``/metrics/history`` body): schema tag plus the samples inside
+        *window* seconds of the newest one (all of them when None)."""
+        with self._lock:
+            samples = self.history.history(window=window)
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "app": self.config.app_name,
+            "window": window,
+            "count": len(samples),
+            "samples": samples,
+        }
+
     def _start_http(self) -> None:
         if self.config.http_host is None or self.config.http_port is None:
             return
@@ -886,7 +988,10 @@ class HostService:
                 self._send(code, body, "application/json")
 
             def do_GET(self):  # noqa: N802 — http.server's spelling
-                path = self.path.split("?", 1)[0]
+                from urllib.parse import parse_qs
+
+                path, __, query = self.path.partition("?")
+                params = parse_qs(query)
                 try:
                     if path == "/healthz":
                         code, doc = service.healthz()
@@ -896,8 +1001,26 @@ class HostService:
                     elif path == "/flows":
                         self._send_json(200, service.flows_report())
                     elif path == "/metrics":
-                        self._send(200, service.metrics_jsonl().encode(),
-                                   "application/jsonl")
+                        # Content negotiation: JSON-lines natively,
+                        # the Prometheus text format for scrapers
+                        # (?format=prometheus or Accept: text/plain).
+                        fmt = params.get("format", [None])[0]
+                        accept = self.headers.get("Accept", "") or ""
+                        if fmt == "prometheus" or (
+                                fmt is None and "text/plain" in accept):
+                            self._send(
+                                200,
+                                service.metrics_prometheus().encode(),
+                                _promtext.CONTENT_TYPE)
+                        else:
+                            self._send(200,
+                                       service.metrics_jsonl().encode(),
+                                       "application/jsonl")
+                    elif path == "/metrics/history":
+                        raw = params.get("window", [None])[0]
+                        window = float(raw) if raw is not None else None
+                        self._send_json(200,
+                                        service.history_report(window))
                     else:
                         self._send_json(404, {"error": "not found",
                                               "path": path})
@@ -925,11 +1048,18 @@ class HostService:
         return _os.path.join(self.config.logdir, "service.json")
 
     def _write_service_json(self, state: str,
-                            extra: Optional[Dict] = None) -> str:
+                            extra: Optional[Dict] = None,
+                            name: str = "service.json") -> str:
+        """The discovery file live tooling resolves the service from
+        (``servicetop`` reads ``http`` out of it).  ``service.json``
+        exists exactly while the service runs — the drain removes it
+        and leaves the terminal document in ``service-final.json``."""
         _os.makedirs(self.config.logdir, exist_ok=True)
         doc: Dict[str, object] = {
+            "schema": SERVICE_SCHEMA,
             "pid": _os.getpid(),
             "state": state,
+            "started_ts": self._started_ts,
             "http": ({"host": self.http_address[0],
                       "port": self.http_address[1]}
                      if self.http_address else None),
@@ -937,11 +1067,17 @@ class HostService:
         }
         if extra:
             doc.update(extra)
-        path = self._service_json_path()
+        path = _os.path.join(self.config.logdir, name)
         with open(path, "w") as stream:
             _json.dump(doc, stream, indent=2, sort_keys=True)
             stream.write("\n")
         return path
+
+    def _remove_service_json(self) -> None:
+        try:
+            _os.remove(self._service_json_path())
+        except OSError:
+            pass
 
     # -- running -----------------------------------------------------------
 
@@ -950,6 +1086,7 @@ class HostService:
         code (0 = clean drain)."""
         config = self.config
         self._started_at = _time.monotonic()
+        self._started_ts = _time.time()
         self._start_http()
         self._write_service_json("running")
         if self._transport == "pool":
@@ -1027,7 +1164,8 @@ class HostService:
             "totals": self.totals(),
             "sessions": self.session_totals(),
             "artifacts": self.artifacts,
-        })
+        }, name="service-final.json")
+        self._remove_service_json()
         return exit_code
 
     def _drain_thread_lanes(self) -> Tuple[List[str], bool]:
@@ -1062,7 +1200,32 @@ class HostService:
                 lines.extend(lane.app.result_lines())
             except Exception as error:
                 lane.last_error = f"{type(error).__name__}: {error}"
+                continue
+            if lane.app.telemetry.enabled and not lane.crashed:
+                self._merge_lane_series(
+                    lane.index, lane.app.telemetry.metrics.collect())
         return lines, hung
+
+    def _merge_lane_series(self, index: int, series: List[Dict]) -> None:
+        """Fold one finished lane's final registry into the service's:
+        additively unlabeled (the aggregate), and under ``worker=N``
+        for attribution.  The labeled scalar copies are *set*, not
+        added — the aggregator's periodic TELEM application already
+        mirrors the worker's cumulative values there, and the final
+        flush must overwrite that mirror, never stack on it.
+        Histograms never travel in TELEM, so their labeled copies
+        merge additively exactly once, here."""
+        label = str(index)
+        with self._lock:
+            self.metrics.merge_series(series)
+            histograms = [entry for entry in series
+                          if entry["kind"] == "histogram"]
+            if histograms:
+                self.metrics.merge_series(
+                    histograms, extra_labels={"worker": label})
+            scalars = [entry for entry in series
+                       if entry["kind"] != "histogram"]
+            self._apply_worker_snapshot(label, {"series": scalars})
 
     def _drain_pool_lanes(self) -> Tuple[List[str], bool]:
         """Finish every live pool worker's run and harvest its result;
@@ -1086,6 +1249,8 @@ class HostService:
                 lane.processed = lane.pool_base + pool.pushed(index)
                 lane.end_stats = result.get("stats")
                 lines.extend(self.spec.result_lines_of(result))
+                if result.get("metrics"):
+                    self._merge_lane_series(index, result["metrics"])
             except PoolError as error:
                 lane.crashes += 1
                 lane.crashed = True
@@ -1117,6 +1282,12 @@ class HostService:
                 _os.path.join(config.logdir, "metrics.jsonl"),
                 self.metrics, meta={"app": config.app_name,
                                     "mode": "service"}))
+            history_path = _os.path.join(config.logdir,
+                                         "timeseries.jsonl")
+            with open(history_path, "w") as stream:
+                self.history.emit_jsonl(stream, meta={
+                    "app": config.app_name, "mode": "service"})
+            written.append(history_path)
 
         stats_path = _os.path.join(config.logdir, "stats.log")
         with open(stats_path, "w") as stream:

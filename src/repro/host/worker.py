@@ -26,16 +26,28 @@ are discarded instead of corrupting the next one::
 
     parent -> worker:  BEGIN(run, spec+uid_map)  DATA(run, batch)*
                        END(run)            ...next run...   SHUTDOWN
-    worker -> parent:  PROGRESS(run, count)*  then RESULT(run, result)
-                       or ERROR(run, diagnostic)
+    worker -> parent:  PROGRESS(run, count)*  TELEM(run, snapshot)*
+                       then RESULT(run, result) or ERROR(run, diagnostic)
+
+``TELEM`` is the cross-process observability plane: a worker whose lane
+has telemetry armed ships periodic pickled snapshots of its own
+registry (plus the cheap ``live_metrics`` counters and span totals)
+back through the same ring, so the parent — the streaming service's
+aggregator in particular — can expose per-worker series while the run
+is still in flight.  The final, complete registry still travels in
+``RESULT`` (the lane result's ``metrics``/``prof`` entries); TELEM is
+the live view, not the record of truth.  When telemetry is disabled
+the worker never builds a snapshot and never sends the message — the
+disabled path stays a no-op.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+import time as _time
 import traceback
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from .ring import MessageChannel, ShmRing
 
@@ -47,10 +59,13 @@ __all__ = [
     "MSG_PROGRESS",
     "MSG_RESULT",
     "MSG_SHUTDOWN",
+    "MSG_TELEM",
+    "TELEM_INTERVAL",
     "decode_batch",
     "encode_packet",
     "pool_worker_main",
     "process_worker",
+    "telemetry_snapshot",
 ]
 
 # Message tags (one byte each; see module docstring for the protocol).
@@ -61,6 +76,10 @@ MSG_RESULT = 4
 MSG_ERROR = 5
 MSG_PROGRESS = 6
 MSG_SHUTDOWN = 7
+MSG_TELEM = 8
+
+#: Minimum seconds between periodic TELEM snapshots from one worker.
+TELEM_INTERVAL = 0.25
 
 _RUN = struct.Struct("<I")      # run epoch prefix on run-scoped messages
 _PKT = struct.Struct("<QI")     # per-packet batch header: nanos, length
@@ -120,6 +139,32 @@ def process_worker(conn, spec, shard, uid_map) -> None:
         conn.close()
 
 
+def telemetry_snapshot(lane, processed: int) -> Dict:
+    """One worker-local telemetry snapshot, as picklable plain data.
+
+    Built only when the lane's telemetry is armed (callers guard on
+    ``lane.telemetry.any_enabled``); ``series`` is the lane registry's
+    ``collect()`` — sparse mid-run for apps that export at ``on_end``,
+    which is why the cheap ``live`` counters ride along.
+    """
+    telemetry = lane.telemetry
+    snapshot: Dict[str, object] = {
+        "processed": processed,
+        "ts": _time.time(),
+    }
+    try:
+        snapshot["live"] = lane.live_metrics()
+    except Exception:
+        snapshot["live"] = {}
+    if telemetry.enabled:
+        snapshot["series"] = telemetry.metrics.collect()
+    tracer = telemetry.tracer
+    if tracer.enabled:
+        snapshot["spans_started"] = tracer.spans_started
+        snapshot["spans_dropped"] = tracer.spans_dropped
+    return snapshot
+
+
 # --------------------------------------------------------------------------
 # The persistent pool worker (``--backend pool``)
 # --------------------------------------------------------------------------
@@ -143,6 +188,8 @@ def pool_worker_main(in_name: str, out_name: str) -> None:
     spec = None
     run_id = -1
     processed = 0
+    telem_armed = False
+    last_telem = 0.0
 
     def fail(error: BaseException) -> None:
         nonlocal lane, spec
@@ -180,6 +227,10 @@ def pool_worker_main(in_name: str, out_name: str) -> None:
                     spec, uid_map = pickle.loads(body)
                     lane = spec.make_lane(uid_map)
                     lane.on_begin()
+                    telemetry = getattr(lane, "telemetry", None)
+                    telem_armed = (telemetry is not None
+                                   and telemetry.any_enabled)
+                    last_telem = _time.monotonic()
                 except BaseException as error:  # noqa: BLE001
                     fail(error)
                 continue
@@ -198,6 +249,23 @@ def pool_worker_main(in_name: str, out_name: str) -> None:
                 outbox.send(MSG_PROGRESS,
                             _PROGRESS.pack(run_id, processed),
                             timeout=5.0)
+                # Periodic telemetry: the disabled path never reaches
+                # the snapshot (one boolean test per batch, not per
+                # packet — the NULL_SPAN discipline).
+                if telem_armed:
+                    now = _time.monotonic()
+                    if now - last_telem >= TELEM_INTERVAL:
+                        last_telem = now
+                        try:
+                            blob = pickle.dumps(
+                                telemetry_snapshot(lane, processed),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                        except Exception:
+                            blob = None
+                        if blob is not None:
+                            outbox.send(MSG_TELEM,
+                                        _RUN.pack(run_id) + blob,
+                                        timeout=1.0)
             elif tag == MSG_END:
                 try:
                     lane.on_end()

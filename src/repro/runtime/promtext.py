@@ -1,0 +1,321 @@
+"""Prometheus text exposition (version 0.0.4) for the metrics registry.
+
+The service's ``/metrics`` endpoint speaks JSON-lines natively
+(``repro-metrics/1``); real scrape infrastructure speaks the Prometheus
+text format.  This module is the pure-stdlib bridge, both directions:
+
+* :func:`render` turns ``MetricsRegistry.collect()``-shaped series
+  dicts into ``text/plain; version=0.0.4`` — counters and gauges as
+  single samples, histograms as the spec's **cumulative**
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``, label values
+  escaped per spec (backslash, double quote, newline);
+* :func:`parse` reads that text back into ``collect()`` shape
+  (cumulative buckets re-differenced), so tests and CI can assert the
+  exposition is lossless instead of eyeballing it.
+
+Registry names use dots (``service.packets_ingested``); Prometheus
+names may not, so :func:`sanitize_name` maps every illegal character
+to ``_``.  The round-trip law the tests hold us to is::
+
+    parse(render(series)) == sanitize_series(series)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "parse",
+    "render",
+    "sanitize_label_name",
+    "sanitize_name",
+    "sanitize_series",
+]
+
+#: The content type ``/metrics`` answers Prometheus scrapes with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="')
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name: illegal characters become ``_``
+    and a leading digit gets a ``_`` prefix."""
+    out = _NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out or "_"
+
+
+def sanitize_label_name(name: str) -> str:
+    """A legal Prometheus label name (no colons, unlike metric names)."""
+    out = _LABEL_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out or "_"
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _parse_value(text: str):
+    if re.match(r"^-?\d+$", text):
+        return int(text)
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{sanitize_label_name(key)}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _sanitize_labels(labels: Dict[str, str]) -> Dict[str, str]:
+    return {sanitize_label_name(k): str(v) for k, v in labels.items()}
+
+
+def sanitize_series(series_dicts: Iterable[Dict]) -> List[Dict]:
+    """The ``collect()`` shape :func:`parse` reconstructs: names and
+    label names sanitized, entries sorted by (name, labels), transport
+    extras (``delta``, ``help``) dropped."""
+    out: List[Dict] = []
+    for entry in series_dicts:
+        clean: Dict[str, object] = {
+            "kind": entry["kind"],
+            "name": sanitize_name(entry["name"]),
+        }
+        labels = _sanitize_labels(entry.get("labels", {}))
+        if labels:
+            clean["labels"] = labels
+        if entry["kind"] == "histogram":
+            clean["buckets"] = dict(entry["buckets"])
+            clean["sum"] = entry["sum"]
+            clean["count"] = entry["count"]
+        else:
+            clean["value"] = entry["value"]
+        out.append(clean)
+    out.sort(key=lambda e: (e["name"],
+                            tuple(sorted(e.get("labels", {}).items()))))
+    return out
+
+
+def _bucket_order(buckets: Dict[str, int]) -> List[str]:
+    """Bucket keys in ascending bound order, ``+Inf`` last."""
+    bounds = [key for key in buckets if key != "+Inf"]
+    bounds.sort(key=float)
+    return bounds + ["+Inf"]
+
+
+def render(series_dicts: Iterable[Dict],
+           help_texts: Optional[Dict[str, str]] = None) -> str:
+    """``collect()``-shaped series -> Prometheus text exposition.
+
+    One ``# TYPE`` line per metric family (first occurrence wins);
+    histogram buckets are emitted **cumulatively** with ``le`` labels,
+    as the format requires, plus the ``_sum`` and ``_count`` samples.
+    """
+    help_texts = help_texts or {}
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def _family(name: str, kind: str) -> None:
+        if name in typed:
+            return
+        typed[name] = kind
+        help_text = help_texts.get(name)
+        if help_text:
+            escaped = help_text.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for entry in sanitize_series(series_dicts):
+        name = entry["name"]
+        labels = entry.get("labels", {})
+        kind = entry["kind"]
+        if kind == "histogram":
+            _family(name, "histogram")
+            buckets = entry["buckets"]
+            cumulative = 0
+            for key in _bucket_order(buckets):
+                cumulative += buckets[key]
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = key
+                lines.append(
+                    f"{name}_bucket{_labels_text(bucket_labels)} "
+                    f"{_format_value(cumulative)}")
+            lines.append(f"{name}_sum{_labels_text(labels)} "
+                         f"{_format_value(entry['sum'])}")
+            lines.append(f"{name}_count{_labels_text(labels)} "
+                         f"{_format_value(entry['count'])}")
+        else:
+            _family(name, "counter" if kind == "counter" else "gauge")
+            lines.append(f"{name}{_labels_text(labels)} "
+                         f"{_format_value(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = _LABEL.match(text, i)
+        if match is None:
+            if text[i] in (",", " "):
+                i += 1
+                continue
+            raise ValueError(f"bad label syntax at {text[i:]!r}")
+        name = match.group("name")
+        i = match.end()
+        # Scan the quoted value, honoring backslash escapes.
+        start = i
+        while i < len(text):
+            if text[i] == "\\":
+                i += 2
+                continue
+            if text[i] == '"':
+                break
+            i += 1
+        if i >= len(text):
+            raise ValueError(f"unterminated label value in {text!r}")
+        labels[name] = _unescape_label_value(text[start:i])
+        i += 1  # closing quote
+    return labels
+
+
+def parse(text: str) -> List[Dict]:
+    """Prometheus text exposition -> ``collect()``-shaped series dicts.
+
+    ``# TYPE`` lines drive the reconstruction: histogram families
+    reassemble their ``_bucket``/``_sum``/``_count`` samples (buckets
+    re-differenced back to per-bucket counts); untyped samples default
+    to gauges.  Returns entries sorted by (name, labels) — the same
+    order :func:`sanitize_series` produces.
+    """
+    types: Dict[str, str] = {}
+    scalars: List[Dict] = []
+    histograms: Dict[Tuple, Dict] = {}
+
+    def _histogram(base: str, labels: Dict[str, str]) -> Dict:
+        key = (base, tuple(sorted(labels.items())))
+        entry = histograms.get(key)
+        if entry is None:
+            entry = {"kind": "histogram", "name": base, "labels": labels,
+                     "cumulative": [], "sum": 0, "count": 0}
+            histograms[key] = entry
+        return entry
+
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: not a sample: {raw!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_value(match.group("value"))
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = name[:-len(suffix)] if name.endswith(suffix) \
+                else None
+            if candidate and types.get(candidate) == "histogram":
+                base = candidate
+                break
+        if base is not None:
+            if name.endswith("_bucket"):
+                le = labels.pop("le", "+Inf")
+                _histogram(base, labels)["cumulative"].append((le, value))
+            elif name.endswith("_sum"):
+                _histogram(base, labels)["sum"] = value
+            else:
+                _histogram(base, labels)["count"] = value
+            continue
+        kind = types.get(name, "gauge")
+        if kind not in ("counter", "gauge"):
+            kind = "gauge"
+        entry: Dict[str, object] = {"kind": kind, "name": name,
+                                    "value": value}
+        if labels:
+            entry["labels"] = labels
+        scalars.append(entry)
+
+    out: List[Dict] = list(scalars)
+    for entry in histograms.values():
+        pairs = entry.pop("cumulative")
+        pairs.sort(key=lambda p: (p[0] == "+Inf", float(p[0])
+                                  if p[0] != "+Inf" else 0.0))
+        buckets: Dict[str, int] = {}
+        previous = 0
+        for le, cumulative in pairs:
+            buckets[le] = cumulative - previous
+            previous = cumulative
+        entry["buckets"] = buckets
+        if not entry["labels"]:
+            del entry["labels"]
+        out.append(entry)
+    out.sort(key=lambda e: (e["name"],
+                            tuple(sorted(e.get("labels", {}).items()))))
+    return out

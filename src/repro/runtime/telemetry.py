@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque as _deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -36,22 +37,33 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SchemaError",
     "Span",
     "NullSpan",
     "NULL_SPAN",
+    "TimeSeriesStore",
     "Tracer",
     "NULL_TRACER",
     "Telemetry",
     "cpu_breakdown_report",
     "validate_cpu_breakdown",
     "validate_metrics_lines",
+    "validate_timeseries_lines",
     "render_stats_log",
     "CPU_BREAKDOWN_SCHEMA",
     "METRICS_SCHEMA",
+    "TIMESERIES_SCHEMA",
 ]
 
 CPU_BREAKDOWN_SCHEMA = "bro-cpu-breakdown/1"
 METRICS_SCHEMA = "repro-metrics/1"
+TIMESERIES_SCHEMA = "repro-timeseries/1"
+
+
+class SchemaError(ValueError):
+    """Structurally incompatible telemetry data: merging registries
+    whose series disagree on shape (histogram bucket bounds), or a
+    report that does not match its declared schema."""
 
 _COMPONENTS = ("parsing", "script", "glue", "other")
 
@@ -191,6 +203,12 @@ class MetricsRegistry:
 
     def _get(self, cls, name: str, labels: Dict[str, str], help: str,
              **kwargs) -> _Series:
+        # Label values arrive as whatever the caller had in hand (lane
+        # indexes as ints, worker ids as strs).  Coercing to str here
+        # keeps the registry's sort keys homogeneous — a mixed-type
+        # label value would make ``sorted(self._series)`` raise and the
+        # merged multi-worker emit order nondeterministic.
+        labels = {str(k): str(v) for k, v in labels.items()}
         key = (name, tuple(sorted(labels.items())))
         series = self._series.get(key)
         if series is None:
@@ -236,7 +254,8 @@ class MetricsRegistry:
         return lines
 
     def merge_series(self, series_dicts: Iterable[Dict],
-                     gauge_merge: Optional[Dict[str, str]] = None) -> int:
+                     gauge_merge: Optional[Dict[str, str]] = None,
+                     extra_labels: Optional[Dict[str, str]] = None) -> int:
         """Fold ``collect()``-shaped series dicts into this registry.
 
         The reduction step of the flow-parallel pipeline: each worker
@@ -244,15 +263,22 @@ class MetricsRegistry:
         the driver merges them at join (``docs/PARALLELISM.md``).
         Counters and histograms are additive; gauges sum by default, or
         take the maximum for names mapped to ``"max"`` in *gauge_merge*
-        (high-water marks like peak occupancy).  Returns the number of
-        series merged.
+        (high-water marks like peak occupancy).  *extra_labels* are
+        stamped onto every merged series — the per-worker attribution
+        labels (``worker=N``) of the cross-process telemetry plane.
+        Histograms whose bucket bounds disagree with an already
+        registered series raise :class:`SchemaError` — a silent merge
+        would misalign every bucket.  Returns the number of series
+        merged.
         """
         gauge_merge = gauge_merge or {}
         merged = 0
         for entry in series_dicts:
             kind = entry["kind"]
             name = entry["name"]
-            labels = entry.get("labels", {})
+            labels = dict(entry.get("labels", {}))
+            if extra_labels:
+                labels.update(extra_labels)
             if kind == "counter":
                 self.counter(name, **labels).inc(entry["value"])
             elif kind == "gauge":
@@ -269,9 +295,11 @@ class MetricsRegistry:
                 )
                 histogram = self.histogram(name, bounds=bounds, **labels)
                 if tuple(histogram.bounds) != bounds:
-                    raise ValueError(
-                        f"histogram {name!r}: bucket bounds differ "
-                        "between merged registries"
+                    raise SchemaError(
+                        f"histogram {name!r}: bucket bounds "
+                        f"{bounds} differ from registered bounds "
+                        f"{tuple(histogram.bounds)} — refusing to "
+                        "misalign buckets"
                     )
                 for index, bound in enumerate(histogram.bounds):
                     histogram.bucket_counts[index] += buckets[str(bound)]
@@ -282,6 +310,90 @@ class MetricsRegistry:
                 raise ValueError(f"unknown series kind {kind!r}")
             merged += 1
         return merged
+
+
+# --------------------------------------------------------------------------
+# Time-series history (the service's /metrics/history surface)
+# --------------------------------------------------------------------------
+
+
+class TimeSeriesStore:
+    """A bounded ring of periodic registry snapshots with deltas.
+
+    One point-in-time ``/metrics`` dump answers "what is the value now";
+    operating a long-running service needs "what happened over the last
+    minute".  The service's aggregator tick feeds each registry
+    ``collect()`` here; every stored sample carries, per cumulative
+    series (counters and histogram counts), the delta against the
+    previous sample, so consumers (``servicetop``, the
+    ``/metrics/history`` endpoint) get rates without re-diffing.
+
+    The ring is bounded by *max_samples* (600 one-second ticks = ten
+    minutes of history) so a service that runs for weeks holds a flat
+    amount of telemetry memory.
+    """
+
+    def __init__(self, max_samples: int = 600):
+        if max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {max_samples!r}")
+        self.max_samples = max_samples
+        self._samples: "deque" = _deque(maxlen=max_samples)
+        self._last: Dict[Tuple, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @staticmethod
+    def _key(entry: Dict) -> Tuple:
+        return (entry["name"],
+                tuple(sorted(entry.get("labels", {}).items())))
+
+    def sample(self, ts: float, series_dicts: Iterable[Dict]) -> Dict:
+        """Record one snapshot; returns the stored sample record."""
+        last = self._last
+        current: Dict[Tuple, float] = {}
+        series: List[Dict] = []
+        for entry in series_dicts:
+            entry = dict(entry)
+            key = self._key(entry)
+            cumulative = (entry["count"] if entry["kind"] == "histogram"
+                          else entry["value"])
+            if entry["kind"] in ("counter", "histogram"):
+                entry["delta"] = cumulative - last.get(key, 0)
+            current[key] = cumulative
+            series.append(entry)
+        self._last = current
+        record = {"ts": ts, "series": series}
+        self._samples.append(record)
+        return record
+
+    def history(self, window: Optional[float] = None,
+                now: Optional[float] = None) -> List[Dict]:
+        """The stored samples, newest-last; *window* (seconds) keeps
+        only samples at or after ``now - window`` (*now* defaults to
+        the newest sample's timestamp)."""
+        samples = list(self._samples)
+        if window is None or not samples:
+            return samples
+        if now is None:
+            now = samples[-1]["ts"]
+        horizon = now - window
+        return [record for record in samples if record["ts"] >= horizon]
+
+    def emit_jsonl(self, stream, meta: Optional[Dict] = None) -> int:
+        """Write the ring as schema-tagged JSON lines (header first);
+        returns lines written."""
+        header = {"schema": TIMESERIES_SCHEMA, "ts": time.time(),
+                  "samples": len(self._samples)}
+        if meta:
+            header.update(meta)
+        stream.write(json.dumps(header, sort_keys=True) + "\n")
+        lines = 1
+        for record in self._samples:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+            lines += 1
+        return lines
 
 
 # --------------------------------------------------------------------------
@@ -549,6 +661,37 @@ def validate_cpu_breakdown(doc: Dict) -> List[str]:
 # --------------------------------------------------------------------------
 
 
+def _series_entry_errors(doc: Dict, where: str) -> List[str]:
+    """Shared shape checks for one ``collect()``-style series dict."""
+    errors: List[str] = []
+    kind = doc.get("kind")
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing series name")
+    if kind in ("counter", "gauge"):
+        if "value" not in doc or not isinstance(
+                doc["value"], (int, float)):
+            errors.append(f"{where}: {kind} needs a numeric value")
+        if kind == "counter" and isinstance(
+                doc.get("value"), (int, float)) and doc["value"] < 0:
+            errors.append(f"{where}: counter value negative")
+    elif kind == "histogram":
+        if not isinstance(doc.get("buckets"), dict):
+            errors.append(f"{where}: histogram needs buckets")
+        if not isinstance(doc.get("count"), int):
+            errors.append(f"{where}: histogram needs a count")
+    else:
+        errors.append(f"{where}: unknown series kind {kind!r}")
+    labels = doc.get("labels")
+    if labels is not None and (
+        not isinstance(labels, dict)
+        or not all(isinstance(k, str) and isinstance(v, str)
+                   for k, v in labels.items())
+    ):
+        errors.append(f"{where}: labels must map str -> str")
+    return errors
+
+
 def validate_metrics_lines(lines: Iterable[str]) -> List[str]:
     """Schema check for :meth:`MetricsRegistry.emit_jsonl` output."""
     errors: List[str] = []
@@ -573,31 +716,65 @@ def validate_metrics_lines(lines: Iterable[str]) -> List[str]:
                 )
             saw_header = True
             continue
-        kind = doc.get("kind")
-        name = doc.get("name")
-        if not isinstance(name, str) or not name:
-            errors.append(f"line {number}: missing series name")
-        if kind in ("counter", "gauge"):
-            if "value" not in doc or not isinstance(
-                    doc["value"], (int, float)):
-                errors.append(f"line {number}: {kind} needs a numeric value")
-            if kind == "counter" and isinstance(
-                    doc.get("value"), (int, float)) and doc["value"] < 0:
-                errors.append(f"line {number}: counter value negative")
-        elif kind == "histogram":
-            if not isinstance(doc.get("buckets"), dict):
-                errors.append(f"line {number}: histogram needs buckets")
-            if not isinstance(doc.get("count"), int):
-                errors.append(f"line {number}: histogram needs a count")
+        errors.extend(_series_entry_errors(doc, f"line {number}"))
+    if not saw_header:
+        errors.append("no header line")
+    return errors
+
+
+def validate_timeseries_lines(lines: Iterable[str]) -> List[str]:
+    """Schema check for :meth:`TimeSeriesStore.emit_jsonl` output
+    (``repro-timeseries/1``): a schema header, then one sample object
+    per line — numeric non-decreasing ``ts``, a ``series`` list of
+    ``collect()``-shaped entries whose cumulative kinds carry a numeric
+    ``delta``."""
+    errors: List[str] = []
+    saw_header = False
+    last_ts: Optional[float] = None
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(doc, dict):
+            errors.append(f"line {number}: not an object")
+            continue
+        if not saw_header:
+            if doc.get("schema") != TIMESERIES_SCHEMA:
+                errors.append(
+                    f"line {number}: header schema must be "
+                    f"{TIMESERIES_SCHEMA!r}"
+                )
+            saw_header = True
+            continue
+        ts = doc.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"line {number}: sample needs a numeric ts")
         else:
-            errors.append(f"line {number}: unknown series kind {kind!r}")
-        labels = doc.get("labels")
-        if labels is not None and (
-            not isinstance(labels, dict)
-            or not all(isinstance(k, str) and isinstance(v, str)
-                       for k, v in labels.items())
-        ):
-            errors.append(f"line {number}: labels must map str -> str")
+            if last_ts is not None and ts < last_ts:
+                errors.append(
+                    f"line {number}: ts {ts} goes backwards "
+                    f"(previous {last_ts})")
+            last_ts = ts
+        series = doc.get("series")
+        if not isinstance(series, list):
+            errors.append(f"line {number}: sample needs a series list")
+            continue
+        for position, entry in enumerate(series):
+            where = f"line {number} series[{position}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            errors.extend(_series_entry_errors(entry, where))
+            if entry.get("kind") in ("counter", "histogram"):
+                if not isinstance(entry.get("delta"), (int, float)):
+                    errors.append(
+                        f"{where}: cumulative series needs a "
+                        "numeric delta")
     if not saw_header:
         errors.append("no header line")
     return errors
@@ -660,6 +837,13 @@ def _main(argv=None) -> int:
     metrics = sub.add_parser(
         "validate-metrics", help="check a metrics JSON-lines file")
     metrics.add_argument("path")
+    timeseries = sub.add_parser(
+        "validate-timeseries",
+        help="check a timeseries JSON-lines file (repro-timeseries/1)")
+    timeseries.add_argument("path")
+    timeseries.add_argument(
+        "--min-samples", type=int, default=0, metavar="N",
+        help="additionally require at least N sample lines")
     args = parser.parse_args(argv)
 
     with open(args.path) as stream:
@@ -674,6 +858,14 @@ def _main(argv=None) -> int:
                 for name in _COMPONENTS:
                     if doc["components"][name]["share"] <= 0:
                         errors.append(f"{name}.share is zero")
+        elif args.command == "validate-timeseries":
+            lines = stream.readlines()
+            errors = validate_timeseries_lines(lines)
+            samples = sum(1 for line in lines[1:] if line.strip())
+            if not errors and samples < args.min_samples:
+                errors.append(
+                    f"only {samples} samples, expected at least "
+                    f"{args.min_samples}")
         else:
             errors = validate_metrics_lines(stream)
     for error in errors:

@@ -161,11 +161,19 @@ def main(argv=None) -> int:
             )
 
         def make_spec(ns):
+            # Full lane-constructor config: pool-transport lanes build
+            # Bro instances from this in worker processes, where only
+            # the picklable spec travels (thread lanes use make_app).
             return BroLaneSpec({
                 "scripts": scripts,
                 "parsers": ns.parsers,
                 "scripts_engine": ("hilti" if ns.compile_scripts
                                    else "interp"),
+                "log_enabled": True,
+                "watchdog_budget": ns.watchdog,
+                "opt_level": None,
+                "metrics": ns.metrics,
+                "trace": False,
             })
 
         return run_host_service(args, "bro", make_app, make_spec)

@@ -1,0 +1,198 @@
+"""``servicetop`` — a top-style live console for a running service.
+
+::
+
+    python -m repro.tools.servicetop logs/service.json
+    python -m repro.tools.servicetop http://127.0.0.1:8080 --once --plain
+
+Polls the service's HTTP control surface (``/stats`` and
+``/metrics/history``) and renders, per refresh: the conservation
+totals, the rolling pps windows, a throughput sparkline derived from
+the time-series history, and one row per lane — liveness, processed,
+queue depth, shed/lost/crash/restart counters, breaker state.
+
+The target argument is any of: a ``service.json`` discovery file (as
+the service writes while running), the logdir containing one, or the
+service's base URL directly.  ``--once`` renders a single frame and
+exits (CI mode); ``--plain`` suppresses the ANSI screen-clear and
+cursor control so the output is pipeline-friendly.  Pure stdlib.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+__all__ = ["main", "render_frame", "resolve_target"]
+
+#: Characters of the throughput sparkline, lowest to highest.
+_SPARK = " .:-=+*#%@"
+
+
+def resolve_target(target: str) -> str:
+    """Turn the CLI target into the service's base URL.
+
+    URLs pass through; a directory resolves to its ``service.json``;
+    a file is read as the discovery document (``repro-service/1``) and
+    its ``http`` entry names the endpoint."""
+    if target.startswith(("http://", "https://")):
+        return target.rstrip("/")
+    path = target
+    if os.path.isdir(path):
+        path = os.path.join(path, "service.json")
+    try:
+        with open(path) as stream:
+            doc = json.load(stream)
+    except OSError as error:
+        raise SystemExit(
+            f"servicetop: cannot read {path}: {error} — is the service "
+            "running? (service.json exists only while it is)")
+    except ValueError as error:
+        raise SystemExit(f"servicetop: {path} is not JSON: {error}")
+    http = doc.get("http")
+    if not http:
+        raise SystemExit(
+            f"servicetop: {path} reports no HTTP endpoint "
+            "(service started with --http-port -1?)")
+    return f"http://{http['host']}:{http['port']}"
+
+
+def _fetch_json(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _sparkline(values: List[float], width: int = 30) -> str:
+    """Map the last *width* values onto the spark character ramp."""
+    values = values[-width:]
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK[0] * len(values)
+    scale = len(_SPARK) - 1
+    return "".join(
+        _SPARK[min(scale, int(round(value / top * scale)))]
+        for value in values)
+
+
+def _history_deltas(history: Dict, name: str) -> List[float]:
+    """Per-sample deltas of one unlabeled cumulative series."""
+    out: List[float] = []
+    for sample in history.get("samples", []):
+        for entry in sample.get("series", []):
+            if entry.get("name") == name and not entry.get("labels"):
+                out.append(float(entry.get("delta", 0)))
+                break
+    return out
+
+
+def render_frame(stats: Dict, history: Optional[Dict] = None) -> str:
+    """One console frame from a ``/stats`` report (plus, optionally,
+    a ``/metrics/history`` document for the sparkline)."""
+    totals = stats.get("totals", {})
+    sessions = stats.get("sessions", {})
+    lines: List[str] = []
+    lines.append(
+        f"service {stats.get('app', '?')} — "
+        f"up {stats.get('uptime_seconds', 0):.1f}s, "
+        f"{stats.get('transport', '?')} lanes, "
+        f"overload={stats.get('overload', '?')}")
+    lines.append(
+        "totals: "
+        f"ingested {int(totals.get('packets_ingested', 0))}  "
+        f"processed {int(totals.get('packets_processed', 0))}  "
+        f"shed {int(totals.get('packets_shed', 0))}  "
+        f"lost {int(totals.get('packets_lost', 0))}  "
+        f"dropped {int(totals.get('packets_dropped', 0))}  "
+        f"sessions {int(sessions.get('open', 0))}")
+    windows = stats.get("windows", {})
+    if windows:
+        parts = []
+        for window in sorted(windows, key=lambda w: float(w[:-1])):
+            pps = windows[window].get("packets_processed")
+            if pps is not None:
+                parts.append(f"{window} {pps['per_second']:.1f} pps")
+        if parts:
+            lines.append("rates:  " + "   ".join(parts))
+    if history:
+        deltas = _history_deltas(history, "service.packets_processed")
+        if deltas:
+            lines.append(f"trend:  [{_sparkline(deltas)}] "
+                         f"({history.get('count', 0)} samples)")
+    lines.append("")
+    lines.append(f"{'lane':>4} {'alive':>5} {'processed':>10} "
+                 f"{'queue':>6} {'shed':>6} {'lost':>6} {'crash':>6} "
+                 f"{'restart':>7} {'breaker':>8}")
+    for lane in stats.get("lanes", []):
+        breaker = lane.get("breaker", {})
+        state = ("FAILED" if lane.get("failed")
+                 else "open" if breaker.get("tripped") else "ok")
+        lines.append(
+            f"{lane.get('lane', '?'):>4} "
+            f"{('yes' if lane.get('alive') else 'no'):>5} "
+            f"{lane.get('processed', 0):>10} "
+            f"{lane.get('queue_depth', 0):>6} "
+            f"{lane.get('queue_shed', 0):>6} "
+            f"{lane.get('packets_lost', 0):>6} "
+            f"{lane.get('crashes', 0):>6} "
+            f"{lane.get('restarts', 0):>7} "
+            f"{state:>8}")
+        error = lane.get("last_error")
+        if error:
+            lines.append(f"     ! {error}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="servicetop",
+        description="live top-style console for a running host service")
+    parser.add_argument("target", nargs="?", default="logs",
+                        help="service.json path, its logdir, or the "
+                             "service base URL (default: logs/)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period in seconds (default 2)")
+    parser.add_argument("--window", type=float, default=60.0,
+                        help="history window for the trend line "
+                             "(seconds, default 60)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit (CI mode)")
+    parser.add_argument("--plain", action="store_true",
+                        help="no ANSI clear/cursor control")
+    args = parser.parse_args(argv)
+
+    base = resolve_target(args.target)
+    while True:
+        try:
+            stats = _fetch_json(f"{base}/stats")
+        except (urllib.error.URLError, OSError) as error:
+            print(f"servicetop: {base}/stats unreachable: {error}",
+                  file=sys.stderr)
+            return 1
+        try:
+            history = _fetch_json(
+                f"{base}/metrics/history?window={args.window:g}")
+        except (urllib.error.URLError, OSError):
+            history = None  # older service or endpoint disabled
+        frame = render_frame(stats, history)
+        if not args.plain:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

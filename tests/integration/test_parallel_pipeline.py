@@ -70,11 +70,15 @@ def _sorted_logs(pipeline):
 
 def _comparable_series(registry):
     """Content-determined metric series only: counters, histograms, and
-    composable gauges; timing and occupancy series excluded."""
+    composable gauges; timing and occupancy series excluded, along with
+    the per-worker attribution copies (``worker`` label) the parallel
+    merge adds — those are lane-local raw counts, not aggregates."""
     out = {}
     for series in registry.collect():
         name = series["name"]
         if name.startswith(_TIMING_PREFIXES) or name in _NON_COMPOSABLE:
+            continue
+        if "worker" in series.get("labels", {}):
             continue
         key = (name, tuple(sorted(series.get("labels", {}).items())))
         if series["kind"] == "histogram":

@@ -470,7 +470,10 @@ class TestServicePoolTransport:
         service = HostService(lambda services: Bro(), list(trace),
                               config, spec=spec)
         assert service.serve() == 0
-        doc = json.loads((tmp_path / "service.json").read_text())
+        # The discovery file dies with the service; the terminal record
+        # lands in service-final.json.
+        assert not (tmp_path / "service.json").exists()
+        doc = json.loads((tmp_path / "service-final.json").read_text())
         totals = doc["totals"]
         assert totals["packets_ingested"] == (
             totals["packets_processed"] + totals["packets_shed"]

@@ -501,8 +501,14 @@ class TestHostService:
         assert totals["packets_ingested"] == 3 * n
         assert totals["packets_processed"] == 3 * n
         assert _invariant(totals)
-        doc = json.loads((tmp_path / "service.json").read_text())
+        # The live discovery file is gone after a graceful drain; the
+        # terminal document lands in service-final.json.
+        assert not (tmp_path / "service.json").exists()
+        doc = json.loads((tmp_path / "service-final.json").read_text())
         assert doc["state"] == "drained" and doc["exit_code"] == 0
+        assert doc["schema"] == "repro-service/1"
+        assert doc["pid"] == os.getpid()
+        assert isinstance(doc["started_ts"], float)
         assert (tmp_path / "results.log").exists()
         assert (tmp_path / "metrics.jsonl").exists()
         assert (tmp_path / "stats.log").exists()
@@ -715,7 +721,8 @@ class TestGracefulShutdown:
             proc.send_signal(signal.SIGTERM)
             out, _ = proc.communicate(timeout=60)
         assert proc.returncode == 0, out
-        doc = json.loads((logdir / "service.json").read_text())
+        assert not (logdir / "service.json").exists()
+        doc = json.loads((logdir / "service-final.json").read_text())
         assert doc["state"] == "drained" and doc["exit_code"] == 0
         assert (logdir / "events.log").exists()
         assert (logdir / "metrics.jsonl").exists()

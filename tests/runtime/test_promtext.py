@@ -1,0 +1,172 @@
+"""Prometheus text exposition: render, parse, and the round-trip law.
+
+The contract ``/metrics`` content negotiation relies on::
+
+    parse(render(series)) == sanitize_series(series)
+
+so a scrape of the service can be verified losslessly by the in-repo
+parser instead of eyeballed.
+"""
+
+import math
+
+import pytest
+
+from repro.runtime.promtext import (
+    CONTENT_TYPE,
+    parse,
+    render,
+    sanitize_label_name,
+    sanitize_name,
+    sanitize_series,
+)
+from repro.runtime.telemetry import MetricsRegistry
+
+
+def _roundtrip(series):
+    assert parse(render(series)) == sanitize_series(series)
+
+
+class TestRender:
+    def test_counter_and_gauge(self):
+        text = render([
+            {"kind": "counter", "name": "svc.packets", "value": 7},
+            {"kind": "gauge", "name": "svc.depth", "value": 2.5},
+        ])
+        assert "# TYPE svc_depth gauge" in text
+        assert "# TYPE svc_packets counter" in text
+        assert "svc_packets 7" in text
+        assert "svc_depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_labels_sorted_and_quoted(self):
+        text = render([{"kind": "counter", "name": "hits", "value": 1,
+                        "labels": {"worker": "2", "app": "bro"}}])
+        assert 'hits{app="bro",worker="2"} 1' in text
+
+    def test_label_value_escaping(self):
+        nasty = 'a\\b"c\nd'
+        text = render([{"kind": "gauge", "name": "g", "value": 0,
+                        "labels": {"k": nasty}}])
+        assert r'k="a\\b\"c\nd"' in text
+        parsed = parse(text)
+        assert parsed[0]["labels"]["k"] == nasty
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render([{
+            "kind": "histogram", "name": "lat",
+            "buckets": {"0.1": 3, "1": 2, "+Inf": 1},
+            "sum": 4.2, "count": 6,
+        }])
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert lines == [
+            'lat_bucket{le="0.1"} 3',
+            'lat_bucket{le="1"} 5',
+            'lat_bucket{le="+Inf"} 6',
+            "lat_sum 4.2",
+            "lat_count 6",
+        ]
+
+    def test_type_line_emitted_once_per_family(self):
+        text = render([
+            {"kind": "counter", "name": "c", "value": 1,
+             "labels": {"worker": "0"}},
+            {"kind": "counter", "name": "c", "value": 2,
+             "labels": {"worker": "1"}},
+        ])
+        assert text.count("# TYPE c counter") == 1
+
+    def test_help_text(self):
+        text = render([{"kind": "counter", "name": "c", "value": 1}],
+                      help_texts={"c": "total\nthings"})
+        assert r"# HELP c total\nthings" in text
+
+    def test_special_float_values(self):
+        text = render([
+            {"kind": "gauge", "name": "inf", "value": float("inf")},
+            {"kind": "gauge", "name": "nan", "value": float("nan")},
+            {"kind": "gauge", "name": "neg", "value": float("-inf")},
+        ])
+        assert "inf +Inf" in text
+        assert "nan NaN" in text
+        assert "neg -Inf" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render([]) == ""
+        assert parse("") == []
+
+
+class TestSanitize:
+    def test_names(self):
+        assert sanitize_name("service.packets_total") == \
+            "service_packets_total"
+        assert sanitize_name("ns:metric") == "ns:metric"
+        assert sanitize_name("9lives") == "_9lives"
+        assert sanitize_name("") == "_"
+
+    def test_label_names_reject_colons(self):
+        assert sanitize_label_name("a:b") == "a_b"
+        assert sanitize_label_name("le") == "le"
+        assert sanitize_label_name("0x") == "_0x"
+
+    def test_sanitize_series_drops_transport_extras(self):
+        clean = sanitize_series([{"kind": "counter", "name": "a.b",
+                                  "value": 1, "delta": 1,
+                                  "help": "ignored"}])
+        assert clean == [{"kind": "counter", "name": "a_b", "value": 1}]
+
+
+class TestRoundTrip:
+    def test_scalar_round_trip(self):
+        _roundtrip([
+            {"kind": "counter", "name": "svc.packets", "value": 10},
+            {"kind": "gauge", "name": "svc.depth", "value": 0.0,
+             "labels": {"worker": "1"}},
+        ])
+
+    def test_histogram_round_trip(self):
+        _roundtrip([{
+            "kind": "histogram", "name": "bro.event_latency",
+            "buckets": {"0.001": 1, "0.01": 4, "0.1": 0, "+Inf": 2},
+            "sum": 0.35, "count": 7,
+            "labels": {"worker": "0"},
+        }])
+
+    def test_real_registry_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("app.packets").inc(123)
+        registry.counter("app.packets", worker="0").inc(60)
+        registry.counter("app.packets", worker="1").inc(63)
+        registry.gauge("app.sessions_open").set(4)
+        histogram = registry.histogram("app.size",
+                                       bounds=(64, 512, 1500))
+        for value in (40, 70, 600, 9000):
+            histogram.observe(value)
+        _roundtrip(registry.collect())
+
+    def test_nan_round_trip(self):
+        parsed = parse(render([{"kind": "gauge", "name": "n",
+                                "value": float("nan")}]))
+        assert math.isnan(parsed[0]["value"])
+
+    def test_untyped_sample_defaults_to_gauge(self):
+        parsed = parse("orphan 3\n")
+        assert parsed == [{"kind": "gauge", "name": "orphan", "value": 3}]
+
+
+class TestParseErrors:
+    def test_garbage_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse("!!! not a sample")
+
+    def test_unterminated_label_value(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse('m{k="oops} 1')
+
+    def test_bad_label_syntax(self):
+        with pytest.raises(ValueError, match="bad label"):
+            parse('m{=""} 1')
+
+
+def test_content_type_is_version_0_0_4():
+    assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")

@@ -7,19 +7,23 @@ import pytest
 
 from repro.runtime.telemetry import (
     CPU_BREAKDOWN_SCHEMA,
+    TIMESERIES_SCHEMA,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NULL_SPAN,
     NULL_TELEMETRY,
+    SchemaError,
     Span,
     Telemetry,
+    TimeSeriesStore,
     Tracer,
     cpu_breakdown_report,
     render_stats_log,
     validate_cpu_breakdown,
     validate_metrics_lines,
+    validate_timeseries_lines,
 )
 
 
@@ -112,6 +116,173 @@ class TestRegistryEmission:
         assert any("negative" in e for e in errors)
         assert any("unknown series kind" in e for e in errors)
         assert any("not JSON" in e for e in errors)
+
+    def test_emit_jsonl_is_byte_deterministic(self):
+        """Series order (and key order within a line) is a function of
+        the registry's content alone — never of insertion order — so
+        merged multi-worker emissions diff cleanly across runs."""
+        def build(spec):
+            registry = MetricsRegistry()
+            for name, labels, amount in spec:
+                registry.counter(name, **labels).inc(amount)
+            registry.gauge("depth", worker=1).set(3)  # int label value
+            out = io.StringIO()
+            registry.emit_jsonl(out)
+            return out.getvalue().splitlines()[1:]  # drop ts header
+
+        spec = [("pkts", {"worker": "1"}, 5),
+                ("pkts", {"worker": "0"}, 7),
+                ("pkts", {}, 12),
+                ("drops", {"worker": "0"}, 1)]
+        forward = build(spec)
+        reversed_ = build(list(reversed(spec)))
+        assert forward == reversed_
+        names = [json.loads(line)["name"] for line in forward]
+        assert names == sorted(names)
+        # The int label value was coerced to str at registration.
+        depth = json.loads(forward[-1])
+        assert depth["labels"] == {"worker": "1"}
+
+
+class TestMergeSeries:
+    def test_counters_and_histograms_add(self):
+        source = MetricsRegistry()
+        source.counter("pkts").inc(5)
+        source.histogram("size", bounds=(10, 100)).observe(50)
+        target = MetricsRegistry()
+        target.counter("pkts").inc(2)
+        assert target.merge_series(source.collect()) == 2
+        assert target.counter("pkts").value == 7
+        assert target.histogram("size", bounds=(10, 100)).count == 1
+
+    def test_empty_registry_merges_as_noop(self):
+        target = MetricsRegistry()
+        target.counter("pkts").inc(3)
+        assert target.merge_series(MetricsRegistry().collect()) == 0
+        assert [d["name"] for d in target.collect()] == ["pkts"]
+        assert target.counter("pkts").value == 3
+
+    def test_gauge_max_merge(self):
+        target = MetricsRegistry()
+        target.gauge("peak").set(10)
+        source = [{"kind": "gauge", "name": "peak", "value": 7},
+                  {"kind": "gauge", "name": "load", "value": 7}]
+        target.merge_series(source, gauge_merge={"peak": "max"})
+        assert target.gauge("peak").value == 10  # max, not 17
+        assert target.gauge("load").value == 7   # default: additive
+        target.merge_series(source, gauge_merge={"peak": "max"})
+        assert target.gauge("load").value == 14
+
+    def test_extra_labels_stamp_every_series(self):
+        source = MetricsRegistry()
+        source.counter("pkts", proto="tcp").inc(4)
+        target = MetricsRegistry()
+        target.merge_series(source.collect(),
+                            extra_labels={"worker": "2"})
+        labeled = target.counter("pkts", proto="tcp", worker="2")
+        assert labeled.value == 4
+
+    def test_histogram_bounds_mismatch_raises_schema_error(self):
+        target = MetricsRegistry()
+        target.histogram("size", bounds=(10, 100)).observe(5)
+        source = MetricsRegistry()
+        source.histogram("size", bounds=(10, 1000)).observe(5)
+        with pytest.raises(SchemaError, match="bucket bounds"):
+            target.merge_series(source.collect())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown series kind"):
+            MetricsRegistry().merge_series(
+                [{"kind": "summary", "name": "x", "value": 1}])
+
+
+class TestTimeSeriesStore:
+    @staticmethod
+    def _collect(pkts, depth):
+        registry = MetricsRegistry()
+        registry.counter("pkts").inc(pkts)
+        registry.gauge("depth").set(depth)
+        return registry.collect()
+
+    def test_deltas_against_previous_sample(self):
+        store = TimeSeriesStore()
+        store.sample(1.0, self._collect(10, 3))
+        record = store.sample(2.0, self._collect(25, 1))
+        by_name = {e["name"]: e for e in record["series"]}
+        assert by_name["pkts"]["delta"] == 15
+        assert "delta" not in by_name["depth"]  # gauges are not diffed
+        assert len(store) == 2
+
+    def test_first_sample_deltas_from_zero(self):
+        store = TimeSeriesStore()
+        record = store.sample(1.0, self._collect(10, 0))
+        assert record["series"][1]["delta"] == 10
+
+    def test_window_filters_old_samples(self):
+        store = TimeSeriesStore()
+        for ts in (10.0, 50.0, 100.0):
+            store.sample(ts, self._collect(1, 0))
+        assert [r["ts"] for r in store.history(window=60)] == [50.0, 100.0]
+        assert [r["ts"] for r in store.history()] == [10.0, 50.0, 100.0]
+        assert [r["ts"] for r in store.history(window=5, now=200.0)] == []
+
+    def test_ring_is_bounded(self):
+        store = TimeSeriesStore(max_samples=3)
+        for ts in range(10):
+            store.sample(float(ts), [])
+        assert len(store) == 3
+        assert [r["ts"] for r in store.history()] == [7.0, 8.0, 9.0]
+
+    def test_max_samples_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(max_samples=0)
+
+    def test_emit_jsonl_validates(self):
+        store = TimeSeriesStore()
+        store.sample(1.0, self._collect(5, 2))
+        store.sample(2.0, self._collect(9, 4))
+        out = io.StringIO()
+        assert store.emit_jsonl(out, meta={"app": "bro"}) == 3
+        lines = out.getvalue().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == TIMESERIES_SCHEMA
+        assert header["app"] == "bro"
+        assert header["samples"] == 2
+        assert validate_timeseries_lines(lines) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_timeseries_lines([]) == ["no header line"]
+        bad = [
+            json.dumps({"schema": TIMESERIES_SCHEMA}),
+            json.dumps({"ts": 5.0, "series": [
+                {"kind": "counter", "name": "x", "value": 1}]}),
+            json.dumps({"ts": 4.0, "series": "nope"}),
+        ]
+        errors = validate_timeseries_lines(bad)
+        assert any("numeric delta" in e for e in errors)
+        assert any("goes backwards" in e for e in errors)
+        assert any("series list" in e for e in errors)
+
+    def test_validate_timeseries_cli(self, tmp_path):
+        import subprocess
+        import sys
+
+        store = TimeSeriesStore()
+        store.sample(1.0, self._collect(5, 2))
+        store.sample(2.0, self._collect(9, 4))
+        path = tmp_path / "timeseries.jsonl"
+        with open(path, "w") as stream:
+            store.emit_jsonl(stream)
+        done = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.telemetry",
+             "validate-timeseries", str(path), "--min-samples", "2"],
+            capture_output=True, text=True)
+        assert done.returncode == 0, done.stderr
+        strict = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.telemetry",
+             "validate-timeseries", str(path), "--min-samples", "3"],
+            capture_output=True, text=True)
+        assert strict.returncode != 0
 
 
 class TestSpans:
