@@ -3,9 +3,10 @@
 
 Runs the paper's benchmark kernels — recursive Fibonacci (§6.5), the
 BPF filter (§6.2), the BinPAC++ HTTP parser (Figure 9), and the Bro
-scripts (Figure 10) — once at ``-O0`` and once at ``-O1``, checks the
-outputs are byte-identical, and writes a machine-readable report to
-``BENCH_ir_opt.json`` at the repository root.
+scripts (Figure 10) — once per optimization level (``-O0``/``-O1``/
+``-O2``), checks the outputs are byte-identical across every level,
+and writes a machine-readable report to ``BENCH_ir_opt.json`` at the
+repository root.
 
 Usage::
 
@@ -13,8 +14,8 @@ Usage::
         [--output PATH] [--check fib,bpf]
 
 ``--quick`` shrinks the workloads for CI smoke runs; ``--check`` exits
-non-zero if -O1 is slower than -O0 on any named kernel (the regression
-gate).  See docs/PERFORMANCE.md for the JSON schema.
+non-zero if any optimized level is slower than -O0 on any named kernel
+(the regression gate).  See docs/PERFORMANCE.md for the JSON schema.
 
 ``--parallel-scaling`` switches to the flow-parallel harness
 (docs/PARALLELISM.md): a fixed-seed HTTP+DNS trace runs through the
@@ -72,6 +73,12 @@ def _best_of(fn, rounds, setup=None):
     return best, result
 
 
+def _opt_levels():
+    from repro.core.optimize import OPT_LEVELS
+
+    return OPT_LEVELS
+
+
 def _http_trace(sessions, seed=101):
     from repro.net.tracegen import HttpTraceConfig, generate_http_trace
 
@@ -86,7 +93,7 @@ def bench_fib(quick):
     n = 18 if quick else 22
     rounds = 3 if quick else 5
     results = {}
-    for level in (0, 1):
+    for level in _opt_levels():
         bro = Bro(scripts=[FIB_SCRIPT], scripts_engine="hilti",
                   opt_level=level, print_stream=io.StringIO())
         seconds, value = _best_of(
@@ -109,7 +116,7 @@ def bench_bpf(quick):
     frames = [f for __, f in trace]
     rounds = 3 if quick else 5
     results = {}
-    for level in (0, 1):
+    for level in _opt_levels():
         hilti_filter = compile_to_hilti(node, opt_level=level)
         seconds, decisions = _best_of(
             lambda: bytes(1 if hilti_filter(f) else 0 for f in frames),
@@ -131,7 +138,7 @@ def bench_parser(quick):
     trace = _http_trace(10 if quick else 40, seed=7)
     rounds = 2 if quick else 3
     results = {}
-    for level in (0, 1):
+    for level in _opt_levels():
         def setup(level=level):
             return Bro(parsers="pac",
                        pac_parsers=PacParsers(opt_level=level),
@@ -160,7 +167,7 @@ def bench_script(quick):
     trace = _http_trace(10 if quick else 40, seed=13)
     rounds = 2 if quick else 3
     results = {}
-    for level in (0, 1):
+    for level in _opt_levels():
         def setup(level=level):
             return Bro(scripts_engine="hilti", opt_level=level,
                        print_stream=io.StringIO())
@@ -754,14 +761,15 @@ def main(argv=None):
                          "with --telemetry-overhead)")
     ap.add_argument("--check", default=None, metavar="KERNELS",
                     help="comma-separated kernels that must not regress "
-                         "(exit 1 if -O1 is slower than -O0)")
+                         "(exit 1 if any optimized level is slower "
+                         "than -O0)")
     ap.add_argument("--kernels", default=None,
                     metavar="KERNELS",
                     help="which kernels to run (default: all for the "
                          "selected mode)")
     ap.add_argument("--telemetry-overhead", action="store_true",
                     help="measure telemetry cost (baseline/off/on) "
-                         "instead of -O0 vs -O1")
+                         "instead of the per-level optimizer sweep")
     ap.add_argument("--check-overhead", type=float, default=None,
                     metavar="PCT",
                     help="with --telemetry-overhead, fail if disabled "
@@ -792,9 +800,11 @@ def main(argv=None):
     if args.telemetry_overhead:
         return run_telemetry_overhead(args)
 
+    levels = _opt_levels()
     report = {
-        "schema": "bench-ir-opt/1",
+        "schema": "bench-ir-opt/2",
         "quick": args.quick,
+        "levels": list(levels),
         "kernels": {},
     }
     for name in (args.kernels or ",".join(KERNELS)).split(","):
@@ -803,16 +813,33 @@ def main(argv=None):
             ap.error(f"unknown kernel {name!r}")
         print(f"[bench_regression] {name} ...", flush=True)
         results = KERNELS[name](args.quick)
-        (o0_s, o0_fp), (o1_s, o1_fp) = results[0], results[1]
+        o0_s = results[0][0]
         entry = {
-            "O0": {"seconds": round(o0_s, 6), "fingerprint": o0_fp},
-            "O1": {"seconds": round(o1_s, 6), "fingerprint": o1_fp},
-            "speedup": round(o0_s / o1_s, 3) if o1_s else None,
-            "identical": o0_fp == o1_fp,
+            f"O{level}": {
+                "seconds": round(seconds, 6),
+                "fingerprint": fingerprint,
+            }
+            for level, (seconds, fingerprint) in results.items()
         }
+        # Speedups are relative to -O0; byte-identity spans every level.
+        entry["speedups"] = {
+            f"O{level}": (round(o0_s / results[level][0], 3)
+                          if results[level][0] else None)
+            for level in levels if level > 0
+        }
+        entry["identical"] = len(
+            {fingerprint for __, fingerprint in results.values()}
+        ) == 1
         report["kernels"][name] = entry
-        print(f"[bench_regression]   O0={o0_s * 1e3:.2f}ms "
-              f"O1={o1_s * 1e3:.2f}ms speedup={entry['speedup']}x "
+        timings = " ".join(
+            f"O{level}={results[level][0] * 1e3:.2f}ms"
+            for level in levels
+        )
+        speedups = " ".join(
+            f"{key}={value}x"
+            for key, value in entry["speedups"].items()
+        )
+        print(f"[bench_regression]   {timings} {speedups} "
               f"identical={entry['identical']}", flush=True)
 
     out_path = Path(args.output or str(REPO / "BENCH_ir_opt.json"))
@@ -822,18 +849,21 @@ def main(argv=None):
     failures = []
     for name, entry in report["kernels"].items():
         if not entry["identical"]:
-            failures.append(f"{name}: -O0/-O1 outputs differ")
+            failures.append(
+                f"{name}: outputs differ across optimization levels")
     if args.check:
         for name in args.check.split(","):
             name = name.strip()
             entry = report["kernels"].get(name)
             if entry is None:
                 failures.append(f"{name}: kernel not run")
-            elif entry["speedup"] is not None and entry["speedup"] < 1.0:
-                failures.append(
-                    f"{name}: -O1 slower than -O0 "
-                    f"(speedup {entry['speedup']}x)"
-                )
+                continue
+            for key, speedup in entry["speedups"].items():
+                if speedup is not None and speedup < 1.0:
+                    failures.append(
+                        f"{name}: -{key} slower than -O0 "
+                        f"(speedup {speedup}x)"
+                    )
     if failures:
         for failure in failures:
             print(f"[bench_regression] FAIL {failure}", file=sys.stderr)

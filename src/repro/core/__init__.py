@@ -21,7 +21,12 @@ from .ir import (  # noqa: F401
     Var,
 )
 from .linker import LinkedProgram, LinkError, link  # noqa: F401
-from .optimize import OptStats, optimize_module  # noqa: F401
+from .optimize import (  # noqa: F401
+    DEFAULT_OPT_LEVEL,
+    OPT_LEVELS,
+    OptStats,
+    optimize_module,
+)
 from .parser import ParseError, parse_module, parse_type  # noqa: F401
 from .printer import PrintError, print_module  # noqa: F401
 from .stubs import Stub, StubResult, make_stub  # noqa: F401

@@ -128,7 +128,10 @@ class CompiledProgram:
         # Host-selectable runtime backends ("transparent integration of
         # non-standard capabilities", §7): e.g. {"classifier": "trie"}.
         self.runtime_options: Dict[str, str] = {}
-        # Optimization level the program was lowered at (-O0/-O1).
+        # Optimization level the program was lowered at (one of
+        # optimize.OPT_LEVELS; -O2 differs from -O1 only in the IR the
+        # toolchain hands this lowering — the codegen specializations
+        # below apply identically at every level >= 1).
         self.opt_level = 1
         # IR-level optimization statistics, attached by the toolchain.
         self.opt_stats = None
@@ -1246,6 +1249,39 @@ def _finalize(cf: CompiledFunction) -> CompiledFunction:
 # --------------------------------------------------------------------------
 
 
+def _charge_trap(ctx, steps, executed, exc) -> None:
+    """Charge a partially-executed segment after a trap.
+
+    The success path adds the whole segment's count at once; when a step
+    raises, that charge never lands, so the tiers' ``instr_count`` parity
+    would break on any trapping program.  Completed steps charge their
+    full batches; the raising step charges up to and including the
+    trapping instruction — each batch instruction compiles to exactly
+    one line of the generated ``_batch`` function, so the traceback's
+    line number recovers how deep the batch got.  The trapping
+    instruction itself counts, matching the interpreter's
+    count-then-execute accounting.
+    """
+    if executed < 0:
+        return
+    charge = 0
+    for step in steps[:executed]:
+        charge += getattr(step, "hilti_instructions", 1)
+    size = getattr(steps[executed], "hilti_instructions", 1)
+    if size <= 1:
+        charge += size
+    else:
+        depth = size
+        tb = exc.__traceback__
+        while tb is not None:
+            if tb.tb_frame.f_code.co_name == "_batch":
+                depth = min(size, max(1, tb.tb_lineno - 1))
+                break
+            tb = tb.tb_next
+        charge += depth
+    ctx.instr_count += charge
+
+
 def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
     """Run one compiled function as a generator (engine core loop)."""
     frame = cf.make_frame(args)
@@ -1255,10 +1291,13 @@ def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
     while True:
         steps, control, instr_count = segments[seg]
         ctx.segments_dispatched += 1
+        executed = -1
+        charged = False
         try:
-            for step in steps:
+            for executed, step in enumerate(steps):
                 step(ctx, frame)
             ctx.instr_count += instr_count
+            charged = True
             if ctx.instr_budget is not None and \
                     ctx.instr_count > ctx.instr_budget:
                 # One-shot: disarm so catch handlers can run.
@@ -1387,10 +1426,14 @@ def _execute(program: CompiledProgram, ctx, cf: CompiledFunction, args):
                 continue
             raise HiltiError(INTERNAL_ERROR, f"bad control {kind!r}")
         except HiltiError as error:
+            if not charged:
+                _charge_trap(ctx, steps, executed, error)
             seg = _dispatch_exception(handlers, error, ctx, frame)
             if seg is None:
                 raise
         except IndexError as exc:
+            if not charged:
+                _charge_trap(ctx, steps, executed, exc)
             error = HiltiError(_INDEX_ERROR, f"index out of range: {exc}")
             seg = _dispatch_exception(handlers, error, ctx, frame)
             if seg is None:
@@ -1411,10 +1454,13 @@ def _run_simple(program: CompiledProgram, ctx, cf: CompiledFunction, args):
     while True:
         steps, control, instr_count = segments[seg]
         ctx.segments_dispatched += 1
+        executed = -1
+        charged = False
         try:
-            for step in steps:
+            for executed, step in enumerate(steps):
                 step(ctx, frame)
             ctx.instr_count += instr_count
+            charged = True
             if ctx.instr_budget is not None and \
                     ctx.instr_count > ctx.instr_budget:
                 # One-shot: disarm so catch handlers can run.
@@ -1494,10 +1540,14 @@ def _run_simple(program: CompiledProgram, ctx, cf: CompiledFunction, args):
                 f"{cf.name}",
             )
         except HiltiError as error:
+            if not charged:
+                _charge_trap(ctx, steps, executed, error)
             seg = _dispatch_exception(handlers, error, ctx, frame)
             if seg is None:
                 raise
         except IndexError as exc:
+            if not charged:
+                _charge_trap(ctx, steps, executed, exc)
             error = HiltiError(_INDEX_ERROR, f"index out of range: {exc}")
             seg = _dispatch_exception(handlers, error, ctx, frame)
             if seg is None:

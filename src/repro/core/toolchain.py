@@ -17,7 +17,7 @@ from .instrument import instrument_module
 from .interp import Interpreter
 from .ir import Module
 from .linker import link
-from .optimize import OptStats, optimize_module
+from .optimize import DEFAULT_OPT_LEVEL, OptStats, optimize_module
 from .parser import parse_module
 from .typecheck import check_module
 
@@ -53,14 +53,19 @@ def hiltic(
     instrumentation (paper, section 3.3); per-function reports appear in
     each context's ``profilers`` registry under ``func/<name>``.
 
-    *opt_level* is the ``-O`` knob: ``0`` lowers the IR verbatim, ``1``
-    (the default) runs the ``repro.core.optimize`` pass pipeline between
-    typecheck and lowering and optimizes call/hook dispatch in codegen.
-    The legacy boolean *optimize* maps onto it when *opt_level* is not
+    *opt_level* is the ``-O`` knob (see ``optimize.OPT_LEVELS``): ``0``
+    lowers the IR verbatim, ``1`` (the default) runs the
+    ``repro.core.optimize`` pass pipeline between typecheck and lowering
+    and optimizes call/hook dispatch in codegen, ``2`` adds the
+    trace/inlining tier (branch-refined propagation, intra-module
+    inlining, flow-function specialization, superblock formation).  The
+    legacy boolean *optimize* maps onto it when *opt_level* is not
     given.  The interpreted tier always executes the *unoptimized* IR so
-    the two tiers stay a differential oracle for the optimizer.
+    the two tiers stay a differential oracle for the optimizer;
+    ``repro.tools.fuzz`` exercises that oracle at every level.
     """
-    level = opt_level if opt_level is not None else (1 if optimize else 0)
+    level = opt_level if opt_level is not None else \
+        (DEFAULT_OPT_LEVEL if optimize else 0)
     modules = _to_modules(sources)
     stats = OptStats()
     profile_stops = 0

@@ -19,6 +19,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..apps.bpf.app import ENGINES, BpfApp, BpfLaneSpec
+from ..core.optimize import OPT_LEVELS
 from ..host.cli import add_pipeline_args, add_service_args, run_host_app
 
 
@@ -34,8 +35,8 @@ def _parser() -> argparse.ArgumentParser:
                         help="execution tier: HILTI compiled (default), "
                              "HILTI interpreted, or the classic BPF "
                              "virtual machine")
-    parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1],
-                        default=None,
+    parser.add_argument("-O", "--opt-level", type=int,
+                        choices=list(OPT_LEVELS), default=None,
                         help="HILTI optimization level for the compiled "
                              "tier")
     add_pipeline_args(parser)

@@ -34,6 +34,7 @@ import sys
 from ..apps.bro.main import Bro
 from ..apps.bro.parallel import BroLaneSpec, ParallelBro
 from ..apps.bro.scripts import TRACK_SCRIPT
+from ..core.optimize import OPT_LEVELS
 from ..host.cli import (
     EXIT_INTERRUPTED,
     _install_interrupt_handler,
@@ -47,6 +48,27 @@ from ..runtime.faults import registered_sites
 from ..runtime.telemetry import Telemetry
 
 _BUNDLED = {"track.bro": TRACK_SCRIPT}
+
+
+def _make_spec(ns, scripts) -> BroLaneSpec:
+    """The pool-transport lane spec for ``--serve``.
+
+    Full lane-constructor config: pool-transport lanes build Bro
+    instances from this in worker processes, where only the picklable
+    spec travels (thread lanes use make_app) — so every compilation
+    knob, including ``-O``, must ride in the spec.
+    """
+    return BroLaneSpec({
+        "scripts": scripts,
+        "parsers": ns.parsers,
+        "scripts_engine": ("hilti" if ns.compile_scripts
+                           else "interp"),
+        "log_enabled": True,
+        "watchdog_budget": ns.watchdog,
+        "opt_level": ns.opt_level,
+        "metrics": ns.metrics,
+        "trace": False,
+    })
 
 
 def main(argv=None) -> int:
@@ -63,6 +85,10 @@ def main(argv=None) -> int:
     parser.add_argument("--compile-scripts", action="store_true",
                         help="compile scripts through HILTI "
                              "(the paper's compile_scripts=T)")
+    parser.add_argument("-O", "--opt-level", type=int,
+                        choices=list(OPT_LEVELS), default=None,
+                        help="HILTI optimization level for compiled "
+                             "scripts and pac parsers")
     parser.add_argument("--logdir", default="logs",
                         help="directory for the .log files")
     parser.add_argument("--stats", action="store_true",
@@ -153,6 +179,7 @@ def main(argv=None) -> int:
                 scripts=scripts,
                 parsers=ns.parsers,
                 scripts_engine="hilti" if ns.compile_scripts else "interp",
+                opt_level=ns.opt_level,
                 fault_injector=services.faults,
                 watchdog_budget=services.watchdog_budget,
                 telemetry=services.telemetry,
@@ -161,20 +188,7 @@ def main(argv=None) -> int:
             )
 
         def make_spec(ns):
-            # Full lane-constructor config: pool-transport lanes build
-            # Bro instances from this in worker processes, where only
-            # the picklable spec travels (thread lanes use make_app).
-            return BroLaneSpec({
-                "scripts": scripts,
-                "parsers": ns.parsers,
-                "scripts_engine": ("hilti" if ns.compile_scripts
-                                   else "interp"),
-                "log_enabled": True,
-                "watchdog_budget": ns.watchdog,
-                "opt_level": None,
-                "metrics": ns.metrics,
-                "trace": False,
-            })
+            return _make_spec(ns, scripts)
 
         return run_host_service(args, "bro", make_app, make_spec)
 
@@ -191,6 +205,7 @@ def main(argv=None) -> int:
             scripts=scripts,
             parsers=args.parsers,
             scripts_engine="hilti" if args.compile_scripts else "interp",
+            opt_level=args.opt_level,
             workers=args.workers,
             vthreads=args.vthreads,
             backend=args.backend,
@@ -211,6 +226,7 @@ def main(argv=None) -> int:
             scripts=scripts,
             parsers=args.parsers,
             scripts_engine="hilti" if args.compile_scripts else "interp",
+            opt_level=args.opt_level,
             fault_injector=parse_injections(args.inject, args.fault_seed,
                                             prog="bro"),
             watchdog_budget=args.watchdog,

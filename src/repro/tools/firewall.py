@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from ..apps.firewall.app import ENGINES, FirewallApp, FirewallLaneSpec
 from ..apps.firewall.rules import RuleSet
+from ..core.optimize import OPT_LEVELS
 from ..host.cli import add_pipeline_args, add_service_args, run_host_app
 
 
@@ -41,8 +42,8 @@ def _parser() -> argparse.ArgumentParser:
                         help="execution tier: HILTI compiled (default), "
                              "HILTI interpreted, or the pure-Python "
                              "reference")
-    parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1],
-                        default=None,
+    parser.add_argument("-O", "--opt-level", type=int,
+                        choices=list(OPT_LEVELS), default=None,
                         help="HILTI optimization level for the compiled "
                              "tier")
     add_pipeline_args(parser)

@@ -10,6 +10,7 @@ import argparse
 import sys
 
 from ..core.toolchain import hilti_build
+from .hiltic import add_opt_level_flags
 
 
 def main(argv=None) -> int:
@@ -18,11 +19,7 @@ def main(argv=None) -> int:
         description="Build a HILTI executable and run it",
     )
     parser.add_argument("sources", nargs="+", help="HILTI source files")
-    parser.add_argument("-O0", dest="opt_level", action="store_const",
-                        const=0)
-    parser.add_argument("-O1", dest="opt_level", action="store_const",
-                        const=1)
-    parser.set_defaults(opt_level=1)
+    add_opt_level_flags(parser)
     parser.add_argument("args", nargs="*", default=[],
                         help="arguments for Main::run")
     options = parser.parse_args(argv)

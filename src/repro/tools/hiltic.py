@@ -15,7 +15,26 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..core.optimize import DEFAULT_OPT_LEVEL, OPT_LEVELS
 from ..core.toolchain import hiltic
+
+_LEVEL_HELP = {
+    0: "disable HILTI-level optimizations",
+    1: "enable the IR pass pipeline",
+    2: "additionally inline, specialize, and form superblock traces",
+}
+
+
+def add_opt_level_flags(parser: argparse.ArgumentParser) -> None:
+    """Per-level ``-O<N>`` const flags, one per ``OPT_LEVELS`` entry."""
+    for level in OPT_LEVELS:
+        help_text = _LEVEL_HELP.get(level, f"optimization level {level}")
+        if level == DEFAULT_OPT_LEVEL:
+            help_text += " (default)"
+        parser.add_argument(f"-O{level}", dest="opt_level",
+                            action="store_const", const=level,
+                            help=help_text)
+    parser.set_defaults(opt_level=DEFAULT_OPT_LEVEL)
 
 
 def build_argparser() -> argparse.ArgumentParser:
@@ -28,13 +47,7 @@ def build_argparser() -> argparse.ArgumentParser:
                         help="entry function (default Main::run)")
     parser.add_argument("--tier", choices=["compiled", "interpreted"],
                         default="compiled")
-    parser.add_argument("-O0", dest="opt_level", action="store_const",
-                        const=0,
-                        help="disable HILTI-level optimizations")
-    parser.add_argument("-O1", dest="opt_level", action="store_const",
-                        const=1,
-                        help="enable the IR pass pipeline (default)")
-    parser.set_defaults(opt_level=1)
+    add_opt_level_flags(parser)
     parser.add_argument("--profile", action="store_true",
                         help="insert function-granularity profiling")
     parser.add_argument("--profile-snapshots", type=float, default=0,
@@ -69,6 +82,12 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print(f"hooks:     {len(linked.hooks)}")
         print(f"globals:   {len(linked.global_layout)}")
+        stats = getattr(program, "opt_stats", None)
+        fired = {key: value for key, value in stats.as_dict().items()
+                 if value} if stats else {}
+        if fired:
+            print("opt:       " + ", ".join(
+                f"{key}={value}" for key, value in sorted(fired.items())))
     if args.run:
         ctx = program.make_context()
         if args.profile_snapshots:

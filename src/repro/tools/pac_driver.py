@@ -19,6 +19,7 @@ import sys
 from typing import Dict, List, Optional
 
 from ..apps.binpac.app import PROTOCOLS, PacApp, PacLaneSpec
+from ..core.optimize import OPT_LEVELS
 from ..host.cli import add_pipeline_args, add_service_args, run_host_app
 
 _DEFAULT = "http,dns,ssh,tftp"
@@ -33,8 +34,8 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--protocols", default=_DEFAULT, metavar="LIST",
                         help="comma-separated protocols to parse "
                              f"(default {_DEFAULT})")
-    parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1],
-                        default=None,
+    parser.add_argument("-O", "--opt-level", type=int,
+                        choices=list(OPT_LEVELS), default=None,
                         help="HILTI optimization level for the "
                              "generated parsers")
     parser.add_argument("--flow-budget-ms", type=float, default=None,

@@ -88,6 +88,41 @@ class TestTraceGenAndBro:
                              "--logdir", logdir]) == 0
 
 
+class TestBroOptLevel:
+    def test_opt_level_cli_run(self, tmp_path, capsys):
+        pcap = str(tmp_path / "http.pcap")
+        tracegen_cli.main(["http", "--sessions", "4", "-o", pcap])
+        logdir = str(tmp_path / "logs")
+        assert bro_cli.main(["-r", pcap, "--compile-scripts", "-O", "2",
+                             "--logdir", logdir]) == 0
+        assert "processed" in capsys.readouterr().out
+
+    def test_opt_level_rides_in_serve_spec(self):
+        # The --serve pool transport rebuilds Bro instances from the
+        # picklable lane spec in worker processes; -O must travel in it
+        # (it used to be hardcoded to None).
+        class _Namespace:
+            parsers = "std"
+            compile_scripts = True
+            watchdog = 7
+            opt_level = 2
+            metrics = False
+
+        spec = bro_cli._make_spec(_Namespace(), scripts=None)
+        assert spec.config["opt_level"] == 2
+        assert spec.config["scripts_engine"] == "hilti"
+        assert spec.config["watchdog_budget"] == 7
+
+    def test_opt_level_flag_parses_from_registry(self, tmp_path):
+        # The argparse choices come straight from OPT_LEVELS, so an
+        # out-of-range level is rejected before any work happens.
+        from repro.core.optimize import OPT_LEVELS
+
+        pcap = str(tmp_path / "missing.pcap")
+        with pytest.raises(SystemExit):
+            bro_cli.main(["-r", pcap, "-O", str(max(OPT_LEVELS) + 1)])
+
+
 class TestBroPacParsers:
     def test_pac_parser_tier_cli(self, tmp_path, capsys):
         pcap = str(tmp_path / "dns.pcap")

@@ -3,15 +3,40 @@
 import pytest
 
 from repro.core import hiltic
+from repro.core import types as ht
+from repro.core.ir import (
+    Block,
+    Const,
+    Function,
+    Instruction,
+    LabelRef,
+    Module,
+    Var,
+)
 from repro.core.linker import link, strip_unreachable
-from repro.core.optimize import OptStats, optimize_module
+from repro.core.optimize import (
+    DEFAULT_OPT_LEVEL,
+    OPT_LEVELS,
+    OptStats,
+    merge_blocks,
+    optimize_module,
+)
 from repro.core.parser import parse_module
 
 
-def _optimized(source):
+def _optimized(source, level=DEFAULT_OPT_LEVEL):
     module = parse_module(source)
-    stats = optimize_module(module)
+    stats = optimize_module(module, level=level)
     return module, stats
+
+
+def _behavior(source, entry, cases):
+    """Every optimization level agrees with the unoptimized program."""
+    for args, expected in cases:
+        for level in OPT_LEVELS:
+            program = hiltic([source], opt_level=level)
+            got = program.call(program.make_context(), entry, list(args))
+            assert got == expected, f"-O{level} {entry}{args!r}"
 
 
 class TestConstantFolding:
@@ -390,6 +415,249 @@ int<64> f() {
         assert set(report) >= {
             "folded", "propagated", "branches_simplified", "dead_blocks",
             "dead_stores", "cse_hits", "jumps_threaded", "blocks_merged",
-            "locals_pruned",
+            "locals_pruned", "inlined", "specialized", "superblocks",
         }
         assert stats.total() == sum(report.values())
+
+
+class TestOptLevels:
+    def test_level_registry(self):
+        assert OPT_LEVELS == (0, 1, 2)
+        assert DEFAULT_OPT_LEVEL in OPT_LEVELS
+
+    def test_level_zero_is_identity(self):
+        source = """module Main
+int<64> f() {
+    local int<64> x
+    x = int.add 20 22
+    return x
+}
+"""
+        module, stats = _optimized(source, level=0)
+        assert stats.total() == 0
+        instr = module.functions["Main::f"].blocks[0].instructions[0]
+        assert instr.mnemonic == "int.add"
+
+
+class TestInlining:
+    LEAF = """module Main
+int<64> h(int<64> p) {
+    local int<64> r
+    r = int.mul p 3
+    return r
+}
+
+int<64> f(int<64> a) {
+    local int<64> x
+    x = call Main::h(a)
+    x = int.add x 1
+    return x
+}
+"""
+
+    def test_small_leaf_inlined_at_o2(self):
+        module, stats = _optimized(self.LEAF, level=2)
+        assert stats.inlined >= 1
+        mnemonics = [
+            i.mnemonic
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+        ]
+        assert "call" not in mnemonics
+
+    def test_not_inlined_at_o1(self):
+        module, stats = _optimized(self.LEAF, level=1)
+        assert stats.inlined == 0
+
+    def test_inlined_behavior_preserved(self):
+        _behavior(self.LEAF, "Main::f", [((5,), 16), ((-2,), -5)])
+
+    def test_big_leaf_left_alone(self):
+        body = "\n".join(f"    r = int.add r {n}" for n in range(20))
+        source = f"""module Main
+int<64> h(int<64> p) {{
+    local int<64> r
+    r = int.mul p 2
+{body}
+    return r
+}}
+
+int<64> f(int<64> a) {{
+    local int<64> x
+    x = call Main::h(a)
+    return x
+}}
+"""
+        module, stats = _optimized(source, level=2)
+        assert stats.inlined == 0
+        _behavior(source, "Main::f",
+                  [((3,), 6 + sum(range(20)))])
+
+
+class TestSpecialization:
+    BRANCHY = """module Main
+int<64> cfg(int<64> mode, int<64> v) {
+    local bool c
+    c = int.eq mode 1
+    if.else c fast slow
+fast:
+    local int<64> r
+    r = int.mul v 2
+    return r
+slow:
+    local int<64> s
+    s = int.mul v 10
+    return s
+}
+
+int<64> f(int<64> a) {
+    local int<64> x
+    x = call Main::cfg(1, a)
+    return x
+}
+"""
+
+    def test_constant_args_specialize_at_o2(self):
+        module, stats = _optimized(self.BRANCHY, level=2)
+        assert stats.specialized >= 1
+        clones = [name for name in module.functions if "%spec" in name]
+        assert clones
+        # The clone's seeded mode folds the branch: its slow leg dies.
+        clone = module.functions[clones[0]]
+        mnemonics = [
+            i.mnemonic for b in clone.blocks for i in b.instructions
+        ]
+        assert "if.else" not in mnemonics
+
+    def test_not_specialized_at_o1(self):
+        module, stats = _optimized(self.BRANCHY, level=1)
+        assert stats.specialized == 0
+        assert not [n for n in module.functions if "%spec" in n]
+
+    def test_specialized_behavior_preserved(self):
+        _behavior(self.BRANCHY, "Main::f", [((7,), 14), ((0,), 0)])
+
+
+class TestSuperblocks:
+    DIAMOND = """module Main
+int<64> f(bool c) {
+    local int<64> x
+    if.else c a b
+a:
+    x = int.add 0 1
+    jump out
+b:
+    x = int.add 0 2
+    jump out
+out:
+    return x
+}
+"""
+
+    def test_shared_join_tail_duplicated(self):
+        module, stats = _optimized(self.DIAMOND, level=2)
+        assert stats.superblocks >= 1
+        # With the join copied into both arms, propagation folds each
+        # copy's return to its arm's constant.
+        values = [
+            i.operands[0].value
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+            if i.mnemonic == "return.result" and isinstance(
+                i.operands[0], Const)
+        ]
+        assert set(values) >= {1, 2}
+
+    def test_superblock_behavior_preserved(self):
+        _behavior(self.DIAMOND, "Main::f", [((True,), 1), ((False,), 2)])
+
+
+class TestEdgeRefinedPropagation:
+    RETEST = """module Main
+int<64> f(bool c) {
+    if.else c a b
+a:
+    if.else c x y
+x:
+    return 1
+y:
+    return 2
+b:
+    return 3
+}
+"""
+
+    def test_retested_condition_folds_at_o2(self):
+        # Reaching block `a` pins c = True, so the second if.else on the
+        # very same condition collapses and its false leg dies.
+        module, stats = _optimized(self.RETEST, level=2)
+        assert stats.branches_simplified >= 1
+        labels = [b.label for b in module.functions["Main::f"].blocks]
+        assert "y" not in labels
+
+    def test_no_edge_refinement_at_o1(self):
+        module, stats = _optimized(self.RETEST, level=1)
+        assert stats.branches_simplified == 0
+
+    def test_refined_behavior_preserved(self):
+        _behavior(self.RETEST, "Main::f", [((True,), 1), ((False,), 3)])
+
+    def test_unique_switch_case_pins_scrutinee(self):
+        source = """module Main
+int<64> f(int<64> v) {
+    switch v d (3, s)
+s:
+    local int<64> y
+    y = int.add v 1
+    return y
+d:
+    return 0
+}
+"""
+        module, stats = _optimized(source, level=2)
+        returns = [
+            i.operands[0]
+            for b in module.functions["Main::f"].blocks
+            for i in b.instructions
+            if i.mnemonic == "return.result"
+        ]
+        assert any(isinstance(op, Const) and op.value == 4
+                   for op in returns)
+        _behavior(source, "Main::f", [((3,), 4), ((8,), 0)])
+
+
+class TestMergeBlocksFallthroughRepair:
+    """Fuzzer regression: merging a fallthrough-off-the-end block.
+
+    When the merged-in block was the lexically last one and relied on
+    falling off the end of the function, the repair used to emit a
+    ``return.void`` even in value-returning functions — an ill-typed
+    terminator.  The repair is type-aware now: non-void functions get an
+    explicit ``return.result`` of the implicit None.
+    """
+
+    @staticmethod
+    def _merge_shape(result_type):
+        function = Function("Main::f", [], result_type)
+        entry = function.add_block("entry")
+        entry.append(Instruction("jump", (LabelRef("tail"),)))
+        tail = function.add_block("tail")
+        tail.append(Instruction(
+            "assign", (Const(ht.INT64, 1),), Var("x")))
+        # No terminator: `tail` falls off the end of the function.
+        merge_blocks(function, OptStats())
+        return function
+
+    def test_nonvoid_repair_returns_result(self):
+        function = self._merge_shape(ht.INT64)
+        assert len(function.blocks) == 1
+        last = function.blocks[0].instructions[-1]
+        assert last.mnemonic == "return.result"
+        assert isinstance(last.operands[0], Const)
+        assert last.operands[0].value is None
+
+    def test_void_repair_returns_void(self):
+        function = self._merge_shape(ht.VOID)
+        assert len(function.blocks) == 1
+        last = function.blocks[0].instructions[-1]
+        assert last.mnemonic == "return.void"
