@@ -399,13 +399,19 @@ def _usable_cpus():
 
 
 def _log_fingerprint(pipeline):
-    """One hash over every log stream's deterministically sorted lines."""
+    """One hash over every log stream's deterministically sorted lines
+    plus the flow-record ledger (docs/FLOWS.md) — so the identity gates
+    cover the records.jsonl stream too."""
     digest = hashlib.sha256()
     for name in _SCALING_STREAMS:
         digest.update(name.encode())
         for line in sorted(pipeline.log_lines(name)):
             digest.update(line.encode())
             digest.update(b"\n")
+    digest.update(b"flow_records")
+    for line in pipeline.flow_record_lines():
+        digest.update(line.encode())
+        digest.update(b"\n")
     return "sha:" + digest.hexdigest()[:16]
 
 
@@ -582,7 +588,8 @@ def _host_apps():
 def run_apps(args):
     """The four-exemplar harness: every host application over one
     fixed-seed mixed trace, sequential and flow-parallel, with the
-    byte-identity gate on each app's merged result stream."""
+    byte-identity gate on each app's merged result stream and its
+    flow-record ledger (docs/FLOWS.md)."""
     from repro.apps.bro import Bro, ParallelBro
     from repro.host import Pipeline
     from repro.host.cli import fingerprint
@@ -605,54 +612,64 @@ def run_apps(args):
     for name, (make_app, make_parallel) in _host_apps().items():
         def run_sequential(app):
             Pipeline(app).run(trace)
-            return fingerprint(app.result_lines()), len(app.result_lines())
+            return (fingerprint(app.result_lines()),
+                    fingerprint(app.flow_record_lines()),
+                    len(app.result_lines()))
 
-        seq_s, (seq_fp, seq_lines) = _best_of(
+        seq_s, (seq_fp, seq_flow_fp, seq_lines) = _best_of(
             run_sequential, rounds, setup=make_app)
 
         def run_parallel(pipe):
             pipe.run(trace)
-            return fingerprint(pipe.result_lines())
+            return (fingerprint(pipe.result_lines()),
+                    fingerprint(pipe.flow_record_lines()))
 
-        par_s, par_fp = _best_of(
+        par_s, (par_fp, par_flow_fp) = _best_of(
             run_parallel, rounds, setup=lambda: make_parallel(workers))
+        identical = par_fp == seq_fp and par_flow_fp == seq_flow_fp
         report["apps"][name] = {
             "sequential_seconds": round(seq_s, 6),
             "parallel_seconds": round(par_s, 6),
             "speedup": round(seq_s / par_s, 3) if par_s else None,
             "lines": seq_lines,
             "fingerprint": seq_fp,
-            "identical": par_fp == seq_fp,
+            "flow_fingerprint": seq_flow_fp,
+            "identical": identical,
         }
         print(f"[bench_regression]   {name}: seq={seq_s * 1e3:.2f}ms "
               f"par={par_s * 1e3:.2f}ms lines={seq_lines} "
-              f"identical={par_fp == seq_fp}", flush=True)
+              f"identical={identical}", flush=True)
 
     # Bro keeps its own pipeline classes but the same oracle shape.
     def run_bro():
         bro = Bro(print_stream=io.StringIO())
         bro.run(trace)
-        return _log_fingerprint(bro), bro.stats["events"]
+        return (_log_fingerprint(bro),
+                fingerprint(bro.flow_record_lines()),
+                bro.stats["events"])
 
-    seq_s, (seq_fp, seq_events) = _best_of(run_bro, rounds)
+    seq_s, (seq_fp, seq_flow_fp, seq_events) = _best_of(run_bro, rounds)
 
     def run_bro_parallel():
         parallel = ParallelBro(workers=workers, backend="process")
         parallel.run(trace)
-        return _log_fingerprint(parallel)
+        return (_log_fingerprint(parallel),
+                fingerprint(parallel.flow_record_lines()))
 
-    par_s, par_fp = _best_of(run_bro_parallel, rounds)
+    par_s, (par_fp, par_flow_fp) = _best_of(run_bro_parallel, rounds)
+    identical = par_fp == seq_fp and par_flow_fp == seq_flow_fp
     report["apps"]["bro"] = {
         "sequential_seconds": round(seq_s, 6),
         "parallel_seconds": round(par_s, 6),
         "speedup": round(seq_s / par_s, 3) if par_s else None,
         "events": seq_events,
         "fingerprint": seq_fp,
-        "identical": par_fp == seq_fp,
+        "flow_fingerprint": seq_flow_fp,
+        "identical": identical,
     }
     print(f"[bench_regression]   bro: seq={seq_s * 1e3:.2f}ms "
           f"par={par_s * 1e3:.2f}ms events={seq_events} "
-          f"identical={par_fp == seq_fp}", flush=True)
+          f"identical={identical}", flush=True)
 
     out_path = Path(args.output or str(REPO / "BENCH_apps.json"))
     out_path.write_text(json.dumps(report, indent=2) + "\n")

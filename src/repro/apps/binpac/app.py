@@ -256,6 +256,8 @@ class PacApp(HostApp):
             memory_budget_bytes=self.services.memory_budget_bytes,
             flow_budget_ns=flow_budget_ns,
             on_slow_flow=self._on_slow_flow,
+            uid_map=uid_map,
+            uid_format=format_flow_uid,
         )
 
     # -- flow plumbing -----------------------------------------------------
@@ -377,6 +379,9 @@ class PacApp(HostApp):
 
     def result_lines(self) -> List[str]:
         return sorted(self._lines)
+
+    def flow_record_lines(self) -> List[str]:
+        return self.demux.flow_record_lines()
 
 
 class PacLaneSpec(LaneSpec):

@@ -21,7 +21,10 @@ import time as _time
 from typing import Dict, List, Optional, Tuple
 
 from ...host.app import HostApp, PipelineServices
+from ...host.flowtable import FlowTable
 from ...host.parallel import LaneSpec
+from ...net.flowrecord import format_record_uid
+from ...net.flows import frame_flow_info
 from ...runtime.exceptions import HiltiError, PROCESSING_TIMEOUT
 from ...runtime.faults import SITE_ANALYZER_DISPATCH
 from ...runtime.telemetry import Telemetry
@@ -40,12 +43,17 @@ class BpfApp(HostApp):
 
     def __init__(self, filter_text: str, engine: str = "compiled",
                  opt_level: Optional[int] = None,
-                 services: Optional[PipelineServices] = None):
+                 services: Optional[PipelineServices] = None,
+                 uid_map: Optional[Dict] = None):
         if engine not in ENGINES:
             raise ValueError(f"unknown BPF engine {engine!r}")
         super().__init__(services)
         self.filter_text = filter_text
         self.engine = engine
+        # The flow ledger: every TCP/UDP frame is accounted regardless
+        # of the filter verdict, so the record stream describes the
+        # traffic the filter saw, not just what it passed.
+        self.flows = FlowTable(uid_map=uid_map, uid_format=format_record_uid)
         if engine == "vm":
             self._program = compile_to_vm(parse_filter(filter_text))
             self._filter = None
@@ -73,6 +81,12 @@ class BpfApp(HostApp):
             ctx.disarm_watchdog()
 
     def packet(self, timestamp, frame: bytes) -> None:
+        info = frame_flow_info(frame)
+        if info is not None:
+            flow, payload_len, tcp_flags = info
+            self.flows.account(flow, timestamp.seconds,
+                               payload_len=payload_len,
+                               tcp_flags=tcp_flags)
         health = self.services.health
         begin = _time.perf_counter_ns()
         try:
@@ -93,6 +107,9 @@ class BpfApp(HostApp):
             self._lines.append(f"{timestamp.seconds:.6f} {digest}")
         else:
             self.rejected += 1
+
+    def finish(self) -> None:
+        self.flows.finish()
 
     # -- reporting hooks ---------------------------------------------------
 
@@ -120,12 +137,16 @@ class BpfApp(HostApp):
     def result_lines(self) -> List[str]:
         return sorted(self._lines)
 
+    def flow_record_lines(self) -> List[str]:
+        return self.flows.record_lines()
+
 
 class BpfLaneSpec(LaneSpec):
     """Parallel lanes for the filter: stateless per packet, so any flow
     placement yields the identical accepted-line set."""
 
     app_name = "bpf"
+    record_uid_format = staticmethod(format_record_uid)
 
     def __init__(self, config: Optional[Dict] = None):
         self.config = config
@@ -141,4 +162,5 @@ class BpfLaneSpec(LaneSpec):
                 telemetry=Telemetry(metrics=config["metrics"],
                                     trace=config["trace"]),
             ),
+            uid_map=uid_map,
         )

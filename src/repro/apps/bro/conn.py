@@ -21,6 +21,7 @@ import time as _time
 from typing import Callable, Dict, Optional, Tuple
 
 from ...core.values import Port, Time
+from ...net.flows import FiveTuple
 from ...net.packet import (
     PROTO_TCP,
     PROTO_UDP,
@@ -30,7 +31,7 @@ from ...net.packet import (
     UDPDatagram,
     parse_ethernet,
 )
-from ...host.eviction import SessionLRU
+from ...host.flowtable import FlowTable
 from ...net.reassembly import ConnectionReassembler
 from ...runtime.exceptions import HiltiError, PROCESSING_TIMEOUT
 from ...runtime.faults import (
@@ -46,37 +47,35 @@ __all__ = ["ConnectionTracker"]
 
 
 class _TcpConnection:
-    __slots__ = ("key", "conn_val", "reassembler", "analyzer",
-                 "established", "orig_is_first", "orig_bytes", "resp_bytes",
-                 "orig_pkts", "resp_pkts", "last_time", "span")
+    """Per-direction packet/byte accounting lives in the shared
+    ledger's :class:`~repro.host.flowtable.FlowEntry` (``entry``); the
+    tracker keeps only what is Bro's — conn_val, reassembler, analyzer,
+    lifecycle state."""
 
-    def __init__(self, key, conn_val, reassembler, analyzer):
+    __slots__ = ("key", "conn_val", "reassembler", "analyzer",
+                 "established", "orig_is_first", "entry", "last_time",
+                 "span")
+
+    def __init__(self, key, conn_val, reassembler, analyzer, entry):
         self.key = key
         self.conn_val = conn_val
         self.reassembler = reassembler
         self.analyzer = analyzer
         self.established = False
-        self.orig_bytes = 0
-        self.resp_bytes = 0
-        self.orig_pkts = 0
-        self.resp_pkts = 0
+        self.entry = entry
         self.last_time = None
         self.span = NULL_SPAN
 
 
 class _UdpFlow:
     __slots__ = ("key", "conn_val", "analyzer", "orig_is_first",
-                 "orig_bytes", "resp_bytes", "orig_pkts", "resp_pkts",
-                 "last_time", "span")
+                 "entry", "last_time", "span")
 
-    def __init__(self, key, conn_val, analyzer):
+    def __init__(self, key, conn_val, analyzer, entry):
         self.key = key
         self.conn_val = conn_val
         self.analyzer = analyzer
-        self.orig_bytes = 0
-        self.resp_bytes = 0
-        self.orig_pkts = 0
-        self.resp_pkts = 0
+        self.entry = entry
         self.last_time = None
         self.span = NULL_SPAN
 
@@ -98,22 +97,24 @@ class ConnectionTracker:
         self.core = core
         self.analyzer_factory = analyzer_factory
         # Session-state bounds (docs/SERVICE.md): entry cap and
-        # inactivity TTL over network time, enforced by LRU eviction;
-        # with neither armed the tracker is byte-identical to the
-        # unbounded original.
+        # inactivity TTL over network time, enforced by the shared
+        # ledger's LRU eviction loop; with neither armed the tracker is
+        # byte-identical to the unbounded original.  The ledger also
+        # owns the per-direction packet/byte accounting and seals every
+        # closed connection into a flow record.
         self.max_sessions = max_sessions
         self.session_ttl = session_ttl
         self._evicting = max_sessions is not None or session_ttl is not None
-        self._lru = SessionLRU()
-        self.sessions_evicted = 0
-        self.sessions_expired = 0
+        self.table = FlowTable(max_sessions=max_sessions,
+                               session_ttl=session_ttl,
+                               on_evict=self._on_evict_conn)
         # Pre-assigned connection uids, keyed by the canonical flow key.
         # The flow-parallel driver computes these in global packet-arrival
         # order before fan-out, so every lane labels its connections
         # exactly as the sequential pipeline would (docs/PARALLELISM.md).
         self._uid_map = uid_map
-        self._tcp: Dict[Tuple, _TcpConnection] = {}
-        self._udp: Dict[Tuple, _UdpFlow] = {}
+        self._tcp: Dict[FiveTuple, _TcpConnection] = {}
+        self._udp: Dict[FiveTuple, _UdpFlow] = {}
         # TIME_WAIT: keys of recently torn-down TCP connections.  The
         # teardown's trailing bare ACK arrives after both FINs completed
         # the reassembler, so the connection entry is already gone; it
@@ -138,8 +139,20 @@ class ConnectionTracker:
 
     # -- telemetry ---------------------------------------------------------------
 
+    @property
+    def sessions_evicted(self) -> int:
+        return self.table.sessions_evicted
+
+    @property
+    def sessions_expired(self) -> int:
+        return self.table.sessions_expired
+
     def open_flows(self) -> int:
         return len(self._tcp) + len(self._udp)
+
+    def flow_record_lines(self) -> list:
+        """The ledger's sorted flow-record export stream."""
+        return self.table.record_lines()
 
     def reassembly_stats(self) -> Dict[str, int]:
         """Closed-connection totals plus the live connections' state;
@@ -192,60 +205,37 @@ class ConnectionTracker:
         else:
             self.ignored += 1
         if self._evicting:
-            self._run_eviction(timestamp.seconds)
+            self.table.run_eviction(timestamp.seconds)
 
     def finish(self) -> None:
-        """End of trace: close every connection still open."""
+        """End of trace: close every connection still open, then seal
+        the ledger's remaining entries as finished."""
         for connection in list(self._tcp.values()):
             self._close_tcp(connection)
         self._tcp.clear()
         for flow in list(self._udp.values()):
-            self._finish_analyzer(flow)
-            self._finalize_conn_val(flow)
-            self.flows_closed += 1
-            flow.span.event("close")
-            flow.span.finish()
-            self.core.queue_event(
-                "connection_state_remove", [flow.conn_val]
-            )
+            self._close_udp(flow)
         self._udp.clear()
+        self.table.finish()
 
     # -- eviction ----------------------------------------------------------------
 
-    def _evict_entry(self, key: Tuple, reason: str) -> None:
-        """Close one session by key with full final-flush semantics:
-        the analyzer finishes, the conn_val is finalized, and
-        ``connection_state_remove`` fires — an evicted connection still
-        gets its conn.log line."""
-        if key[2] == PROTO_TCP:
+    def _on_evict_conn(self, key: FiveTuple, reason: str) -> bool:
+        """The ledger's owner callback: close one TTL/cap victim with
+        full final-flush semantics — the analyzer finishes, the
+        conn_val is finalized, and ``connection_state_remove`` fires,
+        so an evicted connection still gets its conn.log line."""
+        if key.protocol == PROTO_TCP:
             connection = self._tcp.pop(key, None)
             if connection is None:
-                return
+                return False
             self._close_tcp(connection)
-        else:
-            flow = self._udp.pop(key, None)
-            if flow is None:
-                return
-            self._finish_analyzer(flow)
-            self._finalize_conn_val(flow)
-            self.flows_closed += 1
-            flow.span.event("close")
-            flow.span.finish()
-            self.core.queue_event(
-                "connection_state_remove", [flow.conn_val]
-            )
-        if reason == "expired":
-            self.sessions_expired += 1
-        else:
-            self.sessions_evicted += 1
-
-    def _run_eviction(self, now: float) -> None:
-        if self.session_ttl is not None:
-            for key in self._lru.expired(now - self.session_ttl):
-                self._evict_entry(key, "expired")
-        if self.max_sessions is not None:
-            for key in self._lru.overflow(self.max_sessions):
-                self._evict_entry(key, "evicted")
+            return True
+        flow = self._udp.pop(key, None)
+        if flow is None:
+            return False
+        self._close_udp(flow)
+        return True
 
     def flow_snapshot(self, limit: int = 256) -> list:
         """The open connections as plain dicts (service ``/flows``)."""
@@ -315,17 +305,10 @@ class ConnectionTracker:
 
     # -- TCP ------------------------------------------------------------------
 
-    @staticmethod
-    def _tcp_key(ip, segment) -> Tuple[Tuple, bool]:
-        """Canonical key plus is_originator for this packet's sender."""
-        this_end = (ip.src.value, segment.src_port)
-        that_end = (ip.dst.value, segment.dst_port)
-        if this_end <= that_end:
-            return (this_end, that_end, PROTO_TCP), True
-        return (that_end, this_end, PROTO_TCP), False
-
     def _tcp_packet(self, timestamp: Time, ip, segment: TCPSegment) -> None:
-        key, sender_is_first = self._tcp_key(ip, segment)
+        flow = FiveTuple(ip.src, ip.dst, segment.src_port,
+                         segment.dst_port, PROTO_TCP)
+        key, sender_is_first = flow.canonical_with_origin()
         connection = self._tcp.get(key)
         if connection is None and key in self._timewait:
             if not (segment.flags & SYN) and not segment.payload:
@@ -351,6 +334,8 @@ class ConnectionTracker:
                 key, conn_val,
                 ConnectionReassembler(),
                 analyzer,
+                self.table.open(flow, timestamp.seconds,
+                                uid=conn_val.get_or("uid")),
             )
             # The canonical key loses direction; remember which canonical
             # side is the originator.
@@ -366,13 +351,9 @@ class ConnectionTracker:
         is_orig = sender_is_first == connection.orig_is_first
         connection.last_time = timestamp
         if self._evicting:
-            self._lru.touch(key, timestamp.seconds)
-        if is_orig:
-            connection.orig_pkts += 1
-            connection.orig_bytes += len(segment.payload)
-        else:
-            connection.resp_pkts += 1
-            connection.resp_bytes += len(segment.payload)
+            self.table.touch(key, timestamp.seconds)
+        connection.entry.add(timestamp.seconds, len(segment.payload),
+                             segment.flags, is_orig)
         pkt_span = NULL_SPAN
         if self.tracer.enabled:
             pkt_span = connection.span.child(
@@ -399,7 +380,7 @@ class ConnectionTracker:
         if reassembler.closed:
             self._close_tcp(connection)
             self._tcp.pop(key, None)
-            self._lru.remove(key)
+            self.table.close(key, "finished")
             self._timewait[key] = None
             if len(self._timewait) > self.TIMEWAIT_CAPACITY:
                 # Expire the oldest half (dicts keep insertion order).
@@ -420,33 +401,42 @@ class ConnectionTracker:
             "connection_state_remove", [connection.conn_val]
         )
 
+    def _close_udp(self, flow: "_UdpFlow") -> None:
+        """Close one UDP flow with full final-flush semantics (the
+        end-of-trace and eviction paths share it)."""
+        self._finish_analyzer(flow)
+        self._finalize_conn_val(flow)
+        self.flows_closed += 1
+        flow.span.event("close")
+        flow.span.finish()
+        self.core.queue_event(
+            "connection_state_remove", [flow.conn_val]
+        )
+
     @staticmethod
     def _finalize_conn_val(entry) -> None:
-        """Attach connection totals before connection_state_remove."""
+        """Attach connection totals (read from the shared ledger's
+        per-direction accounting) before connection_state_remove."""
         conn_val = entry.conn_val
         start = conn_val.get_or("start_time")
         duration = None
         if entry.last_time is not None and start is not None:
             duration = entry.last_time - start
         conn_val.set("duration", duration)
-        conn_val.set("orig_bytes", entry.orig_bytes)
-        conn_val.set("resp_bytes", entry.resp_bytes)
-        conn_val.set("orig_pkts", entry.orig_pkts)
-        conn_val.set("resp_pkts", entry.resp_pkts)
+        ledger = entry.entry
+        conn_val.set("orig_bytes", ledger.orig_bytes)
+        conn_val.set("resp_bytes", ledger.resp_bytes)
+        conn_val.set("orig_pkts", ledger.orig_pkts)
+        conn_val.set("resp_pkts", ledger.resp_pkts)
         established = getattr(entry, "established", True)
         conn_val.set("state", "SF" if established else "OTH")
 
     # -- UDP -----------------------------------------------------------------
 
     def _udp_packet(self, timestamp: Time, ip, datagram: UDPDatagram) -> None:
-        this_end = (ip.src.value, datagram.src_port)
-        that_end = (ip.dst.value, datagram.dst_port)
-        if this_end <= that_end:
-            key = (this_end, that_end, PROTO_UDP)
-            sender_is_first = True
-        else:
-            key = (that_end, this_end, PROTO_UDP)
-            sender_is_first = False
+        five = FiveTuple(ip.src, ip.dst, datagram.src_port,
+                         datagram.dst_port, PROTO_UDP)
+        key, sender_is_first = five.canonical_with_origin()
         flow = self._udp.get(key)
         if flow is None:
             conn_val = self.core.make_connection_val(
@@ -460,7 +450,9 @@ class ConnectionTracker:
             )
             if analyzer is not None:
                 self.core.health.breaker.record_flow()
-            flow = _UdpFlow(key, conn_val, analyzer)
+            flow = _UdpFlow(key, conn_val, analyzer,
+                            self.table.open(five, timestamp.seconds,
+                                            uid=conn_val.get_or("uid")))
             flow.orig_is_first = sender_is_first
             self._udp[key] = flow
             self._note_flow_opened("udp")
@@ -473,13 +465,9 @@ class ConnectionTracker:
         is_orig = sender_is_first == flow.orig_is_first
         flow.last_time = timestamp
         if self._evicting:
-            self._lru.touch(key, timestamp.seconds)
-        if is_orig:
-            flow.orig_pkts += 1
-            flow.orig_bytes += len(datagram.payload)
-        else:
-            flow.resp_pkts += 1
-            flow.resp_bytes += len(datagram.payload)
+            self.table.touch(key, timestamp.seconds)
+        flow.entry.add(timestamp.seconds, len(datagram.payload), 0,
+                       is_orig)
         if datagram.payload:
             pkt_span = NULL_SPAN
             if self.tracer.enabled:

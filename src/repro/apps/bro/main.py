@@ -223,6 +223,10 @@ class Bro(HostApp):
             lines.extend(self.core.logs.lines(name))
         return sorted(lines)
 
+    def flow_record_lines(self) -> List[str]:
+        """The connection ledger's sealed flow records, sorted."""
+        return self.tracker.flow_record_lines()
+
     def session_stats(self) -> Dict[str, int]:
         return {
             "open": self.tracker.open_flows(),
@@ -480,6 +484,12 @@ class Bro(HostApp):
         # empty means "no HILTI execution this run").
         written.append(write_prof_log(
             _os.path.join(logdir, "prof.log"), self._engine_contexts()))
+
+        from ...net.flowrecord import write_flowrecords_jsonl
+
+        written.append(write_flowrecords_jsonl(
+            _os.path.join(logdir, "flow_records.jsonl"), self.name,
+            self.flow_record_lines()))
 
         if self.telemetry.tracer.enabled:
             written.append(write_flows_jsonl(

@@ -84,6 +84,7 @@ def _lane_result(bro: Bro) -> Dict:
         "logs": logs,
         "headers": headers,
         "writes": writes,
+        "flow_records": bro.flow_record_lines(),
         "stats": dict(bro.stats),
         "events_queued": bro.core.events_queued,
         "events_dispatched": bro.core.events_dispatched,
@@ -214,6 +215,12 @@ class ParallelBro(ParallelPipeline):
                 self._writes[name] = self._writes.get(name, 0) + count
         for lines in self._logs.values():
             lines.sort()
+
+        records: List[str] = []
+        for result in results:
+            records.extend(self.spec.flow_record_lines_of(result))
+        records.sort()
+        self._flow_records = records
 
         def stat_sum(key):
             return sum(r["stats"][key] for r in results)
@@ -370,6 +377,7 @@ class ParallelBro(ParallelPipeline):
         from ...host.pipeline import (write_metrics_jsonl,
                                       write_parallel_prof_log,
                                       write_stats_log)
+        from ...net.flowrecord import write_flowrecords_jsonl
 
         _os.makedirs(logdir, exist_ok=True)
         written: List[str] = []
@@ -395,6 +403,10 @@ class ParallelBro(ParallelPipeline):
         }
         written.append(write_stats_log(
             _os.path.join(logdir, "stats.log"), self.stats, sections))
+
+        written.append(write_flowrecords_jsonl(
+            _os.path.join(logdir, "flow_records.jsonl"),
+            self.spec.app_name, self._flow_records))
 
         if any(result.get("prof") for result in self._results):
             written.append(write_parallel_prof_log(

@@ -22,8 +22,10 @@ import time as _time
 from typing import Dict, List, Optional, Tuple
 
 from ...host.app import HostApp, PipelineServices
+from ...host.flowtable import FlowTable
 from ...host.parallel import LaneSpec
-from ...net.flows import _fnv1a, flow_of_frame
+from ...net.flowrecord import format_record_uid
+from ...net.flows import _fnv1a, flow_of_frame, frame_flow_info
 from ...net.packet import PacketError, parse_ethernet
 from ...runtime.exceptions import HiltiError, PROCESSING_TIMEOUT
 from ...runtime.faults import SITE_ANALYZER_DISPATCH, SITE_PACKET_PARSE
@@ -64,11 +66,17 @@ class FirewallApp(HostApp):
 
     def __init__(self, ruleset: RuleSet, engine: str = "compiled",
                  opt_level: Optional[int] = None,
-                 services: Optional[PipelineServices] = None):
+                 services: Optional[PipelineServices] = None,
+                 uid_map: Optional[Dict] = None):
         if engine not in ENGINES:
             raise ValueError(f"unknown firewall engine {engine!r}")
         super().__init__(services)
         self.engine = engine
+        # The flow ledger.  Fed via frame_flow_info — independent of the
+        # fault-injected decision parse, so the record stream is the
+        # same whether or not faults fire (and identical across the
+        # parallel backends, whose lanes inject faults independently).
+        self.flows = FlowTable(uid_map=uid_map, uid_format=format_record_uid)
         if engine == "reference":
             self.firewall = ReferenceFirewall(ruleset)
         else:
@@ -95,6 +103,12 @@ class FirewallApp(HostApp):
                 ctx.disarm_watchdog()
 
     def packet(self, timestamp, frame: bytes) -> None:
+        info = frame_flow_info(frame)
+        if info is not None:
+            flow, payload_len, tcp_flags = info
+            self.flows.account(flow, timestamp.seconds,
+                               payload_len=payload_len,
+                               tcp_flags=tcp_flags)
         health = self.services.health
         begin = _time.perf_counter_ns()
         try:
@@ -136,6 +150,9 @@ class FirewallApp(HostApp):
         self._lines.append(
             f"{timestamp.seconds:.6f} {ip.src} {ip.dst} {action}")
 
+    def finish(self) -> None:
+        self.flows.finish()
+
     # -- reporting hooks ---------------------------------------------------
 
     def cpu_ns(self) -> Dict[str, int]:
@@ -166,11 +183,17 @@ class FirewallApp(HostApp):
     def result_lines(self) -> List[str]:
         return sorted(self._lines)
 
+    def flow_record_lines(self) -> List[str]:
+        return self.flows.record_lines()
+
 
 class FirewallLaneSpec(LaneSpec):
-    """Parallel lanes sharded by canonical host pair (see module doc)."""
+    """Parallel lanes sharded by canonical host pair (see module doc).
+    A 5-tuple is a subset of its host pair, so every flow's packets —
+    and hence its ledger record — stay wholly on one lane."""
 
     app_name = "firewall"
+    record_uid_format = staticmethod(format_record_uid)
 
     def __init__(self, config: Optional[Dict] = None):
         self.config = config
@@ -196,4 +219,5 @@ class FirewallLaneSpec(LaneSpec):
                 telemetry=Telemetry(metrics=config["metrics"],
                                     trace=config["trace"]),
             ),
+            uid_map=uid_map,
         )

@@ -21,6 +21,7 @@ Layering (docs/ARCHITECTURE.md)::
 from .app import HostApp, PipelineServices, export_health
 from .demux import FlowDemux
 from .eviction import SessionLRU
+from .flowtable import FlowEntry, FlowTable
 from .parallel import (
     LaneSpec,
     ParallelPipeline,
@@ -36,6 +37,8 @@ from .service import BoundedQueue, HostService, RollingWindows, ServiceConfig
 __all__ = [
     "BoundedQueue",
     "FlowDemux",
+    "FlowEntry",
+    "FlowTable",
     "HostApp",
     "HostService",
     "LaneSpec",

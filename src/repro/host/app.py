@@ -176,6 +176,14 @@ class HostApp:
         compiled vs interpreted) compare."""
         return []
 
+    def flow_record_lines(self) -> List[str]:
+        """The run's sealed flow records as sorted JSON lines (schema
+        ``repro-flowrecords/1``) — every app's ledger exports through
+        here, and the parallel merge keeps the stream byte-identical
+        to the sequential run's.  Apps without a flow ledger report an
+        empty stream."""
+        return []
+
     def session_stats(self) -> Dict[str, int]:
         """Session-table occupancy and eviction counters.  Stateful
         apps override; the default (no per-session state, or state

@@ -324,6 +324,7 @@ def run_host_app(
             _restore_interrupt_handler(previous)
         lines = pipe.result_lines()
         writers = pipe
+        app_name = pipe.spec.app_name
     else:
         services = PipelineServices(
             faults=parse_injections(args.inject, args.fault_seed, prog),
@@ -357,12 +358,25 @@ def run_host_app(
             lines = sorted(app.result_lines())
         except Exception:
             lines = []
+        app_name = app.name
 
     _os.makedirs(args.logdir, exist_ok=True)
     results_path = _os.path.join(args.logdir, results_name)
     with open(results_path, "w") as stream:
         for line in lines:
             stream.write(line + "\n")
+
+    # The flow ledger always ships: every run leaves a schema-valid
+    # flow_records.jsonl next to results.log (empty stream for apps
+    # without per-flow state).
+    from ..net.flowrecord import write_flowrecords_jsonl
+    try:
+        record_lines = writers.flow_record_lines()
+    except Exception:
+        record_lines = []
+    records_path = write_flowrecords_jsonl(
+        _os.path.join(args.logdir, "flow_records.jsonl"),
+        app_name, record_lines)
 
     if interrupted:
         print(f"{prog}: interrupted — partial run drained "
@@ -375,6 +389,8 @@ def run_host_app(
               f"({stats['vthreads']} vthreads)")
     print(f"  {results_path}: {len(lines)} lines")
     print(f"  fingerprint: sha256:{fingerprint(lines)}")
+    print(f"  {records_path}: {len(record_lines)} flow records")
+    print(f"  flow fingerprint: sha256:{fingerprint(record_lines)}")
     if args.stats and not interrupted:
         for key in ("parsing_ns", "script_ns", "glue_ns", "other_ns"):
             print(f"  {key[:-3]:>8}: {stats[key] / 1e6:10.2f} ms")

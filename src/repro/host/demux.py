@@ -32,10 +32,16 @@ from __future__ import annotations
 import time as _time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..net.flows import FiveTuple, flow_of_frame
-from ..net.packet import PROTO_TCP, PacketError, parse_ethernet
+from ..net.flows import FiveTuple
+from ..net.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPSegment,
+    UDPDatagram,
+    parse_ethernet,
+)
 from ..net.reassembly import ConnectionReassembler, StreamReassembler
-from .eviction import SessionLRU
+from .flowtable import FlowTable
 
 __all__ = ["FlowDemux"]
 
@@ -74,19 +80,29 @@ class FlowDemux:
                  session_ttl: Optional[float] = None,
                  memory_budget_bytes: Optional[int] = None,
                  flow_budget_ns: Optional[int] = None,
-                 on_slow_flow: Optional[Callable] = None):
+                 on_slow_flow: Optional[Callable] = None,
+                 uid_map: Optional[Dict] = None,
+                 uid_format: Optional[Callable[[int], str]] = None):
         self._factory = factory
         self._max_pending = max_pending_bytes
-        self._flows: Dict[Tuple, _Flow] = {}
+        self._flows: Dict[FiveTuple, _Flow] = {}
         self.max_sessions = max_sessions
         self.session_ttl = session_ttl
         self.memory_budget_bytes = memory_budget_bytes
         self.flow_budget_ns = flow_budget_ns
         self._on_slow_flow = on_slow_flow
-        # Recency order over *every* table entry (ignored-flow and
-        # torn-down tombstones included: they absorb trailing packets
-        # like TIME_WAIT, and eviction is what finally reaps them).
-        self._lru = SessionLRU()
+        # The shared ledger owns keying, uid assignment, bidirectional
+        # accounting, recency, and the TTL/cap eviction loop; the demux
+        # keeps what is its own — handlers, reassemblers, the memory
+        # budget over pending reassembly bytes — and flushes evicted
+        # flows through ``_on_evict_flow``.  Recency covers *every*
+        # table entry (ignored-flow and torn-down tombstones included:
+        # they absorb trailing packets like TIME_WAIT, and eviction is
+        # what finally reaps them).
+        self.table = FlowTable(uid_map=uid_map, uid_format=uid_format,
+                               max_sessions=max_sessions,
+                               session_ttl=session_ttl,
+                               on_evict=self._on_evict_flow)
         self._evicting = (max_sessions is not None
                           or session_ttl is not None
                           or memory_budget_bytes is not None)
@@ -96,8 +112,6 @@ class FlowDemux:
         self.flows_closed = 0
         self.flows_ignored = 0
         self.packets_ignored = 0
-        self.sessions_evicted = 0
-        self.sessions_expired = 0
         self.flows_quarantined_slow = 0
         self._reassembly = {
             "delivered_bytes": 0,
@@ -106,6 +120,16 @@ class FlowDemux:
             "dropped_bytes": 0,
         }
 
+    # Eviction counters live in the shared ledger now; the historical
+    # attribute surface stays.
+    @property
+    def sessions_evicted(self) -> int:
+        return self.table.sessions_evicted
+
+    @property
+    def sessions_expired(self) -> int:
+        return self.table.sessions_expired
+
     def open_flows(self) -> int:
         return sum(1 for flow in self._flows.values() if not flow.closed)
 
@@ -113,11 +137,25 @@ class FlowDemux:
 
     def feed(self, frame: bytes, now: Optional[float] = None) -> None:
         """Route one Ethernet frame to its flow's handler."""
-        flow = flow_of_frame(frame)
-        if flow is None:
+        try:
+            ip, transport = parse_ethernet(frame)
+        except Exception:
             self.packets_ignored += 1
             return
-        key = self._key(flow)
+        if isinstance(transport, TCPSegment):
+            flow = FiveTuple(ip.src, ip.dst, transport.src_port,
+                             transport.dst_port, PROTO_TCP)
+            tcp_flags = transport.flags
+        elif isinstance(transport, UDPDatagram):
+            flow = FiveTuple(ip.src, ip.dst, transport.src_port,
+                             transport.dst_port, PROTO_UDP)
+            tcp_flags = 0
+        else:
+            self.packets_ignored += 1
+            return
+        if now is not None:
+            self._clock = now
+        key = flow.canonical()
         state = self._flows.get(key)
         if state is None:
             handler = self._factory(flow)
@@ -136,46 +174,38 @@ class FlowDemux:
                         max_pending_bytes=self._max_pending,
                     )
                 self._flows[key] = state
+        # Ledger accounting covers every flow — tombstones included, so
+        # records and serials are a pure function of trace content.
+        self.table.account(
+            flow, self._clock if self._clock is not None else 0.0,
+            payload_len=len(transport.payload), tcp_flags=tcp_flags,
+            touch=False)
         if self._evicting:
-            if now is not None:
-                self._clock = now
             self._fed += 1
             if self._clock is not None:
-                self._lru.touch(key, self._clock)
+                self.table.touch(key, self._clock)
             self._run_eviction()
         if state.handler is None or state.closed:
             return
         is_orig = (flow.src.value, flow.src_port) == state.originator
-        try:
-            __, transport = parse_ethernet(frame)
-        except PacketError:
-            self.packets_ignored += 1
-            return
         budget = self.flow_budget_ns
         begin = _time.perf_counter_ns() if budget is not None else 0
         if state.reassembler is not None:
             state.reassembler.feed_segment(is_orig, transport)
-        elif transport is not None and transport.payload:
+        elif transport.payload:
             state.handler.datagram(is_orig, transport.payload)
         if budget is not None and not state.closed \
                 and _time.perf_counter_ns() - begin > budget:
             self._quarantine_slow(state)
 
     def finish(self) -> None:
-        """End of trace: close every flow still open."""
+        """End of trace: close every flow still open and seal the
+        ledger's remaining entries as finished."""
         for state in list(self._flows.values()):
             self._close(state)
+        self.table.finish()
 
     # -- internals ---------------------------------------------------------
-
-    @staticmethod
-    def _key(flow: FiveTuple) -> Tuple:
-        canonical = flow.canonical()
-        return (
-            (canonical.src.value, canonical.src_port),
-            (canonical.dst.value, canonical.dst_port),
-            canonical.protocol,
-        )
 
     def _close(self, state: _Flow) -> None:
         if state.closed:
@@ -209,25 +239,20 @@ class FlowDemux:
 
     # -- eviction ----------------------------------------------------------
 
-    def _evict_key(self, key: Tuple, counter: Optional[str]) -> None:
+    def _on_evict_flow(self, key: FiveTuple, reason: str) -> bool:
+        """The ledger's owner callback: final-flush a TTL/cap victim.
+        Returns whether the eviction counts (tombstones do not)."""
         state = self._flows.pop(key, None)
-        if state is None:
-            return
-        if not state.closed:
-            self._close(state)
-            if counter == "expired":
-                self.sessions_expired += 1
-            elif counter == "evicted":
-                self.sessions_evicted += 1
+        if state is None or state.closed:
+            return False
+        self._close(state)
+        return True
 
     def _run_eviction(self) -> None:
-        if self.session_ttl is not None and self._clock is not None:
-            deadline = self._clock - self.session_ttl
-            for key in self._lru.expired(deadline):
-                self._evict_key(key, "expired")
-        if self.max_sessions is not None:
-            for key in self._lru.overflow(self.max_sessions):
-                self._evict_key(key, "evicted")
+        """TTL and capacity run through the shared ledger; the memory
+        budget over pending reassembly bytes is demux-specific and
+        drives the ledger's eviction primitives directly."""
+        self.table.run_eviction(self._clock)
         budget = self.memory_budget_bytes
         if budget is not None and self._fed % _BUDGET_CHECK_INTERVAL == 0:
             pending = sum(
@@ -235,14 +260,15 @@ class FlowDemux:
                 for state in self._flows.values()
                 if state.reassembler is not None and not state.closed
             )
-            while pending > budget and len(self._lru):
-                key = self._lru.oldest()
-                self._lru.remove(key)
+            while pending > budget:
+                key = self.table.oldest()
+                if key is None:
+                    break
                 state = self._flows.get(key)
                 if state is not None and state.reassembler is not None \
                         and not state.closed:
                     pending -= state.reassembler.stats()["pending_bytes"]
-                self._evict_key(key, "evicted")
+                self.table.evict(key, "evicted")
 
     # -- telemetry ---------------------------------------------------------
 
@@ -253,14 +279,23 @@ class FlowDemux:
             if state.closed:
                 continue
             out.append({
-                "key": [list(key[0]), list(key[1]), key[2]],
+                "key": [[key.src.value, key.src_port],
+                        [key.dst.value, key.dst_port], key.protocol],
                 "uid": getattr(state.handler, "uid", None),
                 "protocol": getattr(state.handler, "protocol", None),
-                "last_active": self._lru.last_active(key),
+                "last_active": self.table.last_active(key),
             })
             if len(out) >= limit:
                 break
         return out
+
+    def flow_records(self) -> List:
+        """The sealed :class:`~repro.net.flowrecord.FlowRecord` list."""
+        return self.table.records()
+
+    def flow_record_lines(self) -> List[str]:
+        """The sorted, deterministic flow-record export stream."""
+        return self.table.record_lines()
 
     def stats(self) -> dict:
         """Occupancy and reassembly accounting (telemetry export)."""

@@ -72,16 +72,12 @@ def default_backend() -> str:
     return "pool" if usable_cpus() > 1 else "process"
 
 
-def flow_key(flow: FiveTuple) -> Tuple:
-    """The canonical per-connection key, exactly as Bro's
-    ``ConnectionTracker`` builds it — the dispatcher and the lanes must
-    agree byte-for-byte so pre-assigned uids resolve."""
-    canonical = flow.canonical()
-    return (
-        (canonical.src.value, canonical.src_port),
-        (canonical.dst.value, canonical.dst_port),
-        canonical.protocol,
-    )
+def flow_key(flow: FiveTuple) -> FiveTuple:
+    """The canonical per-connection key — the direction-independent
+    :class:`FiveTuple` itself (value-hashed, picklable).  The dispatcher
+    and the lanes' flow tables build exactly the same object, so
+    pre-assigned uids resolve across process boundaries."""
+    return flow.canonical()
 
 
 class LaneSpec:
@@ -93,6 +89,12 @@ class LaneSpec:
 
     #: ``None`` (no uid pre-assignment) or a callable ``serial -> str``.
     uid_format = None
+
+    #: Flow-record uid pre-assignment for apps whose sharding key is
+    #: *not* the 5-tuple (or that assign no app uids at all): ``None``
+    #: when ``uid_format`` already covers flow keys, else a callable
+    #: ``serial -> str`` applied per first-sighted flow key.
+    record_uid_format = None
 
     # -- flow placement (the Bro defaults; apps may reshard) --------------
 
@@ -121,6 +123,7 @@ class LaneSpec:
         tracer = app.telemetry.tracer
         return {
             "lines": app.result_lines(),
+            "flow_records": app.flow_record_lines(),
             "stats": dict(app.stats),
             "metrics": (app.telemetry.metrics.collect()
                         if app.telemetry.enabled else None),
@@ -137,6 +140,11 @@ class LaneSpec:
         generic harvesters — the service's pool lanes — need no
         app-specific knowledge."""
         return list(result["lines"])
+
+    def flow_record_lines_of(self, result: Dict) -> List[str]:
+        """The lane's sealed flow-record lines inside one
+        :meth:`lane_result` payload."""
+        return list(result.get("flow_records") or [])
 
 
 def dispatch_plan(
@@ -157,6 +165,7 @@ def dispatch_plan(
     uid_map: Dict[Tuple, str] = {}
     vids: Dict[Tuple, int] = {}
     serial = 0
+    record_serial = 0
     for timestamp, frame in packets:
         flow = spec.flow_of(frame)
         if flow is None:
@@ -170,6 +179,15 @@ def dispatch_plan(
             serial += 1
             if spec.uid_format is not None:
                 uid_map[key] = spec.uid_format(serial)
+        if spec.record_uid_format is not None:
+            # Flow-record uids ride the same map under the flow's own
+            # canonical 5-tuple key — disjoint from ``key_of`` keys when
+            # the app shards by something else (the firewall's host
+            # pairs), identical when it shards by 5-tuple.
+            rkey = flow_key(flow)
+            if rkey not in uid_map:
+                record_serial += 1
+                uid_map[rkey] = spec.record_uid_format(record_serial)
         jobs.append((vid, timestamp.nanos, frame))
     return jobs, uid_map
 
@@ -314,6 +332,7 @@ class ParallelPipeline:
         self.jobs_lost = 0
         self._results: List[Dict] = []
         self._lines: List[str] = []
+        self._flow_records: List[str] = []
         self._trace_roots: List[Dict] = []
         self._pcap_stats: Dict[str, int] = {}
 
@@ -556,6 +575,15 @@ class ParallelPipeline:
         lines.sort()
         self._lines = lines
 
+        # Flow records merge exactly like result lines: each sealed flow
+        # is wholly one lane's, so the sorted union is byte-identical to
+        # the sequential ledger's sorted stream.
+        records: List[str] = []
+        for result in results:
+            records.extend(self.spec.flow_record_lines_of(result))
+        records.sort()
+        self._flow_records = records
+
         def stat_sum(key):
             return sum(int(r["stats"].get(key, 0)) for r in results)
 
@@ -628,6 +656,11 @@ class ParallelPipeline:
         """The deterministically merged result lines."""
         return list(self._lines)
 
+    def flow_record_lines(self) -> List[str]:
+        """The deterministically merged flow-record lines (sorted,
+        byte-identical to the sequential ledger's)."""
+        return list(self._flow_records)
+
     def cpu_breakdown(self, config: Optional[Dict] = None) -> Dict:
         from ..runtime.telemetry import cpu_breakdown_report
 
@@ -651,6 +684,7 @@ class ParallelPipeline:
         measurements, not shards of one."""
         import json as _json
 
+        from ..net.flowrecord import write_flowrecords_jsonl
         from .pipeline import (write_metrics_jsonl,
                                write_parallel_prof_log, write_stats_log)
 
@@ -676,6 +710,9 @@ class ParallelPipeline:
         }
         written.append(write_stats_log(
             _os.path.join(logdir, "stats.log"), self.stats, sections))
+        written.append(write_flowrecords_jsonl(
+            _os.path.join(logdir, "flow_records.jsonl"),
+            self.spec.app_name, self._flow_records))
         if any(result.get("prof") for result in self._results):
             written.append(write_parallel_prof_log(
                 _os.path.join(logdir, "prof.log"), self._results))

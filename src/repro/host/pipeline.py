@@ -25,6 +25,7 @@ from .app import HostApp
 
 __all__ = [
     "Pipeline",
+    "write_flowrecords_jsonl",
     "write_flows_jsonl",
     "write_metrics_jsonl",
     "write_parallel_prof_log",
@@ -83,6 +84,11 @@ def write_flows_jsonl(path: str, tracer) -> str:
     return path
 
 
+# Re-exported next to the other emitters so telemetry writers import
+# the whole family from one place.
+from ..net.flowrecord import write_flowrecords_jsonl  # noqa: E402
+
+
 # --------------------------------------------------------------------------
 # The sequential pipeline
 # --------------------------------------------------------------------------
@@ -99,6 +105,12 @@ class Pipeline:
     def run(self, packets) -> Dict:
         """Process an iterable of ``(Time, frame)``; returns app stats."""
         return self.app.run(packets)
+
+    def result_lines(self) -> List[str]:
+        return sorted(self.app.result_lines())
+
+    def flow_record_lines(self) -> List[str]:
+        return self.app.flow_record_lines()
 
     def _pcap_records(self, reader):
         """Iterate trace records through the ``pcap.record`` injection
@@ -187,6 +199,9 @@ class Pipeline:
                 sections["engine"] = engines
         written.append(write_stats_log(
             _os.path.join(logdir, "stats.log"), app.stats, sections))
+        written.append(write_flowrecords_jsonl(
+            _os.path.join(logdir, "flow_records.jsonl"), app.name,
+            app.flow_record_lines()))
         contexts = list(app.engine_contexts())
         if contexts:
             written.append(write_prof_log(

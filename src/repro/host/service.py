@@ -387,6 +387,7 @@ class _Lane:
         self.last_error: Optional[str] = None
         self.pending_restart_at: Optional[float] = None
         self.archived_lines: List[str] = []
+        self.archived_records: List[str] = []
         self.end_stats: Optional[Dict] = None
         # Pool-transport state: the ring replaces the object queue, so
         # shed and in-flight accounting live on the lane itself.
@@ -564,6 +565,10 @@ class HostService:
             return
         try:
             lane.archived_lines.extend(lane.app.result_lines())
+        except Exception:
+            pass
+        try:
+            lane.archived_records.extend(lane.app.flow_record_lines())
         except Exception:
             pass
         lane.app = None
@@ -934,6 +939,35 @@ class HostService:
                 break
         return {"flows": flows, "count": len(flows)}
 
+    def flow_record_lines(self) -> List[str]:
+        """Every sealed flow record so far: archived from replaced
+        (crashed/drained) app instances plus the live apps' ledgers."""
+        records: List[str] = []
+        for lane in self.lanes:
+            records.extend(lane.archived_records)
+            app = lane.app
+            if app is None:
+                continue
+            try:
+                records.extend(app.flow_record_lines())
+            except Exception:
+                continue
+        records.sort()
+        return records
+
+    def flow_records_report(self, limit: int = 1024) -> Dict[str, object]:
+        """The ``/flows/records`` body: sealed flow records as parsed
+        JSON documents (schema ``repro-flowrecords/1``)."""
+        from ..net.flowrecord import FLOWRECORDS_SCHEMA
+
+        lines = self.flow_record_lines()
+        return {
+            "schema": FLOWRECORDS_SCHEMA,
+            "app": self.config.app_name,
+            "count": len(lines),
+            "records": [_json.loads(line) for line in lines[:limit]],
+        }
+
     def metrics_jsonl(self) -> str:
         import io
 
@@ -1000,6 +1034,9 @@ class HostService:
                         self._send_json(200, service.stats_report())
                     elif path == "/flows":
                         self._send_json(200, service.flows_report())
+                    elif path == "/flows/records":
+                        self._send_json(200,
+                                        service.flow_records_report())
                     elif path == "/metrics":
                         # Content negotiation: JSON-lines natively,
                         # the Prometheus text format for scrapers
@@ -1198,6 +1235,7 @@ class HostService:
                 if not lane.crashed:
                     lane.end_stats = lane.app.on_end()
                 lines.extend(lane.app.result_lines())
+                lane.archived_records.extend(lane.app.flow_record_lines())
             except Exception as error:
                 lane.last_error = f"{type(error).__name__}: {error}"
                 continue
@@ -1249,6 +1287,8 @@ class HostService:
                 lane.processed = lane.pool_base + pool.pushed(index)
                 lane.end_stats = result.get("stats")
                 lines.extend(self.spec.result_lines_of(result))
+                lane.archived_records.extend(
+                    self.spec.flow_record_lines_of(result))
                 if result.get("metrics"):
                     self._merge_lane_series(index, result["metrics"])
             except PoolError as error:
@@ -1265,6 +1305,7 @@ class HostService:
         return lines, hung
 
     def _write_artifacts(self, lines: List[str]) -> List[str]:
+        from ..net.flowrecord import write_flowrecords_jsonl
         from .pipeline import write_metrics_jsonl
 
         config = self.config
@@ -1276,6 +1317,14 @@ class HostService:
             for line in lines:
                 stream.write(line + "\n")
         written.append(results_path)
+
+        # The drain already harvested every live app's ledger into the
+        # lanes' archives; persist the sorted union.
+        records = sorted(
+            line for lane in self.lanes for line in lane.archived_records)
+        written.append(write_flowrecords_jsonl(
+            _os.path.join(config.logdir, "flow_records.jsonl"),
+            config.app_name, records))
 
         with self._lock:
             written.append(write_metrics_jsonl(

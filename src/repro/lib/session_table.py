@@ -20,8 +20,9 @@ component is equally usable from pure HILTI code — see
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Optional
+
+from ..host.flowtable import FlowTable
 
 SESSION_TABLE = """module SessionTable
 
@@ -127,15 +128,19 @@ class SessionTable:
         self.mutations = 0
         # Host-side LRU entry cap (docs/SERVICE.md): the HILTI timer
         # manager owns timeout expiry; the hard occupancy bound lives in
-        # the wrapper, evicting least-recently-touched keys through the
-        # same on_evict final-flush callback.
+        # the wrapper — the shared FlowTable in bare-key mode (recency +
+        # capacity loop only, no ledger entries), evicting
+        # least-recently-touched keys through the same on_evict
+        # final-flush callback.
         self.max_entries = max_entries
         self._on_evict_cb = on_evict
-        self._recency: "OrderedDict" = OrderedDict()
+        self._tick = 0
+        self._recency = FlowTable(max_sessions=max_entries,
+                                  on_evict=self._capacity_evicted)
 
         def _evicted(ctx, key):
             self.evictions += 1
-            self._recency.pop(key, None)
+            self._recency.close(key)
             if on_evict is not None:
                 on_evict(key)
 
@@ -203,17 +208,21 @@ void advance(time now) {
             [Interval(timeout_seconds), access_refreshes],
         )
 
+    def _capacity_evicted(self, victim, reason: str) -> bool:
+        """FlowTable's capacity loop found a victim: drop it from the
+        HILTI map and run the owner's final flush."""
+        self.program.call(self.ctx, "Driver::drop", [victim])
+        self.capacity_evictions += 1
+        if self._on_evict_cb is not None:
+            self._on_evict_cb(victim)
+        return True
+
     def _touch(self, key) -> None:
         if self.max_entries is None:
             return
-        self._recency[key] = None
-        self._recency.move_to_end(key)
-        while len(self._recency) > self.max_entries:
-            victim, __ = self._recency.popitem(last=False)
-            self.program.call(self.ctx, "Driver::drop", [victim])
-            self.capacity_evictions += 1
-            if self._on_evict_cb is not None:
-                self._on_evict_cb(victim)
+        self._tick += 1
+        self._recency.touch(key, self._tick)
+        self._recency.run_eviction(None)
 
     def get_or_create(self, key):
         self.lookups += 1
@@ -232,7 +241,7 @@ void advance(time now) {
 
     def drop(self, key) -> None:
         self.mutations += 1
-        self._recency.pop(key, None)
+        self._recency.close(key)
         self.program.call(self.ctx, "Driver::drop", [key])
 
     def __len__(self) -> int:

@@ -1,0 +1,158 @@
+"""Per-flow feature vectors over the shared flow ledger.
+
+The analysis stage downstream tooling (anomaly detection, traffic
+classification, capacity models) consumes: each sealed
+:class:`~repro.net.flowrecord.FlowRecord` maps to a fixed 19-feature
+numeric vector, and record streams aggregate into fixed-width
+time-window summaries.  Everything here is a pure function of the
+record stream, so feature files inherit the ledger's cross-backend
+determinism (docs/FLOWS.md).
+
+``repro.tools.flowexport`` drives this module end-to-end:
+pcap -> ``records.jsonl`` -> ``features.csv`` / ``windows.csv``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .flowrecord import FlowRecord
+from .packet import ACK, FIN, PROTO_TCP, PSH, RST, SYN
+
+__all__ = [
+    "FEATURE_NAMES",
+    "aggregate_windows",
+    "flow_features",
+    "window_rows",
+    "write_features_csv",
+    "write_windows_csv",
+]
+
+#: The per-flow feature vector, in column order.
+FEATURE_NAMES = (
+    "duration",
+    "total_pkts",
+    "total_bytes",
+    "orig_pkts",
+    "orig_bytes",
+    "resp_pkts",
+    "resp_bytes",
+    "pkts_per_second",
+    "bytes_per_second",
+    "bytes_per_packet",
+    "orig_ratio_pkts",
+    "orig_ratio_bytes",
+    "fin_flag",
+    "syn_flag",
+    "rst_flag",
+    "psh_flag",
+    "ack_flag",
+    "is_tcp",
+    "closed_normally",
+)
+
+
+def flow_features(record: FlowRecord) -> List[float]:
+    """One sealed flow as its 19-feature vector (FEATURE_NAMES order).
+
+    Rates divide by the flow's duration and fall back to 0 for
+    single-packet (zero-duration) flows; ratios are the originator's
+    share of the bidirectional totals.
+    """
+    duration = max(0.0, record.last_ts - record.first_ts)
+    total_pkts = record.orig_pkts + record.resp_pkts
+    total_bytes = record.orig_bytes + record.resp_bytes
+    flags = record.tcp_flags
+    return [
+        round(duration, 6),
+        float(total_pkts),
+        float(total_bytes),
+        float(record.orig_pkts),
+        float(record.orig_bytes),
+        float(record.resp_pkts),
+        float(record.resp_bytes),
+        round(total_pkts / duration, 6) if duration > 0 else 0.0,
+        round(total_bytes / duration, 6) if duration > 0 else 0.0,
+        round(total_bytes / total_pkts, 6) if total_pkts else 0.0,
+        round(record.orig_pkts / total_pkts, 6) if total_pkts else 0.0,
+        (round(record.orig_bytes / total_bytes, 6)
+         if total_bytes else 0.0),
+        float(bool(flags & FIN)),
+        float(bool(flags & SYN)),
+        float(bool(flags & RST)),
+        float(bool(flags & PSH)),
+        float(bool(flags & ACK)),
+        float(record.protocol == PROTO_TCP),
+        float(record.close_reason == "finished"),
+    ]
+
+
+def aggregate_windows(records: Iterable[FlowRecord],
+                      window_seconds: float) -> List[Dict[str, object]]:
+    """Fixed-width time windows over a record stream.
+
+    A flow lands in the window containing its ``first_ts``.  Each
+    window reports its flow count plus the element-wise mean of its
+    members' feature vectors — one row per non-empty window, ordered
+    by window start.
+    """
+    if window_seconds <= 0:
+        raise ValueError(
+            f"window_seconds must be > 0, got {window_seconds!r}")
+    buckets: Dict[int, List[List[float]]] = {}
+    for record in records:
+        index = int(record.first_ts // window_seconds)
+        buckets.setdefault(index, []).append(flow_features(record))
+    out: List[Dict[str, object]] = []
+    for index in sorted(buckets):
+        vectors = buckets[index]
+        count = len(vectors)
+        means = [round(sum(column) / count, 6)
+                 for column in zip(*vectors)]
+        out.append({
+            "window_start": round(index * window_seconds, 6),
+            "flows": count,
+            "features": means,
+        })
+    return out
+
+
+def _format_cell(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6f}".rstrip("0").rstrip(".")
+
+
+def write_features_csv(path: str, records: Iterable[FlowRecord]) -> str:
+    """One CSV row per sealed flow: ``uid`` plus the 19 features."""
+    with open(path, "w") as stream:
+        stream.write("uid," + ",".join(FEATURE_NAMES) + "\n")
+        for record in records:
+            uid = record.uid if record.uid is not None else ""
+            cells = [_format_cell(value)
+                     for value in flow_features(record)]
+            stream.write(uid + "," + ",".join(cells) + "\n")
+    return path
+
+
+def window_rows(records: Iterable[FlowRecord],
+                window_seconds: float) -> List[List[str]]:
+    """The windows CSV body (no header), pre-formatted."""
+    rows: List[List[str]] = []
+    for window in aggregate_windows(records, window_seconds):
+        rows.append([_format_cell(window["window_start"]),
+                     str(window["flows"])]
+                    + [_format_cell(value)
+                       for value in window["features"]])
+    return rows
+
+
+def write_windows_csv(path: str, records: Iterable[FlowRecord],
+                      window_seconds: float) -> str:
+    """One CSV row per non-empty time window (mean feature vectors)."""
+    with open(path, "w") as stream:
+        stream.write("window_start,flows,"
+                     + ",".join(FEATURE_NAMES) + "\n")
+        for row in window_rows(records, window_seconds):
+            stream.write(",".join(row) + "\n")
+    return path

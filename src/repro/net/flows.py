@@ -22,8 +22,8 @@ from .packet import (
     parse_ethernet,
 )
 
-__all__ = ["FiveTuple", "flow_hash", "flow_of_frame", "vthread_of",
-           "placement"]
+__all__ = ["FiveTuple", "flow_hash", "flow_of_frame", "frame_flow_info",
+           "vthread_of", "placement"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -62,6 +62,19 @@ class FiveTuple:
         if this_end <= that_end:
             return self
         return self.reversed()
+
+    def canonical_with_origin(self) -> Tuple["FiveTuple", bool]:
+        """``(canonical form, src_is_first)`` in one comparison.
+
+        The boolean says whether this tuple's ``src`` end is the
+        canonical tuple's first endpoint — what flow tables need to
+        orient per-direction counters without re-deriving the order.
+        """
+        this_end = (self.src.value, self.src_port)
+        that_end = (self.dst.value, self.dst_port)
+        if this_end <= that_end:
+            return self, True
+        return self.reversed(), False
 
     @property
     def key(self) -> Tuple:
@@ -133,4 +146,26 @@ def flow_of_frame(frame: bytes) -> Optional[FiveTuple]:
     if isinstance(transport, UDPDatagram):
         return FiveTuple(ip.src, ip.dst, transport.src_port,
                          transport.dst_port, PROTO_UDP)
+    return None
+
+
+def frame_flow_info(frame: bytes) -> Optional[Tuple[FiveTuple, int, int]]:
+    """``(flow, payload_len, tcp_flags)`` of a frame, or None.
+
+    The ledger-feed companion of :func:`flow_of_frame`: what a flow
+    table needs to account one packet — transport payload length and,
+    for TCP, the segment's flag byte (0 for UDP).
+    """
+    try:
+        ip, transport = parse_ethernet(frame)
+    except Exception:
+        return None
+    if isinstance(transport, TCPSegment):
+        flow = FiveTuple(ip.src, ip.dst, transport.src_port,
+                         transport.dst_port, PROTO_TCP)
+        return flow, len(transport.payload), transport.flags
+    if isinstance(transport, UDPDatagram):
+        flow = FiveTuple(ip.src, ip.dst, transport.src_port,
+                         transport.dst_port, PROTO_UDP)
+        return flow, len(transport.payload), 0
     return None

@@ -844,6 +844,13 @@ def _main(argv=None) -> int:
     timeseries.add_argument(
         "--min-samples", type=int, default=0, metavar="N",
         help="additionally require at least N sample lines")
+    flowrecords = sub.add_parser(
+        "validate-flowrecords",
+        help="check a flow-records JSON-lines file (repro-flowrecords/1)")
+    flowrecords.add_argument("path")
+    flowrecords.add_argument(
+        "--min-records", type=int, default=0, metavar="N",
+        help="additionally require at least N record lines")
     args = parser.parse_args(argv)
 
     with open(args.path) as stream:
@@ -858,6 +865,17 @@ def _main(argv=None) -> int:
                 for name in _COMPONENTS:
                     if doc["components"][name]["share"] <= 0:
                         errors.append(f"{name}.share is zero")
+        elif args.command == "validate-flowrecords":
+            # Imported lazily: repro.net sits above the runtime layer.
+            from ..net.flowrecord import validate_flowrecord_lines
+
+            lines = stream.readlines()
+            errors = validate_flowrecord_lines(lines)
+            records = sum(1 for line in lines[1:] if line.strip())
+            if not errors and records < args.min_records:
+                errors.append(
+                    f"only {records} records, expected at least "
+                    f"{args.min_records}")
         elif args.command == "validate-timeseries":
             lines = stream.readlines()
             errors = validate_timeseries_lines(lines)

@@ -35,6 +35,7 @@ from ..apps.bro.main import Bro
 from ..apps.bro.parallel import BroLaneSpec, ParallelBro
 from ..apps.bro.scripts import TRACK_SCRIPT
 from ..core.optimize import OPT_LEVELS
+from ..net.flowrecord import write_flowrecords_jsonl
 from ..host.cli import (
     EXIT_INTERRUPTED,
     _install_interrupt_handler,
@@ -265,6 +266,12 @@ def main(argv=None) -> int:
                   f"{stats.get('events', 0)} events")
             for name, count in sorted(written.items()):
                 print(f"  {args.logdir}/{name}.log: {count} entries")
+            try:
+                write_flowrecords_jsonl(
+                    os.path.join(args.logdir, "flow_records.jsonl"),
+                    "bro", bro.flow_record_lines())
+            except Exception:
+                pass
             if args.metrics or args.trace_flows:
                 try:
                     for path in bro.write_telemetry(args.logdir):
@@ -280,6 +287,11 @@ def main(argv=None) -> int:
               f"({stats['vthreads']} vthreads)")
     for name, count in sorted(written.items()):
         print(f"  {args.logdir}/{name}.log: {count} entries")
+    record_lines = bro.flow_record_lines()
+    records_path = write_flowrecords_jsonl(
+        os.path.join(args.logdir, "flow_records.jsonl"), "bro",
+        record_lines)
+    print(f"  {records_path}: {len(record_lines)} flow records")
     if args.stats:
         for key in ("parsing_ns", "script_ns", "glue_ns", "other_ns"):
             print(f"  {key[:-3]:>8}: {stats[key] / 1e6:10.2f} ms")

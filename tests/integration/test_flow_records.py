@@ -1,0 +1,199 @@
+"""The cross-backend flow-record identity oracle (docs/FLOWS.md).
+
+Every host application seals its flows through the one shared
+:class:`~repro.host.flowtable.FlowTable`, and the claim the ledger
+makes is the strongest observable one: the sorted record stream — and
+therefore the ``flow_records.jsonl`` file — is a pure function of
+trace content, **byte-identical** between the sequential pipeline and
+every parallel backend (deterministic vthread scheduler, real threads,
+one process per worker, the persistent shared-memory pool) at any
+worker count.  This holds even though bpf and firewall lanes inject
+faults and assign record uids independently: the ledger feed bypasses
+the fault-injected parse, and the dispatcher pre-assigns uids in
+global arrival order.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.apps.binpac.app import PacApp, PacLaneSpec
+from repro.apps.bpf.app import BpfApp, BpfLaneSpec
+from repro.apps.bro import Bro, ParallelBro
+from repro.apps.firewall.app import FirewallApp, FirewallLaneSpec
+from repro.apps.firewall.rules import RuleSet
+from repro.host import ParallelPipeline
+from repro.host.pool import shutdown_shared_pools
+from repro.net.flowrecord import (
+    FLOWRECORDS_SCHEMA,
+    validate_flowrecord_lines,
+    write_flowrecords_jsonl,
+)
+from repro.net.tracegen import (
+    DnsTraceConfig,
+    HttpTraceConfig,
+    SshTraceConfig,
+    TftpTraceConfig,
+    generate_mixed_trace,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+BACKENDS = ["vthread", "threaded", "process", "pool"]
+
+FILTER = "tcp and port 80"
+
+RULES = """
+10.0.0.0/8   172.16.0.0/12  deny
+10.0.0.0/8   *              allow
+*            *              deny
+"""
+
+
+def _needs_fork(backend):
+    if backend in ("process", "pool") and not HAVE_FORK:
+        pytest.skip("fork start method unavailable")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools():
+    yield
+    shutdown_shared_pools()
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    return generate_mixed_trace(
+        http=HttpTraceConfig(sessions=25, seed=7),
+        dns=DnsTraceConfig(queries=40, seed=7),
+        ssh=SshTraceConfig(sessions=10, seed=7),
+        tftp=TftpTraceConfig(transfers=12, seed=7),
+    )
+
+
+def _lane_config(**extra):
+    config = {"watchdog_budget": None, "metrics": False, "trace": False}
+    config.update(extra)
+    return config
+
+
+def _spec(name):
+    if name == "bpf":
+        return BpfLaneSpec(_lane_config(
+            filter=FILTER, engine="compiled", opt_level=None))
+    if name == "firewall":
+        return FirewallLaneSpec(_lane_config(
+            rules=RULES, timeout_seconds=5.0, engine="compiled",
+            opt_level=None))
+    return PacLaneSpec(_lane_config(
+        protocols=("http", "dns", "ssh", "tftp"), opt_level=None))
+
+
+@pytest.fixture(scope="module")
+def baselines(mixed_trace):
+    """Sequential record streams: the oracle every backend must hit."""
+    out = {}
+    app = BpfApp(FILTER)
+    app.run(mixed_trace)
+    out["bpf"] = app.flow_record_lines()
+    app = FirewallApp(RuleSet.parse(RULES, timeout_seconds=5.0))
+    app.run(mixed_trace)
+    out["firewall"] = app.flow_record_lines()
+    app = PacApp()
+    app.run(mixed_trace)
+    out["pac"] = app.flow_record_lines()
+    return out
+
+
+class TestBpfBackendMatrix:
+    """The full 4-backend x {1,3}-worker oracle on one app."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_records_match_sequential(self, mixed_trace, baselines,
+                                      backend, workers):
+        _needs_fork(backend)
+        pipe = ParallelPipeline(_spec("bpf"), workers=workers,
+                                backend=backend)
+        pipe.run(mixed_trace)
+        assert pipe.flow_record_lines() == baselines["bpf"]
+
+
+class TestEveryAppEveryBackend:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", ["firewall", "pac"])
+    def test_records_match_sequential(self, mixed_trace, baselines,
+                                      name, backend):
+        _needs_fork(backend)
+        pipe = ParallelPipeline(_spec(name), workers=3, backend=backend)
+        pipe.run(mixed_trace)
+        assert pipe.flow_record_lines() == baselines[name]
+
+
+class TestBroRecords:
+    @pytest.fixture(scope="class")
+    def bro_trace(self):
+        return generate_mixed_trace(
+            HttpTraceConfig(sessions=20, seed=11),
+            DnsTraceConfig(queries=40, seed=11),
+        )
+
+    @pytest.fixture(scope="class")
+    def bro_baseline(self, bro_trace):
+        bro = Bro()
+        bro.run(bro_trace)
+        return bro.flow_record_lines()
+
+    @pytest.mark.parametrize(
+        "backend",
+        ["vthread",
+         pytest.param("pool", marks=pytest.mark.skipif(
+             not HAVE_FORK, reason="fork start method unavailable"))])
+    def test_records_match_sequential(self, bro_trace, bro_baseline,
+                                      backend):
+        parallel = ParallelBro(workers=3, backend=backend)
+        parallel.run(bro_trace)
+        assert parallel.flow_record_lines() == bro_baseline
+        assert bro_baseline  # the oracle is not vacuous
+
+    def test_uids_are_bro_conn_uids(self, bro_baseline):
+        uids = {json.loads(line)["uid"] for line in bro_baseline}
+        assert all(uid and uid.startswith("C") for uid in uids)
+
+
+class TestWrittenFiles:
+    """flow_records.jsonl itself: schema-valid, and byte-identical
+    between a sequential write and a parallel-merge write."""
+
+    def test_file_identity_and_schema(self, mixed_trace, baselines,
+                                      tmp_path):
+        seq_path = write_flowrecords_jsonl(
+            str(tmp_path / "seq.jsonl"), "bpf", baselines["bpf"])
+        pipe = ParallelPipeline(_spec("bpf"), workers=3,
+                                backend="vthread")
+        pipe.run(mixed_trace)
+        par_path = write_flowrecords_jsonl(
+            str(tmp_path / "par.jsonl"), "bpf",
+            pipe.flow_record_lines())
+        with open(seq_path, "rb") as stream:
+            seq_bytes = stream.read()
+        with open(par_path, "rb") as stream:
+            par_bytes = stream.read()
+        assert seq_bytes == par_bytes
+
+        lines = seq_bytes.decode().splitlines()
+        assert validate_flowrecord_lines(lines) == []
+        header = json.loads(lines[0])
+        assert header["schema"] == FLOWRECORDS_SCHEMA
+        assert header["app"] == "bpf"
+        assert header["records"] == len(baselines["bpf"]) > 0
+
+    def test_every_app_stream_schema_valid(self, baselines):
+        from repro.net.flowrecord import flowrecords_header_line
+
+        for name, lines in baselines.items():
+            assert lines, name
+            header = flowrecords_header_line(name, len(lines))
+            assert validate_flowrecord_lines([header] + lines) == [], \
+                name

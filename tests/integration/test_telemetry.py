@@ -163,6 +163,7 @@ class TestReportFiles:
         written = {p.rsplit("/", 1)[-1] for p in bro.write_telemetry(logdir)}
         assert written == {
             "metrics.jsonl", "stats.log", "prof.log", "flows.jsonl",
+            "flow_records.jsonl",
         }
 
         with open(f"{logdir}/metrics.jsonl") as stream:
